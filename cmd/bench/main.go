@@ -1,0 +1,159 @@
+// Command bench runs the engine-level experiments of §8 end to end on the
+// compressed-time substrate: parameter discovery (Fig 7, Fig 8), the
+// comparison of elasticity approaches (Fig 9, Fig 10, Table 2), reaction to
+// unexpected spikes (Fig 11) and the workload uniformity analysis (§8.1).
+//
+// Usage:
+//
+//	bench -experiment all
+//	bench -experiment fig9 -replay-days 3 -predictor spar
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pstore/internal/experiments"
+	"pstore/internal/metrics"
+)
+
+func main() {
+	var (
+		which      = flag.String("experiment", "all", "experiment: fig7, fig8, fig9, fig11, skew or all")
+		replayDays = flag.Int("replay-days", 2, "days replayed in fig9/fig11 (the paper replays 3)")
+		trainDays  = flag.Int("train-days", 4, "training days for the predictor")
+		predictor  = flag.String("predictor", "spar", "predictor for P-Store runs: spar or oracle")
+		seed       = flag.Int64("seed", 3, "trace seed")
+	)
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	var setup *experiments.Setup
+	discover := func() error {
+		var err error
+		setup, err = experiments.DiscoverParameters(sc, 400*time.Millisecond, 8,
+			[]int{1, 2, 4, 8, 32}, 4*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fig 7 — single-node ramp (%d points):\n", len(setup.Saturation.Points))
+		fmt.Printf("%12s %12s %10s %10s\n", "offered tps", "done tps", "p50", "p99")
+		for _, p := range setup.Saturation.Points {
+			fmt.Printf("%12.0f %12.0f %10v %10v\n", p.OfferedRate, p.Throughput, p.P50.Round(time.Millisecond), p.P99.Round(time.Millisecond))
+		}
+		fmt.Printf("saturation %.0f tps → Q̂ = %.0f tps, Q = %.0f tps (80%%/65%% rules)\n",
+			setup.Saturation.Saturation, setup.Saturation.QHat, setup.Saturation.Q)
+		fmt.Printf("\nFig 8 — chunk-size sweep at Q̂:\n")
+		fmt.Printf("%-10s %14s %12s %10s %10s\n", "config", "migration", "rows moved", "p99 viol", "windows")
+		for _, r := range setup.Chunks.Runs {
+			fmt.Printf("%-10s %14v %12d %10d %10d\n", r.Label, r.MigrationTime.Round(time.Millisecond),
+				r.RowsMoved, r.Violations.P99Violations, len(r.Windows))
+		}
+		fmt.Printf("derived D = %.1f slots, rate R = %.0f rows/s\n", setup.Chunks.DSlots, setup.Chunks.RatePerSec)
+		fmt.Printf("planner params: Q=%.1f/slot Q̂=%.1f/slot D=%.1f P=%d\n",
+			setup.Params.Q, setup.Params.QHat, setup.Params.D, setup.Params.PartitionsPerNode)
+		return nil
+	}
+	ensureSetup := func() error {
+		if setup != nil {
+			return nil
+		}
+		setup = &experiments.Setup{Scale: sc, Params: experiments.QuickParams(sc)}
+		fmt.Printf("(using pre-discovered QuickParams: Q=%.1f/slot Q̂=%.1f/slot D=%.1f)\n",
+			setup.Params.Q, setup.Params.QHat, setup.Params.D)
+		return nil
+	}
+
+	run("fig7", discover)
+	run("fig8", func() error {
+		if setup != nil {
+			return nil // already printed by fig7 discovery
+		}
+		return discover()
+	})
+
+	run("fig9", func() error {
+		if err := ensureSetup(); err != nil {
+			return err
+		}
+		kind := experiments.PredictorSPAR
+		if *predictor == "oracle" {
+			kind = experiments.PredictorOracle
+		}
+		cfg, err := experiments.BuildApproachesConfig(setup, *trainDays, *replayDays, kind, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %d day(s), peak nodes %d, small nodes %d, horizon %d slots\n\n",
+			*replayDays, cfg.PeakNodes, cfg.SmallNodes, cfg.Horizon)
+		fmt.Printf("Table 2 — SLA violations (>%v) and machines:\n", sc.SLAThreshold)
+		fmt.Printf("%-14s %8s %8s %8s %12s %10s\n", "approach", "p50", "p95", "p99", "avg machines", "requests")
+		for _, a := range []experiments.Approach{
+			experiments.ApproachStaticPeak,
+			experiments.ApproachStaticSmall,
+			experiments.ApproachReactive,
+			experiments.ApproachPStore,
+		} {
+			res, err := experiments.RunApproach(*cfg, a)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s %8d %8d %8d %12.2f %10d\n", res.Approach,
+				res.SLA.P50Violations, res.SLA.P95Violations, res.SLA.P99Violations,
+				res.AvgMachines, res.Requests)
+			// Fig 10 inputs: top-1% tail CDF extremes.
+			for _, pct := range []int{50, 95, 99} {
+				series := metrics.PercentileSeries(res.Windows, pct)
+				cdf := metrics.TopFractionCDF(series, 0.01)
+				if len(cdf) > 0 {
+					fmt.Printf("    top-1%% p%d tail: %.0f..%.0f ms\n", pct, cdf[0].Value, cdf[len(cdf)-1].Value)
+				}
+			}
+		}
+		return nil
+	})
+
+	run("fig11", func() error {
+		if err := ensureSetup(); err != nil {
+			return err
+		}
+		cfg, err := experiments.BuildApproachesConfig(setup, *trainDays, 1, experiments.PredictorOracle, *seed)
+		if err != nil {
+			return err
+		}
+		spikeStart := cfg.ReplayStart + sc.SlotsPerDay/3
+		runs, err := experiments.SpikeStudy(*cfg, spikeStart, sc.SlotsPerDay/8, 2.5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fig 11 — unexpected 2.5× spike, fallback at rate R vs R×8:\n")
+		fmt.Printf("%-10s %8s %8s %8s %12s\n", "rate", "p50", "p95", "p99", "avg machines")
+		for _, r := range runs {
+			fmt.Printf("%-10s %8d %8d %8d %12.2f\n", r.Label,
+				r.SLA.P50Violations, r.SLA.P95Violations, r.SLA.P99Violations, r.AvgMachines)
+		}
+		return nil
+	})
+
+	run("skew", func() error {
+		res := experiments.SkewAnalysis(30, 500000, 500000)
+		fmt.Printf("§8.1 — uniformity over %d partitions (paper: accesses max +10.15%%, σ 2.62%%; data max +0.185%%, σ 0.099%%):\n", res.Partitions)
+		fmt.Printf("  accesses: max over avg %+.2f%%, σ %.2f%%\n", res.AccessMaxOverAvg*100, res.AccessStdOverAvg*100)
+		fmt.Printf("  data:     max over avg %+.2f%%, σ %.2f%%\n", res.DataMaxOverAvg*100, res.DataStdOverAvg*100)
+		return nil
+	})
+}

@@ -1,0 +1,111 @@
+// Command predict trains P-Store's load predictors on synthetic traces and
+// reports forecast accuracy, reproducing the data behind Figs 5 and 6 and
+// the §5 SPAR/ARMA/AR comparison.
+//
+// Usage:
+//
+//	predict -study b2w -train-days 28 -test-days 3
+//	predict -study wiki
+//	predict -study compare -tau 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pstore/internal/experiments"
+	"pstore/internal/predict"
+	"pstore/internal/timeseries"
+	"pstore/internal/workload"
+)
+
+func main() {
+	var (
+		study     = flag.String("study", "b2w", "study: b2w (Fig 5), wiki (Fig 6), compare (§5) or file (evaluate -trace)")
+		trainDays = flag.Int("train-days", 28, "training days (the paper trains on 4 weeks)")
+		testDays  = flag.Int("test-days", 2, "evaluation days")
+		stride    = flag.Int("stride", 15, "evaluation stride in slots (higher = faster)")
+		tau       = flag.Int("tau", 60, "comparison horizon for -study compare, in minutes")
+		traceFile = flag.String("trace", "", "trace file (CSV or JSON) for -study file")
+	)
+	flag.Parse()
+
+	switch *study {
+	case "file":
+		evaluateTraceFile(*traceFile, *tau, *stride)
+	case "b2w":
+		res, err := experiments.SPARStudyB2W(*trainDays, *testDays, []int{10, 20, 30, 40, 50, 60}, *stride)
+		exitOn(err)
+		printStudy(res, "min")
+	case "wiki":
+		for _, english := range []bool{true, false} {
+			res, err := experiments.SPARStudyWikipedia(english, *trainDays, *testDays, []int{1, 2, 3, 4, 5, 6}, 1)
+			exitOn(err)
+			printStudy(res, "h")
+		}
+	case "compare":
+		points, err := experiments.ModelComparison(*trainDays, *testDays, *tau, *stride)
+		exitOn(err)
+		fmt.Printf("Model comparison at τ=%d min (paper: SPAR 10.4%%, ARMA 12.2%%, AR 12.5%%):\n", *tau)
+		for _, p := range points {
+			fmt.Printf("  %-14s MRE %6.2f%%\n", p.Model, p.MRE*100)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "predict: unknown study %q\n", *study)
+		os.Exit(2)
+	}
+}
+
+// evaluateTraceFile fits an auto-configured SPAR on the first 80% of an
+// external trace and reports its accuracy on the rest.
+func evaluateTraceFile(path string, tau, stride int) {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "predict: -study file requires -trace")
+		os.Exit(2)
+	}
+	f, err := os.Open(path)
+	exitOn(err)
+	defer f.Close()
+	var series *timeseries.Series
+	if strings.HasSuffix(path, ".json") {
+		series, err = workload.ReadTraceJSON(f)
+	} else {
+		series, err = workload.ReadTrace(f)
+	}
+	exitOn(err)
+	testStart := series.Len() * 4 / 5
+	cfg, err := predict.SuggestSPARConfig(series.Slice(0, testStart))
+	exitOn(err)
+	fmt.Printf("%s: %d slots at %v; detected period %d slots, SPAR n=%d m=%d\n",
+		path, series.Len(), series.Step, cfg.Period, cfg.NPeriods, cfg.MRecent)
+	spar := predict.NewSPAR(cfg)
+	exitOn(spar.Fit(series.Slice(0, testStart)))
+	if tau >= cfg.Period {
+		tau = cfg.Period - 1
+	}
+	for _, h := range []int{1, tau / 2, tau} {
+		if h < 1 {
+			continue
+		}
+		ev, err := predict.EvaluateHorizon(spar, series, testStart, h, stride)
+		exitOn(err)
+		fmt.Printf("  τ=%4d slots  MRE %6.2f%%  (%d forecasts)\n", h, ev.MRE*100, ev.NForecast)
+	}
+}
+
+func printStudy(res *experiments.PredictorStudyResult, unit string) {
+	fmt.Printf("%s: SPAR accuracy vs forecast horizon\n", res.Workload)
+	for _, p := range res.Points {
+		fmt.Printf("  τ=%3d%-3s MRE %6.2f%%\n", p.Tau, unit, p.MRE*100)
+	}
+	fmt.Printf("  forecast curve at τ=%d%s: %d points\n", res.CurveTau, unit, len(res.CurvePred))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// Command pstore-client drives a running pstore-server over TCP.
+//
+// Usage:
+//
+//	pstore-client -addr 127.0.0.1:7070 stats
+//	pstore-client scale 4
+//	pstore-client call AddLineToCart cart-42 sku=sku-1 qty=2 price=9.99
+//	pstore-client call GetCart cart-42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pstore/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := server.Dial(*addr)
+	if err != nil {
+		fail("dial: %v", err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "ping":
+		if err := cl.Ping(); err != nil {
+			fail("ping: %v", err)
+		}
+		fmt.Println("pong")
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			fail("stats: %v", err)
+		}
+		fmt.Printf("nodes=%d partitions=%d rows=%d offered=%d last-p99=%v\n",
+			st.Nodes, st.Partitions, st.TotalRows, st.OfferedTxns, st.P99)
+	case "scale":
+		if len(args) != 2 {
+			usage()
+		}
+		target, err := strconv.Atoi(args[1])
+		if err != nil {
+			usage()
+		}
+		if err := cl.Scale(target); err != nil {
+			fail("scale: %v", err)
+		}
+		fmt.Printf("scaled to %d nodes\n", target)
+	case "call":
+		if len(args) < 3 {
+			usage()
+		}
+		proc, key := args[1], args[2]
+		callArgs := make(map[string]string)
+		for _, kv := range args[3:] {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				usage()
+			}
+			callArgs[parts[0]] = parts[1]
+		}
+		res, err := cl.Call(proc, key, callArgs)
+		if err != nil {
+			if res != nil && res.Abort {
+				fmt.Printf("aborted: %v (latency %v)\n", err, res.Latency)
+				return
+			}
+			fail("call: %v", err)
+		}
+		fmt.Printf("ok latency=%v", res.Latency)
+		for k, v := range res.Out {
+			fmt.Printf(" %s=%s", k, v)
+		}
+		fmt.Println()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pstore-client [-addr host:port] <command>
+commands:
+  ping
+  stats
+  scale <nodes>
+  call <procedure> <key> [arg=value ...]`)
+	os.Exit(2)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pstore-client: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command pstore-server runs a P-Store cluster as a standalone process,
+// serving the B2W stored procedures over TCP (see internal/server for the
+// protocol). Clients connect with cmd/pstore-client or the server.Client
+// library; scale requests perform live migrations while transactions
+// continue to execute.
+//
+// Usage:
+//
+//	pstore-server -addr 127.0.0.1:7070 -nodes 2 -partitions 2 -preload 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pstore/internal/b2w"
+	"pstore/internal/cluster"
+	"pstore/internal/engine"
+	"pstore/internal/migration"
+	"pstore/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "listen address")
+		nodes       = flag.Int("nodes", 2, "initial nodes")
+		partitions  = flag.Int("partitions", 2, "partitions per node")
+		nBuckets    = flag.Int("buckets", 512, "hash buckets (migration granularity)")
+		stockItems  = flag.Int("stock", 2000, "stock catalog size to preload")
+		preload     = flag.Int("preload", 1000, "shopping carts to preload")
+		serviceTime = flag.Duration("service-time", 200*time.Microsecond, "synthetic per-transaction work")
+	)
+	flag.Parse()
+
+	reg := engine.NewRegistry()
+	b2w.Register(reg)
+	c, err := cluster.New(cluster.Config{
+		InitialNodes:      *nodes,
+		PartitionsPerNode: *partitions,
+		NBuckets:          *nBuckets,
+		Tables:            b2w.Tables,
+		Registry:          reg,
+		Engine: engine.Config{
+			ServiceTime:      *serviceTime,
+			MigrationRowCost: *serviceTime / 20,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Stop()
+
+	d := b2w.NewDriver(b2w.DriverConfig{StockItems: *stockItems, CartPool: *preload, Seed: 1})
+	if err := d.Preload(c, *preload); err != nil {
+		fmt.Fprintf(os.Stderr, "pstore-server: preload: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(c, migration.Options{BucketsPerChunk: 2, ChunkInterval: 5 * time.Millisecond}, log.Printf)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	rows, _ := c.TotalRows()
+	log.Printf("pstore-server: listening on %s (%d nodes × %d partitions, %d rows preloaded)",
+		bound, *nodes, *partitions, rows)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("pstore-server: shutting down")
+}

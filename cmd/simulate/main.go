@@ -1,0 +1,97 @@
+// Command simulate runs the long-horizon allocation-strategy simulations of
+// §8.3, reproducing Fig 12 (capacity-cost trade-off of P-Store Oracle,
+// P-Store SPAR, Reactive, Simple and Static over months of load, swept over
+// the target throughput Q) and Fig 13 (effective-capacity trajectories
+// including Black Friday).
+//
+// Usage:
+//
+//	simulate -days 135 -train-days 28 -black-friday 120
+//	simulate -fig13 -days 60 -train-days 21 -black-friday 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pstore/internal/experiments"
+)
+
+func main() {
+	var (
+		days        = flag.Int("days", 60, "total days of synthetic B2W load (paper: ~135)")
+		trainDays   = flag.Int("train-days", 21, "days used to train SPAR (paper: 28)")
+		blackFriday = flag.Int("black-friday", 50, "day index of the Black Friday surge (-1 = none)")
+		qFactors    = flag.String("q-factors", "0.8,1.0,1.25", "comma-separated Q multipliers to sweep")
+		fig13       = flag.Bool("fig13", false, "also print the Fig 13 trajectory window")
+		seed        = flag.Int64("seed", 5, "trace seed")
+	)
+	flag.Parse()
+
+	var factors []float64
+	for _, f := range strings.Split(*qFactors, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simulate: bad q-factor %q\n", f)
+			os.Exit(2)
+		}
+		factors = append(factors, v)
+	}
+	cfg := experiments.SimStudyConfig{
+		Days:           *days,
+		TrainDays:      *trainDays,
+		BlackFridayDay: *blackFriday,
+		QFactors:       factors,
+		Seed:           *seed,
+	}
+
+	res, err := experiments.CapacityCostStudy(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Fig 12 — capacity-cost trade-off over %d simulated days (%d slots):\n", *days-*trainDays, res.Slots)
+	fmt.Printf("%-16s %8s %12s %12s %14s %7s\n", "strategy", "Qfactor", "cost(norm)", "insuff %", "avg machines", "moves")
+	points := append([]experiments.SimPoint(nil), res.Points...)
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Strategy != points[j].Strategy {
+			return points[i].Strategy < points[j].Strategy
+		}
+		return points[i].QFactor < points[j].QFactor
+	})
+	for _, p := range points {
+		fmt.Printf("%-16s %8.2f %12.3f %12.3f %14.2f %7d\n",
+			p.Strategy, p.QFactor, p.NormalizedCost, p.InsufficientFrac*100, p.AvgMachines, p.Moves)
+	}
+
+	if *fig13 && *blackFriday >= 0 {
+		windowStart := (*blackFriday - 1) * 288
+		states, load, err := experiments.TrajectoryStudy(cfg, windowStart, 3*288)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simulate: fig13: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nFig 13 — Black Friday window (slot, load, then eff-cap per strategy):\n")
+		names := make([]string, 0, len(states))
+		for n := range states {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("%6s %12s", "slot", "load")
+		for _, n := range names {
+			fmt.Printf(" %16s", n)
+		}
+		fmt.Println()
+		for i := 0; i < load.Len(); i += 12 { // hourly rows
+			fmt.Printf("%6d %12.0f", windowStart+i, load.At(i))
+			for _, n := range names {
+				fmt.Printf(" %16.0f", states[n][i].EffCap)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command tracegen generates synthetic load traces with the published
+// characteristics of the paper's workloads (B2W shopping-cart load,
+// Wikipedia EN/DE page views) and writes them as CSV.
+//
+// Usage:
+//
+//	tracegen -workload b2w -days 7 -out b2w.csv
+//	tracegen -workload wiki-de -days 42 -out de.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pstore/internal/timeseries"
+	"pstore/internal/workload"
+)
+
+func main() {
+	var (
+		kind        = flag.String("workload", "b2w", "workload: b2w, wiki-en or wiki-de")
+		days        = flag.Int("days", 7, "days of trace to generate")
+		slotsPerDay = flag.Int("slots-per-day", 1440, "slots per day (b2w only; wiki is hourly)")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		blackFriday = flag.Int("black-friday", -1, "day index of a Black Friday surge (b2w only; -1 = none)")
+		format      = flag.String("format", "csv", "output format: csv or json")
+		out         = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var series *timeseries.Series
+	switch *kind {
+	case "b2w":
+		cfg := workload.DefaultB2WConfig()
+		cfg.Days = *days
+		cfg.SlotsPerDay = *slotsPerDay
+		cfg.Seed = *seed
+		cfg.BlackFridayDay = *blackFriday
+		series = workload.GenerateB2W(cfg)
+	case "wiki-en":
+		cfg := workload.DefaultWikiEnglish()
+		cfg.Days = *days
+		cfg.Seed = *seed
+		series = workload.GenerateWiki(cfg)
+	case "wiki-de":
+		cfg := workload.DefaultWikiGerman()
+		cfg.Days = *days
+		cfg.Seed = *seed
+		series = workload.GenerateWiki(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "csv":
+		err = workload.WriteTrace(w, series)
+	case "json":
+		err = workload.WriteTraceJSON(w, series)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d slots (%s step), min %.0f max %.0f mean %.0f\n",
+		series.Len(), series.Step, series.Min(), series.Max(), series.Mean())
+}

@@ -1,0 +1,77 @@
+// Quickstart: plan a day of reconfigurations with P-Store's dynamic
+// program.
+//
+// Given a predicted load curve (here: a sinusoidal day with a 10× swing,
+// like B2W's), the planner produces the cheapest sequence of moves that
+// keeps effective capacity above demand — scaling out as late as possible
+// before the morning ramp and back in at night.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pstore/internal/plan"
+)
+
+func main() {
+	// Model parameters, as discovered in §8.1 of the paper: each server
+	// comfortably handles Q transactions per time slot (one slot = 10
+	// minutes here), and migrating the whole database with a single thread
+	// pair takes D slots.
+	params := plan.Params{
+		Q:                 285, // target txns/slot per server
+		QHat:              350, // saturation txns/slot per server
+		D:                 8,   // full-database single-thread move time, in slots
+		PartitionsPerNode: 6,
+	}
+
+	// A predicted day at 10-minute granularity: trough 250 at 4am, peak
+	// 2500 mid-afternoon.
+	const slots = 144
+	load := make([]float64, slots+1)
+	for i := range load {
+		frac := float64(i) / slots
+		s := (1 - math.Cos(2*math.Pi*(frac-0.1875))) / 2
+		load[i] = 250 + 2250*math.Pow(s, 1.3)
+	}
+
+	n0 := params.RequiredMachines(load[0]) // machines currently allocated
+	p, err := plan.BestMoves(load, n0, params)
+	if err != nil {
+		log.Fatalf("planning failed: %v", err)
+	}
+
+	fmt.Printf("planned %d moves, total cost %.1f machine-slots, ending with %d machines\n\n",
+		len(p.Moves), p.Cost, p.FinalNodes)
+	fmt.Println("reconfigurations (holds omitted):")
+	for _, m := range p.Moves {
+		if m.IsNoop() {
+			continue
+		}
+		dir := "scale-out"
+		if m.To < m.From {
+			dir = "scale-in"
+		}
+		fmt.Printf("  slot %3d–%3d: %s %d → %d machines (move time %.1f slots, eff-cap %0.f→%0.f txns/slot)\n",
+			m.Start, m.End, dir, m.From, m.To,
+			params.MoveTime(m.From, m.To), params.EffCap(m.From, m.To, 0), params.EffCap(m.From, m.To, 1))
+	}
+
+	// Compare with static peak provisioning.
+	peak := 0.0
+	for _, v := range load {
+		if v > peak {
+			peak = v
+		}
+	}
+	staticMachines := params.RequiredMachines(peak)
+	staticCost := float64(staticMachines * (slots + 1))
+	fmt.Printf("\nstatic peak provisioning would use %d machines all day: %.0f machine-slots\n",
+		staticMachines, staticCost)
+	fmt.Printf("P-Store's plan costs %.1f machine-slots — %.0f%% of static\n",
+		p.Cost, 100*p.Cost/staticCost)
+}

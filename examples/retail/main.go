@@ -1,0 +1,166 @@
+// Retail: run the full P-Store system end to end on a compressed day of
+// online-retail traffic.
+//
+// An embedded multi-node cluster executes the B2W benchmark's stored
+// procedures while the Predictive Controller measures load, forecasts it,
+// plans with the dynamic program and live-migrates data ahead of the
+// morning ramp. A trace "day" passes in a few seconds of wall time.
+//
+// Run with: go run ./examples/retail
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"pstore/internal/b2w"
+	"pstore/internal/cluster"
+	"pstore/internal/controller"
+	"pstore/internal/engine"
+	"pstore/internal/metrics"
+	"pstore/internal/migration"
+	"pstore/internal/plan"
+	"pstore/internal/predict"
+	"pstore/internal/workload"
+)
+
+func main() {
+	const (
+		slotsPerDay  = 96
+		slotWall     = 40 * time.Millisecond
+		serviceTime  = 1200 * time.Microsecond
+		partsPerNode = 2
+	)
+
+	// Per-node capacity on this substrate, per the paper's 65%/80% rules.
+	satPerSec := 0.95 * float64(partsPerNode) * float64(time.Second) / float64(serviceTime)
+	params := plan.Params{
+		Q:                 0.65 * satPerSec * slotWall.Seconds(),
+		QHat:              0.80 * satPerSec * slotWall.Seconds(),
+		D:                 8,
+		PartitionsPerNode: partsPerNode,
+	}
+
+	// Synthesize 6 days of diurnal retail load in transactions/slot: 5 for
+	// the predictor, 1 to replay.
+	gen := workload.DefaultB2WConfig()
+	gen.Days = 6
+	gen.SlotsPerDay = slotsPerDay
+	gen.PeakLoad = 4.5 * params.Q
+	gen.TroughLoad = gen.PeakLoad / 10
+	trace := workload.GenerateB2W(gen)
+	replayStart := 5 * slotsPerDay
+
+	reg := engine.NewRegistry()
+	b2w.Register(reg)
+	c, err := cluster.New(cluster.Config{
+		InitialNodes:      params.RequiredMachines(trace.At(replayStart)),
+		PartitionsPerNode: partsPerNode,
+		NBuckets:          256,
+		Tables:            b2w.Tables,
+		Registry:          reg,
+		Engine:            engine.Config{ServiceTime: serviceTime, MigrationRowCost: 40 * time.Microsecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	driver := b2w.NewDriver(b2w.DriverConfig{StockItems: 800, CartPool: 800, Seed: 7})
+	if err := driver.Preload(c, 800); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster up: %d node(s), %d rows preloaded\n", c.NumNodes(), mustRows(c))
+
+	// SPAR fitted on the five history days.
+	spar := predict.NewSPAR(predict.SPARConfig{Period: slotsPerDay, NPeriods: 3, MRecent: 8, MaxRows: 4000})
+	if err := spar.Fit(trace.Slice(0, replayStart)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Normalize each measurement by the wall time since the previous one,
+	// so a delayed controller tick does not read as a load burst.
+	prev := 0
+	prevAt := time.Now()
+	measure := func() float64 {
+		now := time.Now()
+		total := c.OfferedLoad().Total()
+		delta := float64(total - prev)
+		elapsed := now.Sub(prevAt)
+		prev = total
+		prevAt = now
+		if elapsed > slotWall {
+			delta *= float64(slotWall) / float64(elapsed)
+		}
+		return delta
+	}
+	ctl, err := controller.New(c, controller.Config{
+		Params:               params,
+		Predictor:            spar,
+		History:              trace.Slice(0, replayStart),
+		SlotWall:             slotWall,
+		Horizon:              12,
+		Inflate:              1.15,
+		ScaleInConfirmations: 3,
+		Migration:            migration.Options{BucketsPerChunk: 2, ChunkInterval: 2 * time.Millisecond},
+		MeasureLoad:          measure,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ctlWG sync.WaitGroup
+	ctlWG.Add(1)
+	go func() {
+		defer ctlWG.Done()
+		if err := ctl.Run(ctx); err != nil && ctx.Err() == nil {
+			log.Printf("controller stopped: %v", err)
+		}
+	}()
+
+	fmt.Printf("replaying one retail day (%d slots × %v)...\n", slotsPerDay, slotWall)
+	var calls sync.WaitGroup
+	stats, err := workload.Replay(ctx, trace.Slice(replayStart, trace.Len()),
+		workload.ReplayConfig{SlotWall: slotWall, LoadScale: 1, MaxLag: slotWall},
+		func(int) {
+			calls.Add(1)
+			go func() {
+				defer calls.Done()
+				c.Call(driver.Next())
+			}()
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cancel()
+	ctlWG.Wait()
+	_ = ctl.WaitIdle()
+	calls.Wait()
+
+	fmt.Printf("\nreplayed %d transactions in %v\n", stats.Requests, stats.Elapsed.Round(time.Millisecond))
+	fmt.Println("\ncontroller decisions:")
+	for _, ev := range ctl.Events() {
+		if ev.Kind == "hold" {
+			continue
+		}
+		fmt.Printf("  slot %3d: %-10s %d → %d machines (measured load %.0f/slot) %s\n",
+			ev.Slot, ev.Kind, ev.From, ev.To, ev.Load, ev.Note)
+	}
+	rep := metrics.SLAViolations(c.Latencies().Windows(), 250*time.Millisecond)
+	fmt.Printf("\nSLA (>250ms): p50 %d, p95 %d, p99 %d violation windows of %d\n",
+		rep.P50Violations, rep.P95Violations, rep.P99Violations, rep.Windows)
+	fmt.Printf("average machines allocated: %.2f (static peak would need %d)\n",
+		c.Allocation().Average(time.Now()), params.RequiredMachines(trace.Max()))
+}
+
+func mustRows(c *cluster.Cluster) int {
+	n, err := c.TotalRows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
+}

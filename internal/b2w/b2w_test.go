@@ -1,0 +1,280 @@
+package b2w
+
+import (
+	"fmt"
+	"testing"
+
+	"pstore/internal/cluster"
+	"pstore/internal/engine"
+	"pstore/internal/storage"
+)
+
+func newExec(t *testing.T) *engine.Executor {
+	t.Helper()
+	reg := engine.NewRegistry()
+	Register(reg)
+	buckets := make([]int, 32)
+	for i := range buckets {
+		buckets[i] = i
+	}
+	p := storage.NewPartition(0, 32, buckets)
+	for _, tbl := range Tables {
+		p.CreateTable(tbl)
+	}
+	e := engine.NewExecutor(p, reg, engine.Config{})
+	t.Cleanup(e.Stop)
+	return e
+}
+
+func call(t *testing.T, e *engine.Executor, proc, key string, args map[string]string) engine.Result {
+	t.Helper()
+	return e.Call(&engine.Txn{Proc: proc, Key: key, Args: args})
+}
+
+func mustOK(t *testing.T, res engine.Result) engine.Result {
+	t.Helper()
+	if res.Err != nil {
+		t.Fatalf("unexpected error: %v", res.Err)
+	}
+	return res
+}
+
+func TestCartLifecycle(t *testing.T) {
+	e := newExec(t)
+	mustOK(t, call(t, e, ProcAddLineToCart, "c1", map[string]string{"sku": "sku-1", "qty": "2", "price": "9.99"}))
+	mustOK(t, call(t, e, ProcAddLineToCart, "c1", map[string]string{"sku": "sku-2", "qty": "1", "price": "5.00"}))
+	// Adding the same SKU again merges quantities.
+	mustOK(t, call(t, e, ProcAddLineToCart, "c1", map[string]string{"sku": "sku-1", "qty": "3", "price": "9.99"}))
+
+	res := mustOK(t, call(t, e, ProcGetCart, "c1", nil))
+	lines, err := decodeLines(res.Out["lines"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %+v", lines)
+	}
+	if lines[0].SKU != "sku-1" || lines[0].Quantity != 5 {
+		t.Errorf("line 0 = %+v, want sku-1 qty 5", lines[0])
+	}
+
+	mustOK(t, call(t, e, ProcDeleteLineFromCart, "c1", map[string]string{"sku": "sku-2"}))
+	res = mustOK(t, call(t, e, ProcGetCart, "c1", nil))
+	lines, _ = decodeLines(res.Out["lines"])
+	if len(lines) != 1 {
+		t.Fatalf("after delete, lines = %+v", lines)
+	}
+
+	mustOK(t, call(t, e, ProcReserveCart, "c1", nil))
+	res = mustOK(t, call(t, e, ProcGetCart, "c1", nil))
+	if res.Out["status"] != StatusReserved {
+		t.Errorf("status = %q", res.Out["status"])
+	}
+	lines, _ = decodeLines(res.Out["lines"])
+	if lines[0].Status != StatusReserved {
+		t.Errorf("line status = %q", lines[0].Status)
+	}
+
+	mustOK(t, call(t, e, ProcDeleteCart, "c1", nil))
+	if res := call(t, e, ProcGetCart, "c1", nil); !engine.IsAbort(res.Err) {
+		t.Errorf("get deleted cart err = %v, want abort", res.Err)
+	}
+}
+
+func TestCartNotFoundAborts(t *testing.T) {
+	e := newExec(t)
+	for _, proc := range []string{ProcGetCart, ProcReserveCart} {
+		if res := call(t, e, proc, "ghost", nil); !engine.IsAbort(res.Err) {
+			t.Errorf("%s on missing cart: err = %v, want abort", proc, res.Err)
+		}
+	}
+	if res := call(t, e, ProcDeleteLineFromCart, "ghost", map[string]string{"sku": "s"}); !engine.IsAbort(res.Err) {
+		t.Errorf("DeleteLineFromCart err = %v, want abort", res.Err)
+	}
+}
+
+func TestStockLifecycle(t *testing.T) {
+	e := newExec(t)
+	// Seed the stock row directly.
+	err := e.Do(func(p *storage.Partition) (int, error) {
+		return 0, p.Put(TableStock, "sku-9", map[string]string{
+			"available": "10", "reserved": "0", "sold": "0",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustOK(t, call(t, e, ProcGetStockQuantity, "sku-9", nil))
+	if res.Out["available"] != "10" {
+		t.Errorf("available = %q", res.Out["available"])
+	}
+
+	mustOK(t, call(t, e, ProcReserveStock, "sku-9", map[string]string{"qty": "4"}))
+	res = mustOK(t, call(t, e, ProcGetStock, "sku-9", nil))
+	if res.Out["available"] != "6" || res.Out["reserved"] != "4" {
+		t.Errorf("after reserve: %v", res.Out)
+	}
+
+	mustOK(t, call(t, e, ProcPurchaseStock, "sku-9", map[string]string{"qty": "3"}))
+	res = mustOK(t, call(t, e, ProcGetStock, "sku-9", nil))
+	if res.Out["reserved"] != "1" || res.Out["sold"] != "3" {
+		t.Errorf("after purchase: %v", res.Out)
+	}
+
+	mustOK(t, call(t, e, ProcCancelStockReservation, "sku-9", map[string]string{"qty": "1"}))
+	res = mustOK(t, call(t, e, ProcGetStock, "sku-9", nil))
+	if res.Out["available"] != "7" || res.Out["reserved"] != "0" {
+		t.Errorf("after cancel: %v", res.Out)
+	}
+
+	// Over-reserving aborts.
+	if res := call(t, e, ProcReserveStock, "sku-9", map[string]string{"qty": "100"}); !engine.IsAbort(res.Err) {
+		t.Errorf("over-reserve err = %v, want abort", res.Err)
+	}
+	// Over-purchasing aborts.
+	if res := call(t, e, ProcPurchaseStock, "sku-9", map[string]string{"qty": "100"}); !engine.IsAbort(res.Err) {
+		t.Errorf("over-purchase err = %v, want abort", res.Err)
+	}
+}
+
+func TestStockConservation(t *testing.T) {
+	// available + reserved + sold is invariant under the stock procedures.
+	e := newExec(t)
+	err := e.Do(func(p *storage.Partition) (int, error) {
+		return 0, p.Put(TableStock, "sku-1", map[string]string{
+			"available": "50", "reserved": "0", "sold": "0",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []struct {
+		proc string
+		qty  string
+	}{
+		{ProcReserveStock, "5"}, {ProcReserveStock, "7"}, {ProcPurchaseStock, "4"},
+		{ProcCancelStockReservation, "2"}, {ProcReserveStock, "10"}, {ProcPurchaseStock, "10"},
+	}
+	for _, op := range ops {
+		call(t, e, op.proc, "sku-1", map[string]string{"qty": op.qty})
+	}
+	res := mustOK(t, call(t, e, ProcGetStock, "sku-1", nil))
+	var a, r, s int
+	fmt.Sscan(res.Out["available"], &a)
+	fmt.Sscan(res.Out["reserved"], &r)
+	fmt.Sscan(res.Out["sold"], &s)
+	if a+r+s != 50 {
+		t.Errorf("conservation violated: %d+%d+%d != 50", a, r, s)
+	}
+}
+
+func TestStockTransactionLifecycle(t *testing.T) {
+	e := newExec(t)
+	mustOK(t, call(t, e, ProcCreateStockTransaction, "st1", map[string]string{
+		"sku": "sku-1", "qty": "2", "cart_id": "c1",
+	}))
+	if res := call(t, e, ProcCreateStockTransaction, "st1", nil); !engine.IsAbort(res.Err) {
+		t.Errorf("duplicate create err = %v, want abort", res.Err)
+	}
+	res := mustOK(t, call(t, e, ProcGetStockTransaction, "st1", nil))
+	if res.Out["status"] != StatusReserved || res.Out["sku"] != "sku-1" {
+		t.Errorf("stock tx = %v", res.Out)
+	}
+	mustOK(t, call(t, e, ProcUpdateStockTransaction, "st1", map[string]string{"status": StatusPurchased}))
+	res = mustOK(t, call(t, e, ProcGetStockTransaction, "st1", nil))
+	if res.Out["status"] != StatusPurchased {
+		t.Errorf("status = %q", res.Out["status"])
+	}
+	// Invalid status is a hard error, not an abort.
+	if res := call(t, e, ProcUpdateStockTransaction, "st1", map[string]string{"status": "weird"}); res.Err == nil || engine.IsAbort(res.Err) {
+		t.Errorf("invalid status err = %v", res.Err)
+	}
+}
+
+func TestCheckoutLifecycle(t *testing.T) {
+	e := newExec(t)
+	mustOK(t, call(t, e, ProcCreateCheckout, "ck1", map[string]string{"cart_id": "c1"}))
+	if res := call(t, e, ProcCreateCheckout, "ck1", nil); !engine.IsAbort(res.Err) {
+		t.Errorf("duplicate checkout err = %v, want abort", res.Err)
+	}
+	mustOK(t, call(t, e, ProcAddLineToCheckout, "ck1", map[string]string{"sku": "s1", "qty": "2", "price": "3.50"}))
+	mustOK(t, call(t, e, ProcAddLineToCheckout, "ck1", map[string]string{"sku": "s2", "qty": "1", "price": "1.00"}))
+	mustOK(t, call(t, e, ProcCreateCheckoutPayment, "ck1", map[string]string{"method": "card", "amount": "8.00"}))
+	mustOK(t, call(t, e, ProcDeleteLineFromCheckout, "ck1", map[string]string{"sku": "s1"}))
+
+	res := mustOK(t, call(t, e, ProcGetCheckout, "ck1", nil))
+	if res.Out["payment_method"] != "card" {
+		t.Errorf("payment = %v", res.Out)
+	}
+	lines, _ := decodeLines(res.Out["lines"])
+	if len(lines) != 1 || lines[0].SKU != "s2" {
+		t.Errorf("lines = %+v", lines)
+	}
+
+	mustOK(t, call(t, e, ProcDeleteCheckout, "ck1", nil))
+	if res := call(t, e, ProcGetCheckout, "ck1", nil); !engine.IsAbort(res.Err) {
+		t.Errorf("get deleted checkout err = %v, want abort", res.Err)
+	}
+}
+
+func TestDriverMixAndKeys(t *testing.T) {
+	d := NewDriver(DriverConfig{StockItems: 100, CartPool: 50, Seed: 1})
+	seen := make(map[string]int)
+	for i := 0; i < 20000; i++ {
+		txn := d.Next()
+		if txn.Proc == "" || txn.Key == "" {
+			t.Fatalf("bad txn %+v", txn)
+		}
+		seen[txn.Proc]++
+	}
+	// Every one of the 19 procedures appears.
+	for _, name := range ProcedureNames {
+		if seen[name] == 0 {
+			t.Errorf("procedure %s never generated", name)
+		}
+	}
+	// Reads on carts dominate, roughly per the mix weights.
+	if seen[ProcGetCart] < seen[ProcDeleteCart] {
+		t.Errorf("mix skewed: GetCart %d < DeleteCart %d", seen[ProcGetCart], seen[ProcDeleteCart])
+	}
+}
+
+func TestDriverAgainstCluster(t *testing.T) {
+	reg := engine.NewRegistry()
+	Register(reg)
+	c, err := cluster.New(cluster.Config{
+		InitialNodes:      2,
+		PartitionsPerNode: 2,
+		NBuckets:          64,
+		Tables:            Tables,
+		Registry:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	d := NewDriver(DriverConfig{StockItems: 200, CartPool: 100, Seed: 2})
+	if err := d.Preload(c, 100); err != nil {
+		t.Fatal(err)
+	}
+	hardErrs := 0
+	for i := 0; i < 3000; i++ {
+		res := c.Call(d.Next())
+		if res.Err != nil && !engine.IsAbort(res.Err) {
+			hardErrs++
+			if hardErrs < 5 {
+				t.Logf("hard error: %v", res.Err)
+			}
+		}
+	}
+	if hardErrs > 0 {
+		t.Errorf("%d hard errors from driver workload", hardErrs)
+	}
+	rows, err := c.TotalRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows < 200 {
+		t.Errorf("rows = %d, want at least the catalog", rows)
+	}
+}

@@ -1,0 +1,251 @@
+package b2w
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+
+	"pstore/internal/cluster"
+	"pstore/internal/engine"
+)
+
+// DriverConfig parameterizes the workload driver.
+type DriverConfig struct {
+	// StockItems is the catalog size (distinct SKUs).
+	StockItems int
+	// CartPool is the number of concurrently active shopping carts the
+	// driver cycles through. Cart keys are randomly generated, so access
+	// spreads uniformly over partitions (§8.1).
+	CartPool int
+	Seed     int64
+}
+
+// DefaultDriverConfig returns a mid-sized catalog and cart pool.
+func DefaultDriverConfig() DriverConfig {
+	return DriverConfig{StockItems: 5000, CartPool: 2000, Seed: 7}
+}
+
+// mixEntry is one transaction type's share of the workload. The weights
+// model B2W's cart/checkout traffic: browsing and cart updates dominate,
+// checkout and stock mutation follow the funnel.
+type mixEntry struct {
+	proc   string
+	weight int
+}
+
+var defaultMix = []mixEntry{
+	{ProcGetCart, 24},
+	{ProcAddLineToCart, 17},
+	{ProcDeleteLineFromCart, 3},
+	{ProcDeleteCart, 2},
+	{ProcGetStockQuantity, 14},
+	{ProcGetStock, 5},
+	{ProcReserveStock, 6},
+	{ProcPurchaseStock, 3},
+	{ProcCancelStockReservation, 1},
+	{ProcCreateStockTransaction, 4},
+	{ProcReserveCart, 3},
+	{ProcGetStockTransaction, 2},
+	{ProcUpdateStockTransaction, 2},
+	{ProcCreateCheckout, 4},
+	{ProcCreateCheckoutPayment, 2},
+	{ProcAddLineToCheckout, 3},
+	{ProcDeleteLineFromCheckout, 1},
+	{ProcGetCheckout, 3},
+	{ProcDeleteCheckout, 1},
+}
+
+// Driver generates the B2W transaction mix. It is safe for concurrent use.
+type Driver struct {
+	cfg      DriverConfig
+	mixTotal int
+	mix      []mixEntry
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	carts     []string
+	checkouts []string
+	stockTxs  []string
+	nextCart  int64
+	nextCkout int64
+	nextSttx  int64
+}
+
+// NewDriver returns a driver with the default transaction mix.
+func NewDriver(cfg DriverConfig) *Driver {
+	if cfg.StockItems <= 0 {
+		cfg.StockItems = 1
+	}
+	if cfg.CartPool <= 0 {
+		cfg.CartPool = 1
+	}
+	d := &Driver{cfg: cfg, mix: defaultMix, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for _, m := range d.mix {
+		d.mixTotal += m.weight
+	}
+	return d
+}
+
+// Preload bulk-loads the stock catalog and an initial population of carts
+// into the cluster, sized so the database resembles a day of active carts.
+func (d *Driver) Preload(c *cluster.Cluster, carts int) error {
+	for i := 0; i < d.cfg.StockItems; i++ {
+		cols := map[string]string{
+			"available": "1000000",
+			"reserved":  "0",
+			"sold":      "0",
+			"name":      fmt.Sprintf("item %d", i),
+		}
+		if err := c.LoadRow(TableStock, d.skuKey(i), cols); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < carts; i++ {
+		key := d.newCartKey()
+		lines, err := encodeLines([]Line{{SKU: d.randomSKULocked(), Quantity: 1, Price: 9.99}})
+		if err != nil {
+			return err
+		}
+		if err := c.LoadRow(TableCart, key, map[string]string{"lines": lines, "status": StatusOpen}); err != nil {
+			return err
+		}
+		d.rememberCart(key)
+	}
+	return nil
+}
+
+func (d *Driver) skuKey(i int) string { return fmt.Sprintf("sku-%08d", i) }
+
+// newCartKey mints a random cart key (B2W cart IDs are random UUIDs, which
+// is what makes the workload hash-uniform).
+func (d *Driver) newCartKey() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextCart++
+	return fmt.Sprintf("cart-%016x", d.rng.Uint64())
+}
+
+func (d *Driver) rememberCart(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rememberCartLocked(key)
+}
+
+func (d *Driver) rememberCartLocked(key string) {
+	if len(d.carts) < d.cfg.CartPool {
+		d.carts = append(d.carts, key)
+		return
+	}
+	d.carts[d.rng.Intn(len(d.carts))] = key
+}
+
+func (d *Driver) randomSKULocked() string {
+	return d.skuKey(d.rng.Intn(d.cfg.StockItems))
+}
+
+// Next produces the next transaction of the mix.
+func (d *Driver) Next() *engine.Txn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	roll := d.rng.Intn(d.mixTotal)
+	var proc string
+	for _, m := range d.mix {
+		if roll < m.weight {
+			proc = m.proc
+			break
+		}
+		roll -= m.weight
+	}
+	return d.buildLocked(proc)
+}
+
+func (d *Driver) buildLocked(proc string) *engine.Txn {
+	qty := strconv.Itoa(1 + d.rng.Intn(3))
+	price := strconv.FormatFloat(4.99+float64(d.rng.Intn(20000))/100, 'f', 2, 64)
+	switch proc {
+	case ProcAddLineToCart:
+		var key string
+		if len(d.carts) > 0 && d.rng.Float64() < 0.7 {
+			key = d.carts[d.rng.Intn(len(d.carts))]
+		} else {
+			key = fmt.Sprintf("cart-%016x", d.rng.Uint64())
+			d.rememberCartLocked(key)
+		}
+		return &engine.Txn{Proc: proc, Key: key, Args: map[string]string{
+			"sku": d.randomSKULocked(), "qty": qty, "price": price,
+		}}
+	case ProcGetCart, ProcReserveCart, ProcDeleteCart, ProcDeleteLineFromCart:
+		key := d.cartKeyLocked()
+		args := map[string]string{}
+		if proc == ProcDeleteLineFromCart {
+			args["sku"] = d.randomSKULocked()
+		}
+		return &engine.Txn{Proc: proc, Key: key, Args: args}
+	case ProcGetStock, ProcGetStockQuantity, ProcReserveStock, ProcPurchaseStock, ProcCancelStockReservation:
+		return &engine.Txn{Proc: proc, Key: d.randomSKULocked(), Args: map[string]string{"qty": qty}}
+	case ProcCreateStockTransaction:
+		d.nextSttx++
+		key := fmt.Sprintf("sttx-%016x", d.rng.Uint64())
+		if len(d.stockTxs) < 512 {
+			d.stockTxs = append(d.stockTxs, key)
+		} else {
+			d.stockTxs[d.rng.Intn(len(d.stockTxs))] = key
+		}
+		return &engine.Txn{Proc: proc, Key: key, Args: map[string]string{
+			"sku": d.randomSKULocked(), "qty": qty, "cart_id": d.cartKeyLocked(),
+		}}
+	case ProcGetStockTransaction, ProcUpdateStockTransaction:
+		key := fmt.Sprintf("sttx-%016x", d.rng.Uint64())
+		if len(d.stockTxs) > 0 {
+			key = d.stockTxs[d.rng.Intn(len(d.stockTxs))]
+		}
+		args := map[string]string{}
+		if proc == ProcUpdateStockTransaction {
+			args["status"] = StatusPurchased
+			if d.rng.Float64() < 0.2 {
+				args["status"] = StatusCancelled
+			}
+		}
+		return &engine.Txn{Proc: proc, Key: key, Args: args}
+	case ProcCreateCheckout:
+		d.nextCkout++
+		key := fmt.Sprintf("ckout-%016x", d.rng.Uint64())
+		if len(d.checkouts) < 512 {
+			d.checkouts = append(d.checkouts, key)
+		} else {
+			d.checkouts[d.rng.Intn(len(d.checkouts))] = key
+		}
+		return &engine.Txn{Proc: proc, Key: key, Args: map[string]string{"cart_id": d.cartKeyLocked()}}
+	case ProcCreateCheckoutPayment, ProcAddLineToCheckout, ProcDeleteLineFromCheckout, ProcGetCheckout, ProcDeleteCheckout:
+		key := fmt.Sprintf("ckout-%016x", d.rng.Uint64())
+		if len(d.checkouts) > 0 {
+			key = d.checkouts[d.rng.Intn(len(d.checkouts))]
+		}
+		args := map[string]string{}
+		switch proc {
+		case ProcCreateCheckoutPayment:
+			args["method"] = "card"
+			args["amount"] = price
+		case ProcAddLineToCheckout:
+			args["sku"] = d.randomSKULocked()
+			args["qty"] = qty
+			args["price"] = price
+		case ProcDeleteLineFromCheckout:
+			args["sku"] = d.randomSKULocked()
+		}
+		return &engine.Txn{Proc: proc, Key: key, Args: args}
+	default:
+		// Unreachable for the registered mix; fall back to a cart read.
+		return &engine.Txn{Proc: ProcGetCart, Key: d.cartKeyLocked()}
+	}
+}
+
+func (d *Driver) cartKeyLocked() string {
+	if len(d.carts) == 0 {
+		key := fmt.Sprintf("cart-%016x", d.rng.Uint64())
+		d.rememberCartLocked(key)
+		return key
+	}
+	return d.carts[d.rng.Intn(len(d.carts))]
+}

@@ -1,0 +1,434 @@
+package b2w
+
+import (
+	"fmt"
+	"strconv"
+
+	"pstore/internal/engine"
+)
+
+// Procedure names (Table 4).
+const (
+	ProcAddLineToCart          = "AddLineToCart"
+	ProcDeleteLineFromCart     = "DeleteLineFromCart"
+	ProcGetCart                = "GetCart"
+	ProcDeleteCart             = "DeleteCart"
+	ProcGetStock               = "GetStock"
+	ProcGetStockQuantity       = "GetStockQuantity"
+	ProcReserveStock           = "ReserveStock"
+	ProcPurchaseStock          = "PurchaseStock"
+	ProcCancelStockReservation = "CancelStockReservation"
+	ProcCreateStockTransaction = "CreateStockTransaction"
+	ProcReserveCart            = "ReserveCart"
+	ProcGetStockTransaction    = "GetStockTransaction"
+	ProcUpdateStockTransaction = "UpdateStockTransaction"
+	ProcCreateCheckout         = "CreateCheckout"
+	ProcCreateCheckoutPayment  = "CreateCheckoutPayment"
+	ProcAddLineToCheckout      = "AddLineToCheckout"
+	ProcDeleteLineFromCheckout = "DeleteLineFromCheckout"
+	ProcGetCheckout            = "GetCheckout"
+	ProcDeleteCheckout         = "DeleteCheckout"
+)
+
+// ProcedureNames lists all 19 benchmark transactions.
+var ProcedureNames = []string{
+	ProcAddLineToCart, ProcDeleteLineFromCart, ProcGetCart, ProcDeleteCart,
+	ProcGetStock, ProcGetStockQuantity, ProcReserveStock, ProcPurchaseStock,
+	ProcCancelStockReservation, ProcCreateStockTransaction, ProcReserveCart,
+	ProcGetStockTransaction, ProcUpdateStockTransaction, ProcCreateCheckout,
+	ProcCreateCheckoutPayment, ProcAddLineToCheckout, ProcDeleteLineFromCheckout,
+	ProcGetCheckout, ProcDeleteCheckout,
+}
+
+// Register installs all benchmark procedures into the registry.
+func Register(reg *engine.Registry) {
+	reg.Register(ProcAddLineToCart, addLineToCart)
+	reg.Register(ProcDeleteLineFromCart, deleteLineFromCart)
+	reg.Register(ProcGetCart, getCart)
+	reg.Register(ProcDeleteCart, deleteCart)
+	reg.Register(ProcGetStock, getStock)
+	reg.Register(ProcGetStockQuantity, getStockQuantity)
+	reg.Register(ProcReserveStock, reserveStock)
+	reg.Register(ProcPurchaseStock, purchaseStock)
+	reg.Register(ProcCancelStockReservation, cancelStockReservation)
+	reg.Register(ProcCreateStockTransaction, createStockTransaction)
+	reg.Register(ProcReserveCart, reserveCart)
+	reg.Register(ProcGetStockTransaction, getStockTransaction)
+	reg.Register(ProcUpdateStockTransaction, updateStockTransaction)
+	reg.Register(ProcCreateCheckout, createCheckout)
+	reg.Register(ProcCreateCheckoutPayment, createCheckoutPayment)
+	reg.Register(ProcAddLineToCheckout, addLineToCheckout)
+	reg.Register(ProcDeleteLineFromCheckout, deleteLineFromCheckout)
+	reg.Register(ProcGetCheckout, getCheckout)
+	reg.Register(ProcDeleteCheckout, deleteCheckout)
+}
+
+// addLineToCart adds a new item to the shopping cart, creating the cart if
+// it does not exist yet.
+func addLineToCart(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableCart, tx.Key)
+	if err != nil {
+		return err
+	}
+	var lines []Line
+	if ok {
+		if lines, err = decodeLines(row.Cols["lines"]); err != nil {
+			return err
+		}
+	}
+	qty, _ := strconv.Atoi(tx.Arg("qty"))
+	if qty <= 0 {
+		qty = 1
+	}
+	price, _ := strconv.ParseFloat(tx.Arg("price"), 64)
+	sku := tx.Arg("sku")
+	found := false
+	for i := range lines {
+		if lines[i].SKU == sku {
+			lines[i].Quantity += qty
+			found = true
+			break
+		}
+	}
+	if !found {
+		lines = append(lines, Line{SKU: sku, Quantity: qty, Price: price})
+	}
+	enc, err := encodeLines(lines)
+	if err != nil {
+		return err
+	}
+	return tx.Put(TableCart, tx.Key, map[string]string{
+		"lines":  enc,
+		"status": StatusOpen,
+	})
+}
+
+// deleteLineFromCart removes an item from the cart.
+func deleteLineFromCart(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableCart, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("cart not found")
+	}
+	lines, err := decodeLines(row.Cols["lines"])
+	if err != nil {
+		return err
+	}
+	sku := tx.Arg("sku")
+	out := lines[:0]
+	for _, l := range lines {
+		if l.SKU != sku {
+			out = append(out, l)
+		}
+	}
+	enc, err := encodeLines(out)
+	if err != nil {
+		return err
+	}
+	row.Cols["lines"] = enc
+	return tx.Put(TableCart, tx.Key, row.Cols)
+}
+
+// getCart retrieves the items currently in the cart.
+func getCart(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableCart, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("cart not found")
+	}
+	tx.SetOut("lines", row.Cols["lines"])
+	tx.SetOut("status", row.Cols["status"])
+	return nil
+}
+
+// deleteCart deletes the shopping cart.
+func deleteCart(tx *engine.Txn) error {
+	_, err := tx.Delete(TableCart, tx.Key)
+	return err
+}
+
+// getStock retrieves the stock inventory information for an item.
+func getStock(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableStock, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("stock item not found")
+	}
+	for k, v := range row.Cols {
+		tx.SetOut(k, v)
+	}
+	return nil
+}
+
+// getStockQuantity determines the availability of an item.
+func getStockQuantity(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableStock, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("stock item not found")
+	}
+	tx.SetOut("available", row.Cols["available"])
+	return nil
+}
+
+// stockInts parses the stock counters of a row.
+func stockInts(cols map[string]string) (available, reserved, sold int) {
+	available, _ = strconv.Atoi(cols["available"])
+	reserved, _ = strconv.Atoi(cols["reserved"])
+	sold, _ = strconv.Atoi(cols["sold"])
+	return
+}
+
+func putStock(tx *engine.Txn, cols map[string]string, available, reserved, sold int) error {
+	cols["available"] = strconv.Itoa(available)
+	cols["reserved"] = strconv.Itoa(reserved)
+	cols["sold"] = strconv.Itoa(sold)
+	return tx.Put(TableStock, tx.Key, cols)
+}
+
+// reserveStock updates the inventory to mark an item as reserved; it aborts
+// when availability is insufficient, which removes the item from the
+// customer's cart at the application layer.
+func reserveStock(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableStock, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("stock item not found")
+	}
+	qty, _ := strconv.Atoi(tx.Arg("qty"))
+	if qty <= 0 {
+		qty = 1
+	}
+	available, reserved, sold := stockInts(row.Cols)
+	if available < qty {
+		return tx.Abort("insufficient stock")
+	}
+	return putStock(tx, row.Cols, available-qty, reserved+qty, sold)
+}
+
+// purchaseStock marks reserved units as purchased.
+func purchaseStock(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableStock, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("stock item not found")
+	}
+	qty, _ := strconv.Atoi(tx.Arg("qty"))
+	if qty <= 0 {
+		qty = 1
+	}
+	available, reserved, sold := stockInts(row.Cols)
+	if reserved < qty {
+		return tx.Abort("purchase exceeds reservation")
+	}
+	return putStock(tx, row.Cols, available, reserved-qty, sold+qty)
+}
+
+// cancelStockReservation returns reserved units to availability.
+func cancelStockReservation(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableStock, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("stock item not found")
+	}
+	qty, _ := strconv.Atoi(tx.Arg("qty"))
+	if qty <= 0 {
+		qty = 1
+	}
+	available, reserved, sold := stockInts(row.Cols)
+	if reserved < qty {
+		return tx.Abort("cancel exceeds reservation")
+	}
+	return putStock(tx, row.Cols, available+qty, reserved-qty, sold)
+}
+
+// createStockTransaction records that an item in a cart has been reserved.
+func createStockTransaction(tx *engine.Txn) error {
+	if _, ok, err := tx.Get(TableStockTx, tx.Key); err != nil {
+		return err
+	} else if ok {
+		return tx.Abort("stock transaction already exists")
+	}
+	return tx.Put(TableStockTx, tx.Key, map[string]string{
+		"sku":     tx.Arg("sku"),
+		"qty":     tx.Arg("qty"),
+		"cart_id": tx.Arg("cart_id"),
+		"status":  StatusReserved,
+	})
+}
+
+// reserveCart marks the items in the shopping cart as reserved.
+func reserveCart(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableCart, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("cart not found")
+	}
+	lines, err := decodeLines(row.Cols["lines"])
+	if err != nil {
+		return err
+	}
+	for i := range lines {
+		lines[i].Status = StatusReserved
+	}
+	enc, err := encodeLines(lines)
+	if err != nil {
+		return err
+	}
+	row.Cols["lines"] = enc
+	row.Cols["status"] = StatusReserved
+	return tx.Put(TableCart, tx.Key, row.Cols)
+}
+
+// getStockTransaction retrieves a stock transaction.
+func getStockTransaction(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableStockTx, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("stock transaction not found")
+	}
+	for k, v := range row.Cols {
+		tx.SetOut(k, v)
+	}
+	return nil
+}
+
+// updateStockTransaction changes a stock transaction's status to purchased
+// or cancelled.
+func updateStockTransaction(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableStockTx, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("stock transaction not found")
+	}
+	status := tx.Arg("status")
+	if status != StatusPurchased && status != StatusCancelled {
+		return fmt.Errorf("b2w: invalid stock transaction status %q", status)
+	}
+	row.Cols["status"] = status
+	return tx.Put(TableStockTx, tx.Key, row.Cols)
+}
+
+// createCheckout starts the checkout process.
+func createCheckout(tx *engine.Txn) error {
+	if _, ok, err := tx.Get(TableCheckout, tx.Key); err != nil {
+		return err
+	} else if ok {
+		return tx.Abort("checkout already exists")
+	}
+	return tx.Put(TableCheckout, tx.Key, map[string]string{
+		"cart_id": tx.Arg("cart_id"),
+		"status":  StatusOpen,
+		"lines":   "",
+	})
+}
+
+// createCheckoutPayment adds payment information to the checkout.
+func createCheckoutPayment(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableCheckout, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("checkout not found")
+	}
+	row.Cols["payment_method"] = tx.Arg("method")
+	row.Cols["payment_amount"] = tx.Arg("amount")
+	return tx.Put(TableCheckout, tx.Key, row.Cols)
+}
+
+// addLineToCheckout adds a new item to the checkout object.
+func addLineToCheckout(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableCheckout, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("checkout not found")
+	}
+	lines, err := decodeLines(row.Cols["lines"])
+	if err != nil {
+		return err
+	}
+	qty, _ := strconv.Atoi(tx.Arg("qty"))
+	if qty <= 0 {
+		qty = 1
+	}
+	price, _ := strconv.ParseFloat(tx.Arg("price"), 64)
+	lines = append(lines, Line{SKU: tx.Arg("sku"), Quantity: qty, Price: price})
+	enc, err := encodeLines(lines)
+	if err != nil {
+		return err
+	}
+	row.Cols["lines"] = enc
+	return tx.Put(TableCheckout, tx.Key, row.Cols)
+}
+
+// deleteLineFromCheckout removes an item from the checkout object.
+func deleteLineFromCheckout(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableCheckout, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("checkout not found")
+	}
+	lines, err := decodeLines(row.Cols["lines"])
+	if err != nil {
+		return err
+	}
+	sku := tx.Arg("sku")
+	out := lines[:0]
+	for _, l := range lines {
+		if l.SKU != sku {
+			out = append(out, l)
+		}
+	}
+	enc, err := encodeLines(out)
+	if err != nil {
+		return err
+	}
+	row.Cols["lines"] = enc
+	return tx.Put(TableCheckout, tx.Key, row.Cols)
+}
+
+// getCheckout retrieves the checkout object.
+func getCheckout(tx *engine.Txn) error {
+	row, ok, err := tx.Get(TableCheckout, tx.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return tx.Abort("checkout not found")
+	}
+	for k, v := range row.Cols {
+		tx.SetOut(k, v)
+	}
+	return nil
+}
+
+// deleteCheckout deletes the checkout object.
+func deleteCheckout(tx *engine.Txn) error {
+	_, err := tx.Delete(TableCheckout, tx.Key)
+	return err
+}

@@ -1,0 +1,60 @@
+// Package b2w implements the B2W online-retail benchmark of Appendix C: the
+// cart/checkout/stock schema (Fig 14) and all 19 stored procedures of
+// Table 4, plus a trace-driven workload driver. Every transaction accesses
+// a single partitioning key (a cart, checkout, stock-item or
+// stock-transaction ID), matching the property the paper relies on ("the
+// B2W benchmark has no distributed transactions").
+package b2w
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Table names of the simplified B2W database (Fig 14).
+const (
+	TableCart     = "CART"
+	TableCheckout = "CHECKOUT"
+	TableStock    = "STOCK"
+	TableStockTx  = "STOCK_TRANSACTION"
+)
+
+// Tables lists every table for cluster setup.
+var Tables = []string{TableCart, TableCheckout, TableStock, TableStockTx}
+
+// Line is one cart or checkout line item.
+type Line struct {
+	SKU      string  `json:"sku"`
+	Quantity int     `json:"qty"`
+	Price    float64 `json:"price"`
+	Status   string  `json:"status,omitempty"` // "", "reserved"
+}
+
+// encodeLines serializes line items for storage in a row column.
+func encodeLines(lines []Line) (string, error) {
+	b, err := json.Marshal(lines)
+	if err != nil {
+		return "", fmt.Errorf("b2w: encoding lines: %w", err)
+	}
+	return string(b), nil
+}
+
+// decodeLines parses line items from a row column ("" means none).
+func decodeLines(s string) ([]Line, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var lines []Line
+	if err := json.Unmarshal([]byte(s), &lines); err != nil {
+		return nil, fmt.Errorf("b2w: decoding lines: %w", err)
+	}
+	return lines, nil
+}
+
+// Cart / checkout / stock-transaction status values.
+const (
+	StatusOpen      = "open"
+	StatusReserved  = "reserved"
+	StatusPurchased = "purchased"
+	StatusCancelled = "cancelled"
+)

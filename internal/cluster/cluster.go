@@ -1,0 +1,396 @@
+// Package cluster manages a multi-node, shared-nothing P-Store deployment:
+// node lifecycle (scale-out adds nodes, scale-in retires them), the
+// bucket→partition routing table that the migrator rewrites during live
+// reconfigurations, and cluster-wide load and latency measurement.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pstore/internal/engine"
+	"pstore/internal/metrics"
+	"pstore/internal/storage"
+)
+
+// Config describes a cluster deployment.
+type Config struct {
+	// InitialNodes is the number of nodes at startup.
+	InitialNodes int
+	// PartitionsPerNode is P: each node hosts this many serial executors
+	// (the paper's experiments use 6).
+	PartitionsPerNode int
+	// NBuckets is the global hash-bucket count, the granularity of data
+	// movement. It should be much larger than the maximum partition count.
+	NBuckets int
+	// Tables are created on every partition.
+	Tables []string
+	// Registry holds the stored procedures.
+	Registry *engine.Registry
+	// Engine configures every executor.
+	Engine engine.Config
+	// RetryInterval is the backoff between routing retries when a key's
+	// bucket is in flight during a migration. Defaults to 200µs.
+	RetryInterval time.Duration
+	// RetryBudget bounds how long a transaction keeps retrying before
+	// giving up. Defaults to 10s.
+	RetryBudget time.Duration
+	// LatencyWindow is the aggregation window of the cluster's latency
+	// percentiles (the paper windows by second; compressed-time
+	// experiments use shorter windows). Defaults to 1s.
+	LatencyWindow time.Duration
+}
+
+func (c Config) retryInterval() time.Duration {
+	if c.RetryInterval <= 0 {
+		return 200 * time.Microsecond
+	}
+	return c.RetryInterval
+}
+
+func (c Config) retryBudget() time.Duration {
+	if c.RetryBudget <= 0 {
+		return 10 * time.Second
+	}
+	return c.RetryBudget
+}
+
+// Node is one machine in the cluster, hosting PartitionsPerNode executors.
+type Node struct {
+	ID         int
+	Partitions []int
+}
+
+// Cluster is a live deployment. All methods are safe for concurrent use.
+type Cluster struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	nodes    []*Node                  // sorted by ID
+	execs    map[int]*engine.Executor // partition → executor
+	owner    []int                    // bucket → partition
+	nextNode int
+	nextPart int
+	stopped  bool
+
+	latencies *metrics.LatencyRecorder
+	offered   *metrics.Counter
+	allocLog  *metrics.AllocationTracker
+
+	reconfigMu sync.Mutex
+	reconfig   bool
+}
+
+// New starts a cluster with the configured initial nodes; buckets are dealt
+// round-robin across the initial partitions.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.InitialNodes < 1 {
+		return nil, fmt.Errorf("cluster: InitialNodes must be ≥ 1, got %d", cfg.InitialNodes)
+	}
+	if cfg.PartitionsPerNode < 1 {
+		return nil, fmt.Errorf("cluster: PartitionsPerNode must be ≥ 1, got %d", cfg.PartitionsPerNode)
+	}
+	if cfg.NBuckets < cfg.InitialNodes*cfg.PartitionsPerNode {
+		return nil, fmt.Errorf("cluster: NBuckets %d below initial partition count", cfg.NBuckets)
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("cluster: Registry is required")
+	}
+	window := cfg.LatencyWindow
+	if window <= 0 {
+		window = time.Second
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		execs:     make(map[int]*engine.Executor),
+		owner:     make([]int, cfg.NBuckets),
+		latencies: metrics.NewLatencyRecorder(window),
+		offered:   metrics.NewCounter(time.Second),
+		allocLog:  metrics.NewAllocationTracker(time.Now(), cfg.InitialNodes),
+	}
+	nParts := cfg.InitialNodes * cfg.PartitionsPerNode
+	ownedBy := make([][]int, nParts)
+	for b := 0; b < cfg.NBuckets; b++ {
+		p := b % nParts
+		ownedBy[p] = append(ownedBy[p], b)
+		c.owner[b] = p
+	}
+	for n := 0; n < cfg.InitialNodes; n++ {
+		node := &Node{ID: c.nextNode}
+		c.nextNode++
+		for i := 0; i < cfg.PartitionsPerNode; i++ {
+			pid := c.nextPart
+			c.nextPart++
+			part := storage.NewPartition(pid, cfg.NBuckets, ownedBy[pid])
+			for _, t := range cfg.Tables {
+				part.CreateTable(t)
+			}
+			c.execs[pid] = engine.NewExecutor(part, cfg.Registry, cfg.Engine)
+			node.Partitions = append(node.Partitions, pid)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Stop shuts down every executor.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, e := range c.execs {
+		e.Stop()
+	}
+}
+
+// NumNodes returns the current node count.
+func (c *Cluster) NumNodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}
+
+// Nodes returns a snapshot of the current nodes, ordered by ID.
+func (c *Cluster) Nodes() []Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Node, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = Node{ID: n.ID, Partitions: append([]int(nil), n.Partitions...)}
+	}
+	return out
+}
+
+// AddNode provisions a new empty node (no buckets) and returns it. Data
+// arrives via migration.
+func (c *Cluster) AddNode() Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node := &Node{ID: c.nextNode}
+	c.nextNode++
+	for i := 0; i < c.cfg.PartitionsPerNode; i++ {
+		pid := c.nextPart
+		c.nextPart++
+		part := storage.NewPartition(pid, c.cfg.NBuckets, nil)
+		for _, t := range c.cfg.Tables {
+			part.CreateTable(t)
+		}
+		c.execs[pid] = engine.NewExecutor(part, c.cfg.Registry, c.cfg.Engine)
+		node.Partitions = append(node.Partitions, pid)
+	}
+	c.nodes = append(c.nodes, node)
+	c.allocLog.Set(time.Now(), len(c.nodes))
+	return Node{ID: node.ID, Partitions: append([]int(nil), node.Partitions...)}
+}
+
+// RemoveNode retires a node whose partitions no longer own any buckets.
+func (c *Cluster) RemoveNode(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := -1
+	for i, n := range c.nodes {
+		if n.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	if len(c.nodes) == 1 {
+		return errors.New("cluster: cannot remove the last node")
+	}
+	node := c.nodes[idx]
+	for _, pid := range node.Partitions {
+		for _, owner := range c.owner {
+			if owner == pid {
+				return fmt.Errorf("cluster: node %d partition %d still owns buckets", id, pid)
+			}
+		}
+	}
+	for _, pid := range node.Partitions {
+		c.execs[pid].Stop()
+		delete(c.execs, pid)
+	}
+	c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
+	c.allocLog.Set(time.Now(), len(c.nodes))
+	return nil
+}
+
+// BeginReconfiguration takes the cluster's reconfiguration lock. Exactly
+// one reconfiguration may run at a time: concurrent bucket moves would race
+// on ownership. It returns false if another reconfiguration is in progress.
+func (c *Cluster) BeginReconfiguration() bool {
+	c.reconfigMu.Lock()
+	defer c.reconfigMu.Unlock()
+	if c.reconfig {
+		return false
+	}
+	c.reconfig = true
+	return true
+}
+
+// EndReconfiguration releases the reconfiguration lock.
+func (c *Cluster) EndReconfiguration() {
+	c.reconfigMu.Lock()
+	c.reconfig = false
+	c.reconfigMu.Unlock()
+}
+
+// Reconfiguring reports whether a reconfiguration is in progress.
+func (c *Cluster) Reconfiguring() bool {
+	c.reconfigMu.Lock()
+	defer c.reconfigMu.Unlock()
+	return c.reconfig
+}
+
+// OwnerOf returns the partition currently owning the bucket.
+func (c *Cluster) OwnerOf(bucket int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.owner[bucket]
+}
+
+// SetOwner points the routing table for a bucket at a partition. The
+// migrator calls this when it starts moving the bucket, so retries land on
+// the destination.
+func (c *Cluster) SetOwner(bucket, partition int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.owner[bucket] = partition
+}
+
+// ExecutorOf returns the executor hosting the partition.
+func (c *Cluster) ExecutorOf(partition int) (*engine.Executor, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.execs[partition]
+	return e, ok
+}
+
+// RouteKey returns the partition a key currently routes to.
+func (c *Cluster) RouteKey(key string) int {
+	return c.OwnerOf(storage.BucketOf(key, c.cfg.NBuckets))
+}
+
+// NBuckets returns the global bucket count.
+func (c *Cluster) NBuckets() int { return c.cfg.NBuckets }
+
+// PartitionsPerNode returns P.
+func (c *Cluster) PartitionsPerNode() int { return c.cfg.PartitionsPerNode }
+
+// Call routes a transaction by its key and executes it, retrying while the
+// key's bucket is in flight between partitions. End-to-end latency
+// (including retries and queueing) is recorded in Latencies.
+func (c *Cluster) Call(txn *engine.Txn) engine.Result {
+	start := time.Now()
+	c.offered.Add(start, 1)
+	deadline := start.Add(c.cfg.retryBudget())
+	var res engine.Result
+	for {
+		pid := c.RouteKey(txn.Key)
+		exec, ok := c.ExecutorOf(pid)
+		if !ok {
+			res = engine.Result{Err: fmt.Errorf("cluster: no executor for partition %d", pid)}
+		} else {
+			res = exec.Call(txn)
+		}
+		var notOwned *storage.ErrNotOwned
+		retriable := errors.As(res.Err, &notOwned) ||
+			errors.Is(res.Err, engine.ErrStopped) ||
+			(res.Err != nil && !ok)
+		if !retriable || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(c.cfg.retryInterval())
+	}
+	res.Latency = time.Since(start)
+	c.latencies.Record(time.Now(), res.Latency)
+	return res
+}
+
+// LoadRow inserts a row directly into whichever partition owns the key,
+// bypassing stored procedures and synthetic service time. For bulk-loading
+// benchmark data.
+func (c *Cluster) LoadRow(table, key string, cols map[string]string) error {
+	for attempt := 0; attempt < 64; attempt++ {
+		pid := c.RouteKey(key)
+		exec, ok := c.ExecutorOf(pid)
+		if !ok {
+			return fmt.Errorf("cluster: no executor for partition %d", pid)
+		}
+		err := exec.Do(func(p *storage.Partition) (int, error) {
+			return 0, p.Put(table, key, cols)
+		})
+		var notOwned *storage.ErrNotOwned
+		if errors.As(err, &notOwned) {
+			time.Sleep(c.cfg.retryInterval())
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("cluster: LoadRow %q: bucket stayed in flight", key)
+}
+
+// TotalRows counts rows across all partitions. Counting runs through each
+// executor, so it is consistent per partition but not globally atomic.
+func (c *Cluster) TotalRows() (int, error) {
+	total := 0
+	for _, e := range c.executors() {
+		n := 0
+		err := e.Do(func(p *storage.Partition) (int, error) {
+			n = p.RowCount()
+			return 0, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// BucketCounts returns the number of buckets owned per partition.
+func (c *Cluster) BucketCounts() map[int]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[int]int)
+	for _, pid := range c.owner {
+		out[pid]++
+	}
+	return out
+}
+
+// executors returns a snapshot of all executors ordered by partition ID.
+func (c *Cluster) executors() []*engine.Executor {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pids := make([]int, 0, len(c.execs))
+	for pid := range c.execs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	out := make([]*engine.Executor, len(pids))
+	for i, pid := range pids {
+		out[i] = c.execs[pid]
+	}
+	return out
+}
+
+// Executors returns all executors ordered by partition ID.
+func (c *Cluster) Executors() []*engine.Executor { return c.executors() }
+
+// Latencies returns the cluster-wide end-to-end latency recorder.
+func (c *Cluster) Latencies() *metrics.LatencyRecorder { return c.latencies }
+
+// OfferedLoad returns the counter of submitted transactions per second.
+func (c *Cluster) OfferedLoad() *metrics.Counter { return c.offered }
+
+// Allocation returns the machine-count tracker (for Eq. 1 cost accounting).
+func (c *Cluster) Allocation() *metrics.AllocationTracker { return c.allocLog }

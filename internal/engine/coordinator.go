@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"pstore/internal/storage"
+)
+
+// MultiDo executes fn with exclusive access to several partitions at once,
+// modeling an H-Store distributed transaction: every involved partition
+// executor is parked (in partition-ID order, to avoid deadlocks between
+// concurrent coordinators) for the duration of fn, so the multi-partition
+// work is serializable but stalls all participants — the reason partitioned
+// stores want few distributed transactions (§4.2).
+//
+// parts passed to fn are ordered by ascending partition ID.
+func MultiDo(execs []*Executor, fn func(parts []*storage.Partition) error) error {
+	if len(execs) == 0 {
+		return fmt.Errorf("engine: MultiDo with no executors")
+	}
+	sorted := make([]*Executor, len(execs))
+	copy(sorted, execs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Partition() < sorted[j].Partition() })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Partition() == sorted[i-1].Partition() {
+			return fmt.Errorf("engine: MultiDo with duplicate partition %d", sorted[i].Partition())
+		}
+	}
+	releases := make([]func(), 0, len(sorted))
+	defer func() {
+		for i := len(releases) - 1; i >= 0; i-- {
+			releases[i]()
+		}
+	}()
+	parts := make([]*storage.Partition, len(sorted))
+	for i, e := range sorted {
+		rel, err := e.Reserve()
+		if err != nil {
+			return fmt.Errorf("engine: reserving partition %d: %w", e.Partition(), err)
+		}
+		releases = append(releases, rel)
+		parts[i] = e.PartitionUnsafe()
+	}
+	return fn(parts)
+}

@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pstore/internal/metrics"
+	"pstore/internal/storage"
+)
+
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Register("Put", func(tx *Txn) error {
+		return tx.Put("T", tx.Key, map[string]string{"v": tx.Arg("v")})
+	})
+	reg.Register("Get", func(tx *Txn) error {
+		r, ok, err := tx.Get("T", tx.Key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return tx.Abort("not found")
+		}
+		tx.SetOut("v", r.Cols["v"])
+		return nil
+	})
+	reg.Register("Delete", func(tx *Txn) error {
+		_, err := tx.Delete("T", tx.Key)
+		return err
+	})
+	return reg
+}
+
+func allBuckets(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func newTestExecutor(cfg Config) *Executor {
+	p := storage.NewPartition(0, 16, allBuckets(16))
+	p.CreateTable("T")
+	return NewExecutor(p, testRegistry(), cfg)
+}
+
+func TestExecutorBasicTxns(t *testing.T) {
+	e := newTestExecutor(Config{})
+	defer e.Stop()
+	res := e.Call(&Txn{Proc: "Put", Key: "k1", Args: map[string]string{"v": "hello"}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	res = e.Call(&Txn{Proc: "Get", Key: "k1"})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Out["v"] != "hello" {
+		t.Errorf("out = %v", res.Out)
+	}
+	if res.Latency <= 0 {
+		t.Error("latency should be positive")
+	}
+	if e.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", e.Processed())
+	}
+}
+
+func TestExecutorAbort(t *testing.T) {
+	e := newTestExecutor(Config{})
+	defer e.Stop()
+	res := e.Call(&Txn{Proc: "Get", Key: "missing"})
+	if !IsAbort(res.Err) {
+		t.Errorf("err = %v, want abort", res.Err)
+	}
+	if e.Aborted() != 1 {
+		t.Errorf("Aborted = %d, want 1", e.Aborted())
+	}
+}
+
+func TestExecutorUnknownProcedure(t *testing.T) {
+	e := newTestExecutor(Config{})
+	defer e.Stop()
+	res := e.Call(&Txn{Proc: "Nope", Key: "k"})
+	if res.Err == nil {
+		t.Error("unknown procedure should fail")
+	}
+}
+
+func TestExecutorSerializesConcurrentWrites(t *testing.T) {
+	e := newTestExecutor(Config{})
+	defer e.Stop()
+	var wg sync.WaitGroup
+	const n = 500
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := e.Call(&Txn{Proc: "Put", Key: fmt.Sprintf("k%d", i), Args: map[string]string{"v": "x"}})
+			if res.Err != nil {
+				t.Errorf("put %d: %v", i, res.Err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := e.Processed(); got != n {
+		t.Errorf("Processed = %d, want %d", got, n)
+	}
+}
+
+func TestExecutorServiceTimeBoundsThroughput(t *testing.T) {
+	e := newTestExecutor(Config{ServiceTime: 2 * time.Millisecond})
+	defer e.Stop()
+	start := time.Now()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if res := e.Call(&Txn{Proc: "Put", Key: "k", Args: map[string]string{"v": "x"}}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < n*2*time.Millisecond {
+		t.Errorf("20 txns at 2ms service time took %v, want ≥ 40ms", elapsed)
+	}
+}
+
+func TestExecutorOverload(t *testing.T) {
+	e := newTestExecutor(Config{ServiceTime: 50 * time.Millisecond, QueueDepth: 2})
+	defer e.Stop()
+	var overloaded bool
+	for i := 0; i < 20; i++ {
+		_, err := e.Submit(&Txn{Proc: "Put", Key: "k", Args: map[string]string{"v": "x"}})
+		if errors.Is(err, ErrOverloaded) {
+			overloaded = true
+			break
+		}
+	}
+	if !overloaded {
+		t.Error("tiny queue should overflow")
+	}
+}
+
+func TestExecutorStop(t *testing.T) {
+	e := newTestExecutor(Config{})
+	e.Stop()
+	if _, err := e.Submit(&Txn{Proc: "Put", Key: "k"}); !errors.Is(err, ErrStopped) {
+		t.Errorf("err = %v, want ErrStopped", err)
+	}
+	if err := e.Do(func(p *storage.Partition) (int, error) { return 0, nil }); !errors.Is(err, ErrStopped) {
+		t.Errorf("Do err = %v, want ErrStopped", err)
+	}
+}
+
+func TestExecutorDoMigrationWork(t *testing.T) {
+	e := newTestExecutor(Config{MigrationRowCost: time.Microsecond})
+	defer e.Stop()
+	for i := 0; i < 50; i++ {
+		e.Call(&Txn{Proc: "Put", Key: fmt.Sprintf("k%d", i), Args: map[string]string{"v": "x"}})
+	}
+	var data *storage.BucketData
+	err := e.Do(func(p *storage.Partition) (int, error) {
+		var err error
+		data, err = p.ExtractBucket(p.OwnedBuckets()[0])
+		if err != nil {
+			return 0, err
+		}
+		return data.RowCount(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MigratedRows() != int64(data.RowCount()) {
+		t.Errorf("MigratedRows = %d, want %d", e.MigratedRows(), data.RowCount())
+	}
+}
+
+func TestExecutorRecordsLatencies(t *testing.T) {
+	rec := metrics.NewLatencyRecorder(time.Second)
+	e := newTestExecutor(Config{Recorder: rec})
+	defer e.Stop()
+	for i := 0; i < 10; i++ {
+		e.Call(&Txn{Proc: "Put", Key: "k", Args: map[string]string{"v": "x"}})
+	}
+	if rec.Count() != 10 {
+		t.Errorf("recorded = %d, want 10", rec.Count())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Register("X", func(tx *Txn) error { return nil })
+	reg.Register("X", func(tx *Txn) error { return nil })
+}
+
+func TestMultiDoSerializable(t *testing.T) {
+	reg := testRegistry()
+	var execs []*Executor
+	for i := 0; i < 3; i++ {
+		p := storage.NewPartition(i, 16, allBuckets(16))
+		p.CreateTable("T")
+		execs = append(execs, NewExecutor(p, reg, Config{}))
+	}
+	defer func() {
+		for _, e := range execs {
+			e.Stop()
+		}
+	}()
+	// Concurrent multi-partition increments across all three partitions
+	// must not lose updates.
+	var wg sync.WaitGroup
+	const rounds = 50
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				err := MultiDo(execs, func(parts []*storage.Partition) error {
+					for _, p := range parts {
+						r, ok, err := p.Get("T", "ctr")
+						if err != nil {
+							return err
+						}
+						n := 0
+						if ok {
+							fmt.Sscanf(r.Cols["v"], "%d", &n)
+						}
+						if err := p.Put("T", "ctr", map[string]string{"v": fmt.Sprint(n + 1)}); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("MultiDo: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, e := range execs {
+		res := e.Call(&Txn{Proc: "Get", Key: "ctr"})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Out["v"] != fmt.Sprint(4*rounds) {
+			t.Errorf("partition %d ctr = %s, want %d", e.Partition(), res.Out["v"], 4*rounds)
+		}
+	}
+}
+
+func TestMultiDoValidation(t *testing.T) {
+	if err := MultiDo(nil, func([]*storage.Partition) error { return nil }); err == nil {
+		t.Error("empty executor list should fail")
+	}
+	p := storage.NewPartition(0, 4, allBuckets(4))
+	e := NewExecutor(p, testRegistry(), Config{})
+	defer e.Stop()
+	if err := MultiDo([]*Executor{e, e}, func([]*storage.Partition) error { return nil }); err == nil {
+		t.Error("duplicate partitions should fail")
+	}
+}
+
+func TestExecutorSurvivesPanickingProcedure(t *testing.T) {
+	reg := testRegistry()
+	reg.Register("Boom", func(tx *Txn) error {
+		panic("procedure bug")
+	})
+	p := storage.NewPartition(0, 16, allBuckets(16))
+	p.CreateTable("T")
+	e := NewExecutor(p, reg, Config{})
+	defer e.Stop()
+	res := e.Call(&Txn{Proc: "Boom", Key: "k"})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic error", res.Err)
+	}
+	// The executor keeps serving.
+	if res := e.Call(&Txn{Proc: "Put", Key: "k", Args: map[string]string{"v": "1"}}); res.Err != nil {
+		t.Fatalf("executor dead after panic: %v", res.Err)
+	}
+}
+
+func TestMultiDoNoDeadlockUnderContention(t *testing.T) {
+	// Coordinators locking overlapping partition sets in different
+	// presentation orders must never deadlock: MultiDo sorts by partition
+	// ID before reserving.
+	reg := testRegistry()
+	var execs []*Executor
+	for i := 0; i < 4; i++ {
+		p := storage.NewPartition(i, 16, allBuckets(16))
+		p.CreateTable("T")
+		execs = append(execs, NewExecutor(p, reg, Config{}))
+	}
+	defer func() {
+		for _, e := range execs {
+			e.Stop()
+		}
+	}()
+	sets := [][]*Executor{
+		{execs[0], execs[1], execs[2]},
+		{execs[2], execs[1], execs[0]},
+		{execs[3], execs[0]},
+		{execs[1], execs[3], execs[2]},
+	}
+	done := make(chan error, len(sets)*50)
+	for g, set := range sets {
+		go func(g int, set []*Executor) {
+			for i := 0; i < 50; i++ {
+				err := MultiDo(set, func(parts []*storage.Partition) error {
+					for _, p := range parts {
+						if err := p.Put("T", fmt.Sprintf("g%d", g), map[string]string{"i": fmt.Sprint(i)}); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				done <- err
+			}
+		}(g, set)
+	}
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < len(sets)*50; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("deadlock: MultiDo coordinators never finished")
+		}
+	}
+}

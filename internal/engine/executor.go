@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/metrics"
+	"pstore/internal/storage"
+)
+
+// ErrOverloaded is returned when an executor's queue is full: the partition
+// cannot absorb the offered load.
+var ErrOverloaded = errors.New("engine: executor queue full")
+
+// ErrStopped is returned for submissions to a stopped executor.
+var ErrStopped = errors.New("engine: executor stopped")
+
+// Config holds executor tuning knobs shared across a cluster.
+type Config struct {
+	// ServiceTime is the synthetic CPU time consumed by each transaction.
+	// The paper adds an artificial delay per transaction to emulate B2W's
+	// production per-transaction cost on much faster H-Store hardware
+	// (§7); we use the same trick to give each partition a well-defined
+	// saturation throughput of 1/ServiceTime.
+	ServiceTime time.Duration
+	// MigrationRowCost is the synthetic CPU time per row spent extracting
+	// or applying a migration chunk. Moving data steals these cycles from
+	// transaction processing — the source of reconfiguration overhead.
+	MigrationRowCost time.Duration
+	// QueueDepth bounds the executor's task queue; submissions beyond it
+	// fail with ErrOverloaded. Defaults to 8192.
+	QueueDepth int
+	// Recorder, if set, receives the latency of every completed
+	// transaction.
+	Recorder *metrics.LatencyRecorder
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 8192
+	}
+	return c.QueueDepth
+}
+
+// Result is the outcome of a transaction.
+type Result struct {
+	Out     map[string]string
+	Err     error
+	Latency time.Duration
+}
+
+// Executor runs one partition's work serially: transactions, migration
+// chunk extraction/application, and administrative functions all share the
+// single goroutine, exactly like an H-Store partition engine. Migration and
+// administrative tasks (Do, Reserve) go through a priority lane dispatched
+// ahead of queued transactions, as Squall schedules reconfiguration work —
+// they still consume the executor's time, so migration interferes with
+// transaction latency, but a transaction backlog cannot starve a
+// reconfiguration.
+type Executor struct {
+	cfg   Config
+	part  *storage.Partition
+	reg   *Registry
+	queue chan task
+	prio  chan task
+	done  chan struct{}
+
+	processed atomic.Int64
+	aborted   atomic.Int64
+	migRows   atomic.Int64
+
+	// workClock is the executor's virtual busy-until time, used to charge
+	// synthetic work precisely even on hosts with coarse sleep timers:
+	// oversleeping one transaction shortens the wait of the next, so the
+	// sustained service rate is exactly 1/ServiceTime. Only the executor
+	// goroutine touches it.
+	workClock time.Time
+}
+
+type task struct {
+	txn     *Txn
+	reply   chan Result
+	started time.Time
+
+	fn      func(p *storage.Partition) (rows int, err error)
+	fnReply chan error
+
+	park chan struct{} // 2PC: signals acquisition, waits for release
+	held chan struct{}
+}
+
+// NewExecutor starts an executor for the partition. Stop must be called to
+// release its goroutine.
+func NewExecutor(part *storage.Partition, reg *Registry, cfg Config) *Executor {
+	e := &Executor{
+		cfg:   cfg,
+		part:  part,
+		reg:   reg,
+		queue: make(chan task, cfg.queueDepth()),
+		prio:  make(chan task, 256),
+		done:  make(chan struct{}),
+	}
+	go e.run()
+	return e
+}
+
+// Partition returns the executor's partition ID.
+func (e *Executor) Partition() int { return e.part.ID() }
+
+// QueueLen returns the number of queued tasks (approximate).
+func (e *Executor) QueueLen() int { return len(e.queue) }
+
+// Processed returns the number of completed transactions.
+func (e *Executor) Processed() int64 { return e.processed.Load() }
+
+// Aborted returns the number of intentionally aborted transactions.
+func (e *Executor) Aborted() int64 { return e.aborted.Load() }
+
+// MigratedRows returns the number of rows moved through this executor by
+// migration tasks (extractions plus applications).
+func (e *Executor) MigratedRows() int64 { return e.migRows.Load() }
+
+// Stop shuts the executor down after draining already queued work.
+func (e *Executor) Stop() {
+	close(e.queue)
+	<-e.done
+	e.drainPrio() // fail any priority task that raced in during shutdown
+}
+
+// drainPrio fails all pending priority tasks with ErrStopped.
+func (e *Executor) drainPrio() {
+	for {
+		select {
+		case t := <-e.prio:
+			if t.fnReply != nil {
+				t.fnReply <- ErrStopped
+			}
+			if t.park != nil {
+				close(t.park) // Reserve caller sees a closed channel
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (e *Executor) run() {
+	defer e.drainPrio()
+	defer close(e.done)
+	for {
+		var t task
+		var ok bool
+		select {
+		case t = <-e.prio:
+			ok = true
+		default:
+			select {
+			case t = <-e.prio:
+				ok = true
+			case t, ok = <-e.queue:
+			default:
+				// Both lanes empty: block for the next task and reset the
+				// work clock — idle time is not banked as service credit.
+				select {
+				case t = <-e.prio:
+					ok = true
+				case t, ok = <-e.queue:
+				}
+				e.workClock = time.Now()
+			}
+		}
+		if !ok {
+			return
+		}
+		switch {
+		case t.txn != nil:
+			res := e.execTxn(t.txn)
+			res.Latency = time.Since(t.started)
+			if e.cfg.Recorder != nil {
+				e.cfg.Recorder.Record(time.Now(), res.Latency)
+			}
+			if t.reply != nil {
+				t.reply <- res
+			}
+		case t.fn != nil:
+			rows, err := t.fn(e.part)
+			if rows > 0 {
+				e.migRows.Add(int64(rows))
+				e.spin(time.Duration(rows) * e.cfg.MigrationRowCost)
+			}
+			if t.fnReply != nil {
+				t.fnReply <- err
+			}
+		case t.park != nil:
+			// Two-phase-commit style reservation: the executor parks until
+			// the coordinator releases it, modeling H-Store's blocking
+			// distributed transactions.
+			t.park <- struct{}{}
+			<-t.held
+		}
+	}
+}
+
+func (e *Executor) execTxn(txn *Txn) Result {
+	proc, ok := e.reg.Lookup(txn.Proc)
+	if !ok {
+		return Result{Err: fmt.Errorf("engine: unknown procedure %q", txn.Proc)}
+	}
+	txn.part = e.part
+	err := e.safeCall(proc, txn)
+	txn.part = nil
+	var notOwned *storage.ErrNotOwned
+	if errors.As(err, &notOwned) {
+		// The key's bucket is in flight to another partition: the engine
+		// detects this on the index lookup and requeues without doing the
+		// transaction's work, so no service time is charged.
+		return Result{Out: txn.out, Err: err}
+	}
+	e.spin(e.cfg.ServiceTime)
+	e.processed.Add(1)
+	if err != nil && IsAbort(err) {
+		e.aborted.Add(1)
+	}
+	return Result{Out: txn.out, Err: err}
+}
+
+// safeCall runs a stored procedure, converting a panic into an error so a
+// buggy procedure cannot take down its partition executor (H-Store aborts
+// the transaction, not the site).
+func (e *Executor) safeCall(proc Procedure, txn *Txn) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: procedure %q panicked: %v", txn.Proc, r)
+		}
+	}()
+	return proc(txn)
+}
+
+// spin charges d of synthetic work against the executor's virtual work
+// clock and sleeps until the clock catches up. The clock is never clamped
+// forward here: if the host's coarse timers make one sleep overshoot, the
+// next transactions wait correspondingly less, so the sustained service
+// rate stays at exactly 1/ServiceTime. The run loop resets the clock after
+// genuine idleness.
+func (e *Executor) spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.workClock = e.workClock.Add(d)
+	if wait := time.Until(e.workClock); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Submit enqueues a transaction and returns a channel delivering its
+// result, or ErrOverloaded/ErrStopped.
+func (e *Executor) Submit(txn *Txn) (<-chan Result, error) {
+	reply := make(chan Result, 1)
+	t := task{txn: txn, reply: reply, started: time.Now()}
+	if err := e.enqueue(t); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Call runs a transaction and waits for its result.
+func (e *Executor) Call(txn *Txn) Result {
+	ch, err := e.Submit(txn)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return <-ch
+}
+
+// Do runs fn on the executor's goroutine with exclusive partition access
+// and waits for completion, dispatched through the priority lane ahead of
+// queued transactions. fn reports the number of rows it touched so the
+// executor can charge migration work time.
+func (e *Executor) Do(fn func(p *storage.Partition) (rows int, err error)) error {
+	reply := make(chan error, 1)
+	if err := e.enqueuePrio(task{fn: fn, fnReply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
+// Reserve parks the executor (used by the distributed-transaction
+// coordinator). It returns a release function once the executor is parked.
+// The caller MUST invoke the release function.
+func (e *Executor) Reserve() (release func(), err error) {
+	park := make(chan struct{}, 1)
+	held := make(chan struct{})
+	if err := e.enqueuePrio(task{park: park, held: held}); err != nil {
+		return nil, err
+	}
+	if _, ok := <-park; !ok {
+		return nil, ErrStopped
+	}
+	return func() { close(held) }, nil
+}
+
+// PartitionUnsafe exposes the underlying partition. It must only be used
+// while the executor is parked via Reserve or from within Do; unsynchronized
+// use races with the executor goroutine.
+func (e *Executor) PartitionUnsafe() *storage.Partition { return e.part }
+
+func (e *Executor) enqueue(t task) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = ErrStopped
+		}
+	}()
+	select {
+	case e.queue <- t:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// enqueuePrio adds a task to the priority lane, blocking if the lane is
+// momentarily full but failing once the executor stops.
+func (e *Executor) enqueuePrio(t task) error {
+	select {
+	case <-e.done:
+		return ErrStopped
+	default:
+	}
+	select {
+	case e.prio <- t:
+		return nil
+	case <-e.done:
+		return ErrStopped
+	}
+}

@@ -1,0 +1,111 @@
+// Package engine implements the H-Store-style execution substrate: one
+// serial executor goroutine per data partition, running stored-procedure
+// transactions to completion without locking or latching. Synthetic
+// per-transaction service time emulates the CPU cost of real transaction
+// work at a configurable scale, and migration work shares the same executor
+// — which is exactly why reconfiguring under peak load hurts latency, the
+// phenomenon P-Store exists to avoid.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"pstore/internal/storage"
+)
+
+// Txn is a stored-procedure invocation: the procedure name, the
+// partitioning key that routes it, and its arguments. Procedures read and
+// write through the Txn, which scopes access to the executing partition.
+type Txn struct {
+	Proc string
+	Key  string
+	Args map[string]string
+
+	part *storage.Partition
+	out  map[string]string
+}
+
+// Arg returns the named argument ("" if absent).
+func (t *Txn) Arg(name string) string { return t.Args[name] }
+
+// SetOut records a named output value returned to the caller.
+func (t *Txn) SetOut(name, value string) {
+	if t.out == nil {
+		t.out = make(map[string]string)
+	}
+	t.out[name] = value
+}
+
+// Get reads a row from the executing partition.
+func (t *Txn) Get(table, key string) (storage.Row, bool, error) {
+	return t.part.Get(table, key)
+}
+
+// Put writes a row to the executing partition.
+func (t *Txn) Put(table, key string, cols map[string]string) error {
+	return t.part.Put(table, key, cols)
+}
+
+// Delete removes a row from the executing partition.
+func (t *Txn) Delete(table, key string) (bool, error) {
+	return t.part.Delete(table, key)
+}
+
+// Abort returns an error that marks a client-visible, intentional abort
+// (e.g. reserving out-of-stock inventory) rather than a system fault.
+func (t *Txn) Abort(reason string) error {
+	return &AbortError{Reason: reason}
+}
+
+// AbortError marks an intentional transaction abort.
+type AbortError struct {
+	Reason string
+}
+
+func (e *AbortError) Error() string { return "engine: transaction aborted: " + e.Reason }
+
+// IsAbort reports whether err is an intentional abort.
+func IsAbort(err error) bool {
+	var a *AbortError
+	return errors.As(err, &a)
+}
+
+// Procedure is a stored procedure body, executed serially on the partition
+// that owns its routing key.
+type Procedure func(tx *Txn) error
+
+// Registry maps procedure names to bodies. It is immutable after
+// registration and safe to share across executors.
+type Registry struct {
+	procs map[string]Procedure
+}
+
+// NewRegistry returns an empty procedure registry.
+func NewRegistry() *Registry {
+	return &Registry{procs: make(map[string]Procedure)}
+}
+
+// Register adds a procedure; registering a duplicate name panics, as that
+// is a programming error caught at startup.
+func (r *Registry) Register(name string, p Procedure) {
+	if _, dup := r.procs[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate procedure %q", name))
+	}
+	r.procs[name] = p
+}
+
+// Lookup returns the named procedure.
+func (r *Registry) Lookup(name string) (Procedure, bool) {
+	p, ok := r.procs[name]
+	return p, ok
+}
+
+// Names returns the registered procedure names (unordered).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.procs))
+	for n := range r.procs {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pstore/internal/metrics"
+	"pstore/internal/migration"
+)
+
+// ChunkRun is one configuration of the Fig 8 study: latency while migrating
+// half the database off a node running at Q̂, for one chunk size (plus the
+// static no-migration baseline).
+type ChunkRun struct {
+	Label           string
+	BucketsPerChunk int
+	MigrationTime   time.Duration // 0 for the static baseline
+	Windows         []metrics.WindowStats
+	Violations      metrics.SLAReport
+	RowsMoved       int64
+}
+
+// ChunkStudyResult aggregates the Fig 8 sweep and the derived D (§4.1/§8.1).
+type ChunkStudyResult struct {
+	Runs []ChunkRun
+	// DSlots is the discovered D in trace slots: the single-thread
+	// full-database migration time extrapolated from the largest chunk
+	// size that kept p99 within the SLA, plus the paper's 10% buffer.
+	DSlots float64
+	// RatePerSec is the corresponding data movement rate R in rows/s.
+	RatePerSec float64
+}
+
+// ChunkSizeStudy reproduces Fig 8: a single node runs the B2W mix at Q̂
+// while half its data migrates to a new node, once per chunk size; larger
+// chunks finish faster but disturb latency more.
+func ChunkSizeStudy(sc Scale, qHatPerSec float64, chunkSizes []int, chunkInterval time.Duration) (*ChunkStudyResult, error) {
+	res := &ChunkStudyResult{}
+
+	// Static baseline: same load, no migration.
+	static, err := runChunkConfig(sc, qHatPerSec, 0, chunkInterval)
+	if err != nil {
+		return nil, err
+	}
+	static.Label = "Static"
+	res.Runs = append(res.Runs, *static)
+
+	var bestOK *ChunkRun
+	for _, size := range chunkSizes {
+		run, err := runChunkConfig(sc, qHatPerSec, size, chunkInterval)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, *run)
+		if run.Violations.P99Violations == 0 {
+			r := *run
+			bestOK = &r // chunk sizes are tried in increasing order
+		}
+	}
+	if bestOK != nil {
+		// Moving fraction (1 − B/A) = 1/2 of the data used max‖ = P
+		// parallel streams; a single thread moving the whole database
+		// takes 2·P·duration. Add the 10% buffer (§4.1).
+		d := bestOK.MigrationTime * time.Duration(2*sc.PartitionsPerNode)
+		d += d / 10
+		res.DSlots = float64(d) / float64(sc.SlotWall)
+		if bestOK.MigrationTime > 0 {
+			res.RatePerSec = float64(bestOK.RowsMoved) / bestOK.MigrationTime.Seconds()
+		}
+	}
+	return res, nil
+}
+
+// runChunkConfig measures one Fig 8 cell. bucketsPerChunk == 0 runs the
+// static baseline.
+func runChunkConfig(sc Scale, qHatPerSec float64, bucketsPerChunk int, chunkInterval time.Duration) (*ChunkRun, error) {
+	c, d, err := newB2WCluster(sc, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	// Offered load fixed at Q̂ for the source node.
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		interval := time.Duration(float64(time.Second) / qHatPerSec)
+		start := time.Now()
+		for k := 0; ; k++ {
+			due := start.Add(time.Duration(k) * interval)
+			if t := time.Until(due); t > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(t):
+				}
+			} else if ctx.Err() != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.Call(d.Next())
+			}()
+		}
+	}()
+
+	run := &ChunkRun{BucketsPerChunk: bucketsPerChunk}
+	warm := 300 * time.Millisecond
+	time.Sleep(warm)
+	if bucketsPerChunk > 0 {
+		run.Label = labelForChunk(bucketsPerChunk)
+		rep, err := migration.Run(c, 2, migration.Options{
+			BucketsPerChunk: bucketsPerChunk,
+			ChunkInterval:   chunkInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		run.MigrationTime = rep.Duration
+		run.RowsMoved = rep.RowsMoved
+		time.Sleep(warm) // observe the tail after migration completes
+	} else {
+		// Static baseline runs for a comparable period.
+		time.Sleep(1200 * time.Millisecond)
+	}
+	cancel()
+	<-loadDone
+	wg.Wait()
+
+	run.Windows = c.Latencies().Windows()
+	run.Violations = metrics.SLAViolations(run.Windows, sc.DiscoverySLA)
+	return run, nil
+}
+
+func labelForChunk(buckets int) string {
+	return fmt.Sprintf("chunk-%d", buckets)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pstore/internal/predict"
+	"pstore/internal/timeseries"
+	"pstore/internal/workload"
+)
+
+// PredictorPoint is one (τ, MRE) measurement of Figs 5b/6b.
+type PredictorPoint struct {
+	Model string
+	Tau   int // forecast horizon, in slots
+	MRE   float64
+}
+
+// PredictorStudyResult bundles a workload's accuracy sweep plus one
+// forecast-vs-actual curve for plotting (Figs 5a/6a).
+type PredictorStudyResult struct {
+	Workload string
+	Points   []PredictorPoint
+	// CurveTau is the horizon of the plotted forecast curve.
+	CurveTau               int
+	CurvePred, CurveActual []float64
+}
+
+// SPARStudyB2W reproduces Fig 5: SPAR trained on trainDays of synthetic
+// B2W load at 1-minute slots, evaluated over the following day(s) at the
+// given τ values (minutes). The paper reports ≈10.4% MRE at τ=60 min,
+// decaying gracefully with τ.
+func SPARStudyB2W(trainDays, testDays int, taus []int, evalStride int) (*PredictorStudyResult, error) {
+	cfg := workload.DefaultB2WConfig()
+	cfg.Days = trainDays + testDays
+	full := workload.GenerateB2W(cfg)
+	sparCfg := predict.DefaultSPARConfig(cfg.SlotsPerDay)
+	sparCfg.MaxRows = 6000
+	m := predict.NewSPAR(sparCfg)
+	testStart := trainDays * cfg.SlotsPerDay
+	if err := m.Fit(full.Slice(0, testStart)); err != nil {
+		return nil, err
+	}
+	return runPredictorStudy("B2W", m, full, testStart, taus, evalStride, 60)
+}
+
+// SPARStudyWikipedia reproduces Fig 6 for one language edition: SPAR on
+// hourly page views, τ in hours. english selects the smoother EN trace,
+// otherwise the noisier DE trace.
+func SPARStudyWikipedia(english bool, trainDays, testDays int, taus []int, evalStride int) (*PredictorStudyResult, error) {
+	cfg := workload.DefaultWikiEnglish()
+	name := "Wikipedia-EN"
+	if !english {
+		cfg = workload.DefaultWikiGerman()
+		name = "Wikipedia-DE"
+	}
+	cfg.Days = trainDays + testDays
+	full := workload.GenerateWiki(cfg)
+	sparCfg := predict.SPARConfig{Period: 24, NPeriods: 7, MRecent: 12, MaxRows: 6000}
+	m := predict.NewSPAR(sparCfg)
+	testStart := trainDays * 24
+	if err := m.Fit(full.Slice(0, testStart)); err != nil {
+		return nil, err
+	}
+	return runPredictorStudy(name, m, full, testStart, taus, evalStride, 1)
+}
+
+func runPredictorStudy(name string, m predict.Model, full *timeseries.Series, testStart int, taus []int, stride, curveTau int) (*PredictorStudyResult, error) {
+	res := &PredictorStudyResult{Workload: name, CurveTau: curveTau}
+	for _, tau := range taus {
+		ev, err := predict.EvaluateHorizon(m, full, testStart, tau, stride)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s τ=%d: %w", name, tau, err)
+		}
+		res.Points = append(res.Points, PredictorPoint{Model: m.Name(), Tau: tau, MRE: ev.MRE})
+	}
+	pred, actual, err := predict.ForecastCurve(m, full, testStart, curveTau, stride)
+	if err != nil {
+		return nil, err
+	}
+	res.CurvePred, res.CurveActual = pred, actual
+	return res, nil
+}
+
+// ModelComparison reproduces the §5 comparison: SPAR vs ARMA vs AR MRE at
+// one horizon on the B2W trace (paper: 10.4%, 12.2%, 12.5% at τ=60 min).
+func ModelComparison(trainDays, testDays, tau, evalStride int) ([]PredictorPoint, error) {
+	cfg := workload.DefaultB2WConfig()
+	cfg.Days = trainDays + testDays
+	full := workload.GenerateB2W(cfg)
+	testStart := trainDays * cfg.SlotsPerDay
+
+	sparCfg := predict.DefaultSPARConfig(cfg.SlotsPerDay)
+	sparCfg.MaxRows = 6000
+	models := []predict.Model{
+		predict.NewSPAR(sparCfg),
+		predict.NewARMA(30, 10),
+		predict.NewAR(30),
+		predict.NewHoltWinters(cfg.SlotsPerDay),
+		predict.NewSeasonalNaive(cfg.SlotsPerDay),
+	}
+	var out []PredictorPoint
+	for _, m := range models {
+		if err := m.Fit(full.Slice(0, testStart)); err != nil {
+			return nil, fmt.Errorf("experiments: fitting %s: %w", m.Name(), err)
+		}
+		ev, err := predict.EvaluateHorizon(m, full, testStart, tau, evalStride)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: evaluating %s: %w", m.Name(), err)
+		}
+		out = append(out, PredictorPoint{Model: m.Name(), Tau: tau, MRE: ev.MRE})
+	}
+	return out, nil
+}

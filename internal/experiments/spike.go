@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"pstore/internal/metrics"
+)
+
+// SpikeRun is one side of Fig 11: P-Store reacting to an unexpected load
+// spike with migration at rate R or at rate R×8.
+type SpikeRun struct {
+	Label       string
+	SLA         metrics.SLAReport
+	Windows     []metrics.WindowStats
+	AvgMachines float64
+}
+
+// SpikeStudy reproduces Fig 11: a flat-ish predicted day suddenly spikes
+// (the predictor cannot see it coming because it was fitted on — or, for
+// the oracle, reads — the unspiked trace), forcing the controller's
+// reactive fallback. The study runs twice — fallback at rate R and at
+// rate R×8 — and reports SLA violations for each.
+//
+// spikeStart indexes into the full trace and must lie inside the replayed
+// range [cfg.ReplayStart, len).
+func SpikeStudy(cfg ApproachesConfig, spikeStart, spikeLen int, spikeFactor float64) ([]SpikeRun, error) {
+	spiked := cfg.Trace.Clone()
+	for i := spikeStart; i < spikeStart+spikeLen && i < spiked.Len(); i++ {
+		spiked.Values[i] *= spikeFactor
+	}
+	var out []SpikeRun
+	for _, fast := range []bool{false, true} {
+		runCfg := cfg
+		runCfg.Trace = spiked
+		runCfg.FastFallback = fast
+		label := "rate R"
+		if fast {
+			label = "rate R×8"
+		}
+		res, err := RunApproach(runCfg, ApproachPStore)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SpikeRun{
+			Label:       label,
+			SLA:         res.SLA,
+			Windows:     res.Windows,
+			AvgMachines: res.AvgMachines,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+// Package hashing provides MurmurHash 2.0, the hash function the paper uses
+// to place partitioning keys onto data partitions (§8.1 cites the Java port
+// of Austin Appleby's MurmurHash 2.0). Randomly generated keys hashed with
+// Murmur2 spread near-uniformly across partitions, which is the basis of
+// P-Store's uniformity assumptions.
+package hashing
+
+import "encoding/binary"
+
+const (
+	m32 = 0x5bd1e995
+	r32 = 24
+	m64 = 0xc6a4a7935bd1e995
+	r64 = 47
+)
+
+// Murmur2 computes the 32-bit MurmurHash 2.0 of data with the given seed.
+func Murmur2(data []byte, seed uint32) uint32 {
+	h := seed ^ uint32(len(data))
+	for len(data) >= 4 {
+		k := binary.LittleEndian.Uint32(data)
+		k *= m32
+		k ^= k >> r32
+		k *= m32
+		h *= m32
+		h ^= k
+		data = data[4:]
+	}
+	switch len(data) {
+	case 3:
+		h ^= uint32(data[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint32(data[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint32(data[0])
+		h *= m32
+	}
+	h ^= h >> 13
+	h *= m32
+	h ^= h >> 15
+	return h
+}
+
+// Murmur2_64 computes the 64-bit MurmurHash64A of data with the given seed.
+func Murmur2_64(data []byte, seed uint64) uint64 {
+	h := seed ^ uint64(len(data))*m64
+	for len(data) >= 8 {
+		k := binary.LittleEndian.Uint64(data)
+		k *= m64
+		k ^= k >> r64
+		k *= m64
+		h ^= k
+		h *= m64
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		for j := len(data) - 1; j >= 0; j-- {
+			h ^= uint64(data[j]) << (8 * uint(j))
+		}
+		h *= m64
+	}
+	h ^= h >> r64
+	h *= m64
+	h ^= h >> r64
+	return h
+}
+
+// PartitionOf maps a string key to one of n partitions using Murmur2 with
+// seed 0, the placement rule used throughout this repository.
+func PartitionOf(key string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(Murmur2([]byte(key), 0) % uint32(n))
+}

@@ -1,0 +1,108 @@
+package hashing
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors computed from the canonical MurmurHash 2.0 /
+// MurmurHash64A algorithms (Austin Appleby).
+var vectors = []struct {
+	data   string
+	seed   uint32
+	want32 uint32
+	want64 uint64
+}{
+	{"", 0, 0x00000000, 0x0000000000000000},
+	{"a", 0, 0x92685f5e, 0x071717d2d36b6b11},
+	{"ab", 0, 0x1aa14063, 0x62be85b2fe53d1f8},
+	{"abc", 0, 0x13577c9b, 0x9cc9c33498a95efb},
+	{"abcd", 0, 0x26873021, 0xec1044c45cc5097a},
+	{"hello", 0, 0xe56129cb, 0x1e68d17c457bf117},
+	{"hello, world", 0, 0x4b4c9d80, 0x9659ad0699a8465f},
+	{"The quick brown fox jumps over the lazy dog", 0, 0x212729d0, 0x5589ca33042a861b},
+	{"\x00\x01\x02\x03\x04\x05\x06\x07\x08\t\n\x0b\x0c\r\x0e\x0f", 0, 0x5f3c0743, 0xe6709e192441a2f3},
+	{"", 0x9747b28c, 0x106e08d9, 0x8397626cd6895052},
+	{"a", 0x9747b28c, 0xa2d0b27c, 0xe96b6245652273ae},
+	{"ab", 0x9747b28c, 0x12d8262a, 0x9be5e012c4364087},
+	{"abc", 0x9747b28c, 0x1c94221b, 0xa9316c8740c81414},
+}
+
+func TestMurmur2Vectors(t *testing.T) {
+	for _, v := range vectors {
+		if got := Murmur2([]byte(v.data), v.seed); got != v.want32 {
+			t.Errorf("Murmur2(%q, %#x) = %#08x, want %#08x", v.data, v.seed, got, v.want32)
+		}
+		if got := Murmur2_64([]byte(v.data), uint64(v.seed)); got != v.want64 {
+			t.Errorf("Murmur2_64(%q, %#x) = %#016x, want %#016x", v.data, v.seed, got, v.want64)
+		}
+	}
+}
+
+func TestPartitionOfRange(t *testing.T) {
+	f := func(key string, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := PartitionOf(key, n)
+		return p >= 0 && p < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if PartitionOf("x", 0) != 0 {
+		t.Error("n=0 should map to 0")
+	}
+}
+
+func TestPartitionOfDeterministic(t *testing.T) {
+	a := PartitionOf("cart-123", 30)
+	b := PartitionOf("cart-123", 30)
+	if a != b {
+		t.Errorf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+// TestPartitionUniformity reproduces the spirit of §8.1: random keys hashed
+// onto 30 partitions spread nearly uniformly — the standard deviation of
+// per-partition counts stays within a few percent of the mean.
+func TestPartitionUniformity(t *testing.T) {
+	const nPart = 30
+	const nKeys = 300000
+	counts := make([]float64, nPart)
+	for i := 0; i < nKeys; i++ {
+		counts[PartitionOf(fmt.Sprintf("key-%d", i), nPart)]++
+	}
+	mean := float64(nKeys) / nPart
+	maxDev, sumSq := 0.0, 0.0
+	for _, c := range counts {
+		d := (c - mean) / mean
+		if math.Abs(d) > maxDev {
+			maxDev = math.Abs(d)
+		}
+		sumSq += d * d
+	}
+	std := math.Sqrt(sumSq / nPart)
+	if std > 0.03 {
+		t.Errorf("relative std of partition counts = %.4f, want < 3%%", std)
+	}
+	if maxDev > 0.06 {
+		t.Errorf("max relative deviation = %.4f, want < 6%%", maxDev)
+	}
+}
+
+func BenchmarkMurmur2(b *testing.B) {
+	data := []byte("cart-0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Murmur2(data, 0)
+	}
+}
+
+func BenchmarkMurmur2_64(b *testing.B) {
+	data := []byte("cart-0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Murmur2_64(data, 0)
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// AllocationTracker records machine-count changes over time and integrates
+// them into the paper's cost metric (Eq. 1: machine-intervals) and the
+// average machines allocated (Table 2).
+type AllocationTracker struct {
+	mu      sync.Mutex
+	events  []allocEvent
+	current int
+}
+
+type allocEvent struct {
+	at       time.Time
+	machines int
+}
+
+// NewAllocationTracker starts tracking with the given machine count at the
+// given time.
+func NewAllocationTracker(at time.Time, machines int) *AllocationTracker {
+	return &AllocationTracker{
+		events:  []allocEvent{{at: at, machines: machines}},
+		current: machines,
+	}
+}
+
+// Set records a machine-count change at the given time.
+func (t *AllocationTracker) Set(at time.Time, machines int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, allocEvent{at: at, machines: machines})
+	t.current = machines
+}
+
+// Current returns the most recently recorded machine count.
+func (t *AllocationTracker) Current() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current
+}
+
+// Average returns the time-weighted average machine count from the first
+// event until end.
+func (t *AllocationTracker) Average(end time.Time) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
+		return 0
+	}
+	total := end.Sub(t.events[0].at)
+	if total <= 0 {
+		return float64(t.events[0].machines)
+	}
+	var weighted float64
+	for i, e := range t.events {
+		segEnd := end
+		if i+1 < len(t.events) {
+			segEnd = t.events[i+1].at
+		}
+		if segEnd.After(end) {
+			segEnd = end
+		}
+		if d := segEnd.Sub(e.at); d > 0 {
+			weighted += d.Seconds() * float64(e.machines)
+		}
+	}
+	return weighted / total.Seconds()
+}
+
+// Series returns the step function of machine counts as (time, machines)
+// pairs in recording order.
+func (t *AllocationTracker) Series() []struct {
+	At       time.Time
+	Machines int
+} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]struct {
+		At       time.Time
+		Machines int
+	}, len(t.events))
+	for i, e := range t.events {
+		out[i].At = e.at
+		out[i].Machines = e.machines
+	}
+	return out
+}
+
+// Counter is a concurrency-safe event counter windowed by time, used for
+// throughput series.
+type Counter struct {
+	window time.Duration
+
+	mu      sync.Mutex
+	buckets map[int64]int
+	epoch   time.Time
+	started bool
+}
+
+// NewCounter returns a counter with the given window size.
+func NewCounter(window time.Duration) *Counter {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &Counter{window: window, buckets: make(map[int64]int)}
+}
+
+// Add counts n events at the given time.
+func (c *Counter) Add(at time.Time, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		c.epoch = at
+		c.started = true
+	}
+	c.buckets[int64(at.Sub(c.epoch)/c.window)] += n
+}
+
+// Total returns the sum of all counted events.
+func (c *Counter) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.buckets {
+		n += v
+	}
+	return n
+}
+
+// RecentRate returns the mean per-window rate over the most recent k
+// complete windows (excluding the still-open current window identified by
+// now). It returns 0 when no complete window exists yet.
+func (c *Counter) RecentRate(now time.Time, k int) float64 {
+	if k <= 0 {
+		k = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		return 0
+	}
+	cur := int64(now.Sub(c.epoch) / c.window)
+	sum, n := 0, 0
+	for i := cur - int64(k); i < cur; i++ {
+		if i < 0 {
+			continue
+		}
+		sum += c.buckets[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Rate returns the per-window event counts in time order, including empty
+// windows between the first and last events.
+func (c *Counter) Rate() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buckets) == 0 {
+		return nil
+	}
+	var lo, hi int64
+	first := true
+	for i := range c.buckets {
+		if first {
+			lo, hi = i, i
+			first = false
+			continue
+		}
+		if i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+	}
+	out := make([]float64, hi-lo+1)
+	for i, v := range c.buckets {
+		out[i-lo] = float64(v)
+	}
+	return out
+}

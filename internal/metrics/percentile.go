@@ -1,0 +1,96 @@
+// Package metrics provides the measurement machinery for P-Store's
+// evaluation: windowed latency percentiles, SLA-violation counting (the
+// paper defines a violation as a second in which the 50th/95th/99th
+// percentile latency exceeds 500 ms), latency CDFs (Fig 10) and
+// machine-allocation accounting (Eq. 1 cost).
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of the values using
+// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over an already ascending-sorted slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	// Nearest-rank: smallest index i with (i+1)/n ≥ p/100.
+	rank := int(p/100*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// DurationPercentile returns the p-th percentile of the durations.
+func DurationPercentile(values []time.Duration, p float64) time.Duration {
+	if len(values) == 0 {
+		return 0
+	}
+	f := make([]float64, len(values))
+	for i, v := range values {
+		f[i] = float64(v)
+	}
+	return time.Duration(Percentile(f, p))
+}
+
+// CDFPoint is one point of an empirical CDF: fraction Cum of observations
+// are ≤ Value.
+type CDFPoint struct {
+	Value float64
+	Cum   float64
+}
+
+// CDF returns the empirical CDF of the values.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Cum: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// TopFractionCDF returns the CDF of the largest topFrac fraction of the
+// values (e.g. 0.01 for the paper's "top 1% of per-second percentile
+// latencies", Fig 10). At least one value is always included.
+func TopFractionCDF(values []float64, topFrac float64) []CDFPoint {
+	if len(values) == 0 || topFrac <= 0 {
+		return nil
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	n := int(float64(len(sorted)) * topFrac)
+	if n < 1 {
+		n = 1
+	}
+	return CDF(sorted[len(sorted)-n:])
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WindowStats summarizes the latencies observed in one window (the paper
+// windows by second; compressed-time experiments use shorter windows).
+type WindowStats struct {
+	Start time.Time
+	Count int
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+}
+
+// LatencyRecorder collects transaction latencies into fixed-size time
+// windows and summarizes each window's percentiles. It is safe for
+// concurrent use.
+type LatencyRecorder struct {
+	window time.Duration
+
+	mu      sync.Mutex
+	buckets map[int64][]time.Duration
+	epoch   time.Time
+	started bool
+}
+
+// NewLatencyRecorder returns a recorder with the given window size
+// (typically one second, per the paper's SLA definition).
+func NewLatencyRecorder(window time.Duration) *LatencyRecorder {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &LatencyRecorder{window: window, buckets: make(map[int64][]time.Duration)}
+}
+
+// Record adds one latency observation at the given time.
+func (r *LatencyRecorder) Record(at time.Time, latency time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		r.epoch = at
+		r.started = true
+	}
+	idx := int64(at.Sub(r.epoch) / r.window)
+	r.buckets[idx] = append(r.buckets[idx], latency)
+}
+
+// Count returns the total number of recorded observations.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, b := range r.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// Windows returns per-window summaries in time order.
+func (r *LatencyRecorder) Windows() []WindowStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idxs := make([]int64, 0, len(r.buckets))
+	for i := range r.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	out := make([]WindowStats, 0, len(idxs))
+	for _, i := range idxs {
+		lat := r.buckets[i]
+		sorted := make([]float64, len(lat))
+		var sum, max time.Duration
+		for j, l := range lat {
+			sorted[j] = float64(l)
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		sort.Float64s(sorted)
+		out = append(out, WindowStats{
+			Start: r.epoch.Add(time.Duration(i) * r.window),
+			Count: len(lat),
+			P50:   time.Duration(percentileSorted(sorted, 50)),
+			P95:   time.Duration(percentileSorted(sorted, 95)),
+			P99:   time.Duration(percentileSorted(sorted, 99)),
+			Max:   max,
+			Mean:  sum / time.Duration(len(lat)),
+		})
+	}
+	return out
+}
+
+// SLAReport counts, per percentile, the number of windows whose percentile
+// latency exceeded the threshold — Table 2's "number of SLA violations".
+type SLAReport struct {
+	Threshold     time.Duration
+	Windows       int
+	P50Violations int
+	P95Violations int
+	P99Violations int
+}
+
+// SLAViolations evaluates the windows against a latency threshold (the
+// paper uses 500 ms, the largest delay unnoticeable to users).
+func SLAViolations(windows []WindowStats, threshold time.Duration) SLAReport {
+	rep := SLAReport{Threshold: threshold, Windows: len(windows)}
+	for _, w := range windows {
+		if w.P50 > threshold {
+			rep.P50Violations++
+		}
+		if w.P95 > threshold {
+			rep.P95Violations++
+		}
+		if w.P99 > threshold {
+			rep.P99Violations++
+		}
+	}
+	return rep
+}
+
+// PercentileSeries extracts one percentile (50, 95 or 99) across windows,
+// in milliseconds — the input to the Fig 10 CDFs.
+func PercentileSeries(windows []WindowStats, p int) []float64 {
+	out := make([]float64, 0, len(windows))
+	for _, w := range windows {
+		var v time.Duration
+		switch p {
+		case 50:
+			v = w.P50
+		case 95:
+			v = w.P95
+		case 99:
+			v = w.P99
+		default:
+			continue
+		}
+		out = append(out, float64(v)/float64(time.Millisecond))
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package migration
+
+import (
+	"fmt"
+	"sort"
+
+	"pstore/internal/cluster"
+	"pstore/internal/storage"
+)
+
+// Balance evens out bucket ownership across the cluster's current
+// partitions without changing the node count. Reconfigurations already
+// leave the cluster balanced, so this is an administrative repair tool —
+// e.g. after restoring a cluster whose ownership drifted, or as the
+// starting point for the skew-management direction the paper's conclusion
+// sketches (combining P-Store with E-Store-style placement). Moves are
+// paced like a regular migration. It returns the number of buckets moved.
+func Balance(c *cluster.Cluster, opts Options) (int, error) {
+	opts = opts.normalized()
+	if !c.BeginReconfiguration() {
+		return 0, ErrInProgress
+	}
+	defer c.EndReconfiguration()
+
+	counts := c.BucketCounts()
+	type part struct {
+		id    int
+		count int
+	}
+	var parts []part
+	total := 0
+	for _, node := range c.Nodes() {
+		for _, pid := range node.Partitions {
+			parts = append(parts, part{id: pid, count: counts[pid]})
+			total += counts[pid]
+		}
+	}
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("migration: no partitions to balance")
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].id < parts[j].id })
+	base, rem := total/len(parts), total%len(parts)
+	target := make(map[int]int, len(parts))
+	for i, p := range parts {
+		target[p.id] = base
+		if i < rem {
+			target[p.id]++
+		}
+	}
+
+	// Collect surplus buckets from over-target partitions...
+	var surplus []bucketMove // fromPart filled; toPart decided below
+	for _, p := range parts {
+		excess := p.count - target[p.id]
+		if excess <= 0 {
+			continue
+		}
+		exec, ok := c.ExecutorOf(p.id)
+		if !ok {
+			return 0, fmt.Errorf("migration: no executor for partition %d", p.id)
+		}
+		var owned []int
+		if err := exec.Do(func(sp *storage.Partition) (int, error) {
+			owned = sp.OwnedBuckets()
+			return 0, nil
+		}); err != nil {
+			return 0, err
+		}
+		for _, b := range owned[len(owned)-excess:] {
+			surplus = append(surplus, bucketMove{bucket: b, fromPart: p.id})
+		}
+	}
+	// ...and deal them to under-target partitions.
+	i := 0
+	var moves []bucketMove
+	for _, p := range parts {
+		for deficit := target[p.id] - p.count; deficit > 0; deficit-- {
+			if i >= len(surplus) {
+				return 0, fmt.Errorf("migration: balance bookkeeping mismatch")
+			}
+			mv := surplus[i]
+			i++
+			mv.toPart = p.id
+			moves = append(moves, mv)
+		}
+	}
+
+	m := &Migration{done: make(chan struct{})}
+	if err := m.movePaced(c, moves, opts); err != nil {
+		return int(m.movedBuckets.Load()), err
+	}
+	return int(m.movedBuckets.Load()), nil
+}

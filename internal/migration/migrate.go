@@ -1,0 +1,432 @@
+// Package migration implements live, chunked data migration between
+// partitions — the Squall substitute. A reconfiguration follows the
+// three-phase machine-pair schedule of §4.4.1 (plan.Schedule): rounds of
+// parallel sender→receiver transfers, each moving an equal share of hash
+// buckets, paced by a configurable chunk size and inter-chunk delay.
+// Extraction and application run on the partitions' own executors, so
+// migration work competes with regular transactions for the same cycles —
+// faster migration means more latency interference (Fig 8).
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/cluster"
+	"pstore/internal/plan"
+	"pstore/internal/storage"
+)
+
+// ErrInProgress is returned by Start when another reconfiguration of the
+// same cluster has not finished yet: concurrent bucket moves would race on
+// routing ownership.
+var ErrInProgress = errors.New("migration: a reconfiguration is already in progress")
+
+// Options tunes migration aggressiveness.
+type Options struct {
+	// BucketsPerChunk is how many buckets move per paced step (the paper's
+	// chunk-size knob from Fig 8). Default 1.
+	BucketsPerChunk int
+	// ChunkInterval is the pause between chunks on each transfer pair
+	// (Squall spaces chunks ≥ 100 ms; compressed-time experiments use
+	// less). Default 1ms.
+	ChunkInterval time.Duration
+	// RateMultiplier scales aggressiveness for reactive catch-up (the
+	// paper's "rate R×8"): it multiplies BucketsPerChunk and divides
+	// ChunkInterval. Default 1.
+	RateMultiplier int
+}
+
+func (o Options) normalized() Options {
+	if o.BucketsPerChunk <= 0 {
+		o.BucketsPerChunk = 1
+	}
+	if o.ChunkInterval < 0 {
+		o.ChunkInterval = 0
+	} else if o.ChunkInterval == 0 {
+		o.ChunkInterval = time.Millisecond
+	}
+	if o.RateMultiplier <= 0 {
+		o.RateMultiplier = 1
+	}
+	o.BucketsPerChunk *= o.RateMultiplier
+	o.ChunkInterval /= time.Duration(o.RateMultiplier)
+	return o
+}
+
+// Report summarizes a completed reconfiguration.
+type Report struct {
+	FromNodes, ToNodes int
+	Rounds             int
+	BucketsMoved       int
+	RowsMoved          int64
+	Duration           time.Duration
+}
+
+// Migration is a handle on an in-progress reconfiguration.
+type Migration struct {
+	fromNodes, toNodes int
+	totalBuckets       int64
+	movedBuckets       atomic.Int64
+	movedRows          atomic.Int64
+
+	done   chan struct{}
+	report *Report
+	err    error
+}
+
+// MovedFraction returns the fraction of scheduled buckets already moved —
+// the f of eff-cap(B, A, f).
+func (m *Migration) MovedFraction() float64 {
+	if m.totalBuckets == 0 {
+		return 1
+	}
+	return float64(m.movedBuckets.Load()) / float64(m.totalBuckets)
+}
+
+// FromNodes returns the node count before the move.
+func (m *Migration) FromNodes() int { return m.fromNodes }
+
+// ToNodes returns the target node count.
+func (m *Migration) ToNodes() int { return m.toNodes }
+
+// Done is closed when the migration finishes.
+func (m *Migration) Done() <-chan struct{} { return m.done }
+
+// Wait blocks until completion and returns the report.
+func (m *Migration) Wait() (*Report, error) {
+	<-m.done
+	return m.report, m.err
+}
+
+// bucketMove is one bucket's relocation.
+type bucketMove struct {
+	bucket   int
+	fromPart int
+	toPart   int
+}
+
+// Run performs a synchronous reconfiguration to targetNodes. See Start.
+func Run(c *cluster.Cluster, targetNodes int, opts Options) (*Report, error) {
+	m, err := Start(c, targetNodes, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.Wait()
+}
+
+// Start launches a reconfiguration of the cluster to targetNodes and
+// returns a handle for progress monitoring. Scale-out adds the new nodes
+// immediately (empty) and fills them per the schedule; scale-in drains the
+// retiring nodes and removes them at the end.
+func Start(c *cluster.Cluster, targetNodes int, opts Options) (*Migration, error) {
+	opts = opts.normalized()
+	if targetNodes < 1 {
+		return nil, fmt.Errorf("migration: target must be ≥ 1, got %d", targetNodes)
+	}
+	if !c.BeginReconfiguration() {
+		return nil, ErrInProgress
+	}
+	from := c.NumNodes()
+	m := &Migration{fromNodes: from, toNodes: targetNodes, done: make(chan struct{})}
+	if targetNodes == from {
+		c.EndReconfiguration()
+		m.report = &Report{FromNodes: from, ToNodes: targetNodes}
+		close(m.done)
+		return m, nil
+	}
+
+	// Machine numbering for plan.Schedule: 1..s are the persistent
+	// machines, s+1..l the appearing (scale-out) or retiring (scale-in)
+	// ones.
+	nodes := c.Nodes()
+	var machines []cluster.Node // index i ↔ schedule machine i+1
+	var retired []int
+	if targetNodes > from {
+		machines = append(machines, nodes...)
+		for i := 0; i < targetNodes-from; i++ {
+			machines = append(machines, c.AddNode())
+		}
+	} else {
+		machines = append(machines, nodes[:targetNodes]...)
+		machines = append(machines, nodes[targetNodes:]...)
+		for _, n := range nodes[targetNodes:] {
+			retired = append(retired, n.ID)
+		}
+	}
+
+	moves, err := planBucketMoves(c, machines, from, targetNodes)
+	if err != nil {
+		c.EndReconfiguration()
+		return nil, err
+	}
+	m.totalBuckets = int64(countMoves(moves))
+	rounds := plan.Schedule(from, targetNodes)
+
+	go func() {
+		defer c.EndReconfiguration()
+		start := time.Now()
+		err := m.execute(c, rounds, moves, opts)
+		if err == nil {
+			for _, id := range retired {
+				if rerr := c.RemoveNode(id); rerr != nil {
+					err = rerr
+					break
+				}
+			}
+		}
+		m.report = &Report{
+			FromNodes:    m.fromNodes,
+			ToNodes:      m.toNodes,
+			Rounds:       len(rounds),
+			BucketsMoved: int(m.movedBuckets.Load()),
+			RowsMoved:    m.movedRows.Load(),
+			Duration:     time.Since(start),
+		}
+		m.err = err
+		close(m.done)
+	}()
+	return m, nil
+}
+
+// planBucketMoves computes, per machine pair and partition slot, which
+// buckets move where, balancing every slot's bucket pool evenly across the
+// target machines. machines[i] is schedule machine i+1; from/to give the
+// move direction.
+func planBucketMoves(c *cluster.Cluster, machines []cluster.Node, from, to int) (map[[2]int][]bucketMove, error) {
+	p := c.PartitionsPerNode()
+	counts := c.BucketCounts()
+	total := len(machines) // = max(from, to)
+	final := to
+
+	// Per-partition owned buckets, fetched once.
+	ownedOf := func(pid int) ([]int, error) {
+		exec, ok := c.ExecutorOf(pid)
+		if !ok {
+			return nil, fmt.Errorf("migration: no executor for partition %d", pid)
+		}
+		var buckets []int
+		err := exec.Do(func(part *storage.Partition) (int, error) {
+			buckets = part.OwnedBuckets()
+			return 0, nil
+		})
+		return buckets, err
+	}
+
+	scaleOut := to > from
+	persistent := from // machines 1..s persist
+	if !scaleOut {
+		persistent = to
+	}
+
+	moves := make(map[[2]int][]bucketMove)
+	for slot := 0; slot < p; slot++ {
+		// The slot's bucket pool and current per-machine counts.
+		pool := 0
+		cur := make([]int, total)
+		for i, node := range machines {
+			pid := node.Partitions[slot]
+			cur[i] = counts[pid]
+			pool += counts[pid]
+		}
+		// donated[i][j]: buckets machine i gives to machine j. Persistent
+		// machines and appearing/retiring machines have fixed roles, so
+		// every move lies on a schedule pair.
+		donated := make([][]int, total)
+		for i := range donated {
+			donated[i] = make([]int, total)
+		}
+		given := make([]int, total) // total donated by giver i
+		taken := make([]int, total) // total received by taker j
+
+		if scaleOut {
+			// New machines take an even share; old machines keep the
+			// remainder (+1s land on old machines first so slightly less
+			// data moves).
+			base, rem := pool/final, pool%final
+			for j := persistent; j < total; j++ {
+				want := base
+				if rem > persistent && j-persistent < rem-persistent {
+					want++
+				}
+				for k := 0; k < want; k++ {
+					// Take from the old machine with the most left.
+					giver := -1
+					for i := 0; i < persistent; i++ {
+						if cur[i]-given[i] > 0 && (giver < 0 || cur[i]-given[i] > cur[giver]-given[giver]) {
+							giver = i
+						}
+					}
+					if giver < 0 {
+						return nil, errors.New("migration: pool exhausted while balancing scale-out")
+					}
+					donated[giver][j]++
+					given[giver]++
+					taken[j]++
+				}
+			}
+		} else {
+			// Retiring machines give everything; each bucket lands on the
+			// survivor with the least so far.
+			for i := persistent; i < total; i++ {
+				for k := 0; k < cur[i]; k++ {
+					taker := 0
+					for j := 1; j < persistent; j++ {
+						if cur[j]+taken[j] < cur[taker]+taken[taker] {
+							taker = j
+						}
+					}
+					donated[i][taker]++
+					given[i]++
+					taken[taker]++
+				}
+			}
+		}
+
+		// Materialize donation counts into concrete buckets, taken
+		// deterministically from the tail of each giver's owned list.
+		for i := 0; i < total; i++ {
+			if given[i] == 0 {
+				continue
+			}
+			owned, err := ownedOf(machines[i].Partitions[slot])
+			if err != nil {
+				return nil, err
+			}
+			if len(owned) < given[i] {
+				return nil, fmt.Errorf("migration: machine %d slot %d owns %d buckets, needs to give %d",
+					i+1, slot, len(owned), given[i])
+			}
+			pos := len(owned) - given[i]
+			for j := 0; j < total; j++ {
+				for k := 0; k < donated[i][j]; k++ {
+					pair := [2]int{i + 1, j + 1} // schedule machine IDs
+					moves[pair] = append(moves[pair], bucketMove{
+						bucket:   owned[pos],
+						fromPart: machines[i].Partitions[slot],
+						toPart:   machines[j].Partitions[slot],
+					})
+					pos++
+				}
+			}
+		}
+	}
+	return moves, nil
+}
+
+func countMoves(moves map[[2]int][]bucketMove) int {
+	n := 0
+	for _, ms := range moves {
+		n += len(ms)
+	}
+	return n
+}
+
+// execute runs the schedule: rounds in sequence, transfers within a round
+// in parallel, and each machine-level transfer's per-slot bucket lists
+// moving concurrently (one partition pair per slot), chunk by chunk.
+func (m *Migration) execute(c *cluster.Cluster, rounds []plan.Round, moves map[[2]int][]bucketMove, opts Options) error {
+	var firstErr error
+	var errMu sync.Mutex
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for _, round := range rounds {
+		var wg sync.WaitGroup
+		for _, tr := range round {
+			pair := [2]int{tr.From, tr.To}
+			list := moves[pair]
+			if len(list) == 0 {
+				continue
+			}
+			// Group this machine pair's moves by partition pair (slot).
+			bySlot := make(map[[2]int][]bucketMove)
+			for _, mv := range list {
+				k := [2]int{mv.fromPart, mv.toPart}
+				bySlot[k] = append(bySlot[k], mv)
+			}
+			for _, slotMoves := range bySlot {
+				wg.Add(1)
+				go func(slotMoves []bucketMove) {
+					defer wg.Done()
+					if err := m.movePaced(c, slotMoves, opts); err != nil {
+						setErr(err)
+					}
+				}(slotMoves)
+			}
+		}
+		wg.Wait()
+		errMu.Lock()
+		err := firstErr
+		errMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// movePaced relocates the buckets chunk by chunk with pacing.
+func (m *Migration) movePaced(c *cluster.Cluster, list []bucketMove, opts Options) error {
+	for i := 0; i < len(list); i += opts.BucketsPerChunk {
+		end := i + opts.BucketsPerChunk
+		if end > len(list) {
+			end = len(list)
+		}
+		for _, mv := range list[i:end] {
+			if err := m.moveBucket(c, mv); err != nil {
+				return err
+			}
+		}
+		if end < len(list) && opts.ChunkInterval > 0 {
+			time.Sleep(opts.ChunkInterval)
+		}
+	}
+	return nil
+}
+
+// moveBucket extracts one bucket at the source executor, repoints routing
+// at the destination, and applies it there. Transactions for the bucket
+// arriving in between retry until the apply lands.
+func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove) error {
+	srcExec, ok := c.ExecutorOf(mv.fromPart)
+	if !ok {
+		return fmt.Errorf("migration: no executor for source partition %d", mv.fromPart)
+	}
+	dstExec, ok := c.ExecutorOf(mv.toPart)
+	if !ok {
+		return fmt.Errorf("migration: no executor for destination partition %d", mv.toPart)
+	}
+	var data *storage.BucketData
+	err := srcExec.Do(func(p *storage.Partition) (int, error) {
+		var err error
+		data, err = p.ExtractBucket(mv.bucket)
+		if err != nil {
+			return 0, err
+		}
+		return data.RowCount(), nil
+	})
+	if err != nil {
+		return fmt.Errorf("migration: extracting bucket %d from partition %d: %w", mv.bucket, mv.fromPart, err)
+	}
+	c.SetOwner(mv.bucket, mv.toPart)
+	err = dstExec.Do(func(p *storage.Partition) (int, error) {
+		if err := p.ApplyBucket(data); err != nil {
+			return 0, err
+		}
+		return data.RowCount(), nil
+	})
+	if err != nil {
+		return fmt.Errorf("migration: applying bucket %d to partition %d: %w", mv.bucket, mv.toPart, err)
+	}
+	m.movedBuckets.Add(1)
+	m.movedRows.Add(int64(data.RowCount()))
+	return nil
+}

@@ -1,0 +1,60 @@
+package plan_test
+
+import (
+	"fmt"
+
+	"pstore/internal/plan"
+)
+
+// ExampleBestMoves plans reconfigurations for a predicted ramp: the
+// scale-out is delayed as late as the migration time allows.
+func ExampleBestMoves() {
+	params := plan.Params{
+		Q:                 100, // target txns/slot per server
+		QHat:              125,
+		D:                 4, // full-database single-thread move time, in slots
+		PartitionsPerNode: 1,
+	}
+	// load[0] is the current load; load[1..] the predictions.
+	load := []float64{90, 90, 90, 90, 120, 160, 190, 190}
+	p, err := plan.BestMoves(load, 1, params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, m := range p.Moves {
+		if !m.IsNoop() {
+			fmt.Println(m)
+		}
+	}
+	fmt.Printf("cost %.1f machine-slots, final %d machines\n", p.Cost, p.FinalNodes)
+	// Output:
+	// [3,5] 1→2
+	// cost 12.0 machine-slots, final 2 machines
+}
+
+// ExampleSchedule prints the paper's Table 1: the three-phase schedule of
+// parallel migrations when scaling from 3 to 14 machines.
+func ExampleSchedule() {
+	rounds := plan.Schedule(3, 14)
+	fmt.Println(len(rounds), "rounds; first round:")
+	for _, t := range rounds[0] {
+		fmt.Printf("%d→%d ", t.From, t.To)
+	}
+	fmt.Println()
+	// Output:
+	// 11 rounds; first round:
+	// 1→4 2→5 3→6
+}
+
+// ExampleParams_EffCap shows why the planner must account for effective
+// capacity: mid-way through a 3→14 scale-out, 9 machines are allocated but
+// the system only serves what the still-draining original 3 can route.
+func ExampleParams_EffCap() {
+	params := plan.Params{Q: 285, QHat: 350, D: 1, PartitionsPerNode: 1}
+	fmt.Printf("cap(14)          = %.0f\n", params.Cap(14))
+	fmt.Printf("eff-cap at f=0.5 = %.0f\n", params.EffCap(3, 14, 0.5))
+	// Output:
+	// cap(14)          = 3990
+	// eff-cap at f=0.5 = 1408
+}

@@ -1,0 +1,273 @@
+// Package plan implements P-Store's core contribution: the model of data
+// migrations (time, cost, parallelism and effective capacity of a
+// reconfiguration — §4.4 of the paper) and the dynamic-programming planner
+// that chooses when to reconfigure and to how many machines (§4.3,
+// Algorithms 1–3), plus the three-phase sender→receiver migration schedule
+// of §4.4.1 (Table 1).
+package plan
+
+import "fmt"
+
+// Params holds the empirically discovered model parameters of §4.1.
+// Load values, Q and QHat must share one unit (e.g. transactions per
+// second); D and all planner times are in "slots", the discretization
+// interval of the load predictions.
+type Params struct {
+	// Q is the target throughput of each server: the planner provisions
+	// ⌈load/Q⌉ machines. The paper sets Q to 65% of the single-server
+	// saturation rate.
+	Q float64
+	// QHat is the maximum throughput of each server before the latency
+	// constraint is violated (80% of saturation in the paper). The planner
+	// itself only uses Q; QHat is used by monitoring and experiments.
+	QHat float64
+	// D is the time, in slots, to migrate the entire database exactly once
+	// with a single sender-receiver thread pair without impacting query
+	// latency (plus the paper's 10% buffer).
+	D float64
+	// PartitionsPerNode is P in Eq. 2: each partition migrates with at most
+	// one peer at a time, so parallelism is counted in partitions.
+	PartitionsPerNode int
+}
+
+// Validate reports whether the parameters are usable by the planner.
+func (p Params) Validate() error {
+	if p.Q <= 0 {
+		return fmt.Errorf("plan: Q must be positive, got %g", p.Q)
+	}
+	if p.QHat != 0 && p.QHat < p.Q {
+		return fmt.Errorf("plan: QHat %g below Q %g", p.QHat, p.Q)
+	}
+	if p.D < 0 {
+		return fmt.Errorf("plan: D must be non-negative, got %g", p.D)
+	}
+	if p.PartitionsPerNode <= 0 {
+		return fmt.Errorf("plan: PartitionsPerNode must be positive, got %d", p.PartitionsPerNode)
+	}
+	return nil
+}
+
+// Cap returns the target capacity of n evenly loaded machines (Eq. 5):
+// cap(N) = Q·N.
+func (p Params) Cap(n int) float64 { return p.Q * float64(n) }
+
+// MaxParallel returns max‖ (Eq. 2), the maximum number of concurrent
+// partition-to-partition data transfers during a move from b to a machines:
+// each partition transfers with at most one peer at a time, so parallelism
+// is bounded by the smaller of the sending and receiving sides.
+func (p Params) MaxParallel(b, a int) int {
+	switch {
+	case b == a:
+		return 0
+	case b < a:
+		return p.PartitionsPerNode * minInt(b, a-b)
+	default:
+		return p.PartitionsPerNode * minInt(a, b-a)
+	}
+}
+
+// MoveTime returns T(B,A) (Eq. 3): the time in slots to reconfigure from b
+// to a machines, moving the changed fraction of the database at full
+// parallelism.
+func (p Params) MoveTime(b, a int) float64 {
+	if b == a {
+		return 0
+	}
+	par := float64(p.MaxParallel(b, a))
+	if b < a {
+		return p.D / par * (1 - float64(b)/float64(a))
+	}
+	return p.D / par * (1 - float64(a)/float64(b))
+}
+
+// AvgMachines returns avg-mach-alloc(B,A) (Algorithm 4): the average number
+// of machines allocated while the move from b to a is in progress, given
+// that machines are allocated as late (or deallocated as early) as possible.
+// For b == a it returns b.
+func (p Params) AvgMachines(b, a int) float64 {
+	if b == a {
+		return float64(b)
+	}
+	l := maxInt(b, a) // larger cluster
+	s := minInt(b, a) // smaller cluster
+	delta := l - s
+	r := delta % s
+
+	// Case 1: all machines added (or removed) at once.
+	if s >= delta {
+		return float64(l)
+	}
+	// Case 2: delta is a multiple of the smaller cluster: blocks of s
+	// machines allocated one block at a time.
+	if r == 0 {
+		return float64(2*s+l) / 2
+	}
+	// Case 3: three phases (§4.4.1, Fig 4c).
+	n1 := delta/s - 1                 // steps in phase 1
+	t1 := float64(s) / float64(delta) // time per phase-1 step
+	m1 := float64(s+l-r) / 2          // average machines in phase 1
+	phase1 := float64(n1) * t1 * m1   //
+	t2 := float64(r) / float64(delta) // time for phase 2
+	m2 := float64(l - r)              // machines in phase 2
+	phase2 := t2 * m2                 //
+	t3 := float64(s) / float64(delta) // time for phase 3
+	m3 := float64(l)                  // machines in phase 3
+	phase3 := t3 * m3                 //
+	return phase1 + phase2 + phase3
+}
+
+// MoveCost returns C(B,A) (Eq. 4): machine-slots consumed while the move
+// from b to a is in progress, T(B,A)·avg-mach-alloc(B,A). For b == a it
+// returns 0, matching Eq. 4; the planner separately charges the one-slot
+// "do nothing" move (Algorithms 2–3).
+func (p Params) MoveCost(b, a int) float64 {
+	return p.MoveTime(b, a) * p.AvgMachines(b, a)
+}
+
+// EffCap returns eff-cap(B,A,f) (Eq. 7): the effective capacity of the
+// system after fraction f ∈ [0,1] of the migrating data has moved during a
+// reconfiguration from b to a machines. While data is in flight the most
+// loaded machine bottlenecks the whole cluster, so effective capacity lags
+// the allocated machine count.
+func (p Params) EffCap(b, a int, f float64) float64 {
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	fb, fa := float64(b), float64(a)
+	switch {
+	case b == a:
+		return p.Cap(b)
+	case b < a:
+		// Each of the original b machines drains from 1/B toward 1/A.
+		frac := 1/fb - f*(1/fb-1/fa)
+		return p.Q / frac
+	default:
+		// Each of the a surviving machines fills from 1/B toward 1/A.
+		frac := 1/fb + f*(1/fa-1/fb)
+		return p.Q / frac
+	}
+}
+
+// RecommendedHorizon returns the minimum planning horizon in slots per §5:
+// the forecast window τ must cover at least 2·D/P, the maximum length of
+// two back-to-back reconfigurations with parallel migration, so a scale-in
+// decision always leaves room to scale back out before a predicted rise.
+func (p Params) RecommendedHorizon() int {
+	h := 2 * p.D / float64(p.PartitionsPerNode)
+	n := int(h)
+	if float64(n) < h {
+		n++
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// RequiredMachines returns the minimum machines whose target capacity
+// covers the load: ⌈load/Q⌉, at least 1.
+func (p Params) RequiredMachines(load float64) int {
+	if load <= 0 {
+		return 1
+	}
+	n := int(load / p.Q)
+	if float64(n)*p.Q < load {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AllocSegment describes a constant machine-allocation level over a
+// fraction of a move: machines are allocated over [FracStart, FracEnd) of
+// the move's duration.
+type AllocSegment struct {
+	FracStart, FracEnd float64
+	Machines           int
+}
+
+// AllocationSegments returns the machine-allocation step function over the
+// course of a move from b to a, per the just-in-time allocation policy of
+// §4.4.1: machines are allocated at the start of the step in which they
+// first receive data (scale-out) and deallocated at the end of the step in
+// which they finish sending (scale-in). The integral of the segments equals
+// AvgMachines(b, a).
+func (p Params) AllocationSegments(b, a int) []AllocSegment {
+	if b == a {
+		return []AllocSegment{{0, 1, b}}
+	}
+	out := scaleOutSegments(minInt(b, a), maxInt(b, a))
+	if b < a {
+		return out
+	}
+	// Scale-in mirrors scale-out in time: deallocation at segment ends.
+	mirrored := make([]AllocSegment, len(out))
+	for i, seg := range out {
+		mirrored[len(out)-1-i] = AllocSegment{
+			FracStart: 1 - seg.FracEnd,
+			FracEnd:   1 - seg.FracStart,
+			Machines:  seg.Machines,
+		}
+	}
+	return mirrored
+}
+
+// scaleOutSegments builds the allocation step function for scaling out from
+// s to l machines (s < l), following the three cases of §4.4.1.
+func scaleOutSegments(s, l int) []AllocSegment {
+	delta := l - s
+	if s >= delta {
+		// Case 1: everything allocated immediately.
+		return []AllocSegment{{0, 1, l}}
+	}
+	r := delta % s
+	if r == 0 {
+		// Case 2: blocks of s machines, one block per step.
+		steps := delta / s
+		segs := make([]AllocSegment, steps)
+		for i := 0; i < steps; i++ {
+			segs[i] = AllocSegment{
+				FracStart: float64(i) / float64(steps),
+				FracEnd:   float64(i+1) / float64(steps),
+				Machines:  s + (i+1)*s,
+			}
+		}
+		return segs
+	}
+	// Case 3: three phases. Total duration is delta rounds; phase 1 has
+	// (⌊delta/s⌋−1) steps of s rounds, phase 2 r rounds, phase 3 s rounds.
+	total := float64(delta)
+	var segs []AllocSegment
+	n1 := delta/s - 1
+	pos := 0.0
+	for i := 0; i < n1; i++ {
+		next := pos + float64(s)/total
+		segs = append(segs, AllocSegment{pos, next, (i + 2) * s}) // s original + (i+1) blocks
+		pos = next
+	}
+	// Phase 2: s more machines, filled r/s of the way.
+	next := pos + float64(r)/total
+	segs = append(segs, AllocSegment{pos, next, l - r})
+	pos = next
+	// Phase 3: final r machines.
+	segs = append(segs, AllocSegment{pos, 1, l})
+	return segs
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,264 @@
+package plan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testParams() Params {
+	return Params{Q: 285, QHat: 350, D: 77, PartitionsPerNode: 1}
+}
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMaxParallel(t *testing.T) {
+	p := testParams()
+	cases := []struct{ b, a, want int }{
+		{3, 3, 0},
+		{3, 5, 2},  // min(3, 2)
+		{3, 9, 3},  // min(3, 6)
+		{3, 14, 3}, // min(3, 11)
+		{14, 3, 3}, // scale-in: min(3, 11)
+		{5, 3, 2},  // min(3, 2)
+		{1, 2, 1},
+	}
+	for _, c := range cases {
+		if got := p.MaxParallel(c.b, c.a); got != c.want {
+			t.Errorf("MaxParallel(%d,%d) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+	p.PartitionsPerNode = 6
+	if got := p.MaxParallel(3, 14); got != 18 {
+		t.Errorf("MaxParallel with P=6 = %d, want 18", got)
+	}
+}
+
+func TestMoveTime(t *testing.T) {
+	p := testParams()
+	p.D = 1
+	if got := p.MoveTime(4, 4); got != 0 {
+		t.Errorf("MoveTime(4,4) = %v, want 0", got)
+	}
+	// 3→6: max‖=3, fraction 1−3/6 = 1/2 → 1/6.
+	if got := p.MoveTime(3, 6); !almostEqual(got, 1.0/6, 1e-12) {
+		t.Errorf("MoveTime(3,6) = %v, want 1/6", got)
+	}
+	// 3→14: max‖=3, fraction 1−3/14 = 11/14 → 11/42.
+	if got := p.MoveTime(3, 14); !almostEqual(got, 11.0/42, 1e-12) {
+		t.Errorf("MoveTime(3,14) = %v, want 11/42", got)
+	}
+}
+
+func TestMoveTimeSymmetric(t *testing.T) {
+	p := testParams()
+	f := func(bRaw, aRaw uint8) bool {
+		b, a := int(bRaw%30)+1, int(aRaw%30)+1
+		return almostEqual(p.MoveTime(b, a), p.MoveTime(a, b), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgMachinesPaperCases(t *testing.T) {
+	p := testParams()
+	cases := []struct {
+		b, a int
+		want float64
+	}{
+		{3, 5, 5},           // case 1 (Fig 4a)
+		{3, 9, 7.5},         // case 2 (Fig 4b): (2·3+9)/2
+		{3, 14, 111.0 / 11}, // case 3 (Fig 4c / Table 1)
+		{14, 3, 111.0 / 11}, // symmetric scale-in
+		{4, 4, 4},           // no move
+		{1, 2, 2},           // case 1 boundary
+	}
+	for _, c := range cases {
+		if got := p.AvgMachines(c.b, c.a); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("AvgMachines(%d,%d) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestAvgMachinesProperties(t *testing.T) {
+	p := testParams()
+	f := func(bRaw, aRaw uint8) bool {
+		b, a := int(bRaw%40)+1, int(aRaw%40)+1
+		got := p.AvgMachines(b, a)
+		// Symmetric, and bounded by the larger cluster and the smaller one.
+		if !almostEqual(got, p.AvgMachines(a, b), 1e-9) {
+			return false
+		}
+		lo, hi := float64(minInt(b, a)), float64(maxInt(b, a))
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffCapEndpoints(t *testing.T) {
+	p := testParams()
+	for _, c := range []struct{ b, a int }{{3, 14}, {14, 3}, {2, 5}, {7, 4}, {5, 5}} {
+		if got := p.EffCap(c.b, c.a, 0); !almostEqual(got, p.Cap(c.b), 1e-9) {
+			t.Errorf("EffCap(%d,%d,0) = %v, want cap(B)=%v", c.b, c.a, got, p.Cap(c.b))
+		}
+		want := p.Cap(c.a)
+		if c.b == c.a {
+			want = p.Cap(c.b)
+		}
+		if got := p.EffCap(c.b, c.a, 1); !almostEqual(got, want, 1e-9) {
+			t.Errorf("EffCap(%d,%d,1) = %v, want %v", c.b, c.a, got, want)
+		}
+	}
+}
+
+func TestEffCapKnownValue(t *testing.T) {
+	p := testParams()
+	// 3→14 halfway: each original machine holds 1/3 − (1/2)(1/3−1/14) = 17/84
+	// of the data, so effective capacity is Q·84/17.
+	want := p.Q * 84 / 17
+	if got := p.EffCap(3, 14, 0.5); !almostEqual(got, want, 1e-9) {
+		t.Errorf("EffCap(3,14,0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestEffCapMonotonicAndClamped(t *testing.T) {
+	p := testParams()
+	f := func(bRaw, aRaw uint8, f1Raw, f2Raw uint16) bool {
+		b, a := int(bRaw%20)+1, int(aRaw%20)+1
+		f1 := float64(f1Raw) / 65535
+		f2 := float64(f2Raw) / 65535
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		c1, c2 := p.EffCap(b, a, f1), p.EffCap(b, a, f2)
+		switch {
+		case b < a:
+			if c1 > c2+1e-9 {
+				return false // must not decrease while scaling out
+			}
+		case b > a:
+			if c1 < c2-1e-9 {
+				return false // must not increase while scaling in
+			}
+		default:
+			if c1 != c2 {
+				return false
+			}
+		}
+		// Bounded by the two endpoint capacities.
+		lo := math.Min(p.Cap(b), p.Cap(a))
+		hi := math.Max(p.Cap(b), p.Cap(a))
+		return c1 >= lo-1e-9 && c1 <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Out-of-range f is clamped.
+	if got := p.EffCap(3, 9, -1); !almostEqual(got, p.Cap(3), 1e-9) {
+		t.Errorf("EffCap with f<0 = %v, want cap(3)", got)
+	}
+	if got := p.EffCap(3, 9, 2); !almostEqual(got, p.Cap(9), 1e-9) {
+		t.Errorf("EffCap with f>1 = %v, want cap(9)", got)
+	}
+}
+
+func TestRequiredMachines(t *testing.T) {
+	p := testParams() // Q = 285
+	cases := []struct {
+		load float64
+		want int
+	}{
+		{0, 1}, {-5, 1}, {1, 1}, {285, 1}, {285.1, 2}, {570, 2}, {2851, 11},
+	}
+	for _, c := range cases {
+		if got := p.RequiredMachines(c.load); got != c.want {
+			t.Errorf("RequiredMachines(%v) = %d, want %d", c.load, got, c.want)
+		}
+	}
+}
+
+func TestAllocationSegmentsIntegralMatchesAvgMachines(t *testing.T) {
+	p := testParams()
+	for b := 1; b <= 20; b++ {
+		for a := 1; a <= 20; a++ {
+			segs := p.AllocationSegments(b, a)
+			integral := 0.0
+			pos := 0.0
+			for _, s := range segs {
+				if !almostEqual(s.FracStart, pos, 1e-9) {
+					t.Fatalf("(%d,%d): segment gap at %v", b, a, s.FracStart)
+				}
+				if s.FracEnd <= s.FracStart {
+					t.Fatalf("(%d,%d): empty segment %+v", b, a, s)
+				}
+				integral += (s.FracEnd - s.FracStart) * float64(s.Machines)
+				pos = s.FracEnd
+			}
+			if !almostEqual(pos, 1, 1e-9) {
+				t.Fatalf("(%d,%d): segments end at %v, want 1", b, a, pos)
+			}
+			if want := p.AvgMachines(b, a); !almostEqual(integral, want, 1e-9) {
+				t.Errorf("(%d,%d): integral %v != AvgMachines %v", b, a, integral, want)
+			}
+		}
+	}
+}
+
+func TestAllocationSegmentsBoundaries(t *testing.T) {
+	p := testParams()
+	// Scale-out starts above b (new machines allocated immediately in the
+	// first step) and ends at a; scale-in starts at b and ends at a.
+	segs := p.AllocationSegments(3, 14)
+	if segs[0].Machines != 6 {
+		t.Errorf("3→14 first segment machines = %d, want 6", segs[0].Machines)
+	}
+	if last := segs[len(segs)-1]; last.Machines != 14 {
+		t.Errorf("3→14 last segment machines = %d, want 14", last.Machines)
+	}
+	segs = p.AllocationSegments(14, 3)
+	if segs[0].Machines != 14 {
+		t.Errorf("14→3 first segment machines = %d, want 14", segs[0].Machines)
+	}
+	if last := segs[len(segs)-1]; last.Machines != 6 {
+		t.Errorf("14→3 last segment machines = %d, want 6", last.Machines)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := testParams()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, bad := range []Params{
+		{Q: 0, D: 1, PartitionsPerNode: 1},
+		{Q: 100, QHat: 50, D: 1, PartitionsPerNode: 1},
+		{Q: 100, D: -1, PartitionsPerNode: 1},
+		{Q: 100, D: 1, PartitionsPerNode: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid params %+v accepted", bad)
+		}
+	}
+}
+
+func TestRecommendedHorizon(t *testing.T) {
+	cases := []struct {
+		d    float64
+		p    int
+		want int
+	}{
+		{77, 6, 26}, // the paper's setting: 2·77/6 ≈ 25.7 → 26 slots
+		{8, 1, 16},
+		{0.5, 1, 2}, // floor at 2
+		{9, 2, 9},
+	}
+	for _, c := range cases {
+		params := Params{Q: 100, D: c.d, PartitionsPerNode: c.p}
+		if got := params.RecommendedHorizon(); got != c.want {
+			t.Errorf("RecommendedHorizon(D=%v, P=%d) = %d, want %d", c.d, c.p, got, c.want)
+		}
+	}
+}

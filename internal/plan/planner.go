@@ -1,0 +1,265 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Move is one reconfiguration in a plan: between slots Start and End the
+// cluster reconfigures from From to To machines. From == To is the "do
+// nothing" move, which always lasts exactly one slot.
+type Move struct {
+	Start, End int
+	From, To   int
+}
+
+// IsNoop reports whether the move changes nothing.
+func (m Move) IsNoop() bool { return m.From == m.To }
+
+// String renders the move for logs and reports.
+func (m Move) String() string {
+	if m.IsNoop() {
+		return fmt.Sprintf("[%d,%d] hold %d", m.Start, m.End, m.From)
+	}
+	return fmt.Sprintf("[%d,%d] %d→%d", m.Start, m.End, m.From, m.To)
+}
+
+// Plan is the output of the planner: a gap-free sequence of moves tiling
+// slots [0, T], its total cost in machine-slots, and the machine count at
+// the end of the horizon.
+type Plan struct {
+	Moves      []Move
+	Cost       float64
+	FinalNodes int
+}
+
+// FirstAction returns the first move that actually changes the machine
+// count, or a zero Move and false if the plan only holds steady. P-Store's
+// controller executes only this move and then re-plans (receding horizon).
+func (p *Plan) FirstAction() (Move, bool) {
+	for _, m := range p.Moves {
+		if !m.IsNoop() {
+			return m, true
+		}
+	}
+	return Move{}, false
+}
+
+// ErrInfeasible is returned when no sequence of moves can keep effective
+// capacity above the predicted load — the signal for the controller to fall
+// back to reactive scaling (§4.3.1).
+var ErrInfeasible = errors.New("plan: no feasible sequence of moves for the predicted load")
+
+// BestMoves implements Algorithm 1: given load, where load[0] is the
+// current load and load[t] (1 ≤ t ≤ T) is the predicted load of slot t, and
+// n0 machines currently allocated, it returns the minimum-cost feasible
+// sequence of moves ending with as few machines as possible at slot T.
+//
+// Feasibility means the (effective) capacity covers the predicted load at
+// every slot, including while reconfigurations are in progress. If even
+// scaling flat-out cannot keep up, ErrInfeasible is returned.
+func BestMoves(load []float64, n0 int, p Params) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n0 < 1 {
+		return nil, fmt.Errorf("plan: n0 must be ≥ 1, got %d", n0)
+	}
+	horizon := len(load) - 1
+	if horizon < 1 {
+		return nil, fmt.Errorf("plan: need current load plus ≥ 1 predicted slot, got %d values", len(load))
+	}
+	for i, v := range load {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("plan: load[%d] = %g is invalid", i, v)
+		}
+	}
+
+	// Z: most machines ever needed for the predicted load (Alg 1 line 2).
+	maxLoad := 0.0
+	for _, v := range load {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	z := maxInt(p.RequiredMachines(maxLoad), n0)
+
+	// Try final machine counts from smallest up and return the first
+	// feasible one (Alg 1 lines 3–12). The memo table is shared across
+	// candidate finals: cost(t, A) does not depend on the final target, so
+	// resetting it (as the paper's pseudocode does) would only repeat work.
+	d := &dp{load: load, n0: n0, z: z, p: p, memo: newMemoTable(horizon, z)}
+	for final := 1; final <= z; final++ {
+		if c := d.cost(horizon, final); !math.IsInf(c, 1) {
+			moves := d.reconstruct(horizon, final)
+			return &Plan{Moves: moves, Cost: c, FinalNodes: final}, nil
+		}
+	}
+	return nil, ErrInfeasible
+}
+
+// BestMovesMinCost is an extension to Algorithm 1: instead of returning the
+// feasible plan ending with the fewest machines, it searches every feasible
+// final machine count and returns the plan with globally minimum cost.
+// These can differ: ending small may require a scale-in move whose
+// migration overhead outweighs the saved machine-slots within the horizon.
+func BestMovesMinCost(load []float64, n0 int, p Params) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n0 < 1 {
+		return nil, fmt.Errorf("plan: n0 must be ≥ 1, got %d", n0)
+	}
+	horizon := len(load) - 1
+	if horizon < 1 {
+		return nil, fmt.Errorf("plan: need current load plus ≥ 1 predicted slot, got %d values", len(load))
+	}
+	for i, v := range load {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("plan: load[%d] = %g is invalid", i, v)
+		}
+	}
+	maxLoad := 0.0
+	for _, v := range load {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	z := maxInt(p.RequiredMachines(maxLoad), n0)
+	d := &dp{load: load, n0: n0, z: z, p: p, memo: newMemoTable(horizon, z)}
+	best := math.Inf(1)
+	bestFinal := -1
+	for final := 1; final <= z; final++ {
+		if c := d.cost(horizon, final); c < best {
+			best = c
+			bestFinal = final
+		}
+	}
+	if bestFinal < 0 {
+		return nil, ErrInfeasible
+	}
+	return &Plan{Moves: d.reconstruct(horizon, bestFinal), Cost: best, FinalNodes: bestFinal}, nil
+}
+
+// dp carries the state of one dynamic-programming run.
+type dp struct {
+	load []float64
+	n0   int
+	z    int
+	p    Params
+	memo [][]memoEntry
+}
+
+type memoEntry struct {
+	computed  bool
+	cost      float64
+	prevTime  int
+	prevNodes int
+}
+
+func newMemoTable(horizon, z int) [][]memoEntry {
+	m := make([][]memoEntry, horizon+1)
+	for i := range m {
+		m[i] = make([]memoEntry, z+1)
+	}
+	return m
+}
+
+// moveSlots returns the duration of a b→a move rounded up to whole slots;
+// the "do nothing" move lasts one slot (Alg 2 line 9 / Alg 3 line 2).
+func (d *dp) moveSlots(b, a int) int {
+	if b == a {
+		return 1
+	}
+	t := int(math.Ceil(d.p.MoveTime(b, a)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// moveCost returns machine-slots charged for the b→a move over its
+// (rounded-up) slot duration: migration itself costs
+// T(B,A)·avg-mach-alloc(B,A) (Eq. 4); any slot remainder after the
+// migration completes runs with a machines.
+func (d *dp) moveCost(b, a int) float64 {
+	if b == a {
+		return float64(b)
+	}
+	mt := d.p.MoveTime(b, a)
+	slots := float64(d.moveSlots(b, a))
+	return d.p.MoveCost(b, a) + (slots-mt)*float64(a)
+}
+
+// cost implements Algorithm 2: minimum cost of a feasible sequence of moves
+// ending with a machines at slot t.
+func (d *dp) cost(t, a int) float64 {
+	// Constraint violations and insufficient capacity are infinitely costly
+	// (Alg 2 line 2).
+	if t < 0 || (t == 0 && a != d.n0) || d.load[t] > d.p.Cap(a) {
+		return math.Inf(1)
+	}
+	if e := &d.memo[t][a]; e.computed {
+		return e.cost
+	}
+	e := &d.memo[t][a]
+	e.computed = true
+	e.prevTime = -1
+	e.prevNodes = -1
+	if t == 0 {
+		// Base case: allocate a machines for one interval.
+		e.cost = float64(a)
+		return e.cost
+	}
+	best := math.Inf(1)
+	bestB := -1
+	for b := 1; b <= d.z; b++ {
+		if c := d.subCost(t, b, a); c < best {
+			best = c
+			bestB = b
+		}
+	}
+	e.cost = best
+	if bestB >= 0 {
+		e.prevTime = t - d.moveSlots(bestB, a)
+		e.prevNodes = bestB
+	}
+	return e.cost
+}
+
+// subCost implements Algorithm 3: minimum cost of a sequence ending at slot
+// t whose last move goes from b to a machines.
+func (d *dp) subCost(t, b, a int) float64 {
+	slots := d.moveSlots(b, a)
+	start := t - slots
+	if start < 0 {
+		// The move would need to start in the past (Alg 3 lines 3–5).
+		return math.Inf(1)
+	}
+	// During every slot of the move, predicted load must stay within the
+	// effective capacity of the partially migrated system (lines 6–9).
+	for i := 1; i <= slots; i++ {
+		f := float64(i) / float64(slots)
+		if d.load[start+i] > d.p.EffCap(b, a, f) {
+			return math.Inf(1)
+		}
+	}
+	return d.cost(start, b) + d.moveCost(b, a)
+}
+
+// reconstruct walks the memo table backwards from (t, n) and returns the
+// move sequence in forward order (Alg 1 lines 6–11).
+func (d *dp) reconstruct(t, n int) []Move {
+	var moves []Move
+	for t > 0 {
+		e := d.memo[t][n]
+		moves = append(moves, Move{Start: e.prevTime, End: t, From: e.prevNodes, To: n})
+		t, n = e.prevTime, e.prevNodes
+	}
+	// Reverse in place.
+	for i, j := 0, len(moves)-1; i < j; i, j = i+1, j-1 {
+		moves[i], moves[j] = moves[j], moves[i]
+	}
+	return moves
+}

@@ -1,0 +1,298 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBestMovesFlatLowLoadScalesIn(t *testing.T) {
+	p := Params{Q: 285, QHat: 350, D: 6, PartitionsPerNode: 1}
+	// 4 machines but load fits on 1: the planner should scale in.
+	load := make([]float64, 13)
+	for i := range load {
+		load[i] = 200
+	}
+	pl, err := BestMoves(load, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(pl, load, 4, p); err != nil {
+		t.Fatal(err)
+	}
+	if pl.FinalNodes != 1 {
+		t.Errorf("FinalNodes = %d, want 1", pl.FinalNodes)
+	}
+}
+
+func TestBestMovesHoldsWhenNothingToDo(t *testing.T) {
+	p := testParams()
+	load := make([]float64, 7)
+	for i := range load {
+		load[i] = 280 // just under one machine's target capacity
+	}
+	pl, err := BestMoves(load, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(pl, load, 1, p); err != nil {
+		t.Fatal(err)
+	}
+	if pl.FinalNodes != 1 {
+		t.Errorf("FinalNodes = %d, want 1", pl.FinalNodes)
+	}
+	if _, acted := pl.FirstAction(); acted {
+		t.Errorf("plan should be all no-ops, got %v", pl.Moves)
+	}
+	// Cost: one machine per slot for horizon slots, plus the base interval.
+	if want := float64(len(load)); !almostEqual(pl.Cost, want, 1e-9) {
+		t.Errorf("Cost = %v, want %v", pl.Cost, want)
+	}
+}
+
+func TestBestMovesScalesOutBeforeSpike(t *testing.T) {
+	p := Params{Q: 100, D: 8, PartitionsPerNode: 1}
+	// Load jumps from 80 to 380 at slot 8: needs 4 machines by then.
+	load := make([]float64, 13)
+	for i := range load {
+		if i < 8 {
+			load[i] = 80
+		} else {
+			load[i] = 380
+		}
+	}
+	pl, err := BestMoves(load, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(pl, load, 1, p); err != nil {
+		t.Fatal(err)
+	}
+	if pl.FinalNodes != 4 {
+		t.Errorf("FinalNodes = %d, want 4", pl.FinalNodes)
+	}
+	move, acted := pl.FirstAction()
+	if !acted {
+		t.Fatal("expected a scale-out move")
+	}
+	if move.To <= move.From {
+		t.Errorf("first action should scale out, got %v", move)
+	}
+	// The move must complete by slot 8 (when the spike hits) but start as
+	// late as possible: scaling out with eff-cap constraints cannot finish
+	// earlier than its own duration, and delaying saves machine-slots.
+	if move.End > 8 {
+		t.Errorf("scale-out finishes at %d, after the spike at 8", move.End)
+	}
+	if move.Start == 0 && pl.Moves[0] == move {
+		// Starting immediately is only optimal if the move needs all slots.
+		if move.End-move.Start < 8 {
+			t.Errorf("scale-out %v starts immediately but could be delayed", move)
+		}
+	}
+}
+
+func TestBestMovesInfeasible(t *testing.T) {
+	p := Params{Q: 100, D: 1000, PartitionsPerNode: 1}
+	// Immediate 10× spike: nothing can migrate fast enough.
+	load := []float64{90, 1000, 1000}
+	_, err := BestMoves(load, 1, p)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBestMovesCurrentOverload(t *testing.T) {
+	p := Params{Q: 100, D: 1, PartitionsPerNode: 1}
+	// Already overloaded at t=0: no plan can fix the present.
+	load := []float64{500, 100, 100}
+	_, err := BestMoves(load, 1, p)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBestMovesValidation(t *testing.T) {
+	p := testParams()
+	if _, err := BestMoves([]float64{1}, 1, p); err == nil {
+		t.Error("too-short load should fail")
+	}
+	if _, err := BestMoves([]float64{1, 2}, 0, p); err == nil {
+		t.Error("n0=0 should fail")
+	}
+	if _, err := BestMoves([]float64{1, -2}, 1, p); err == nil {
+		t.Error("negative load should fail")
+	}
+	if _, err := BestMoves([]float64{1, math.NaN()}, 1, p); err == nil {
+		t.Error("NaN load should fail")
+	}
+	bad := Params{}
+	if _, err := BestMoves([]float64{1, 2}, 1, bad); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+// bruteForceByFinal exhaustively searches all move sequences and returns,
+// for each final machine count 1..z, the minimum cost of a feasible plan
+// ending there (Inf if none), mirroring the DP's cost semantics.
+func bruteForceByFinal(load []float64, n0, z int, p Params) []float64 {
+	horizon := len(load) - 1
+	out := make([]float64, z+1)
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	if load[0] > p.Cap(n0) {
+		return out
+	}
+	d := &dp{load: load, n0: n0, z: z, p: p, memo: newMemoTable(horizon, z)}
+	var search func(t, n int, acc float64)
+	search = func(t, n int, acc float64) {
+		if t == horizon {
+			if acc < out[n] {
+				out[n] = acc
+			}
+			return
+		}
+		for a := 1; a <= z; a++ {
+			slots := d.moveSlots(n, a)
+			if t+slots > horizon {
+				continue
+			}
+			ok := true
+			for i := 1; i <= slots; i++ {
+				f := float64(i) / float64(slots)
+				if load[t+i] > p.EffCap(n, a, f) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				search(t+slots, a, acc+d.moveCost(n, a))
+			}
+		}
+	}
+	search(0, n0, float64(n0))
+	return out
+}
+
+func TestBestMovesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := Params{Q: 100, D: 5, PartitionsPerNode: 1}
+	for trial := 0; trial < 200; trial++ {
+		horizon := 3 + rng.Intn(4)
+		load := make([]float64, horizon+1)
+		for i := range load {
+			load[i] = rng.Float64() * 450
+		}
+		n0 := 1 + rng.Intn(4)
+		load[0] = math.Min(load[0], p.Cap(n0)) // keep the present feasible
+
+		maxLoad := 0.0
+		for _, v := range load {
+			maxLoad = math.Max(maxLoad, v)
+		}
+		z := maxInt(p.RequiredMachines(maxLoad), n0)
+		byFinal := bruteForceByFinal(load, n0, z, p)
+		feasibleFinal := -1
+		globalMin := math.Inf(1)
+		for f := 1; f <= z; f++ {
+			if !math.IsInf(byFinal[f], 1) && feasibleFinal < 0 {
+				feasibleFinal = f
+			}
+			globalMin = math.Min(globalMin, byFinal[f])
+		}
+
+		pl, err := BestMoves(load, n0, p)
+		plMin, errMin := BestMovesMinCost(load, n0, p)
+		if feasibleFinal < 0 {
+			if !errors.Is(err, ErrInfeasible) || !errors.Is(errMin, ErrInfeasible) {
+				t.Fatalf("trial %d: brute force infeasible but planner returned err=%v / %v", trial, err, errMin)
+			}
+			continue
+		}
+		if err != nil || errMin != nil {
+			t.Fatalf("trial %d: planner failed (%v / %v) but brute force feasible (load=%v n0=%d)",
+				trial, err, errMin, load, n0)
+		}
+		if err := ValidatePlan(pl, load, n0, p); err != nil {
+			t.Fatalf("trial %d: invalid plan: %v", trial, err)
+		}
+		if err := ValidatePlan(plMin, load, n0, p); err != nil {
+			t.Fatalf("trial %d: invalid min-cost plan: %v", trial, err)
+		}
+		// Paper semantics: fewest feasible final machines, minimum cost for
+		// that final.
+		if pl.FinalNodes != feasibleFinal {
+			t.Errorf("trial %d: FinalNodes = %d, brute force smallest feasible %d",
+				trial, pl.FinalNodes, feasibleFinal)
+		}
+		if !almostEqual(pl.Cost, byFinal[feasibleFinal], 1e-6) {
+			t.Errorf("trial %d: DP cost %v != brute force %v for final %d (load=%v n0=%d)",
+				trial, pl.Cost, byFinal[feasibleFinal], feasibleFinal, load, n0)
+		}
+		// Extension semantics: global minimum cost over all finals.
+		if !almostEqual(plMin.Cost, globalMin, 1e-6) {
+			t.Errorf("trial %d: min-cost DP %v != brute force global min %v (load=%v n0=%d)",
+				trial, plMin.Cost, globalMin, load, n0)
+		}
+		if plMin.Cost > pl.Cost+1e-9 {
+			t.Errorf("trial %d: min-cost plan %v costs more than paper plan %v", trial, plMin.Cost, pl.Cost)
+		}
+	}
+}
+
+func TestBestMovesDelaysScaleOut(t *testing.T) {
+	// Minimizing cost requires scale-out moves to be delayed as much as
+	// possible (§4.3): with a spike far in the future, the early slots run
+	// on the small cluster.
+	p := Params{Q: 100, D: 4, PartitionsPerNode: 1}
+	load := make([]float64, 21)
+	for i := range load {
+		if i < 18 {
+			load[i] = 90
+		} else {
+			load[i] = 190
+		}
+	}
+	pl, err := BestMoves(load, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(pl, load, 1, p); err != nil {
+		t.Fatal(err)
+	}
+	move, acted := pl.FirstAction()
+	if !acted {
+		t.Fatal("expected a scale-out")
+	}
+	// 1→2 takes D/1·(1−1/2) = 2 slots; the latest completion is slot 17,
+	// so the latest start is 15 — the planner must not start before then.
+	if move.Start < 15 {
+		t.Errorf("scale-out starts at %d; should be delayed to 15", move.Start)
+	}
+}
+
+func TestFirstAction(t *testing.T) {
+	pl := &Plan{Moves: []Move{
+		{Start: 0, End: 1, From: 2, To: 2},
+		{Start: 1, End: 3, From: 2, To: 4},
+	}}
+	m, ok := pl.FirstAction()
+	if !ok || m.From != 2 || m.To != 4 {
+		t.Errorf("FirstAction = %v, %v", m, ok)
+	}
+	empty := &Plan{Moves: []Move{{Start: 0, End: 1, From: 2, To: 2}}}
+	if _, ok := empty.FirstAction(); ok {
+		t.Error("all-noop plan should report no action")
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	if got := (Move{0, 2, 3, 5}).String(); got != "[0,2] 3→5" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Move{1, 2, 3, 3}).String(); got != "[1,2] hold 3" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,300 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Transfer is one sender→receiver data transfer between machines. Machines
+// are numbered 1..max(B,A); in a scale-out the original machines are
+// 1..B and new machines B+1..A, in a scale-in the survivors are 1..A and
+// the retiring machines A+1..B.
+type Transfer struct {
+	From, To int
+}
+
+// Round is a set of transfers that run in parallel. Within a round every
+// machine takes part in at most one transfer (§4.4.1: each partition
+// transfers with at most one other partition at a time).
+type Round []Transfer
+
+// Schedule produces the per-round sender→receiver schedule for a move from
+// b to a machines with one partition per machine, using the three
+// strategies of §4.4.1 (Table 1 is Schedule(3, 14)). Every sender–receiver
+// machine pair exchanges data exactly once, each transfer carrying an equal
+// share, so the move finishes in the minimum number of rounds
+// max(min(b,a), |b−a|) while machines are allocated as late (or released as
+// early) as possible. With P>1 partitions per machine, each machine-level
+// transfer stands for P parallel partition transfers.
+func Schedule(b, a int) []Round {
+	switch {
+	case b <= 0 || a <= 0:
+		return nil
+	case b == a:
+		return nil
+	case b < a:
+		return scaleOutSchedule(b, a)
+	default:
+		return scaleInSchedule(b, a)
+	}
+}
+
+// RoundsRequired returns the number of rounds Schedule(b, a) produces:
+// max(s, Δ) where s = min(b,a) and Δ = |b−a|, or 0 when b == a.
+func RoundsRequired(b, a int) int {
+	if b == a {
+		return 0
+	}
+	s := minInt(b, a)
+	delta := maxInt(b, a) - s
+	return maxInt(s, delta)
+}
+
+// scaleOutSchedule builds the schedule for b → a with b < a.
+func scaleOutSchedule(b, a int) []Round {
+	s := b
+	delta := a - b
+	if s >= delta {
+		// Case 1: all new machines added at once; senders rotate.
+		rounds := make([]Round, s)
+		for k := 0; k < s; k++ {
+			for j := 0; j < delta; j++ {
+				sender := (j+k)%s + 1
+				rounds[k] = append(rounds[k], Transfer{From: sender, To: b + 1 + j})
+			}
+		}
+		return rounds
+	}
+	r := delta % s
+	var rounds []Round
+	fullBlocks := delta / s
+	if r != 0 {
+		fullBlocks-- // case 3 phase 1 leaves room for phases 2 and 3
+	}
+	// Phase 1 (or the whole of case 2): blocks of s machines, each filled
+	// completely over s rounds.
+	for blk := 0; blk < fullBlocks; blk++ {
+		base := b + blk*s
+		for k := 0; k < s; k++ {
+			var round Round
+			for i := 1; i <= s; i++ {
+				round = append(round, Transfer{From: i, To: base + (i-1+k)%s + 1})
+			}
+			rounds = append(rounds, round)
+		}
+	}
+	if r == 0 {
+		return rounds
+	}
+	// Phase 2: s machines added, filled r/s of the way.
+	base2 := b + fullBlocks*s
+	for k := 0; k < r; k++ {
+		var round Round
+		for i := 1; i <= s; i++ {
+			round = append(round, Transfer{From: i, To: base2 + (i-1+k)%s + 1})
+		}
+		rounds = append(rounds, round)
+	}
+	// Phase 3: the final r machines are added, and the phase-2 machines
+	// receive their missing transfers, packed by bipartite edge coloring so
+	// every one of the s rounds keeps all senders busy.
+	type edge struct{ from, to int }
+	var edges []edge
+	for i := 1; i <= s; i++ {
+		// Missing phase-2 transfers of sender i: p_j with
+		// (j-1-(i-1)) mod s ∈ [r, s).
+		for k := r; k < s; k++ {
+			j := (i - 1 + k) % s
+			edges = append(edges, edge{from: i, to: base2 + j + 1})
+		}
+		// All transfers to the final r machines.
+		for j := 0; j < r; j++ {
+			edges = append(edges, edge{from: i, to: a - r + 1 + j})
+		}
+	}
+	colors := colorBipartite(len(edges), s, func(e int) (int, int) {
+		return edges[e].from, edges[e].to
+	})
+	phase3 := make([]Round, s)
+	for e, c := range colors {
+		phase3[c] = append(phase3[c], Transfer{From: edges[e].from, To: edges[e].to})
+	}
+	// Order phase-3 rounds so transfers to the final r machines start as
+	// late as possible, preserving just-in-time allocation.
+	sort.SliceStable(phase3, func(x, y int) bool {
+		return countNew(phase3[x], a-r) < countNew(phase3[y], a-r)
+	})
+	for _, round := range phase3 {
+		sort.Slice(round, func(x, y int) bool { return round[x].From < round[y].From })
+		rounds = append(rounds, round)
+	}
+	return rounds
+}
+
+// countNew counts transfers in the round whose receiver is beyond the
+// threshold machine ID.
+func countNew(r Round, threshold int) int {
+	n := 0
+	for _, t := range r {
+		if t.To > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// scaleInSchedule mirrors the scale-out schedule: a move from b to a with
+// b > a is the time-reversal of the move from a to b with every transfer's
+// direction flipped, which releases retiring machines as early as possible.
+func scaleInSchedule(b, a int) []Round {
+	out := scaleOutSchedule(a, b)
+	rounds := make([]Round, len(out))
+	for i, round := range out {
+		flipped := make(Round, len(round))
+		for j, t := range round {
+			flipped[j] = Transfer{From: t.To, To: t.From}
+		}
+		rounds[len(out)-1-i] = flipped
+	}
+	return rounds
+}
+
+// colorBipartite properly edge-colors a bipartite multigraph with maxDeg
+// colors. vertexOf maps an edge index to its two endpoint IDs (sides are
+// implicit: endpoint IDs only need to be distinct per vertex). Returns the
+// color of each edge.
+func colorBipartite(nEdges, maxDeg int, vertexOf func(e int) (int, int)) []int {
+	colors := make([]int, nEdges)
+	// colorAt[v][c] = edge using color c at vertex v, or -1.
+	colorAt := make(map[int][]int)
+	at := func(v int) []int {
+		if s, ok := colorAt[v]; ok {
+			return s
+		}
+		s := make([]int, maxDeg)
+		for i := range s {
+			s[i] = -1
+		}
+		colorAt[v] = s
+		return s
+	}
+	free := func(v int) int {
+		for c, e := range at(v) {
+			if e == -1 {
+				return c
+			}
+		}
+		return -1
+	}
+	for e := 0; e < nEdges; e++ {
+		u, v := vertexOf(e)
+		cu, cv := free(u), free(v)
+		if cu != cv {
+			// Swap colors cu/cv along the maximal alternating path starting
+			// at v with a cu-colored edge. In a bipartite graph this path
+			// cannot reach u, so afterwards cu is free at both u and v.
+			var path []int
+			cur, want := v, cu
+			for {
+				next := at(cur)[want]
+				if next == -1 {
+					break
+				}
+				path = append(path, next)
+				x, y := vertexOf(next)
+				if x == cur {
+					cur = y
+				} else {
+					cur = x
+				}
+				want = other(cu, cv, want)
+			}
+			for _, pe := range path {
+				x, y := vertexOf(pe)
+				at(x)[colors[pe]] = -1
+				at(y)[colors[pe]] = -1
+			}
+			for _, pe := range path {
+				nc := other(cu, cv, colors[pe])
+				colors[pe] = nc
+				x, y := vertexOf(pe)
+				at(x)[nc] = pe
+				at(y)[nc] = pe
+			}
+		}
+		colors[e] = cu
+		at(u)[cu] = e
+		at(v)[cu] = e
+	}
+	return colors
+}
+
+// other returns the element of {a, b} that is not x.
+func other(a, b, x int) int {
+	if x == a {
+		return b
+	}
+	return a
+}
+
+// VerifySchedule checks the structural invariants of a schedule for a move
+// from b to a machines: every sender–receiver machine pair appears exactly
+// once, no machine takes part in two transfers within a round, and the
+// round count is RoundsRequired(b, a).
+func VerifySchedule(b, a int, rounds []Round) error {
+	if b == a {
+		if len(rounds) != 0 {
+			return fmt.Errorf("plan: no-op move must have empty schedule, got %d rounds", len(rounds))
+		}
+		return nil
+	}
+	if got, want := len(rounds), RoundsRequired(b, a); got != want {
+		return fmt.Errorf("plan: schedule has %d rounds, want %d", got, want)
+	}
+	var senders, receivers []int
+	if b < a {
+		for i := 1; i <= b; i++ {
+			senders = append(senders, i)
+		}
+		for i := b + 1; i <= a; i++ {
+			receivers = append(receivers, i)
+		}
+	} else {
+		for i := a + 1; i <= b; i++ {
+			senders = append(senders, i)
+		}
+		for i := 1; i <= a; i++ {
+			receivers = append(receivers, i)
+		}
+	}
+	isSender := make(map[int]bool)
+	for _, s := range senders {
+		isSender[s] = true
+	}
+	isReceiver := make(map[int]bool)
+	for _, r := range receivers {
+		isReceiver[r] = true
+	}
+	seen := make(map[Transfer]bool)
+	for ri, round := range rounds {
+		busy := make(map[int]bool)
+		for _, t := range round {
+			if !isSender[t.From] || !isReceiver[t.To] {
+				return fmt.Errorf("plan: round %d transfer %d→%d has invalid roles", ri, t.From, t.To)
+			}
+			if busy[t.From] || busy[t.To] {
+				return fmt.Errorf("plan: round %d machine reused in transfer %d→%d", ri, t.From, t.To)
+			}
+			busy[t.From] = true
+			busy[t.To] = true
+			if seen[t] {
+				return fmt.Errorf("plan: duplicate transfer %d→%d", t.From, t.To)
+			}
+			seen[t] = true
+		}
+	}
+	if want := len(senders) * len(receivers); len(seen) != want {
+		return fmt.Errorf("plan: schedule has %d transfers, want %d", len(seen), want)
+	}
+	return nil
+}

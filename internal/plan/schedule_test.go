@@ -1,0 +1,188 @@
+package plan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleTable1Structure(t *testing.T) {
+	// Table 1: scaling 3 → 14 completes in 11 rounds with 3 parallel
+	// transfers each, machines allocated in the three-phase pattern:
+	// 4–6 in rounds 1–3, 7–9 in rounds 4–6, 10–12 in rounds 7–8 (partially
+	// filled), 13–14 from round 9.
+	rounds := Schedule(3, 14)
+	if len(rounds) != 11 {
+		t.Fatalf("rounds = %d, want 11", len(rounds))
+	}
+	if err := VerifySchedule(3, 14, rounds); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rounds {
+		if len(r) != 3 {
+			t.Errorf("round %d has %d transfers, want 3 (all senders busy)", i+1, len(r))
+		}
+	}
+	firstRecv := make(map[int]int)
+	for i, r := range rounds {
+		for _, tr := range r {
+			if _, ok := firstRecv[tr.To]; !ok {
+				firstRecv[tr.To] = i + 1
+			}
+		}
+	}
+	wantPhase := map[int][2]int{
+		4: {1, 1}, 5: {1, 1}, 6: {1, 1},
+		7: {4, 4}, 8: {4, 4}, 9: {4, 4},
+		10: {7, 8}, 11: {7, 8}, 12: {7, 8},
+		13: {9, 11}, 14: {9, 11},
+	}
+	for m, bounds := range wantPhase {
+		got, ok := firstRecv[m]
+		if !ok {
+			t.Errorf("machine %d never receives", m)
+			continue
+		}
+		if got < bounds[0] || got > bounds[1] {
+			t.Errorf("machine %d first receives in round %d, want within %v", m, got, bounds)
+		}
+	}
+}
+
+func TestScheduleCase1AllAtOnce(t *testing.T) {
+	// 3 → 5 (Fig 4a): both new machines receive from round 1.
+	rounds := Schedule(3, 5)
+	if err := VerifySchedule(3, 5, rounds); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(rounds))
+	}
+	seen := make(map[int]bool)
+	for _, tr := range rounds[0] {
+		seen[tr.To] = true
+	}
+	if !seen[4] || !seen[5] {
+		t.Errorf("round 1 receivers = %v, want both 4 and 5", rounds[0])
+	}
+}
+
+func TestScheduleCase2Blocks(t *testing.T) {
+	// 3 → 9 (Fig 4b): two blocks of 3, the second starting at round 4.
+	rounds := Schedule(3, 9)
+	if err := VerifySchedule(3, 9, rounds); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 6 {
+		t.Fatalf("rounds = %d, want 6", len(rounds))
+	}
+	for i, r := range rounds {
+		for _, tr := range r {
+			if i < 3 && tr.To > 6 {
+				t.Errorf("round %d sends to %d before its block", i+1, tr.To)
+			}
+			if i >= 3 && tr.To <= 6 {
+				t.Errorf("round %d sends to %d after its block completed", i+1, tr.To)
+			}
+		}
+	}
+}
+
+func TestScheduleNoop(t *testing.T) {
+	if rounds := Schedule(4, 4); rounds != nil {
+		t.Errorf("Schedule(4,4) = %v, want nil", rounds)
+	}
+	if err := VerifySchedule(4, 4, nil); err != nil {
+		t.Error(err)
+	}
+	if Schedule(0, 3) != nil || Schedule(3, 0) != nil {
+		t.Error("invalid machine counts should produce nil")
+	}
+}
+
+func TestScheduleScaleIn(t *testing.T) {
+	rounds := Schedule(14, 3)
+	if err := VerifySchedule(14, 3, rounds); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 11 {
+		t.Fatalf("rounds = %d, want 11", len(rounds))
+	}
+	// Mirror of scale-out: the machines that would be allocated last on the
+	// way out are released first on the way in.
+	lastSend := make(map[int]int)
+	for i, r := range rounds {
+		for _, tr := range r {
+			lastSend[tr.From] = i + 1
+		}
+	}
+	// Machines 13–14 (allocated last in 3→14) finish sending by round 3.
+	for _, m := range []int{13, 14} {
+		if lastSend[m] > 3 {
+			t.Errorf("retiree %d still sending in round %d, want ≤ 3", m, lastSend[m])
+		}
+	}
+	// Machines 4–6 (first allocated in 3→14) send until the final rounds.
+	for _, m := range []int{4, 5, 6} {
+		if lastSend[m] <= 8 {
+			t.Errorf("retiree %d finished at round %d, want > 8", m, lastSend[m])
+		}
+	}
+}
+
+func TestSchedulePropertyAllPairs(t *testing.T) {
+	f := func(bRaw, aRaw uint8) bool {
+		b, a := int(bRaw%25)+1, int(aRaw%25)+1
+		return VerifySchedule(b, a, Schedule(b, a)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleMatchesAllocationSegments(t *testing.T) {
+	// The machine count implied by the schedule's first-receive rounds must
+	// match the analytic allocation step function that Algorithm 4
+	// integrates — on scale-out moves with more than one round per level.
+	p := testParams()
+	for b := 1; b <= 12; b++ {
+		for a := b + 1; a <= 16; a++ {
+			rounds := Schedule(b, a)
+			segs := p.AllocationSegments(b, a)
+			total := len(rounds)
+			for i := range rounds {
+				// Machines allocated during round i+1: b plus every
+				// receiver whose first transfer is in rounds 1..i+1.
+				alloc := make(map[int]bool)
+				for j := 0; j <= i; j++ {
+					for _, tr := range rounds[j] {
+						alloc[tr.To] = true
+					}
+				}
+				got := b + len(alloc)
+				mid := (float64(i) + 0.5) / float64(total)
+				want := 0
+				for _, s := range segs {
+					if mid >= s.FracStart && mid < s.FracEnd {
+						want = s.Machines
+						break
+					}
+				}
+				if got != want {
+					t.Errorf("(%d→%d) round %d: schedule says %d machines, segments say %d",
+						b, a, i+1, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundsRequired(t *testing.T) {
+	cases := []struct{ b, a, want int }{
+		{3, 14, 11}, {3, 5, 3}, {3, 9, 6}, {14, 3, 11}, {4, 4, 0}, {1, 2, 1},
+	}
+	for _, c := range cases {
+		if got := RoundsRequired(c.b, c.a); got != c.want {
+			t.Errorf("RoundsRequired(%d,%d) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+}

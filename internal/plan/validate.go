@@ -1,0 +1,55 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+)
+
+// ValidatePlan checks that a plan produced for the given load and initial
+// machine count is well-formed and feasible: the moves tile [0, T]
+// contiguously starting from n0 machines, machine counts chain correctly,
+// and the predicted load never exceeds the (effective) capacity at any
+// slot, including mid-move.
+func ValidatePlan(pl *Plan, load []float64, n0 int, p Params) error {
+	if pl == nil {
+		return fmt.Errorf("plan: nil plan")
+	}
+	horizon := len(load) - 1
+	if len(pl.Moves) == 0 {
+		return fmt.Errorf("plan: empty move list")
+	}
+	if load[0] > p.Cap(n0) {
+		return fmt.Errorf("plan: current load %g already exceeds capacity of %d machines", load[0], n0)
+	}
+	t, n := 0, n0
+	for i, m := range pl.Moves {
+		if m.Start != t {
+			return fmt.Errorf("plan: move %d starts at %d, want %d", i, m.Start, t)
+		}
+		if m.From != n {
+			return fmt.Errorf("plan: move %d starts from %d machines, want %d", i, m.From, n)
+		}
+		if m.End <= m.Start {
+			return fmt.Errorf("plan: move %d has non-positive duration", i)
+		}
+		slots := m.End - m.Start
+		for j := 1; j <= slots; j++ {
+			f := float64(j) / float64(slots)
+			if load[m.Start+j] > p.EffCap(m.From, m.To, f)+1e-9 {
+				return fmt.Errorf("plan: move %d leaves slot %d underprovisioned (load %g > eff-cap %g)",
+					i, m.Start+j, load[m.Start+j], p.EffCap(m.From, m.To, f))
+			}
+		}
+		t, n = m.End, m.To
+	}
+	if t != horizon {
+		return fmt.Errorf("plan: moves end at %d, want horizon %d", t, horizon)
+	}
+	if n != pl.FinalNodes {
+		return fmt.Errorf("plan: moves end with %d machines, FinalNodes says %d", n, pl.FinalNodes)
+	}
+	if math.IsInf(pl.Cost, 1) || math.IsNaN(pl.Cost) || pl.Cost <= 0 {
+		return fmt.Errorf("plan: invalid cost %g", pl.Cost)
+	}
+	return nil
+}

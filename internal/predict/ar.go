@@ -1,0 +1,95 @@
+package predict
+
+import (
+	"fmt"
+	"sync"
+
+	"pstore/internal/timeseries"
+)
+
+// AR is an auto-regressive model of order p: y(t) = c + Σ_{i=1..p} φ_i·y(t−i),
+// fitted by least squares and forecast by recursive one-step prediction. It
+// is one of the two baselines the paper compares SPAR against (§5).
+type AR struct {
+	p int
+
+	mu   sync.Mutex
+	coef []float64 // [c, φ_1..φ_p]
+}
+
+// NewAR returns an unfitted AR(p) model.
+func NewAR(p int) *AR { return &AR{p: p} }
+
+// Name implements Model.
+func (a *AR) Name() string { return "AR" }
+
+// Order returns p.
+func (a *AR) Order() int { return a.p }
+
+// MinHistory implements Model.
+func (a *AR) MinHistory() int { return a.p }
+
+// Fit implements Model.
+func (a *AR) Fit(train *timeseries.Series) error {
+	if a.p <= 0 {
+		return fmt.Errorf("predict: AR order must be positive, got %d", a.p)
+	}
+	if train == nil || train.Len() < 2*a.p+2 {
+		return fmt.Errorf("predict: AR(%d) needs more training data", a.p)
+	}
+	coef, err := fitARCoefficients(train.Values, a.p)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.coef = coef
+	a.mu.Unlock()
+	return nil
+}
+
+// Forecast implements Model.
+func (a *AR) Forecast(history *timeseries.Series, horizon int) ([]float64, error) {
+	a.mu.Lock()
+	coef := a.coef
+	a.mu.Unlock()
+	if coef == nil {
+		return nil, ErrNotFitted
+	}
+	if err := checkForecastArgs(history, horizon, a.p); err != nil {
+		return nil, err
+	}
+	// Recursive multi-step forecast over a sliding window of the last p
+	// values, starting from real history and feeding predictions back in.
+	window := make([]float64, a.p)
+	copy(window, history.Values[history.Len()-a.p:])
+	out := make([]float64, horizon)
+	for h := 0; h < horizon; h++ {
+		pred := coef[0]
+		for i := 1; i <= a.p; i++ {
+			pred += coef[i] * window[len(window)-i]
+		}
+		out[h] = pred
+		window = append(window[1:], pred)
+	}
+	return clampNonNegative(out), nil
+}
+
+// fitARCoefficients fits [c, φ_1..φ_p] to the values by least squares.
+func fitARCoefficients(y []float64, p int) ([]float64, error) {
+	var x [][]float64
+	var target []float64
+	for t := p; t < len(y); t++ {
+		row := make([]float64, p+1)
+		row[0] = 1
+		for i := 1; i <= p; i++ {
+			row[i] = y[t-i]
+		}
+		x = append(x, row)
+		target = append(target, y[t])
+	}
+	coef, err := timeseries.RidgeLeastSquares(x, target, ridgeLambda)
+	if err != nil {
+		return nil, fmt.Errorf("predict: AR fit: %w", err)
+	}
+	return coef, nil
+}

@@ -1,0 +1,148 @@
+package predict
+
+import (
+	"fmt"
+	"sync"
+
+	"pstore/internal/timeseries"
+)
+
+// ARMA is an auto-regressive moving-average model of order (p, q):
+//
+//	y(t) = c + Σ_{i=1..p} φ_i·y(t−i) + Σ_{j=1..q} θ_j·e(t−j)
+//
+// fitted with the two-stage Hannan–Rissanen procedure: a long AR fit first
+// estimates the innovation sequence e, then y is regressed on its own lags
+// and the lagged innovations. This is the second baseline of §5.
+type ARMA struct {
+	p, q int
+
+	mu     sync.Mutex
+	coef   []float64 // [c, φ_1..φ_p, θ_1..θ_q]
+	arLong []float64 // long-AR coefficients used to estimate innovations
+}
+
+// NewARMA returns an unfitted ARMA(p, q) model.
+func NewARMA(p, q int) *ARMA { return &ARMA{p: p, q: q} }
+
+// Name implements Model.
+func (a *ARMA) Name() string { return "ARMA" }
+
+// longOrder is the order of the stage-1 AR used to estimate innovations.
+func (a *ARMA) longOrder() int {
+	n := a.p + a.q + 5
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// MinHistory implements Model: innovations for the last q slots need
+// longOrder history before them.
+func (a *ARMA) MinHistory() int { return a.longOrder() + a.q + a.p }
+
+// Fit implements Model.
+func (a *ARMA) Fit(train *timeseries.Series) error {
+	if a.p <= 0 || a.q < 0 {
+		return fmt.Errorf("predict: invalid ARMA order (%d, %d)", a.p, a.q)
+	}
+	long := a.longOrder()
+	if train == nil || train.Len() < 3*(long+a.p+a.q) {
+		return fmt.Errorf("predict: ARMA(%d,%d) needs more training data", a.p, a.q)
+	}
+	y := train.Values
+
+	// Stage 1: long AR to estimate innovations.
+	arLong, err := fitARCoefficients(y, long)
+	if err != nil {
+		return err
+	}
+	resid := residualsFromAR(y, arLong) // resid[t] defined for t >= long
+
+	// Stage 2: regress y(t) on lags of y and lagged innovations.
+	start := long + maxInt(a.p, a.q)
+	var x [][]float64
+	var target []float64
+	for t := start; t < len(y); t++ {
+		row := make([]float64, 1+a.p+a.q)
+		row[0] = 1
+		for i := 1; i <= a.p; i++ {
+			row[i] = y[t-i]
+		}
+		for j := 1; j <= a.q; j++ {
+			row[a.p+j] = resid[t-j]
+		}
+		x = append(x, row)
+		target = append(target, y[t])
+	}
+	coef, err := timeseries.RidgeLeastSquares(x, target, ridgeLambda)
+	if err != nil {
+		return fmt.Errorf("predict: ARMA fit: %w", err)
+	}
+	a.mu.Lock()
+	a.coef = coef
+	a.arLong = arLong
+	a.mu.Unlock()
+	return nil
+}
+
+// Forecast implements Model. Future innovations are taken as zero (their
+// conditional expectation); innovations over the observed history come from
+// the stage-1 long AR.
+func (a *ARMA) Forecast(history *timeseries.Series, horizon int) ([]float64, error) {
+	a.mu.Lock()
+	coef, arLong := a.coef, a.arLong
+	a.mu.Unlock()
+	if coef == nil {
+		return nil, ErrNotFitted
+	}
+	if err := checkForecastArgs(history, horizon, a.MinHistory()); err != nil {
+		return nil, err
+	}
+	y := history.Values
+	resid := residualsFromAR(y, arLong)
+
+	// Sliding windows of recent values and innovations; predictions append
+	// to the value window, zeros to the innovation window.
+	vals := make([]float64, len(y), len(y)+horizon)
+	copy(vals, y)
+	innov := make([]float64, len(resid), len(resid)+horizon)
+	copy(innov, resid)
+
+	out := make([]float64, horizon)
+	for h := 0; h < horizon; h++ {
+		pred := coef[0]
+		for i := 1; i <= a.p; i++ {
+			pred += coef[i] * vals[len(vals)-i]
+		}
+		for j := 1; j <= a.q; j++ {
+			pred += coef[a.p+j] * innov[len(innov)-j]
+		}
+		out[h] = pred
+		vals = append(vals, pred)
+		innov = append(innov, 0)
+	}
+	return clampNonNegative(out), nil
+}
+
+// residualsFromAR returns e with e[t] = y[t] − ŷ_AR(t) for t ≥ order and
+// e[t] = 0 before that.
+func residualsFromAR(y []float64, arCoef []float64) []float64 {
+	order := len(arCoef) - 1
+	resid := make([]float64, len(y))
+	for t := order; t < len(y); t++ {
+		pred := arCoef[0]
+		for i := 1; i <= order; i++ {
+			pred += arCoef[i] * y[t-i]
+		}
+		resid[t] = y[t] - pred
+	}
+	return resid
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

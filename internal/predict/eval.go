@@ -1,0 +1,81 @@
+package predict
+
+import (
+	"fmt"
+
+	"pstore/internal/timeseries"
+)
+
+// Evaluation is the result of a rolling-origin accuracy evaluation at one
+// forecast horizon τ.
+type Evaluation struct {
+	Tau       int     // forecast horizon, in slots
+	MRE       float64 // mean relative error (the paper's accuracy metric)
+	RMSE      float64
+	NForecast int // number of forecast points evaluated
+}
+
+// EvaluateHorizon measures the model's τ-slots-ahead accuracy over the test
+// portion of full: for each origin t in the test range (subsampled by
+// stride), the model forecasts τ slots ahead from the history ending at t
+// and the τ-th prediction is compared against the actual value. The model
+// must already be fitted. stride ≤ 0 means 1.
+func EvaluateHorizon(m Model, full *timeseries.Series, testStart, tau, stride int) (Evaluation, error) {
+	if stride <= 0 {
+		stride = 1
+	}
+	if tau <= 0 {
+		return Evaluation{}, fmt.Errorf("predict: tau must be positive, got %d", tau)
+	}
+	if testStart < m.MinHistory() {
+		return Evaluation{}, fmt.Errorf("predict: testStart %d earlier than MinHistory %d", testStart, m.MinHistory())
+	}
+	if testStart+tau >= full.Len() {
+		return Evaluation{}, fmt.Errorf("predict: no room for τ=%d forecasts after testStart %d in %d points", tau, testStart, full.Len())
+	}
+	var pred, actual []float64
+	for t := testStart; t+tau < full.Len(); t += stride {
+		f, err := m.Forecast(full.Slice(0, t+1), tau)
+		if err != nil {
+			return Evaluation{}, fmt.Errorf("predict: forecast at origin %d: %w", t, err)
+		}
+		pred = append(pred, f[tau-1])
+		actual = append(actual, full.At(t+tau))
+	}
+	mre, err := timeseries.MRE(pred, actual)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	rmse, err := timeseries.RMSE(pred, actual)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{Tau: tau, MRE: mre, RMSE: rmse, NForecast: len(pred)}, nil
+}
+
+// ForecastCurve produces the τ-slots-ahead prediction series over the test
+// range [testStart, len), as plotted in Figs 5a and 6a: point i is the
+// forecast of full[testStart+i] made τ slots earlier. Points whose origin
+// would precede MinHistory are skipped (the returned actuals align with the
+// predictions).
+func ForecastCurve(m Model, full *timeseries.Series, testStart, tau, stride int) (pred, actual []float64, err error) {
+	if stride <= 0 {
+		stride = 1
+	}
+	for i := testStart; i < full.Len(); i += stride {
+		origin := i - tau
+		if origin < m.MinHistory() {
+			continue
+		}
+		f, err := m.Forecast(full.Slice(0, origin+1), tau)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred = append(pred, f[tau-1])
+		actual = append(actual, full.At(i))
+	}
+	if len(pred) == 0 {
+		return nil, nil, fmt.Errorf("predict: empty forecast curve (testStart=%d, tau=%d)", testStart, tau)
+	}
+	return pred, actual, nil
+}

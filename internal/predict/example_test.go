@@ -1,0 +1,56 @@
+package predict_test
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pstore/internal/predict"
+	"pstore/internal/timeseries"
+)
+
+// ExampleSPAR fits the paper's default model on a noiseless periodic load
+// and forecasts an hour ahead.
+func ExampleSPAR() {
+	const period = 48 // half-hour slots per day
+	vals := make([]float64, 12*period)
+	for i := range vals {
+		vals[i] = 1000 + 800*math.Sin(2*math.Pi*float64(i%period)/period)
+	}
+	load := timeseries.New(time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC), 30*time.Minute, vals)
+
+	spar := predict.NewSPAR(predict.SPARConfig{Period: period, NPeriods: 3, MRecent: 6})
+	if err := spar.Fit(load.Slice(0, 10*period)); err != nil {
+		fmt.Println(err)
+		return
+	}
+	forecast, err := spar.Forecast(load.Slice(0, 11*period), 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, v := range forecast {
+		fmt.Printf("τ=%d: predicted %.0f actual %.0f\n", i+1, v, load.At(11*period+i))
+	}
+	// Output:
+	// τ=1: predicted 1000 actual 1000
+	// τ=2: predicted 1104 actual 1104
+}
+
+// ExampleSuggestSPARConfig auto-detects the seasonal period of a load
+// series and sizes SPAR to it — the active-learning path of §6.
+func ExampleSuggestSPARConfig() {
+	vals := make([]float64, 800)
+	for i := range vals {
+		vals[i] = 500 + 300*math.Sin(2*math.Pi*float64(i)/96)
+	}
+	load := timeseries.New(time.Time{}, 15*time.Minute, vals)
+	cfg, err := predict.SuggestSPARConfig(load)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("period %d, n=%d previous periods\n", cfg.Period, cfg.NPeriods)
+	// Output:
+	// period 96, n=5 previous periods
+}

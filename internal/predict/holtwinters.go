@@ -1,0 +1,149 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pstore/internal/timeseries"
+)
+
+// HoltWinters is additive triple exponential smoothing: level, trend and an
+// additive seasonal component of the given period. The paper notes P-Store
+// "can be combined with any predictive model" (§4.2); Holt-Winters is the
+// classic alternative to the AR family for seasonal load curves.
+//
+// Smoothing coefficients are selected during Fit by a coarse grid search
+// minimizing one-step-ahead squared error on the training series. Each
+// Forecast replays the smoothing state over the supplied history, so its
+// cost is linear in the history length.
+type HoltWinters struct {
+	period int
+
+	mu                 sync.Mutex
+	alpha, beta, gamma float64
+	fitted             bool
+}
+
+// NewHoltWinters returns an unfitted model with the given seasonal period.
+func NewHoltWinters(period int) *HoltWinters { return &HoltWinters{period: period} }
+
+// Name implements Model.
+func (hw *HoltWinters) Name() string { return "HoltWinters" }
+
+// MinHistory implements Model: state initialization needs two full seasons.
+func (hw *HoltWinters) MinHistory() int { return 2 * hw.period }
+
+// Coefficients returns the fitted (α, β, γ).
+func (hw *HoltWinters) Coefficients() (alpha, beta, gamma float64) {
+	hw.mu.Lock()
+	defer hw.mu.Unlock()
+	return hw.alpha, hw.beta, hw.gamma
+}
+
+// Fit implements Model: grid-search the smoothing coefficients on the
+// training series.
+func (hw *HoltWinters) Fit(train *timeseries.Series) error {
+	if hw.period <= 1 {
+		return fmt.Errorf("predict: Holt-Winters period must be > 1, got %d", hw.period)
+	}
+	if train == nil || train.Len() < 3*hw.period {
+		return fmt.Errorf("predict: Holt-Winters needs ≥ %d training points", 3*hw.period)
+	}
+	best := math.Inf(1)
+	var bestA, bestB, bestG float64
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.8} {
+		for _, b := range []float64{0.01, 0.05, 0.15} {
+			for _, g := range []float64{0.05, 0.2, 0.5} {
+				if sse := hw.oneStepSSE(train.Values, a, b, g); sse < best {
+					best = sse
+					bestA, bestB, bestG = a, b, g
+				}
+			}
+		}
+	}
+	hw.mu.Lock()
+	hw.alpha, hw.beta, hw.gamma = bestA, bestB, bestG
+	hw.fitted = true
+	hw.mu.Unlock()
+	return nil
+}
+
+// Forecast implements Model.
+func (hw *HoltWinters) Forecast(history *timeseries.Series, horizon int) ([]float64, error) {
+	hw.mu.Lock()
+	a, b, g, fitted := hw.alpha, hw.beta, hw.gamma, hw.fitted
+	hw.mu.Unlock()
+	if !fitted {
+		return nil, ErrNotFitted
+	}
+	if err := checkForecastArgs(history, horizon, hw.MinHistory()); err != nil {
+		return nil, err
+	}
+	level, trend, seasonal := hw.smooth(history.Values, a, b, g)
+	m := hw.period
+	n := len(history.Values)
+	out := make([]float64, horizon)
+	for h := 1; h <= horizon; h++ {
+		out[h-1] = level + float64(h)*trend + seasonal[(n+h-1)%m]
+	}
+	return clampNonNegative(out), nil
+}
+
+// smooth runs the smoothing recursion over y and returns the final state.
+// seasonal[i] holds the additive component for slots congruent to i mod m.
+func (hw *HoltWinters) smooth(y []float64, a, b, g float64) (level, trend float64, seasonal []float64) {
+	m := hw.period
+	// Initialize from the first two seasons.
+	var s1, s2 float64
+	for i := 0; i < m; i++ {
+		s1 += y[i]
+		s2 += y[m+i]
+	}
+	s1 /= float64(m)
+	s2 /= float64(m)
+	level = s1
+	trend = (s2 - s1) / float64(m)
+	seasonal = make([]float64, m)
+	for i := 0; i < m; i++ {
+		seasonal[i] = y[i] - s1
+	}
+	for t := m; t < len(y); t++ {
+		si := t % m
+		prevLevel := level
+		level = a*(y[t]-seasonal[si]) + (1-a)*(level+trend)
+		trend = b*(level-prevLevel) + (1-b)*trend
+		seasonal[si] = g*(y[t]-level) + (1-g)*seasonal[si]
+	}
+	return level, trend, seasonal
+}
+
+// oneStepSSE measures one-step-ahead squared error of (a, b, g) over y.
+func (hw *HoltWinters) oneStepSSE(y []float64, a, b, g float64) float64 {
+	m := hw.period
+	var s1, s2 float64
+	for i := 0; i < m; i++ {
+		s1 += y[i]
+		s2 += y[m+i]
+	}
+	s1 /= float64(m)
+	s2 /= float64(m)
+	level := s1
+	trend := (s2 - s1) / float64(m)
+	seasonal := make([]float64, m)
+	for i := 0; i < m; i++ {
+		seasonal[i] = y[i] - s1
+	}
+	sse := 0.0
+	for t := m; t < len(y); t++ {
+		si := t % m
+		pred := level + trend + seasonal[si]
+		d := y[t] - pred
+		sse += d * d
+		prevLevel := level
+		level = a*(y[t]-seasonal[si]) + (1-a)*(level+trend)
+		trend = b*(level-prevLevel) + (1-b)*trend
+		seasonal[si] = g*(y[t]-level) + (1-g)*seasonal[si]
+	}
+	return sse
+}

@@ -1,0 +1,141 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pstore/internal/timeseries"
+	"pstore/internal/workload"
+)
+
+func TestHoltWintersPeriodicSignal(t *testing.T) {
+	const period = 48
+	s := synthPeriodic(10, period, 0, 21, nil)
+	hw := NewHoltWinters(period)
+	if err := hw.Fit(s.Slice(0, 8*period)); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.Slice(0, 9*period)
+	got, err := hw.Forecast(hist, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		want := s.At(9*period + i)
+		if math.Abs(p-want) > 0.05*want+5 {
+			t.Errorf("forecast[%d] = %.1f, want ≈%.1f", i, p, want)
+		}
+	}
+}
+
+func TestHoltWintersTracksTrend(t *testing.T) {
+	const period = 24
+	// Periodic signal with a linear upward trend.
+	vals := make([]float64, 12*period)
+	for i := range vals {
+		phase := 2 * math.Pi * float64(i%period) / float64(period)
+		vals[i] = 500 + 200*math.Sin(phase) + 2*float64(i)
+	}
+	s := timeseries.New(time.Time{}, time.Hour, vals)
+	hw := NewHoltWinters(period)
+	if err := hw.Fit(s.Slice(0, 10*period)); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.Slice(0, 11*period)
+	got, err := hw.Forecast(hist, period/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		want := 500 + 200*math.Sin(2*math.Pi*float64((11*period+i)%period)/float64(period)) + 2*float64(11*period+i)
+		if math.Abs(p-want) > 0.05*want {
+			t.Errorf("forecast[%d] = %.1f, want ≈%.1f", i, p, want)
+		}
+	}
+}
+
+func TestHoltWintersValidation(t *testing.T) {
+	hw := NewHoltWinters(24)
+	if _, err := hw.Forecast(synthPeriodic(4, 24, 0, 1, nil), 3); err != ErrNotFitted {
+		t.Errorf("err = %v, want ErrNotFitted", err)
+	}
+	if err := NewHoltWinters(1).Fit(synthPeriodic(4, 24, 0, 1, nil)); err == nil {
+		t.Error("period 1 should fail")
+	}
+	if err := hw.Fit(timeseries.New(time.Time{}, time.Hour, make([]float64, 24))); err == nil {
+		t.Error("short training should fail")
+	}
+	s := synthPeriodic(6, 24, 0, 1, nil)
+	if err := hw.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Forecast(s.Slice(0, 10), 3); err == nil {
+		t.Error("short history should fail")
+	}
+	if _, err := hw.Forecast(s, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	a, b, g := hw.Coefficients()
+	if a <= 0 || b <= 0 || g <= 0 {
+		t.Errorf("coefficients = %v %v %v", a, b, g)
+	}
+}
+
+func TestHoltWintersCompetitiveOnDiurnalLoad(t *testing.T) {
+	cfg := workload.DefaultB2WConfig()
+	cfg.Days = 10
+	cfg.SlotsPerDay = 96
+	load := workload.GenerateB2W(cfg)
+	testStart := 8 * 96
+	hw := NewHoltWinters(96)
+	if err := hw.Fit(load.Slice(0, testStart)); err != nil {
+		t.Fatal(err)
+	}
+	naive := NewSeasonalNaive(96)
+	if err := naive.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+	evHW, err := EvaluateHorizon(hw, load, testStart, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evNaive, err := EvaluateHorizon(naive, load, testStart, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Holt-Winters should at least be in the same accuracy class as the
+	// seasonal-naive floor on a diurnal retail trace.
+	if evHW.MRE > 1.5*evNaive.MRE {
+		t.Errorf("Holt-Winters MRE %.4f ≫ seasonal-naive %.4f", evHW.MRE, evNaive.MRE)
+	}
+}
+
+func TestSuggestSPARConfig(t *testing.T) {
+	cfg := workload.DefaultB2WConfig()
+	cfg.Days = 8
+	cfg.SlotsPerDay = 96
+	load := workload.GenerateB2W(cfg)
+	got, err := SuggestSPARConfig(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dominant period of a diurnal trace is one day (±2 slots).
+	if got.Period < 94 || got.Period > 98 {
+		t.Errorf("detected period = %d, want ≈96", got.Period)
+	}
+	if got.NPeriods < 1 || got.NPeriods > 7 {
+		t.Errorf("NPeriods = %d", got.NPeriods)
+	}
+	// The suggestion must produce a fittable model.
+	spar := NewSPAR(got)
+	if err := spar.Fit(load); err != nil {
+		t.Fatalf("suggested config unfittable: %v", err)
+	}
+	if _, err := SuggestSPARConfig(nil); err == nil {
+		t.Error("nil series should fail")
+	}
+	if _, err := SuggestSPARConfig(load.Slice(0, 12)); err == nil {
+		t.Error("tiny series should fail")
+	}
+}

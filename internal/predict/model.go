@@ -1,0 +1,61 @@
+// Package predict implements P-Store's load time-series predictors: SPAR
+// (Sparse Periodic Auto-Regression, the paper's default model, Eq. 8), plus
+// AR and ARMA baselines, a seasonal-naive reference and an oracle used for
+// the "P-Store Oracle" upper bound in the allocation simulations.
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"pstore/internal/timeseries"
+)
+
+// Model is a load forecaster. Fit learns parameters from a training series;
+// Forecast predicts the next horizon observations following the end of
+// history. history and the training series must share the same step size.
+type Model interface {
+	// Name identifies the model in reports ("SPAR", "AR", ...).
+	Name() string
+	// Fit learns model parameters from the training series.
+	Fit(train *timeseries.Series) error
+	// MinHistory reports how many trailing observations Forecast needs.
+	MinHistory() int
+	// Forecast returns predictions for the horizon slots following the end
+	// of history.
+	Forecast(history *timeseries.Series, horizon int) ([]float64, error)
+}
+
+// ErrNotFitted is returned by Forecast when Fit has not succeeded yet.
+var ErrNotFitted = errors.New("predict: model is not fitted")
+
+// ridgeLambda is the scale-invariant ridge strength used by all regression
+// fits in this package: strong enough to keep collinear lag designs
+// well-posed, weak enough not to bias identifiable coefficients.
+const ridgeLambda = 1e-8
+
+// checkForecastArgs validates the common Forecast preconditions.
+func checkForecastArgs(history *timeseries.Series, horizon, minHistory int) error {
+	if horizon <= 0 {
+		return fmt.Errorf("predict: horizon must be positive, got %d", horizon)
+	}
+	if history == nil || history.Len() < minHistory {
+		got := 0
+		if history != nil {
+			got = history.Len()
+		}
+		return fmt.Errorf("predict: need at least %d history points, got %d", minHistory, got)
+	}
+	return nil
+}
+
+// clampNonNegative floors forecasts at zero: load is a count and negative
+// predictions would confuse the planner.
+func clampNonNegative(v []float64) []float64 {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}

@@ -1,0 +1,391 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pstore/internal/timeseries"
+)
+
+// synthPeriodic builds days of a sinusoidal daily load with the given period
+// (slots/day), optional noise and an optional additive day-level offset
+// function.
+func synthPeriodic(days, period int, noise float64, seed int64, dayOffset func(day int) float64) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, days*period)
+	for i := range vals {
+		day := i / period
+		phase := 2 * math.Pi * float64(i%period) / float64(period)
+		v := 1000 + 800*math.Sin(phase)
+		if dayOffset != nil {
+			v += dayOffset(day)
+		}
+		v += rng.NormFloat64() * noise
+		if v < 0 {
+			v = 0
+		}
+		vals[i] = v
+	}
+	return timeseries.New(time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC), time.Minute, vals)
+}
+
+func TestSPARPerfectPeriodicSignal(t *testing.T) {
+	const period = 48
+	s := synthPeriodic(20, period, 0, 1, nil)
+	m := NewSPAR(SPARConfig{Period: period, NPeriods: 3, MRecent: 5})
+	train, test, err := s.Split(15 * period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	_ = test
+	hist := s.Slice(0, 16*period)
+	got, err := m.Forecast(hist, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		want := s.At(16*period + i)
+		if math.Abs(p-want) > 1.0 {
+			t.Errorf("forecast[%d] = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestSPARTracksRecentOffset(t *testing.T) {
+	const period = 48
+	// Training days drift up and down so the Δ coefficients are
+	// identifiable; the last observed day runs 300 req/slot hot, far beyond
+	// the training drift.
+	rng := rand.New(rand.NewSource(2))
+	drift := make([]float64, 17)
+	for d := range drift {
+		drift[d] = rng.NormFloat64() * 80
+	}
+	offset := func(day int) float64 {
+		if day >= 15 {
+			return 300
+		}
+		return drift[day]
+	}
+	s := synthPeriodic(17, period, 0, 2, offset)
+	m := NewSPAR(SPARConfig{Period: period, NPeriods: 3, MRecent: 5})
+	// Train only on normal days plus hot data is outside training.
+	if err := m.Fit(s.Slice(0, 15*period)); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.Slice(0, 15*period+period/2) // half a hot day observed
+	got, err := m.Forecast(hist, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A model ignoring the recent offset would predict the cold-day value;
+	// SPAR's Δ terms should pull it most of the way toward +300.
+	for i, p := range got {
+		idx := 15*period + period/2 + i
+		hot := s.At(idx)
+		cold := hot - 300
+		if math.Abs(p-hot) > math.Abs(p-cold) {
+			t.Errorf("forecast[%d] = %v closer to cold %v than hot %v", i, p, cold, hot)
+		}
+	}
+}
+
+func TestSPARValidation(t *testing.T) {
+	m := NewSPAR(SPARConfig{Period: 48, NPeriods: 3, MRecent: 5})
+	if _, err := m.Forecast(synthPeriodic(10, 48, 0, 3, nil), 5); err != ErrNotFitted {
+		t.Errorf("unfitted forecast err = %v, want ErrNotFitted", err)
+	}
+	if err := m.Fit(timeseries.New(time.Time{}, time.Minute, make([]float64, 10))); err == nil {
+		t.Error("short training series should fail")
+	}
+	s := synthPeriodic(10, 48, 0, 3, nil)
+	if err := m.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(s, 48); err == nil {
+		t.Error("horizon ≥ period should fail")
+	}
+	if _, err := m.Forecast(s, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, err := m.Forecast(s.Slice(0, 10), 5); err == nil {
+		t.Error("short history should fail")
+	}
+	bad := NewSPAR(SPARConfig{Period: 0, NPeriods: 3, MRecent: 5})
+	if err := bad.Fit(s); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestSPARConstantSeriesStable(t *testing.T) {
+	vals := make([]float64, 48*10)
+	for i := range vals {
+		vals[i] = 500
+	}
+	s := timeseries.New(time.Time{}, time.Minute, vals)
+	m := NewSPAR(SPARConfig{Period: 48, NPeriods: 3, MRecent: 5})
+	if err := m.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Forecast(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		if math.Abs(p-500) > 5 {
+			t.Errorf("forecast[%d] = %v, want ≈500", i, p)
+		}
+	}
+}
+
+func TestARRecoversAR1Process(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const phi, c = 0.8, 50.0
+	vals := make([]float64, 5000)
+	vals[0] = c / (1 - phi)
+	for i := 1; i < len(vals); i++ {
+		vals[i] = c + phi*vals[i-1] + rng.NormFloat64()
+	}
+	s := timeseries.New(time.Time{}, time.Minute, vals)
+	m := NewAR(1)
+	if err := m.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.coef[1]-phi) > 0.05 {
+		t.Errorf("φ = %v, want ≈%v", m.coef[1], phi)
+	}
+	got, err := m.Forecast(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := c / (1 - phi)
+	for i, p := range got {
+		if math.Abs(p-mean) > 30 {
+			t.Errorf("forecast[%d] = %v far from process mean %v", i, p, mean)
+		}
+	}
+}
+
+func TestARValidation(t *testing.T) {
+	m := NewAR(3)
+	if _, err := m.Forecast(timeseries.New(time.Time{}, time.Minute, make([]float64, 10)), 2); err != ErrNotFitted {
+		t.Errorf("err = %v, want ErrNotFitted", err)
+	}
+	if err := NewAR(0).Fit(timeseries.New(time.Time{}, time.Minute, make([]float64, 100))); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if err := m.Fit(timeseries.New(time.Time{}, time.Minute, []float64{1, 2})); err == nil {
+		t.Error("too-short training should fail")
+	}
+}
+
+func TestARMAFitsAndForecasts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// ARMA(1,1) process.
+	const phi, theta, c = 0.6, 0.4, 20.0
+	n := 5000
+	vals := make([]float64, n)
+	prevE := 0.0
+	vals[0] = c / (1 - phi)
+	for i := 1; i < n; i++ {
+		e := rng.NormFloat64()
+		vals[i] = c + phi*vals[i-1] + e + theta*prevE
+		prevE = e
+	}
+	s := timeseries.New(time.Time{}, time.Minute, vals)
+	m := NewARMA(1, 1)
+	if err := m.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.coef[1]-phi) > 0.1 {
+		t.Errorf("φ = %v, want ≈%v", m.coef[1], phi)
+	}
+	got, err := m.Forecast(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := c / (1 - phi)
+	for i, p := range got {
+		if math.Abs(p-mean) > 25 {
+			t.Errorf("forecast[%d] = %v far from mean %v", i, p, mean)
+		}
+	}
+}
+
+func TestARMAValidation(t *testing.T) {
+	m := NewARMA(2, 1)
+	if _, err := m.Forecast(timeseries.New(time.Time{}, time.Minute, make([]float64, 100)), 2); err != ErrNotFitted {
+		t.Errorf("err = %v, want ErrNotFitted", err)
+	}
+	if err := NewARMA(0, 1).Fit(timeseries.New(time.Time{}, time.Minute, make([]float64, 500))); err == nil {
+		t.Error("p=0 should fail")
+	}
+}
+
+func TestSeasonalNaiveExactOnPeriodic(t *testing.T) {
+	const period = 48
+	s := synthPeriodic(5, period, 0, 4, nil)
+	m := NewSeasonalNaive(period)
+	if err := m.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.Slice(0, 4*period)
+	got, err := m.Forecast(hist, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		want := s.At(4*period + i)
+		if math.Abs(p-want) > 1e-9 {
+			t.Errorf("forecast[%d] = %v, want %v", i, p, want)
+		}
+	}
+	if _, err := m.Forecast(hist, period+1); err == nil {
+		t.Error("horizon > period should fail")
+	}
+}
+
+func TestOracleReturnsTrueFuture(t *testing.T) {
+	s := synthPeriodic(3, 48, 10, 5, nil)
+	o := NewOracle(s)
+	if err := o.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.Slice(0, 50)
+	got, err := o.Forecast(hist, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		if p != s.At(50+i) {
+			t.Errorf("oracle[%d] = %v, want %v", i, p, s.At(50+i))
+		}
+	}
+	// Beyond the end of the oracle series.
+	if _, err := o.Forecast(s, 1); err == nil {
+		t.Error("forecast past oracle end should fail")
+	}
+	// Off-grid history.
+	off := timeseries.New(s.Start.Add(30*time.Second), time.Minute, s.Values[:50])
+	if _, err := o.Forecast(off, 1); err == nil {
+		t.Error("off-grid history should fail")
+	}
+}
+
+func TestEvaluateHorizonRanksModels(t *testing.T) {
+	const period = 48
+	// Periodic signal with meaningful day-to-day drift: SPAR should beat
+	// seasonal naive because it can average periods and use recent offsets.
+	rng := rand.New(rand.NewSource(6))
+	drift := make([]float64, 40)
+	for d := range drift {
+		drift[d] = rng.NormFloat64() * 150
+	}
+	s := synthPeriodic(40, period, 20, 6, func(day int) float64 { return drift[day] })
+	testStart := 30 * period
+
+	spar := NewSPAR(SPARConfig{Period: period, NPeriods: 3, MRecent: 5})
+	if err := spar.Fit(s.Slice(0, testStart)); err != nil {
+		t.Fatal(err)
+	}
+	naive := NewSeasonalNaive(period)
+	if err := naive.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	evSpar, err := EvaluateHorizon(spar, s, testStart, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evNaive, err := EvaluateHorizon(naive, s, testStart, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evSpar.MRE >= evNaive.MRE {
+		t.Errorf("SPAR MRE %.4f should beat seasonal-naive %.4f", evSpar.MRE, evNaive.MRE)
+	}
+	if evSpar.NForecast == 0 {
+		t.Error("no forecasts evaluated")
+	}
+}
+
+func TestEvaluateHorizonValidation(t *testing.T) {
+	s := synthPeriodic(5, 48, 0, 7, nil)
+	m := NewSeasonalNaive(48)
+	if _, err := EvaluateHorizon(m, s, 10, 5, 1); err == nil {
+		t.Error("testStart < MinHistory should fail")
+	}
+	if _, err := EvaluateHorizon(m, s, 48, 0, 1); err == nil {
+		t.Error("tau=0 should fail")
+	}
+	if _, err := EvaluateHorizon(m, s, s.Len()-1, 5, 1); err == nil {
+		t.Error("no room for forecasts should fail")
+	}
+}
+
+func TestForecastCurveAligned(t *testing.T) {
+	const period = 48
+	s := synthPeriodic(6, period, 0, 8, nil)
+	m := NewSeasonalNaive(period)
+	if err := m.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+	pred, actual, err := ForecastCurve(m, s, 4*period, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != len(actual) {
+		t.Fatalf("pred %d vs actual %d", len(pred), len(actual))
+	}
+	mre, err := timeseries.MRE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mre > 1e-9 {
+		t.Errorf("noiseless periodic MRE = %v, want ~0", mre)
+	}
+}
+
+// Property: all model forecasts are non-negative regardless of history.
+func TestForecastsNonNegativeProperty(t *testing.T) {
+	const period = 24
+	s := synthPeriodic(12, period, 50, 10, nil)
+	spar := NewSPAR(SPARConfig{Period: period, NPeriods: 3, MRecent: 4})
+	if err := spar.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	ar := NewAR(4)
+	if err := ar.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	f := func(cut uint16, horizon uint8) bool {
+		h := int(horizon%10) + 1
+		minLen := spar.MinHistory()
+		n := minLen + int(cut)%(s.Len()-minLen)
+		hist := s.Slice(0, n)
+		for _, m := range []Model{spar, ar} {
+			if h >= period && m == Model(spar) {
+				continue
+			}
+			out, err := m.Forecast(hist, h)
+			if err != nil {
+				return false
+			}
+			for _, v := range out {
+				if v < 0 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package predict
+
+import (
+	"fmt"
+
+	"pstore/internal/timeseries"
+)
+
+// SeasonalNaive predicts y(t+τ) = y(t+τ−T): the load exactly one period ago.
+// It needs no fitting and serves as the floor any learned model must beat.
+type SeasonalNaive struct {
+	period int
+}
+
+// NewSeasonalNaive returns a seasonal-naive model with the given period.
+func NewSeasonalNaive(period int) *SeasonalNaive { return &SeasonalNaive{period: period} }
+
+// Name implements Model.
+func (s *SeasonalNaive) Name() string { return "SeasonalNaive" }
+
+// MinHistory implements Model.
+func (s *SeasonalNaive) MinHistory() int { return s.period }
+
+// Fit implements Model; seasonal-naive has no parameters.
+func (s *SeasonalNaive) Fit(train *timeseries.Series) error {
+	if s.period <= 0 {
+		return fmt.Errorf("predict: seasonal-naive period must be positive, got %d", s.period)
+	}
+	return nil
+}
+
+// Forecast implements Model. horizon must be ≤ the period.
+func (s *SeasonalNaive) Forecast(history *timeseries.Series, horizon int) ([]float64, error) {
+	if horizon > s.period {
+		return nil, fmt.Errorf("predict: seasonal-naive horizon %d exceeds period %d", horizon, s.period)
+	}
+	if err := checkForecastArgs(history, horizon, s.period); err != nil {
+		return nil, err
+	}
+	y := history.Values
+	t := len(y) - 1
+	out := make([]float64, horizon)
+	for tau := 1; tau <= horizon; tau++ {
+		out[tau-1] = y[t+tau-s.period]
+	}
+	return clampNonNegative(out), nil
+}
+
+// Oracle "predicts" by reading the true future from a complete series whose
+// timeline contains the forecast window. It implements the P-Store Oracle
+// upper bound of Fig 12. Alignment is by timestamp, so the history handed to
+// Forecast must lie on the oracle series' grid.
+type Oracle struct {
+	actual *timeseries.Series
+}
+
+// NewOracle returns an oracle over the full actual series.
+func NewOracle(actual *timeseries.Series) *Oracle { return &Oracle{actual: actual} }
+
+// Name implements Model.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// MinHistory implements Model.
+func (o *Oracle) MinHistory() int { return 1 }
+
+// Fit implements Model; the oracle already knows the future.
+func (o *Oracle) Fit(train *timeseries.Series) error {
+	if o.actual == nil || o.actual.Len() == 0 {
+		return fmt.Errorf("predict: oracle has no actual series")
+	}
+	return nil
+}
+
+// Forecast implements Model.
+func (o *Oracle) Forecast(history *timeseries.Series, horizon int) ([]float64, error) {
+	if err := checkForecastArgs(history, horizon, 1); err != nil {
+		return nil, err
+	}
+	if o.actual == nil {
+		return nil, ErrNotFitted
+	}
+	if o.actual.Step <= 0 || history.Step != o.actual.Step {
+		return nil, fmt.Errorf("predict: oracle step %v does not match history step %v", o.actual.Step, history.Step)
+	}
+	end := history.TimeAt(history.Len() - 1)
+	offset := end.Sub(o.actual.Start)
+	if offset < 0 || offset%o.actual.Step != 0 {
+		return nil, fmt.Errorf("predict: history end %v is not on the oracle grid", end)
+	}
+	idx := int(offset / o.actual.Step)
+	if idx+horizon >= o.actual.Len() {
+		return nil, fmt.Errorf("predict: oracle series ends before horizon %d after index %d", horizon, idx)
+	}
+	out := make([]float64, horizon)
+	copy(out, o.actual.Values[idx+1:idx+1+horizon])
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package predict
+
+import (
+	"fmt"
+	"sync"
+
+	"pstore/internal/timeseries"
+)
+
+// SPARConfig parameterizes Sparse Periodic Auto-Regression.
+type SPARConfig struct {
+	// Period is T, the number of slots per seasonal period (e.g. 1440 for
+	// 1-minute slots with a daily period; the paper uses a weekly periodic
+	// component by setting NPeriods=7 over daily periods).
+	Period int
+	// NPeriods is n, the number of previous periods considered (paper: 7).
+	NPeriods int
+	// MRecent is m, the number of recent load measurements considered
+	// (paper: 30).
+	MRecent int
+	// MaxRows caps the number of regression rows per τ fit; extra rows are
+	// skipped with an even stride. Zero means no cap.
+	MaxRows int
+}
+
+// DefaultSPARConfig returns the paper's configuration for a series with the
+// given seasonal period: n=7 previous periods, m=30 recent measurements.
+func DefaultSPARConfig(period int) SPARConfig {
+	return SPARConfig{Period: period, NPeriods: 7, MRecent: 30, MaxRows: 25000}
+}
+
+// SPAR implements the paper's Eq. 8:
+//
+//	y(t+τ) = Σ_{k=1..n} a_k·y(t+τ−kT) + Σ_{j=1..m} b_j·Δy(t−j)
+//
+// where Δy(t−j) = y(t−j) − (1/n)·Σ_{k=1..n} y(t−j−kT) is the offset of the
+// recent load from the expected load at that time of day. Coefficients a_k
+// and b_j are fitted by linear least squares, separately per forecast
+// horizon τ (fitted lazily and cached).
+type SPAR struct {
+	cfg SPARConfig
+
+	mu    sync.Mutex
+	train *timeseries.Series
+	coefs map[int][]float64 // τ → [a_1..a_n, b_1..b_m]
+}
+
+// NewSPAR returns an unfitted SPAR model.
+func NewSPAR(cfg SPARConfig) *SPAR {
+	return &SPAR{cfg: cfg, coefs: make(map[int][]float64)}
+}
+
+// Name implements Model.
+func (s *SPAR) Name() string { return "SPAR" }
+
+// Config returns the model configuration.
+func (s *SPAR) Config() SPARConfig { return s.cfg }
+
+// MinHistory implements Model: Δ terms reach back m + n·T slots.
+func (s *SPAR) MinHistory() int { return s.cfg.NPeriods*s.cfg.Period + s.cfg.MRecent + 1 }
+
+// Fit implements Model. SPAR keeps the training series and fits per-τ
+// coefficient vectors on first use.
+func (s *SPAR) Fit(train *timeseries.Series) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	need := s.MinHistory() + s.cfg.Period // room for at least a few rows at τ up to T
+	if train == nil || train.Len() < need {
+		got := 0
+		if train != nil {
+			got = train.Len()
+		}
+		return fmt.Errorf("predict: SPAR needs ≥ %d training points (n·T + m + T), got %d", need, got)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.train = train.Clone()
+	s.coefs = make(map[int][]float64)
+	return nil
+}
+
+func (s *SPAR) validate() error {
+	if s.cfg.Period <= 0 || s.cfg.NPeriods <= 0 || s.cfg.MRecent < 0 {
+		return fmt.Errorf("predict: invalid SPAR config %+v", s.cfg)
+	}
+	if s.cfg.MaxRows < 0 {
+		return fmt.Errorf("predict: negative MaxRows %d", s.cfg.MaxRows)
+	}
+	return nil
+}
+
+// Forecast implements Model. horizon must be < Period (the paper requires
+// τ < T so that the k=1 periodic regressor lies in the past).
+func (s *SPAR) Forecast(history *timeseries.Series, horizon int) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.train == nil {
+		return nil, ErrNotFitted
+	}
+	if horizon >= s.cfg.Period {
+		return nil, fmt.Errorf("predict: SPAR horizon %d must be < period %d", horizon, s.cfg.Period)
+	}
+	if err := checkForecastArgs(history, horizon, s.MinHistory()); err != nil {
+		return nil, err
+	}
+	out := make([]float64, horizon)
+	y := history.Values
+	t := len(y) - 1 // "now" index
+	delta := s.deltas(y, t)
+	for tau := 1; tau <= horizon; tau++ {
+		coef, err := s.fitTauLocked(tau)
+		if err != nil {
+			return nil, err
+		}
+		pred := 0.0
+		for k := 1; k <= s.cfg.NPeriods; k++ {
+			pred += coef[k-1] * y[t+tau-k*s.cfg.Period]
+		}
+		for j := 1; j <= s.cfg.MRecent; j++ {
+			pred += coef[s.cfg.NPeriods+j-1] * delta[j-1]
+		}
+		out[tau-1] = pred
+	}
+	return clampNonNegative(out), nil
+}
+
+// deltas computes Δy(t−j) for j = 1..m at the given "now" index t.
+func (s *SPAR) deltas(y []float64, t int) []float64 {
+	n, m, T := s.cfg.NPeriods, s.cfg.MRecent, s.cfg.Period
+	out := make([]float64, m)
+	for j := 1; j <= m; j++ {
+		expected := 0.0
+		for k := 1; k <= n; k++ {
+			expected += y[t-j-k*T]
+		}
+		expected /= float64(n)
+		out[j-1] = y[t-j] - expected
+	}
+	return out
+}
+
+// fitTauLocked returns the coefficient vector for forecast horizon τ,
+// fitting it from the stored training series if not yet cached. The caller
+// must hold s.mu.
+func (s *SPAR) fitTauLocked(tau int) ([]float64, error) {
+	if c, ok := s.coefs[tau]; ok {
+		return c, nil
+	}
+	n, m, T := s.cfg.NPeriods, s.cfg.MRecent, s.cfg.Period
+	y := s.train.Values
+	tMin := n*T + m
+	tMax := len(y) - 1 - tau
+	if tMax < tMin {
+		return nil, fmt.Errorf("predict: training series too short for τ=%d", tau)
+	}
+	rows := tMax - tMin + 1
+	stride := 1
+	if s.cfg.MaxRows > 0 && rows > s.cfg.MaxRows {
+		stride = (rows + s.cfg.MaxRows - 1) / s.cfg.MaxRows
+	}
+
+	var x [][]float64
+	var target []float64
+	for t := tMin; t <= tMax; t += stride {
+		row := make([]float64, n+m)
+		for k := 1; k <= n; k++ {
+			row[k-1] = y[t+tau-k*T]
+		}
+		for j, d := range s.deltas(y, t) {
+			row[n+j] = d
+		}
+		x = append(x, row)
+		target = append(target, y[t+tau])
+	}
+	coef, err := timeseries.RidgeLeastSquares(x, target, ridgeLambda)
+	if err != nil {
+		return nil, fmt.Errorf("predict: SPAR fit τ=%d: %w", tau, err)
+	}
+	s.coefs[tau] = coef
+	return coef, nil
+}

@@ -1,0 +1,89 @@
+package predict
+
+import (
+	"fmt"
+
+	"pstore/internal/timeseries"
+)
+
+// SuggestSPARConfig derives a SPAR configuration from a training series:
+// it detects the dominant period with the autocorrelation method, then
+// selects n (periods) and m (recent measurements) by validation on the last
+// period of the training data — the procedure §5 describes ("after
+// examining the quality of our predictor under different values for n and
+// m") and P-Store's active-learning path (§6) for workloads without a
+// known period.
+func SuggestSPARConfig(train *timeseries.Series) (SPARConfig, error) {
+	if train == nil || train.Len() < 16 {
+		return SPARConfig{}, fmt.Errorf("predict: too little data to suggest a SPAR config")
+	}
+	period, err := train.DetectPeriod(4, train.Len()/3)
+	if err != nil {
+		return SPARConfig{}, fmt.Errorf("predict: %w", err)
+	}
+	maxN := train.Len()/period - 2
+	if maxN < 1 {
+		return SPARConfig{}, fmt.Errorf("predict: need at least 3 periods of training data (period %d, have %d points)", period, train.Len())
+	}
+	mSmall := period / 48
+	if mSmall < 4 {
+		mSmall = 4
+	}
+	if mSmall > 30 {
+		mSmall = 30
+	}
+
+	// Validate candidates on the last period: fit on everything before it,
+	// score one-step-ahead MRE across it.
+	valStart := train.Len() - period
+	best := SPARConfig{}
+	bestMRE := 0.0
+	found := false
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		if n > maxN {
+			break
+		}
+		for _, m := range []int{mSmall, 30} {
+			if m > period/2 {
+				continue
+			}
+			cfg := SPARConfig{Period: period, NPeriods: n, MRecent: m, MaxRows: 25000}
+			cand := NewSPAR(cfg)
+			if cand.Fit(train.Slice(0, valStart)) != nil {
+				continue
+			}
+			if valStart < cand.MinHistory() {
+				continue
+			}
+			stride := period / 48
+			if stride < 1 {
+				stride = 1
+			}
+			// Score short- and medium-horizon accuracy together so the
+			// choice is stable for planner-scale forecasts.
+			ev1, err := EvaluateHorizon(cand, train, valStart, 1, stride)
+			if err != nil {
+				continue
+			}
+			tauMid := period / 24
+			if tauMid < 2 {
+				tauMid = 2
+			}
+			evMid, err := EvaluateHorizon(cand, train, valStart, tauMid, stride)
+			if err != nil {
+				continue
+			}
+			score := (ev1.MRE + evMid.MRE) / 2
+			if !found || score < bestMRE {
+				found = true
+				bestMRE = score
+				best = cfg
+			}
+		}
+	}
+	if !found {
+		// Fall back to the smallest workable configuration.
+		return SPARConfig{Period: period, NPeriods: 1, MRecent: mSmall, MaxRows: 25000}, nil
+	}
+	return best, nil
+}

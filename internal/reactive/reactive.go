@@ -1,0 +1,168 @@
+// Package reactive implements the E-Store-style purely reactive
+// provisioning baseline (§2, §8.2): it monitors the measured load and only
+// reconfigures after the cluster is already saturated — which means data
+// migration competes with peak traffic, producing the latency spikes of
+// Fig 9c that P-Store's predictive planning avoids. The B2W workload is
+// hash-uniform, so E-Store's hot-tuple detection degenerates to
+// aggregate-load scaling (the paper makes the same observation in §8.1).
+package reactive
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pstore/internal/cluster"
+	"pstore/internal/migration"
+	"pstore/internal/plan"
+)
+
+// Config tunes the reactive controller.
+type Config struct {
+	// Params supplies Q (provisioning target) and QHat (saturation).
+	Params plan.Params
+	// Interval is the monitoring cadence.
+	Interval time.Duration
+	// HighFraction of QHat·N at which the system is considered overloaded
+	// and a scale-out is triggered (default 0.95).
+	HighFraction float64
+	// ScaleInStreak is how many consecutive low-load observations must
+	// accumulate before scaling in (default 3), mirroring P-Store's
+	// confirmation heuristic so neither controller flaps.
+	ScaleInStreak int
+	// ScaleOutStreak is how many consecutive overloaded observations must
+	// accumulate before scaling out (default 1). E-Store confirms an
+	// imbalance with a detailed-monitoring period before acting (§2);
+	// values above 1 model that detection delay.
+	ScaleOutStreak int
+	// MaxNodes caps scale-out (0 = unlimited).
+	MaxNodes int
+	// Migration configures data movement speed.
+	Migration migration.Options
+	// MeasureLoad returns the current offered load in transactions per
+	// second (same unit as Q). Required.
+	MeasureLoad func() float64
+}
+
+// Event records one controller decision, for experiment analysis.
+type Event struct {
+	At       time.Time
+	Load     float64
+	From, To int
+	Kind     string // "scale-out", "scale-in"
+}
+
+// Controller is the reactive provisioner.
+type Controller struct {
+	cfg Config
+	c   *cluster.Cluster
+
+	mu         sync.Mutex
+	events     []Event
+	lowStreak  int
+	highStreak int
+}
+
+// New returns a reactive controller for the cluster.
+func New(c *cluster.Cluster, cfg Config) *Controller {
+	if cfg.HighFraction <= 0 {
+		cfg.HighFraction = 0.95
+	}
+	if cfg.ScaleInStreak <= 0 {
+		cfg.ScaleInStreak = 3
+	}
+	if cfg.ScaleOutStreak <= 0 {
+		cfg.ScaleOutStreak = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	return &Controller{cfg: cfg, c: c}
+}
+
+// Events returns the decisions taken so far.
+func (ctl *Controller) Events() []Event {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	return append([]Event(nil), ctl.events...)
+}
+
+func (ctl *Controller) record(ev Event) {
+	ctl.mu.Lock()
+	ctl.events = append(ctl.events, ev)
+	ctl.mu.Unlock()
+}
+
+// Run monitors and reconfigures until ctx is cancelled. Migrations run to
+// completion before the next decision (the controller cannot preempt an
+// in-flight reconfiguration).
+func (ctl *Controller) Run(ctx context.Context) error {
+	ticker := time.NewTicker(ctl.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		if err := ctl.Step(); err != nil {
+			return err
+		}
+	}
+}
+
+// Step performs one measure→decide→(migrate) cycle; migrations block until
+// complete. Exposed for deterministic tests; Run calls it on each tick.
+func (ctl *Controller) Step() error {
+	load := ctl.cfg.MeasureLoad()
+	n := ctl.c.NumNodes()
+	p := ctl.cfg.Params
+
+	switch {
+	case load > ctl.cfg.HighFraction*p.QHat*float64(n):
+		ctl.lowStreak = 0
+		ctl.highStreak++
+		if ctl.highStreak < ctl.cfg.ScaleOutStreak {
+			return nil
+		}
+		ctl.highStreak = 0
+		// Already overloaded: scale out to the target that would hold this
+		// load with headroom. This is the reactive weakness — the
+		// migration now runs on a saturated cluster.
+		target := p.RequiredMachines(load)
+		if target <= n {
+			target = n + 1
+		}
+		if ctl.cfg.MaxNodes > 0 && target > ctl.cfg.MaxNodes {
+			target = ctl.cfg.MaxNodes
+		}
+		if target > n {
+			ctl.record(Event{At: time.Now(), Load: load, From: n, To: target, Kind: "scale-out"})
+			if _, err := migration.Run(ctl.c, target, ctl.cfg.Migration); err != nil {
+				return err
+			}
+		}
+	case p.RequiredMachines(load) < n:
+		ctl.highStreak = 0
+		ctl.lowStreak++
+		if ctl.lowStreak >= ctl.cfg.ScaleInStreak {
+			target := maxInt(1, p.RequiredMachines(load))
+			ctl.record(Event{At: time.Now(), Load: load, From: n, To: target, Kind: "scale-in"})
+			if _, err := migration.Run(ctl.c, target, ctl.cfg.Migration); err != nil {
+				return err
+			}
+			ctl.lowStreak = 0
+		}
+	default:
+		ctl.lowStreak = 0
+		ctl.highStreak = 0
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

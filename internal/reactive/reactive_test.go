@@ -1,0 +1,158 @@
+package reactive
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pstore/internal/cluster"
+	"pstore/internal/engine"
+	"pstore/internal/migration"
+	"pstore/internal/plan"
+)
+
+func newTestCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	reg := engine.NewRegistry()
+	reg.Register("Put", func(tx *engine.Txn) error {
+		return tx.Put("T", tx.Key, map[string]string{"v": "1"})
+	})
+	c, err := cluster.New(cluster.Config{
+		InitialNodes:      1,
+		PartitionsPerNode: 1,
+		NBuckets:          32,
+		Tables:            []string{"T"},
+		Registry:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func testConfig(measure func() float64) Config {
+	return Config{
+		Params:        plan.Params{Q: 100, QHat: 120, D: 2, PartitionsPerNode: 1},
+		Interval:      10 * time.Millisecond,
+		HighFraction:  0.95,
+		ScaleInStreak: 3,
+		Migration:     migration.Options{BucketsPerChunk: 8, ChunkInterval: 100 * time.Microsecond},
+		MeasureLoad:   measure,
+	}
+}
+
+func TestReactiveScalesOutOnlyWhenOverloaded(t *testing.T) {
+	c := newTestCluster(t)
+	load := 100.0
+	ctl := New(c, testConfig(func() float64 { return load }))
+
+	// Below the high watermark (0.95 · 120 · 1 = 114): no action, even
+	// though the target capacity Q·1=100 is reached — the reactive system
+	// waits for real overload.
+	if err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 1 {
+		t.Fatalf("scaled out below the watermark")
+	}
+	// Overload: 300 txn/s needs 3 machines.
+	load = 300
+	if err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", c.NumNodes())
+	}
+	evs := ctl.Events()
+	if len(evs) != 1 || evs[0].Kind != "scale-out" || evs[0].From != 1 || evs[0].To != 3 {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestReactiveScaleInStreak(t *testing.T) {
+	c := newTestCluster(t)
+	load := 500.0
+	ctl := New(c, testConfig(func() float64 { return load }))
+	if err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 5 {
+		t.Fatalf("nodes = %d, want 5", c.NumNodes())
+	}
+	// Low load must persist for the streak before scale-in.
+	load = 150
+	for i := 0; i < 2; i++ {
+		if err := ctl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if c.NumNodes() != 5 {
+			t.Fatalf("scaled in after %d low observations", i+1)
+		}
+	}
+	if err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 2 {
+		t.Fatalf("nodes = %d after streak, want 2", c.NumNodes())
+	}
+}
+
+func TestReactiveStreakResetOnNormalLoad(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := migration.Run(c, 2, migration.Options{BucketsPerChunk: 8}); err != nil {
+		t.Fatal(err)
+	}
+	loads := []float64{100, 100, 180, 100, 100, 100}
+	i := 0
+	ctl := New(c, testConfig(func() float64 {
+		v := loads[i%len(loads)]
+		i++
+		return v
+	}))
+	// Two low readings, then 180 (needs 2 → not low) resets the streak.
+	for s := 0; s < 5; s++ {
+		if err := ctl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if c.NumNodes() != 2 {
+			t.Fatalf("scaled in at step %d despite streak reset", s)
+		}
+	}
+	if err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 1 {
+		t.Fatalf("nodes = %d after 3 clean lows, want 1", c.NumNodes())
+	}
+}
+
+func TestReactiveMaxNodesCap(t *testing.T) {
+	c := newTestCluster(t)
+	cfg := testConfig(func() float64 { return 2000 })
+	cfg.MaxNodes = 4
+	ctl := New(c, cfg)
+	if err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want capped 4", c.NumNodes())
+	}
+}
+
+func TestReactiveRunLoop(t *testing.T) {
+	c := newTestCluster(t)
+	ctl := New(c, testConfig(func() float64 { return 50 }))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	if err := ctl.Run(ctx); err != context.DeadlineExceeded {
+		t.Errorf("Run err = %v", err)
+	}
+}
+
+func TestReactiveDefaults(t *testing.T) {
+	ctl := New(nil, Config{MeasureLoad: func() float64 { return 0 }})
+	if ctl.cfg.HighFraction != 0.95 || ctl.cfg.ScaleInStreak != 3 || ctl.cfg.Interval != time.Second {
+		t.Errorf("defaults = %+v", ctl.cfg)
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a network client for a P-Store server. It is safe for
+// concurrent use; requests multiplex over one TCP connection.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Response
+	closed  bool
+	readErr error
+}
+
+// Dial connects to a P-Store server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close terminates the connection; outstanding requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				ch <- Response{ID: id, Err: "pstore-client: connection lost: " + err.Error()}
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// roundTrip sends a request and waits for its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return Response{}, errors.New("pstore-client: connection closed")
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	err := c.enc.Encode(req)
+	if err != nil {
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("pstore-client: send: %w", err)
+	}
+	c.mu.Unlock()
+	return <-ch, nil
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(Request{Kind: KindPing})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// CallResult is the client-visible outcome of a transaction.
+type CallResult struct {
+	Out     map[string]string
+	Latency time.Duration
+	Abort   bool
+}
+
+// Call executes a stored procedure on the server.
+func (c *Client) Call(proc, key string, args map[string]string) (*CallResult, error) {
+	resp, err := c.roundTrip(Request{Kind: KindCall, Proc: proc, Key: key, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	res := &CallResult{Out: resp.Out, Latency: resp.Latency, Abort: resp.Abort}
+	if resp.Err != "" && !resp.Abort {
+		return nil, errors.New(resp.Err)
+	}
+	if resp.Abort {
+		return res, fmt.Errorf("pstore-client: aborted: %s", resp.Err)
+	}
+	return res, nil
+}
+
+// Scale reconfigures the server's cluster to target nodes, blocking until
+// the live migration completes.
+func (c *Client) Scale(target int) error {
+	resp, err := c.roundTrip(Request{Kind: KindScale, TargetNodes: target})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// Stats fetches a cluster status snapshot.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.roundTrip(Request{Kind: KindStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Stats, nil
+}

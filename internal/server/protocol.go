@@ -1,0 +1,55 @@
+// Package server exposes a P-Store cluster over TCP with a simple
+// gob-encoded request/response protocol, so the database can be deployed as
+// a standalone process and driven by network clients (cmd/pstore-server and
+// cmd/pstore-client). One server process hosts all partition executors; the
+// elasticity machinery (migration, controllers) operates inside it exactly
+// as in embedded use.
+package server
+
+import (
+	"time"
+)
+
+// Request is one client→server message.
+type Request struct {
+	ID   uint64
+	Kind Kind
+
+	// Call fields.
+	Proc string
+	Key  string
+	Args map[string]string
+
+	// Scale fields.
+	TargetNodes int
+}
+
+// Kind discriminates request types.
+type Kind string
+
+// Supported request kinds.
+const (
+	KindPing  Kind = "ping"
+	KindCall  Kind = "call"
+	KindScale Kind = "scale"
+	KindStats Kind = "stats"
+)
+
+// Response is one server→client message, matched to a Request by ID.
+type Response struct {
+	ID      uint64
+	Err     string
+	Abort   bool
+	Out     map[string]string
+	Latency time.Duration
+	Stats   *Stats
+}
+
+// Stats is a cluster status snapshot.
+type Stats struct {
+	Nodes       int
+	Partitions  int
+	TotalRows   int
+	OfferedTxns int
+	P99         time.Duration
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"pstore/internal/cluster"
+	"pstore/internal/engine"
+	"pstore/internal/metrics"
+	"pstore/internal/migration"
+)
+
+// Server serves a cluster over TCP.
+type Server struct {
+	c    *cluster.Cluster
+	mig  migration.Options
+	lis  net.Listener
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	scaling bool
+}
+
+// New wraps a cluster with a TCP front end. mig configures scale requests'
+// migration rate. logf may be nil to silence logging.
+func New(c *cluster.Cluster, mig migration.Options, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{c: c, mig: mig, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:7070") and
+// returns the bound address (useful with port 0).
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	go s.acceptLoop(lis)
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener and all connections. The underlying cluster is
+// not stopped (the owner controls its lifecycle).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("pstore-server: connection closed: %v", err)
+			}
+			return
+		}
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			resp := s.handle(req)
+			encMu.Lock()
+			defer encMu.Unlock()
+			if err := enc.Encode(resp); err != nil {
+				s.logf("pstore-server: encode: %v", err)
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	resp := Response{ID: req.ID}
+	switch req.Kind {
+	case KindPing:
+	case KindCall:
+		res := s.c.Call(&engine.Txn{Proc: req.Proc, Key: req.Key, Args: req.Args})
+		resp.Out = res.Out
+		resp.Latency = res.Latency
+		if res.Err != nil {
+			resp.Err = res.Err.Error()
+			resp.Abort = engine.IsAbort(res.Err)
+		}
+	case KindScale:
+		resp.Err = s.scale(req.TargetNodes)
+	case KindStats:
+		resp.Stats = s.stats()
+	default:
+		resp.Err = fmt.Sprintf("pstore-server: unknown request kind %q", req.Kind)
+	}
+	return resp
+}
+
+// scale runs a reconfiguration; concurrent scale requests are rejected.
+func (s *Server) scale(target int) string {
+	s.mu.Lock()
+	if s.scaling {
+		s.mu.Unlock()
+		return "pstore-server: a reconfiguration is already in progress"
+	}
+	s.scaling = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.scaling = false
+		s.mu.Unlock()
+	}()
+	rep, err := migration.Run(s.c, target, s.mig)
+	if err != nil {
+		return err.Error()
+	}
+	s.logf("pstore-server: scaled %d→%d in %v (%d buckets, %d rows)",
+		rep.FromNodes, rep.ToNodes, rep.Duration, rep.BucketsMoved, rep.RowsMoved)
+	return ""
+}
+
+func (s *Server) stats() *Stats {
+	rows, err := s.c.TotalRows()
+	if err != nil {
+		log.Printf("pstore-server: counting rows: %v", err)
+	}
+	st := &Stats{
+		Nodes:       s.c.NumNodes(),
+		Partitions:  s.c.NumNodes() * s.c.PartitionsPerNode(),
+		TotalRows:   rows,
+		OfferedTxns: s.c.OfferedLoad().Total(),
+	}
+	if ws := s.c.Latencies().Windows(); len(ws) > 0 {
+		vals := metrics.PercentileSeries(ws, 99)
+		if len(vals) > 0 {
+			st.P99 = ws[len(ws)-1].P99
+		}
+	}
+	return st
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pstore/internal/b2w"
+	"pstore/internal/cluster"
+	"pstore/internal/engine"
+	"pstore/internal/migration"
+)
+
+func startTestServer(t *testing.T) (*Server, string, *cluster.Cluster) {
+	t.Helper()
+	reg := engine.NewRegistry()
+	b2w.Register(reg)
+	c, err := cluster.New(cluster.Config{
+		InitialNodes:      2,
+		PartitionsPerNode: 2,
+		NBuckets:          64,
+		Tables:            b2w.Tables,
+		Registry:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	srv := New(c, migration.Options{BucketsPerChunk: 8, ChunkInterval: 100 * time.Microsecond}, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, c
+}
+
+func TestServerPingCallStats(t *testing.T) {
+	_, addr, _ := startTestServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Call(b2w.ProcAddLineToCart, "cart-1", map[string]string{
+		"sku": "sku-1", "qty": "2", "price": "9.99",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Error("latency not reported")
+	}
+	got, err := cl.Call(b2w.ProcGetCart, "cart-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.Out["lines"], "sku-1") {
+		t.Errorf("lines = %q", got.Out["lines"])
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 2 || st.Partitions != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.TotalRows != 1 || st.OfferedTxns != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestServerAbortSurfaced(t *testing.T) {
+	_, addr, _ := startTestServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Call(b2w.ProcGetCart, "ghost", nil)
+	if err == nil {
+		t.Fatal("missing cart should abort")
+	}
+	if res == nil || !res.Abort {
+		t.Errorf("abort flag not set: %+v, err=%v", res, err)
+	}
+}
+
+func TestServerScale(t *testing.T) {
+	_, addr, c := startTestServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := cl.Call(b2w.ProcAddLineToCart, fmt.Sprintf("cart-%d", i),
+			map[string]string{"sku": "sku-1", "qty": "1", "price": "1.00"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Scale(4); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 4 {
+		t.Errorf("nodes = %d", c.NumNodes())
+	}
+	// Data survived the networked scale-out.
+	for i := 0; i < 50; i++ {
+		if _, err := cl.Call(b2w.ProcGetCart, fmt.Sprintf("cart-%d", i), nil); err != nil {
+			t.Fatalf("cart-%d lost: %v", i, err)
+		}
+	}
+	if err := cl.Scale(0); err == nil {
+		t.Error("invalid scale target should fail")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	_, addr, _ := startTestServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("c%d-%d", g, i)
+				if _, err := cl.Call(b2w.ProcAddLineToCart, key,
+					map[string]string{"sku": "s", "qty": "1", "price": "1"}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestClientConnectionLoss(t *testing.T) {
+	srv, addr, _ := startTestServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	time.Sleep(20 * time.Millisecond)
+	if err := cl.Ping(); err == nil {
+		t.Error("ping after server close should fail")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port should fail")
+	}
+}

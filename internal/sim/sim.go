@@ -1,0 +1,147 @@
+// Package sim is a discrete-time simulator of allocation strategies over a
+// load trace, reproducing the paper's §8.3 study: because running the full
+// engine for 4.5 months of trace is impractical (the paper makes the same
+// argument), the simulator models machine counts, migration durations and
+// effective capacity analytically — using exactly the same plan.Params
+// model as the live system — and measures Eq. 1 cost and the percentage of
+// time with insufficient capacity for each strategy (Figs 12 and 13).
+package sim
+
+import (
+	"fmt"
+
+	"pstore/internal/plan"
+	"pstore/internal/timeseries"
+)
+
+// Strategy decides target machine counts. Decide is called once per slot
+// while no reconfiguration is in progress, with the observed load history
+// up to and including the current slot; returning (target, true) starts a
+// move toward target at the next slot.
+type Strategy interface {
+	Name() string
+	Decide(t int, history *timeseries.Series, current int) (target int, act bool)
+}
+
+// SlotState records the simulated system at one slot (for Fig 13 plots).
+type SlotState struct {
+	Load      float64
+	Machines  int
+	EffCap    float64
+	Migrating bool
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Strategy          string
+	Q                 float64
+	Slots             int
+	Cost              float64 // Σ machines over slots (Eq. 1, machine-slots)
+	InsufficientSlots int
+	Moves             int
+	States            []SlotState // populated only when requested
+}
+
+// InsufficientFrac returns the fraction of simulated time with load above
+// effective capacity.
+func (r *Result) InsufficientFrac() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.InsufficientSlots) / float64(r.Slots)
+}
+
+// AvgMachines returns the average machines allocated.
+func (r *Result) AvgMachines() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return r.Cost / float64(r.Slots)
+}
+
+// Run simulates the strategy over load slots [start, len), beginning with
+// n0 machines. keepStates retains the per-slot trajectory.
+func Run(load *timeseries.Series, start, n0 int, strat Strategy, p plan.Params, keepStates bool) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if start < 0 || start >= load.Len() {
+		return nil, fmt.Errorf("sim: start %d out of range", start)
+	}
+	if n0 < 1 {
+		return nil, fmt.Errorf("sim: n0 must be ≥ 1")
+	}
+	res := &Result{Strategy: strat.Name(), Q: p.Q}
+	if keepStates {
+		res.States = make([]SlotState, 0, load.Len()-start)
+	}
+
+	n := n0
+	// In-progress move state.
+	var moving bool
+	var moveFrom, moveTo, moveSlots, progress int
+	var segs []plan.AllocSegment
+
+	for t := start; t < load.Len(); t++ {
+		l := load.At(t)
+		var machines int
+		var effCap float64
+		if moving {
+			progress++
+			fEnd := float64(progress) / float64(moveSlots)
+			fMid := (float64(progress) - 0.5) / float64(moveSlots)
+			machines = machinesAt(segs, fMid)
+			effCap = p.EffCap(moveFrom, moveTo, fEnd)
+			if progress >= moveSlots {
+				moving = false
+				n = moveTo
+			}
+		} else {
+			machines = n
+			effCap = p.Cap(n)
+		}
+		res.Cost += float64(machines)
+		res.Slots++
+		if l > effCap+1e-9 {
+			res.InsufficientSlots++
+		}
+		if keepStates {
+			res.States = append(res.States, SlotState{Load: l, Machines: machines, EffCap: effCap, Migrating: moving})
+		}
+		if !moving && t+1 < load.Len() {
+			if target, act := strat.Decide(t, load.Slice(0, t+1), n); act && target != n && target >= 1 {
+				moveFrom, moveTo = n, target
+				moveSlots = ceilSlots(p.MoveTime(n, target))
+				segs = p.AllocationSegments(n, target)
+				progress = 0
+				moving = true
+				res.Moves++
+			}
+		}
+	}
+	return res, nil
+}
+
+func ceilSlots(t float64) int {
+	s := int(t)
+	if float64(s) < t {
+		s++
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// machinesAt looks up the allocation step function at fraction f.
+func machinesAt(segs []plan.AllocSegment, f float64) int {
+	for _, s := range segs {
+		if f >= s.FracStart && f < s.FracEnd {
+			return s.Machines
+		}
+	}
+	if len(segs) == 0 {
+		return 0
+	}
+	return segs[len(segs)-1].Machines
+}

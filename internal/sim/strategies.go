@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+
+	"pstore/internal/plan"
+	"pstore/internal/predict"
+	"pstore/internal/timeseries"
+)
+
+// Static never reconfigures: the baseline of Figs 9a/9b and the "Static"
+// curves of Figs 12–13.
+type Static struct {
+	Machines int
+}
+
+// Name implements Strategy.
+func (s Static) Name() string { return fmt.Sprintf("Static-%d", s.Machines) }
+
+// Decide implements Strategy.
+func (s Static) Decide(t int, history *timeseries.Series, current int) (int, bool) {
+	if current != s.Machines {
+		return s.Machines, true
+	}
+	return 0, false
+}
+
+// Simple scales up every morning and down every night on a fixed schedule —
+// the paper's "Simple" strategy, which works until the load deviates from
+// the pattern (Fig 13, right).
+type Simple struct {
+	SlotsPerDay   int
+	MorningSlot   int // slot-of-day to scale up
+	NightSlot     int // slot-of-day to scale down
+	DayMachines   int
+	NightMachines int
+}
+
+// Name implements Strategy.
+func (s Simple) Name() string { return "Simple" }
+
+// Decide implements Strategy.
+func (s Simple) Decide(t int, history *timeseries.Series, current int) (int, bool) {
+	slot := t % s.SlotsPerDay
+	var want int
+	if s.MorningSlot <= slot && slot < s.NightSlot {
+		want = s.DayMachines
+	} else {
+		want = s.NightMachines
+	}
+	if want != current {
+		return want, true
+	}
+	return 0, false
+}
+
+// Reactive scales out only after observing overload and scales in after a
+// sustained low streak — the purple curve of Fig 12 and the behaviour of
+// Fig 9c, in simulation form.
+type Reactive struct {
+	Params        plan.Params
+	HighFraction  float64 // overload threshold as a fraction of Q̂·N (default 0.95)
+	ScaleInStreak int     // consecutive low slots before scale-in (default 3)
+
+	lowStreak int
+}
+
+// Name implements Strategy.
+func (r *Reactive) Name() string { return "Reactive" }
+
+// Decide implements Strategy.
+func (r *Reactive) Decide(t int, history *timeseries.Series, current int) (int, bool) {
+	high := r.HighFraction
+	if high <= 0 {
+		high = 0.95
+	}
+	streak := r.ScaleInStreak
+	if streak <= 0 {
+		streak = 3
+	}
+	load := history.At(t)
+	p := r.Params
+	switch {
+	case load > high*p.QHat*float64(current):
+		r.lowStreak = 0
+		target := p.RequiredMachines(load)
+		if target <= current {
+			target = current + 1
+		}
+		return target, true
+	case p.RequiredMachines(load) < current:
+		r.lowStreak++
+		if r.lowStreak >= streak {
+			r.lowStreak = 0
+			return p.RequiredMachines(load), true
+		}
+	default:
+		r.lowStreak = 0
+	}
+	return 0, false
+}
+
+// PStore is the predictive strategy: forecast, plan with the dynamic
+// program, execute the first move when its start time arrives, with
+// scale-in confirmations and reactive fallback on infeasible plans — the
+// simulation twin of the live controller package.
+type PStore struct {
+	Params        plan.Params
+	Predictor     predict.Model
+	Horizon       int
+	Inflate       float64 // prediction inflation (paper: 1.15)
+	Confirmations int     // scale-in confirmations (paper: 3)
+	Label         string  // e.g. "P-Store SPAR", "P-Store Oracle"
+
+	votes int
+}
+
+// Name implements Strategy.
+func (s *PStore) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "P-Store"
+}
+
+// Decide implements Strategy.
+func (s *PStore) Decide(t int, history *timeseries.Series, current int) (int, bool) {
+	inflate := s.Inflate
+	if inflate == 0 {
+		inflate = 1
+	}
+	confirm := s.Confirmations
+	if confirm <= 0 {
+		confirm = 3
+	}
+	if history.Len() < s.Predictor.MinHistory() {
+		return 0, false
+	}
+	forecast, err := s.Predictor.Forecast(history, s.Horizon)
+	if err != nil {
+		return 0, false
+	}
+	loadVec := make([]float64, s.Horizon+1)
+	loadVec[0] = history.At(t)
+	for i, v := range forecast {
+		loadVec[i+1] = v * inflate
+	}
+	pl, err := plan.BestMoves(loadVec, current, s.Params)
+	if err == plan.ErrInfeasible {
+		// Unpredicted spike: reactive fallback straight to the needed size.
+		s.votes = 0
+		maxLoad := 0.0
+		for _, v := range loadVec {
+			if v > maxLoad {
+				maxLoad = v
+			}
+		}
+		if target := s.Params.RequiredMachines(maxLoad); target > current {
+			return target, true
+		}
+		return 0, false
+	}
+	if err != nil {
+		return 0, false
+	}
+	move, acted := pl.FirstAction()
+	if !acted {
+		s.votes = 0
+		return 0, false
+	}
+	if move.To > move.From {
+		s.votes = 0
+		if move.Start == 0 {
+			return move.To, true
+		}
+		return 0, false
+	}
+	s.votes++
+	if s.votes >= confirm && move.Start == 0 {
+		s.votes = 0
+		return move.To, true
+	}
+	return 0, false
+}

@@ -1,0 +1,319 @@
+// Package storage implements the per-partition in-memory row store
+// underlying the H-Store-style engine. Rows are grouped into hash buckets —
+// the granularity at which the Squall-style migrator relocates data — and
+// each partition owns a disjoint set of buckets.
+//
+// A Partition is NOT safe for concurrent use: exactly one engine executor
+// goroutine owns it, mirroring H-Store's serial per-partition execution
+// model.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"pstore/internal/hashing"
+)
+
+// Row is a stored record: a primary key plus named string columns.
+// Structured values (e.g. a shopping cart's line items) are stored as
+// encoded documents inside a column, as in the document-oriented store the
+// B2W benchmark models.
+type Row struct {
+	Key  string
+	Cols map[string]string
+}
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	cols := make(map[string]string, len(r.Cols))
+	for k, v := range r.Cols {
+		cols[k] = v
+	}
+	return Row{Key: r.Key, Cols: cols}
+}
+
+// SizeBytes estimates the row's in-memory footprint.
+func (r Row) SizeBytes() int {
+	n := len(r.Key)
+	for k, v := range r.Cols {
+		n += len(k) + len(v)
+	}
+	return n
+}
+
+// BucketOf maps a key to one of nBuckets hash buckets using MurmurHash 2.0,
+// the paper's placement hash. Buckets are the unit of data movement.
+func BucketOf(key string, nBuckets int) int {
+	return hashing.PartitionOf(key, nBuckets)
+}
+
+// Partition is one logical data partition: a set of tables, each holding
+// rows grouped by bucket.
+type Partition struct {
+	id       int
+	nBuckets int
+	tables   map[string]*table
+	owned    map[int]bool // buckets this partition currently owns
+}
+
+type table struct {
+	name    string
+	buckets map[int]map[string]Row
+}
+
+// NewPartition creates an empty partition. nBuckets is the global bucket
+// count shared by the whole cluster; owned lists the buckets this partition
+// is responsible for.
+func NewPartition(id, nBuckets int, owned []int) *Partition {
+	p := &Partition{
+		id:       id,
+		nBuckets: nBuckets,
+		tables:   make(map[string]*table),
+		owned:    make(map[int]bool, len(owned)),
+	}
+	for _, b := range owned {
+		p.owned[b] = true
+	}
+	return p
+}
+
+// ID returns the partition's identifier.
+func (p *Partition) ID() int { return p.id }
+
+// NBuckets returns the global bucket count.
+func (p *Partition) NBuckets() int { return p.nBuckets }
+
+// Owns reports whether the partition currently owns the bucket.
+func (p *Partition) Owns(bucket int) bool { return p.owned[bucket] }
+
+// OwnsKey reports whether the partition owns the key's bucket.
+func (p *Partition) OwnsKey(key string) bool {
+	return p.owned[BucketOf(key, p.nBuckets)]
+}
+
+// OwnedBuckets returns the partition's buckets in ascending order.
+func (p *Partition) OwnedBuckets() []int {
+	out := make([]int, 0, len(p.owned))
+	for b := range p.owned {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CreateTable ensures a table exists.
+func (p *Partition) CreateTable(name string) {
+	if _, ok := p.tables[name]; !ok {
+		p.tables[name] = &table{name: name, buckets: make(map[int]map[string]Row)}
+	}
+}
+
+// ErrNotOwned is returned for operations on keys whose bucket is not owned
+// by the partition — the signal that routing raced with a migration.
+type ErrNotOwned struct {
+	Partition int
+	Bucket    int
+	Key       string
+}
+
+func (e *ErrNotOwned) Error() string {
+	return fmt.Sprintf("storage: partition %d does not own bucket %d (key %q)", e.Partition, e.Bucket, e.Key)
+}
+
+func (p *Partition) checkOwned(key string) (int, error) {
+	b := BucketOf(key, p.nBuckets)
+	if !p.owned[b] {
+		return b, &ErrNotOwned{Partition: p.id, Bucket: b, Key: key}
+	}
+	return b, nil
+}
+
+// Get returns the row with the key from the table.
+func (p *Partition) Get(tableName, key string) (Row, bool, error) {
+	b, err := p.checkOwned(key)
+	if err != nil {
+		return Row{}, false, err
+	}
+	t, ok := p.tables[tableName]
+	if !ok {
+		return Row{}, false, fmt.Errorf("storage: unknown table %q", tableName)
+	}
+	rows, ok := t.buckets[b]
+	if !ok {
+		return Row{}, false, nil
+	}
+	r, ok := rows[key]
+	if !ok {
+		return Row{}, false, nil
+	}
+	return r.Clone(), true, nil
+}
+
+// Put inserts or replaces the row with the key in the table.
+func (p *Partition) Put(tableName, key string, cols map[string]string) error {
+	b, err := p.checkOwned(key)
+	if err != nil {
+		return err
+	}
+	t, ok := p.tables[tableName]
+	if !ok {
+		return fmt.Errorf("storage: unknown table %q", tableName)
+	}
+	rows, ok := t.buckets[b]
+	if !ok {
+		rows = make(map[string]Row)
+		t.buckets[b] = rows
+	}
+	rows[key] = Row{Key: key, Cols: cols}.Clone()
+	return nil
+}
+
+// Delete removes the row with the key from the table, reporting whether it
+// existed.
+func (p *Partition) Delete(tableName, key string) (bool, error) {
+	b, err := p.checkOwned(key)
+	if err != nil {
+		return false, err
+	}
+	t, ok := p.tables[tableName]
+	if !ok {
+		return false, fmt.Errorf("storage: unknown table %q", tableName)
+	}
+	rows, ok := t.buckets[b]
+	if !ok {
+		return false, nil
+	}
+	if _, ok := rows[key]; !ok {
+		return false, nil
+	}
+	delete(rows, key)
+	return true, nil
+}
+
+// Scan iterates over every row of a table in unspecified order, calling fn
+// with each row; fn returning false stops the scan early. The row passed to
+// fn is a copy, safe to retain. Scan reports the number of rows visited.
+func (p *Partition) Scan(tableName string, fn func(Row) bool) (int, error) {
+	t, ok := p.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("storage: unknown table %q", tableName)
+	}
+	visited := 0
+	for _, rows := range t.buckets {
+		for _, r := range rows {
+			visited++
+			if !fn(r.Clone()) {
+				return visited, nil
+			}
+		}
+	}
+	return visited, nil
+}
+
+// RowCount returns the total number of rows across all tables.
+func (p *Partition) RowCount() int {
+	n := 0
+	for _, t := range p.tables {
+		for _, rows := range t.buckets {
+			n += len(rows)
+		}
+	}
+	return n
+}
+
+// BucketRowCount returns the number of rows stored in the bucket across all
+// tables.
+func (p *Partition) BucketRowCount(bucket int) int {
+	n := 0
+	for _, t := range p.tables {
+		n += len(t.buckets[bucket])
+	}
+	return n
+}
+
+// SizeBytes estimates the partition's data footprint.
+func (p *Partition) SizeBytes() int {
+	n := 0
+	for _, t := range p.tables {
+		for _, rows := range t.buckets {
+			for _, r := range rows {
+				n += r.SizeBytes()
+			}
+		}
+	}
+	return n
+}
+
+// BucketData is the serializable contents of one bucket, the unit moved by
+// the migrator.
+type BucketData struct {
+	Bucket int
+	Tables map[string][]Row
+}
+
+// RowCount returns the number of rows in the extracted bucket.
+func (d *BucketData) RowCount() int {
+	n := 0
+	for _, rows := range d.Tables {
+		n += len(rows)
+	}
+	return n
+}
+
+// ExtractBucket removes the bucket's rows from the partition and revokes
+// ownership, returning the extracted data. Extracting a bucket the
+// partition does not own is an error.
+func (p *Partition) ExtractBucket(bucket int) (*BucketData, error) {
+	if !p.owned[bucket] {
+		return nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
+	}
+	data := &BucketData{Bucket: bucket, Tables: make(map[string][]Row)}
+	for name, t := range p.tables {
+		rows, ok := t.buckets[bucket]
+		if !ok {
+			continue
+		}
+		out := make([]Row, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, r)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		data.Tables[name] = out
+		delete(t.buckets, bucket)
+	}
+	delete(p.owned, bucket)
+	return data, nil
+}
+
+// ApplyBucket installs the bucket's rows and takes ownership. Applying a
+// bucket the partition already owns is an error (it would clobber data).
+func (p *Partition) ApplyBucket(data *BucketData) error {
+	if p.owned[data.Bucket] {
+		return fmt.Errorf("storage: partition %d already owns bucket %d", p.id, data.Bucket)
+	}
+	for name, rows := range data.Tables {
+		p.CreateTable(name)
+		t := p.tables[name]
+		dst, ok := t.buckets[data.Bucket]
+		if !ok {
+			dst = make(map[string]Row, len(rows))
+			t.buckets[data.Bucket] = dst
+		}
+		for _, r := range rows {
+			dst[r.Key] = r
+		}
+	}
+	p.owned[data.Bucket] = true
+	return nil
+}
+
+// Tables returns the table names in sorted order.
+func (p *Partition) Tables() []string {
+	out := make([]string, 0, len(p.tables))
+	for name := range p.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

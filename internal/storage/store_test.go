@@ -1,0 +1,288 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// allBuckets returns 0..n-1.
+func allBuckets(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func newTestPartition() *Partition {
+	p := NewPartition(0, 64, allBuckets(64))
+	p.CreateTable("CART")
+	return p
+}
+
+func TestPartitionCRUD(t *testing.T) {
+	p := newTestPartition()
+	if err := p.Put("CART", "c1", map[string]string{"total": "10"}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := p.Get("CART", "c1")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if r.Cols["total"] != "10" {
+		t.Errorf("cols = %v", r.Cols)
+	}
+	if _, ok, _ := p.Get("CART", "missing"); ok {
+		t.Error("missing key should not be found")
+	}
+	existed, err := p.Delete("CART", "c1")
+	if err != nil || !existed {
+		t.Fatalf("Delete: existed=%v err=%v", existed, err)
+	}
+	if existed, _ := p.Delete("CART", "c1"); existed {
+		t.Error("double delete should report not existed")
+	}
+	if p.RowCount() != 0 {
+		t.Errorf("RowCount = %d", p.RowCount())
+	}
+}
+
+func TestPartitionUnknownTable(t *testing.T) {
+	p := newTestPartition()
+	if _, _, err := p.Get("NOPE", "k"); err == nil {
+		t.Error("unknown table Get should fail")
+	}
+	if err := p.Put("NOPE", "k", nil); err == nil {
+		t.Error("unknown table Put should fail")
+	}
+	if _, err := p.Delete("NOPE", "k"); err == nil {
+		t.Error("unknown table Delete should fail")
+	}
+}
+
+func TestPartitionOwnership(t *testing.T) {
+	// Partition owns only bucket of key "a"; operations on other keys fail
+	// with ErrNotOwned.
+	b := BucketOf("a", 64)
+	p := NewPartition(1, 64, []int{b})
+	p.CreateTable("T")
+	if err := p.Put("T", "a", map[string]string{"x": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	var other string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key%d", i)
+		if BucketOf(k, 64) != b {
+			other = k
+			break
+		}
+	}
+	err := p.Put("T", other, nil)
+	var notOwned *ErrNotOwned
+	if !errors.As(err, &notOwned) {
+		t.Fatalf("err = %v, want ErrNotOwned", err)
+	}
+	if notOwned.Partition != 1 {
+		t.Errorf("ErrNotOwned partition = %d", notOwned.Partition)
+	}
+	if p.OwnsKey(other) {
+		t.Error("should not own other key")
+	}
+	if !p.OwnsKey("a") {
+		t.Error("should own key a")
+	}
+}
+
+func TestRowCloneIsolation(t *testing.T) {
+	p := newTestPartition()
+	cols := map[string]string{"total": "10"}
+	if err := p.Put("CART", "c1", cols); err != nil {
+		t.Fatal(err)
+	}
+	cols["total"] = "mutated"
+	r, _, _ := p.Get("CART", "c1")
+	if r.Cols["total"] != "10" {
+		t.Error("Put must deep-copy columns")
+	}
+	r.Cols["total"] = "mutated-again"
+	r2, _, _ := p.Get("CART", "c1")
+	if r2.Cols["total"] != "10" {
+		t.Error("Get must deep-copy columns")
+	}
+}
+
+func TestExtractApplyBucketRoundTrip(t *testing.T) {
+	src := newTestPartition()
+	src.CreateTable("STOCK")
+	// Insert keys until some bucket has a few rows.
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("cart-%d", i)
+		if err := src.Put("CART", k, map[string]string{"i": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bucket := BucketOf("cart-0", 64)
+	wantRows := src.BucketRowCount(bucket)
+	if wantRows == 0 {
+		t.Fatal("bucket empty")
+	}
+	data, err := src.ExtractBucket(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.RowCount() != wantRows {
+		t.Errorf("extracted %d rows, want %d", data.RowCount(), wantRows)
+	}
+	if src.Owns(bucket) {
+		t.Error("source should lose ownership")
+	}
+	if _, _, err := src.Get("CART", "cart-0"); err == nil {
+		t.Error("source access after extraction should fail")
+	}
+	// Double extraction fails.
+	if _, err := src.ExtractBucket(bucket); err == nil {
+		t.Error("double extract should fail")
+	}
+
+	dst := NewPartition(2, 64, nil)
+	if err := dst.ApplyBucket(data); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Owns(bucket) {
+		t.Error("destination should own bucket")
+	}
+	r, ok, err := dst.Get("CART", "cart-0")
+	if err != nil || !ok {
+		t.Fatalf("dest Get: ok=%v err=%v", ok, err)
+	}
+	if r.Cols["i"] != "0" {
+		t.Errorf("cols = %v", r.Cols)
+	}
+	// Re-applying fails.
+	if err := dst.ApplyBucket(data); err == nil {
+		t.Error("double apply should fail")
+	}
+}
+
+func TestExtractEmptyBucket(t *testing.T) {
+	p := newTestPartition()
+	data, err := p.ExtractBucket(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.RowCount() != 0 {
+		t.Errorf("rows = %d", data.RowCount())
+	}
+	if p.Owns(7) {
+		t.Error("ownership should be revoked even for empty buckets")
+	}
+}
+
+func TestOwnedBucketsSorted(t *testing.T) {
+	p := NewPartition(0, 16, []int{9, 3, 12})
+	got := p.OwnedBuckets()
+	if len(got) != 3 || got[0] != 3 || got[1] != 9 || got[2] != 12 {
+		t.Errorf("OwnedBuckets = %v", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	p := newTestPartition()
+	if p.SizeBytes() != 0 {
+		t.Error("empty partition should have size 0")
+	}
+	if err := p.Put("CART", "k", map[string]string{"a": "xy"}); err != nil {
+		t.Fatal(err)
+	}
+	// key(1) + col name(1) + value(2) = 4
+	if got := p.SizeBytes(); got != 4 {
+		t.Errorf("SizeBytes = %d, want 4", got)
+	}
+}
+
+// Property: moving every bucket from one partition to another preserves all
+// rows exactly.
+func TestFullMigrationPreservesRows(t *testing.T) {
+	f := func(keys []string) bool {
+		src := NewPartition(0, 8, allBuckets(8))
+		src.CreateTable("T")
+		want := make(map[string]bool)
+		for i, k := range keys {
+			key := fmt.Sprintf("%s-%d", k, i)
+			if err := src.Put("T", key, map[string]string{"v": key}); err != nil {
+				return false
+			}
+			want[key] = true
+		}
+		dst := NewPartition(1, 8, nil)
+		for b := 0; b < 8; b++ {
+			data, err := src.ExtractBucket(b)
+			if err != nil {
+				return false
+			}
+			if err := dst.ApplyBucket(data); err != nil {
+				return false
+			}
+		}
+		if src.RowCount() != 0 || dst.RowCount() != len(want) {
+			return false
+		}
+		for key := range want {
+			r, ok, err := dst.Get("T", key)
+			if err != nil || !ok || r.Cols["v"] != key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	p := newTestPartition()
+	for i := 0; i < 25; i++ {
+		if err := p.Put("CART", fmt.Sprintf("c%d", i), map[string]string{"i": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[string]bool)
+	n, err := p.Scan("CART", func(r Row) bool {
+		seen[r.Key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 || len(seen) != 25 {
+		t.Errorf("visited %d rows, distinct %d, want 25", n, len(seen))
+	}
+	// Early stop.
+	count := 0
+	n, err = p.Scan("CART", func(r Row) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("early stop visited %d, want 5", n)
+	}
+	// Unknown table.
+	if _, err := p.Scan("NOPE", func(Row) bool { return true }); err == nil {
+		t.Error("unknown table should fail")
+	}
+	// The row handed to fn is a copy.
+	p.Scan("CART", func(r Row) bool {
+		r.Cols["i"] = "mutated"
+		return false
+	})
+	r, _, _ := p.Get("CART", "c0")
+	if r.Cols["i"] == "mutated" {
+		t.Error("Scan must hand out copies")
+	}
+}

@@ -1,0 +1,61 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned when predicted and actual series differ in length.
+var ErrLengthMismatch = errors.New("timeseries: predicted and actual lengths differ")
+
+// MRE returns the mean relative error of predictions against actuals,
+// |pred-actual| / actual averaged over all points with actual != 0. This is
+// the accuracy measure the paper reports for SPAR (Figs 5b, 6b).
+func MRE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) {
+		return 0, ErrLengthMismatch
+	}
+	sum, n := 0.0, 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("timeseries: no nonzero actuals for MRE")
+	}
+	return sum / float64(n), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) {
+		return 0, ErrLengthMismatch
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("timeseries: empty input")
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) {
+		return 0, ErrLengthMismatch
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("timeseries: empty input")
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred)), nil
+}

@@ -1,0 +1,67 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+)
+
+// Autocorrelation returns the sample autocorrelation of the series at the
+// given lag, in [-1, 1]. It returns 0 for degenerate inputs (lag out of
+// range or zero variance).
+func (s *Series) Autocorrelation(lag int) float64 {
+	n := len(s.Values)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	mean := s.Mean()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := s.Values[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := lag; i < n; i++ {
+		num += (s.Values[i] - mean) * (s.Values[i-lag] - mean)
+	}
+	return num / den
+}
+
+// DetectPeriod estimates the dominant seasonal period of the series by
+// finding the lag in [minLag, maxLag] with the highest autocorrelation that
+// is also a local maximum (so harmonics of short cycles don't win by
+// accident). It returns an error when no lag shows meaningful correlation
+// (< 0.2, comfortably above white-noise ACF fluctuations at realistic
+// series lengths), i.e. the series has no usable seasonality for SPAR.
+func (s *Series) DetectPeriod(minLag, maxLag int) (int, error) {
+	if minLag < 2 {
+		minLag = 2
+	}
+	if maxLag >= len(s.Values)/2 {
+		maxLag = len(s.Values)/2 - 1
+	}
+	if maxLag < minLag {
+		return 0, errors.New("timeseries: series too short for period detection")
+	}
+	acf := make([]float64, maxLag+2)
+	for lag := minLag - 1; lag <= maxLag+1 && lag < len(s.Values); lag++ {
+		acf[lag-(minLag-1)] = s.Autocorrelation(lag)
+	}
+	best, bestLag := math.Inf(-1), 0
+	for lag := minLag; lag <= maxLag; lag++ {
+		i := lag - (minLag - 1)
+		if i+1 >= len(acf) {
+			break
+		}
+		// Local maximum of the ACF.
+		if acf[i] >= acf[i-1] && acf[i] >= acf[i+1] && acf[i] > best {
+			best = acf[i]
+			bestLag = lag
+		}
+	}
+	if bestLag == 0 || best < 0.2 {
+		return 0, errors.New("timeseries: no significant periodicity detected")
+	}
+	return bestLag, nil
+}

@@ -1,0 +1,201 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares system has no unique solution
+// (e.g. collinear regressors or fewer observations than parameters).
+var ErrSingular = errors.New("timeseries: singular system, no unique least-squares solution")
+
+// LeastSquares solves min ||X*beta - y||² for beta using the normal
+// equations (Xᵀ X) beta = Xᵀ y with Gaussian elimination and partial
+// pivoting. X is row-major: X[i] is the regressor vector of observation i.
+// A small ridge term can be supplied to stabilize near-collinear designs;
+// pass 0 for plain ordinary least squares.
+func LeastSquares(x [][]float64, y []float64, ridge float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("timeseries: no observations")
+	}
+	if n != len(y) {
+		return nil, fmt.Errorf("timeseries: %d rows but %d targets", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("timeseries: no regressors")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("timeseries: row %d has %d columns, want %d", i, len(row), p)
+		}
+	}
+	if ridge < 0 {
+		return nil, fmt.Errorf("timeseries: negative ridge %g", ridge)
+	}
+
+	// Build the normal equations. xtx is p×p symmetric, xty is p.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for _, k := range seqInts(n) {
+		row := x[k]
+		for i := 0; i < p; i++ {
+			xi := row[i]
+			if xi == 0 {
+				continue
+			}
+			for j := i; j < p; j++ {
+				xtx[i][j] += xi * row[j]
+			}
+			xty[i] += xi * y[k]
+		}
+	}
+	for i := 0; i < p; i++ {
+		xtx[i][i] += ridge
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	return SolveLinear(xtx, xty)
+}
+
+// seqInts returns [0, 1, ..., n-1]. It exists so the hot accumulation loop in
+// LeastSquares reads as iteration over observations.
+func seqInts(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// RidgeLeastSquares solves a least-squares problem with a scale-invariant
+// ridge penalty: each column of X is standardized to unit root-mean-square
+// before a ridge of lambda·n is added to the normal-equation diagonal, and
+// the solution is mapped back to the original scale. lambda around 1e-8
+// stabilizes collinear designs (e.g. highly correlated periodic lags)
+// without measurably biasing well-posed fits. All-zero columns get a zero
+// coefficient.
+func RidgeLeastSquares(x [][]float64, y []float64, lambda float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("timeseries: no observations")
+	}
+	if n != len(y) {
+		return nil, fmt.Errorf("timeseries: %d rows but %d targets", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("timeseries: no regressors")
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("timeseries: negative lambda %g", lambda)
+	}
+	// Column RMS scales.
+	scale := make([]float64, p)
+	for _, row := range x {
+		if len(row) != p {
+			return nil, errors.New("timeseries: ragged design matrix")
+		}
+		for j, v := range row {
+			scale[j] += v * v
+		}
+	}
+	live := make([]int, 0, p) // indices of nonzero columns
+	for j := range scale {
+		scale[j] = math.Sqrt(scale[j] / float64(n))
+		if scale[j] > 0 {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return make([]float64, p), nil
+	}
+	q := len(live)
+	xtx := make([][]float64, q)
+	for i := range xtx {
+		xtx[i] = make([]float64, q)
+	}
+	xty := make([]float64, q)
+	for k, row := range x {
+		for a := 0; a < q; a++ {
+			va := row[live[a]] / scale[live[a]]
+			if va == 0 {
+				continue
+			}
+			for b := a; b < q; b++ {
+				xtx[a][b] += va * row[live[b]] / scale[live[b]]
+			}
+			xty[a] += va * y[k]
+		}
+	}
+	for a := 0; a < q; a++ {
+		xtx[a][a] += lambda * float64(n)
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+	sol, err := SolveLinear(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	beta := make([]float64, p)
+	for a, j := range live {
+		beta[j] = sol[a] / scale[j]
+	}
+	return beta, nil
+}
+
+// SolveLinear solves the dense linear system a*x = b by Gaussian elimination
+// with partial pivoting. The inputs are modified in place.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("timeseries: bad linear system dimensions")
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in col.
+		pivot := col
+		maxAbs := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(a[r][col]); abs > maxAbs {
+				maxAbs = abs
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a[pivot], a[col] = a[col], a[pivot]
+			b[pivot], b[col] = b[col], b[pivot]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * x[j]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,270 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, -7}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], -7, 1e-12) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 5}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 5, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Errorf("x = %v, want [5 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); err == nil {
+		t.Error("singular system should return an error")
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 2 + 3x, exactly determined through noiseless points.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		xi := float64(i)
+		x = append(x, []float64{1, xi})
+		y = append(y, 2+3*xi)
+	}
+	beta, err := LeastSquares(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(beta[0], 2, 1e-9) || !almostEqual(beta[1], 3, 1e-9) {
+		t.Errorf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestLeastSquaresNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{1, a, b})
+		y = append(y, 1.5-2*a+0.5*b+rng.NormFloat64()*0.01)
+	}
+	beta, err := LeastSquares(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -2, 0.5}
+	for i := range want {
+		if !almostEqual(beta[i], want[i], 1e-2) {
+			t.Errorf("beta[%d] = %v, want %v", i, beta[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil, 0); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Error("negative ridge should fail")
+	}
+	// Collinear columns are singular without ridge...
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	y := []float64{1, 2, 3}
+	if _, err := LeastSquares(x, y, 0); err == nil {
+		t.Error("collinear design without ridge should fail")
+	}
+	// ...but solvable with it.
+	if _, err := LeastSquares(x, y, 1e-6); err != nil {
+		t.Errorf("ridge should stabilize collinear design: %v", err)
+	}
+}
+
+// Property: for any nonsingular random system, SolveLinear produces x with
+// a*x ≈ b.
+func TestSolveLinearResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 1 + r.Intn(6)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				a[i][j] = r.NormFloat64()
+				orig[i][j] = a[i][j]
+			}
+			a[i][i] += float64(n) // diagonal dominance => nonsingular
+			orig[i][i] = a[i][i]
+			b[i] = r.NormFloat64()
+		}
+		bOrig := make([]float64, n)
+		copy(bOrig, b)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += orig[i][j] * x[j]
+			}
+			if math.Abs(sum-bOrig[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMRE(t *testing.T) {
+	got, err := MRE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("MRE = %v, want 0.1", got)
+	}
+	// Zero actuals are skipped.
+	got, err = MRE([]float64{5, 110}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("MRE with zero actual = %v, want 0.1", got)
+	}
+	if _, err := MRE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := MRE([]float64{1}, []float64{0}); err == nil {
+		t.Error("all-zero actuals should fail")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	actual := []float64{1, 2, 7}
+	rmse, err := RMSE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(16.0 / 3.0)
+	if !almostEqual(rmse, want, 1e-12) {
+		t.Errorf("RMSE = %v, want %v", rmse, want)
+	}
+	mae, err := MAE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mae, 4.0/3.0, 1e-12) {
+		t.Errorf("MAE = %v, want 4/3", mae)
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty RMSE should fail")
+	}
+	if _, err := MAE([]float64{1}, []float64{}); err == nil {
+		t.Error("mismatched MAE should fail")
+	}
+}
+
+func TestRidgeLeastSquaresNearCollinear(t *testing.T) {
+	// Intercept vs a large-mean, low-variance column: a naive absolute
+	// ridge badly biases this design; the standardized ridge must not.
+	rng := rand.New(rand.NewSource(9))
+	const phi, c = 0.8, 50.0
+	prev := c / (1 - phi)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 5000; i++ {
+		next := c + phi*prev + rng.NormFloat64()
+		x = append(x, []float64{1, prev})
+		y = append(y, next)
+		prev = next
+	}
+	beta, err := RidgeLeastSquares(x, y, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[1]-phi) > 0.05 {
+		t.Errorf("slope = %v, want ≈%v", beta[1], phi)
+	}
+}
+
+func TestRidgeLeastSquaresZeroColumn(t *testing.T) {
+	x := [][]float64{{1, 0}, {2, 0}, {3, 0}}
+	y := []float64{2, 4, 6}
+	beta, err := RidgeLeastSquares(x, y, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(beta[0], 2, 1e-4) || beta[1] != 0 {
+		t.Errorf("beta = %v, want [2 0]", beta)
+	}
+}
+
+func TestRidgeLeastSquaresAllZero(t *testing.T) {
+	x := [][]float64{{0}, {0}}
+	y := []float64{1, 2}
+	beta, err := RidgeLeastSquares(x, y, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta[0] != 0 {
+		t.Errorf("beta = %v, want [0]", beta)
+	}
+}
+
+func TestRidgeLeastSquaresValidation(t *testing.T) {
+	if _, err := RidgeLeastSquares(nil, nil, 1e-8); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := RidgeLeastSquares([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Error("negative lambda should fail")
+	}
+	if _, err := RidgeLeastSquares([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}

@@ -1,0 +1,144 @@
+// Package timeseries provides the numeric foundation for P-Store's load
+// prediction: evenly spaced time series, linear least-squares regression and
+// forecast accuracy metrics.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Series is an evenly spaced time series. Values[i] is the observation at
+// Start + i*Step. The zero value is an empty series with no start time and
+// must be given a positive Step before use by code that depends on timing;
+// purely index-based operations work regardless.
+type Series struct {
+	Start  time.Time
+	Step   time.Duration
+	Values []float64
+}
+
+// New returns a Series with the given start, step and values. The values
+// slice is used directly (not copied).
+func New(start time.Time, step time.Duration, values []float64) *Series {
+	return &Series{Start: start, Step: step, Values: values}
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Values) }
+
+// At returns the i-th observation.
+func (s *Series) At(i int) float64 { return s.Values[i] }
+
+// TimeAt returns the timestamp of the i-th observation.
+func (s *Series) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Step)
+}
+
+// Slice returns a view of the series covering [i, j).
+func (s *Series) Slice(i, j int) *Series {
+	return &Series{Start: s.TimeAt(i), Step: s.Step, Values: s.Values[i:j]}
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return &Series{Start: s.Start, Step: s.Step, Values: v}
+}
+
+// Append adds observations to the end of the series.
+func (s *Series) Append(values ...float64) {
+	s.Values = append(s.Values, values...)
+}
+
+// Max returns the maximum observation, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Min returns the minimum observation, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Std returns the population standard deviation, or 0 for an empty series.
+func (s *Series) Std() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.Values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.Values)))
+}
+
+// Scale multiplies every observation by f in place and returns the series.
+func (s *Series) Scale(f float64) *Series {
+	for i := range s.Values {
+		s.Values[i] *= f
+	}
+	return s
+}
+
+// Resample aggregates the series into buckets of the given factor, summing
+// the observations in each bucket (appropriate for count-per-slot load
+// series). The last partial bucket, if any, is dropped.
+func (s *Series) Resample(factor int) (*Series, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("timeseries: resample factor must be positive, got %d", factor)
+	}
+	n := len(s.Values) / factor
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < factor; j++ {
+			sum += s.Values[i*factor+j]
+		}
+		out[i] = sum
+	}
+	return &Series{Start: s.Start, Step: time.Duration(factor) * s.Step, Values: out}, nil
+}
+
+// Split divides the series at index i into (train, test) views.
+func (s *Series) Split(i int) (train, test *Series, err error) {
+	if i < 0 || i > len(s.Values) {
+		return nil, nil, errors.New("timeseries: split index out of range")
+	}
+	return s.Slice(0, i), s.Slice(i, len(s.Values)), nil
+}

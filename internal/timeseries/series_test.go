@@ -1,0 +1,177 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSeriesBasics(t *testing.T) {
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	s := New(start, time.Minute, []float64{1, 2, 3, 4})
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if got := s.TimeAt(2); !got.Equal(start.Add(2 * time.Minute)) {
+		t.Errorf("TimeAt(2) = %v", got)
+	}
+	if s.Max() != 4 || s.Min() != 1 {
+		t.Errorf("Max/Min = %v/%v, want 4/1", s.Max(), s.Min())
+	}
+	if !almostEqual(s.Mean(), 2.5, 1e-12) {
+		t.Errorf("Mean = %v, want 2.5", s.Mean())
+	}
+	wantStd := math.Sqrt(1.25)
+	if !almostEqual(s.Std(), wantStd, 1e-12) {
+		t.Errorf("Std = %v, want %v", s.Std(), wantStd)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.Std() != 0 {
+		t.Errorf("empty series stats should be zero: max=%v min=%v mean=%v std=%v",
+			s.Max(), s.Min(), s.Mean(), s.Std())
+	}
+}
+
+func TestSeriesSliceViewsShareStorage(t *testing.T) {
+	s := New(time.Time{}, time.Minute, []float64{1, 2, 3, 4})
+	v := s.Slice(1, 3)
+	if v.Len() != 2 || v.At(0) != 2 {
+		t.Fatalf("slice = %+v", v.Values)
+	}
+	v.Values[0] = 42
+	if s.At(1) != 42 {
+		t.Error("Slice should be a view sharing storage")
+	}
+	c := s.Clone()
+	c.Values[0] = -1
+	if s.At(0) == -1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestSeriesResample(t *testing.T) {
+	s := New(time.Time{}, time.Minute, []float64{1, 2, 3, 4, 5, 6, 7})
+	r, err := s.Resample(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.At(0) != 6 || r.At(1) != 15 {
+		t.Errorf("resampled = %v, want [6 15]", r.Values)
+	}
+	if r.Step != 3*time.Minute {
+		t.Errorf("step = %v, want 3m", r.Step)
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Error("Resample(0) should fail")
+	}
+}
+
+func TestSeriesSplit(t *testing.T) {
+	s := New(time.Time{}, time.Minute, []float64{1, 2, 3, 4})
+	train, test, err := s.Split(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 3 || test.Len() != 1 || test.At(0) != 4 {
+		t.Errorf("split wrong: train=%v test=%v", train.Values, test.Values)
+	}
+	if _, _, err := s.Split(5); err == nil {
+		t.Error("out-of-range split should fail")
+	}
+}
+
+func TestSeriesScale(t *testing.T) {
+	s := New(time.Time{}, time.Second, []float64{1, 2})
+	s.Scale(2.5)
+	if s.At(0) != 2.5 || s.At(1) != 5 {
+		t.Errorf("scaled = %v", s.Values)
+	}
+}
+
+// Property: resampling preserves the total over complete buckets.
+func TestResamplePreservesSumProperty(t *testing.T) {
+	f := func(raw []uint8, factorRaw uint8) bool {
+		factor := int(factorRaw%5) + 1
+		vals := make([]float64, len(raw))
+		for i, b := range raw {
+			vals[i] = float64(b)
+		}
+		s := New(time.Time{}, time.Minute, vals)
+		r, err := s.Resample(factor)
+		if err != nil {
+			return false
+		}
+		n := (len(vals) / factor) * factor
+		want := 0.0
+		for _, v := range vals[:n] {
+			want += v
+		}
+		got := 0.0
+		for _, v := range r.Values {
+			got += v
+		}
+		return almostEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A pure sine has ACF ≈ 1 at its period and ≈ -1 at half period.
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = math.Sin(2 * math.Pi * float64(i) / 40)
+	}
+	s := New(time.Time{}, time.Minute, vals)
+	// The unnormalized sample ACF carries a (n−lag)/n factor: 0.9 at lag 40
+	// of 400 samples.
+	if got := s.Autocorrelation(40); got < 0.85 {
+		t.Errorf("ACF(40) = %v, want ≈0.9", got)
+	}
+	if got := s.Autocorrelation(20); got > -0.9 {
+		t.Errorf("ACF(20) = %v, want ≈-1", got)
+	}
+	if s.Autocorrelation(0) != 0 || s.Autocorrelation(400) != 0 {
+		t.Error("degenerate lags should return 0")
+	}
+	flat := New(time.Time{}, time.Minute, []float64{5, 5, 5, 5})
+	if flat.Autocorrelation(1) != 0 {
+		t.Error("zero-variance series should return 0")
+	}
+}
+
+func TestDetectPeriod(t *testing.T) {
+	vals := make([]float64, 600)
+	for i := range vals {
+		vals[i] = 100 + 50*math.Sin(2*math.Pi*float64(i)/48)
+	}
+	s := New(time.Time{}, time.Minute, vals)
+	got, err := s.DetectPeriod(4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 46 || got > 50 {
+		t.Errorf("period = %d, want ≈48", got)
+	}
+	// Short series.
+	if _, err := s.Slice(0, 6).DetectPeriod(4, 200); err == nil {
+		t.Error("too-short series should fail")
+	}
+	// Aperiodic series.
+	rng := rand.New(rand.NewSource(1))
+	noise := make([]float64, 600)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	if _, err := New(time.Time{}, time.Minute, noise).DetectPeriod(4, 200); err == nil {
+		t.Error("white noise should not yield a period")
+	}
+}

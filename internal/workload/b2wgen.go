@@ -1,0 +1,130 @@
+// Package workload provides load-trace generation, trace file IO and an
+// open-loop trace replayer.
+//
+// The paper's evaluation is driven by proprietary B2W Digital transaction
+// logs and Wikipedia page-view dumps; neither is available offline, so this
+// package synthesizes traces with the same published characteristics: a
+// strong diurnal pattern with ~10× peak-to-trough ratio, weekly seasonality,
+// day-to-day variability, occasional promotion spikes, and a Black Friday
+// surge (B2W); and smoother/noisier hourly page-view curves (Wikipedia EN
+// and DE).
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"pstore/internal/timeseries"
+)
+
+// B2WConfig parameterizes the synthetic B2W shopping-cart load generator.
+type B2WConfig struct {
+	Start       time.Time
+	Days        int
+	SlotsPerDay int // 1440 for 1-minute slots, as in the paper
+
+	// TroughLoad and PeakLoad bound the diurnal swing (Fig 1 shows ≈10×).
+	TroughLoad float64
+	PeakLoad   float64
+
+	// NoiseFrac is the relative σ of slot-level Gaussian noise.
+	NoiseFrac float64
+	// DailyDriftFrac is the relative σ of a per-day amplitude multiplier
+	// (seasonality of demand, campaigns, weather...).
+	DailyDriftFrac float64
+	// WeekendDip scales weekend load (e.g. 0.9 = 10% lower on weekends).
+	WeekendDip float64
+
+	// PromoProb is the per-day probability of a promotion spike lasting a
+	// few hours at PromoBoost× the normal level.
+	PromoProb  float64
+	PromoBoost float64
+
+	// BlackFridayDay, if ≥ 0, marks one day with a BlackFridayBoost× surge
+	// (B2W's biggest sale of the year). The surge starts at midnight and
+	// decays through the day, as in the paper's Fig 13 inset.
+	BlackFridayDay   int
+	BlackFridayBoost float64
+
+	Seed int64
+}
+
+// DefaultB2WConfig returns a configuration matching the published shape of
+// B2W's cart/checkout load: 1-minute slots, 10× peak-to-trough.
+func DefaultB2WConfig() B2WConfig {
+	return B2WConfig{
+		Start:            time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC),
+		Days:             7,
+		SlotsPerDay:      1440,
+		TroughLoad:       2200,
+		PeakLoad:         22000,
+		NoiseFrac:        0.07,
+		DailyDriftFrac:   0.10,
+		WeekendDip:       0.92,
+		PromoProb:        0.05,
+		PromoBoost:       1.5,
+		BlackFridayDay:   -1,
+		BlackFridayBoost: 2.2,
+		Seed:             1,
+	}
+}
+
+// GenerateB2W synthesizes a B2W-like load trace.
+func GenerateB2W(cfg B2WConfig) *timeseries.Series {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.Days * cfg.SlotsPerDay
+	vals := make([]float64, slots)
+	step := 24 * time.Hour / time.Duration(cfg.SlotsPerDay)
+
+	// Per-day state, drawn once per day for continuity within the day.
+	drift := make([]float64, cfg.Days)
+	promoStart := make([]int, cfg.Days)
+	promoLen := make([]int, cfg.Days)
+	for d := 0; d < cfg.Days; d++ {
+		drift[d] = 1 + rng.NormFloat64()*cfg.DailyDriftFrac
+		if drift[d] < 0.5 {
+			drift[d] = 0.5
+		}
+		promoStart[d] = -1
+		if rng.Float64() < cfg.PromoProb {
+			// A promotion spike somewhere between 08:00 and 20:00.
+			promoStart[d] = cfg.SlotsPerDay/3 + rng.Intn(cfg.SlotsPerDay/2)
+			promoLen[d] = cfg.SlotsPerDay/24 + rng.Intn(cfg.SlotsPerDay/8) // 1h–4h
+		}
+	}
+
+	for i := 0; i < slots; i++ {
+		day := i / cfg.SlotsPerDay
+		slot := i % cfg.SlotsPerDay
+		frac := float64(slot) / float64(cfg.SlotsPerDay)
+
+		// Diurnal curve: minimum around 04:30, broad daytime plateau. The
+		// exponent sharpens the night dip, matching Fig 1's shape.
+		s := (1 - math.Cos(2*math.Pi*(frac-0.1875))) / 2
+		base := cfg.TroughLoad + (cfg.PeakLoad-cfg.TroughLoad)*math.Pow(s, 1.3)
+
+		v := base * drift[day]
+		weekday := cfg.Start.Add(time.Duration(i) * step).Weekday()
+		if weekday == time.Saturday || weekday == time.Sunday {
+			v *= cfg.WeekendDip
+		}
+		if ps := promoStart[day]; ps >= 0 && slot >= ps && slot < ps+promoLen[day] {
+			// Ramp the promo in and out to avoid unrealistic cliffs.
+			pos := float64(slot-ps) / float64(promoLen[day])
+			ramp := math.Sin(math.Pi * pos)
+			v *= 1 + (cfg.PromoBoost-1)*ramp
+		}
+		if day == cfg.BlackFridayDay {
+			// Surge strongest in the first hours, decaying through the day.
+			decay := math.Exp(-2 * frac)
+			v *= 1 + (cfg.BlackFridayBoost-1)*(0.4+0.6*decay)
+		}
+		v += rng.NormFloat64() * cfg.NoiseFrac * v
+		if v < 0 {
+			v = 0
+		}
+		vals[i] = v
+	}
+	return timeseries.New(cfg.Start, step, vals)
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"pstore/internal/timeseries"
+)
+
+// WriteTrace writes a load series as CSV: an RFC3339 timestamp and the load
+// value per line, with a header carrying the step size.
+func WriteTrace(w io.Writer, s *timeseries.Series) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# step=%s\n", s.Step); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "time,load"); err != nil {
+		return err
+	}
+	for i := 0; i < s.Len(); i++ {
+		if _, err := fmt.Fprintf(bw, "%s,%.3f\n", s.TimeAt(i).Format(time.RFC3339), s.At(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a CSV trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*timeseries.Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var step time.Duration
+	var start time.Time
+	var vals []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if idx := strings.Index(text, "step="); idx >= 0 {
+				d, err := time.ParseDuration(strings.TrimSpace(text[idx+5:]))
+				if err != nil {
+					return nil, fmt.Errorf("workload: line %d: bad step: %w", line, err)
+				}
+				step = d
+			}
+			continue
+		}
+		if text == "time,load" {
+			continue
+		}
+		comma := strings.LastIndex(text, ",")
+		if comma < 0 {
+			return nil, fmt.Errorf("workload: line %d: expected time,load", line)
+		}
+		ts, err := time.Parse(time.RFC3339, text[:comma])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad timestamp: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(text[comma+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad load: %w", line, err)
+		}
+		if len(vals) == 0 {
+			start = ts
+		}
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if step == 0 {
+		return nil, fmt.Errorf("workload: trace missing step header")
+	}
+	return timeseries.New(start, step, vals), nil
+}

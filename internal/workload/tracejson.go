@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"pstore/internal/timeseries"
+)
+
+// jsonTrace is the JSON wire format of a load trace: compact (values only)
+// with the timeline in the header, so months of slots stay small.
+type jsonTrace struct {
+	Start  time.Time `json:"start"`
+	StepMS int64     `json:"step_ms"`
+	Values []float64 `json:"values"`
+}
+
+// WriteTraceJSON writes a load series as JSON (see ReadTraceJSON).
+func WriteTraceJSON(w io.Writer, s *timeseries.Series) error {
+	if s.Step <= 0 {
+		return fmt.Errorf("workload: series step must be positive")
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonTrace{
+		Start:  s.Start,
+		StepMS: s.Step.Milliseconds(),
+		Values: s.Values,
+	})
+}
+
+// ReadTraceJSON parses a trace written by WriteTraceJSON.
+func ReadTraceJSON(r io.Reader) (*timeseries.Series, error) {
+	var t jsonTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: decoding JSON trace: %w", err)
+	}
+	if t.StepMS <= 0 {
+		return nil, fmt.Errorf("workload: JSON trace has invalid step %dms", t.StepMS)
+	}
+	if len(t.Values) == 0 {
+		return nil, fmt.Errorf("workload: JSON trace has no values")
+	}
+	return timeseries.New(t.Start, time.Duration(t.StepMS)*time.Millisecond, t.Values), nil
+}

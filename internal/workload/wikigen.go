@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"pstore/internal/timeseries"
+)
+
+// WikiConfig parameterizes the synthetic Wikipedia page-view generator
+// (hourly slots, per §5's Fig 6 evaluation).
+type WikiConfig struct {
+	Start time.Time
+	Days  int
+
+	// BaseLoad and Amp set the mean hourly request level and the diurnal
+	// swing around it.
+	BaseLoad float64
+	Amp      float64
+
+	// WeeklyAmp modulates weekdays vs weekends.
+	WeeklyAmp float64
+	// NoiseFrac is the relative σ of hourly noise; the German edition is
+	// noisier than the English one.
+	NoiseFrac float64
+	// TransientProb is the per-hour probability of a short news-driven
+	// transient of TransientBoost×.
+	TransientProb  float64
+	TransientBoost float64
+
+	Seed int64
+}
+
+// DefaultWikiEnglish matches the smoother, highly periodic English-language
+// trace of Fig 6 (≈6–10M requests/hour).
+func DefaultWikiEnglish() WikiConfig {
+	return WikiConfig{
+		Start:          time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC),
+		Days:           42,
+		BaseLoad:       8e6,
+		Amp:            2.2e6,
+		WeeklyAmp:      0.05,
+		NoiseFrac:      0.025,
+		TransientProb:  0.004,
+		TransientBoost: 1.25,
+		Seed:           2,
+	}
+}
+
+// DefaultWikiGerman matches the less predictable German-language trace of
+// Fig 6 (≈0.5–2.5M requests/hour, sharper diurnal swing, more noise).
+func DefaultWikiGerman() WikiConfig {
+	return WikiConfig{
+		Start:          time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC),
+		Days:           42,
+		BaseLoad:       1.5e6,
+		Amp:            0.9e6,
+		WeeklyAmp:      0.1,
+		NoiseFrac:      0.06,
+		TransientProb:  0.012,
+		TransientBoost: 1.5,
+		Seed:           3,
+	}
+}
+
+// GenerateWiki synthesizes an hourly Wikipedia-like page-view trace.
+func GenerateWiki(cfg WikiConfig) *timeseries.Series {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.Days * 24
+	vals := make([]float64, slots)
+	transient := 0 // remaining hours of an active transient
+	for i := 0; i < slots; i++ {
+		hour := i % 24
+		// Diurnal: peak in the evening (~20:00), trough early morning.
+		diurnal := math.Sin(2 * math.Pi * (float64(hour) - 8) / 24)
+		v := cfg.BaseLoad + cfg.Amp*diurnal
+		weekday := cfg.Start.Add(time.Duration(i) * time.Hour).Weekday()
+		if weekday == time.Saturday || weekday == time.Sunday {
+			v *= 1 + cfg.WeeklyAmp
+		}
+		if transient == 0 && rng.Float64() < cfg.TransientProb {
+			transient = 2 + rng.Intn(6)
+		}
+		if transient > 0 {
+			v *= cfg.TransientBoost
+			transient--
+		}
+		v += rng.NormFloat64() * cfg.NoiseFrac * v
+		if v < 0 {
+			v = 0
+		}
+		vals[i] = v
+	}
+	return timeseries.New(cfg.Start, time.Hour, vals)
+}

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pstore/internal/timeseries"
+)
+
+func TestGenerateB2WShape(t *testing.T) {
+	cfg := DefaultB2WConfig()
+	cfg.Days = 7
+	s := GenerateB2W(cfg)
+	if s.Len() != 7*1440 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Step != time.Minute {
+		t.Errorf("step = %v", s.Step)
+	}
+	// Peak-to-trough ratio should be large, near the paper's ~10×.
+	ratio := s.Max() / s.Min()
+	if ratio < 5 || ratio > 25 {
+		t.Errorf("peak/trough = %.1f, want within [5, 25]", ratio)
+	}
+	// All values non-negative.
+	if s.Min() < 0 {
+		t.Error("negative load")
+	}
+	// Daytime (noon) load must exceed night (4am) load on every day.
+	for d := 0; d < 7; d++ {
+		noon := s.At(d*1440 + 720)
+		night := s.At(d*1440 + 270)
+		if noon < 3*night {
+			t.Errorf("day %d: noon %.0f not ≫ night %.0f", d, noon, night)
+		}
+	}
+}
+
+func TestGenerateB2WDeterministic(t *testing.T) {
+	cfg := DefaultB2WConfig()
+	cfg.Days = 2
+	a := GenerateB2W(cfg)
+	b := GenerateB2W(cfg)
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("seeded generator not deterministic at %d", i)
+		}
+	}
+	cfg.Seed = 99
+	c := GenerateB2W(cfg)
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != c.At(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateB2WBlackFriday(t *testing.T) {
+	cfg := DefaultB2WConfig()
+	cfg.Days = 5
+	cfg.NoiseFrac = 0
+	cfg.DailyDriftFrac = 0
+	cfg.PromoProb = 0
+	cfg.BlackFridayDay = 3
+	cfg.BlackFridayBoost = 2.2
+	s := GenerateB2W(cfg)
+	// Compare Black Friday noon to the previous (same weekday class) noon.
+	bf := s.At(3*1440 + 720)
+	normal := s.At(2*1440 + 720)
+	if bf < 1.3*normal {
+		t.Errorf("Black Friday noon %.0f not well above normal %.0f", bf, normal)
+	}
+}
+
+func TestGenerateWikiShapes(t *testing.T) {
+	en := GenerateWiki(DefaultWikiEnglish())
+	de := GenerateWiki(DefaultWikiGerman())
+	if en.Len() != 42*24 || de.Len() != 42*24 {
+		t.Fatalf("lens = %d, %d", en.Len(), de.Len())
+	}
+	if en.Step != time.Hour {
+		t.Errorf("step = %v", en.Step)
+	}
+	// English volume is much higher than German (Fig 6: ~8M vs ~1.5M).
+	if en.Mean() < 3*de.Mean() {
+		t.Errorf("EN mean %.0f not ≫ DE mean %.0f", en.Mean(), de.Mean())
+	}
+	// German is relatively noisier: coefficient of deviation from its own
+	// daily pattern should be higher. Use lag-24 autocorrelation residual.
+	relResid := func(s *timeseries.Series) float64 {
+		sum, n := 0.0, 0
+		for i := 24; i < s.Len(); i++ {
+			d := (s.At(i) - s.At(i-24)) / s.Mean()
+			sum += d * d
+			n++
+		}
+		return math.Sqrt(sum / float64(n))
+	}
+	if relResid(de) <= relResid(en) {
+		t.Errorf("DE day-over-day residual %.4f should exceed EN %.4f", relResid(de), relResid(en))
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := DefaultB2WConfig()
+	cfg.Days = 1
+	s := GenerateB2W(cfg)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.Step != s.Step || !got.Start.Equal(s.Start) {
+		t.Fatalf("round trip meta: len %d/%d step %v/%v", got.Len(), s.Len(), got.Step, s.Step)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if math.Abs(got.At(i)-s.At(i)) > 0.001 {
+			t.Fatalf("value %d: %v vs %v", i, got.At(i), s.At(i))
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("")); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("time,load\n2016-07-01T00:00:00Z,5\n")); err == nil {
+		t.Error("missing step header should fail")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("# step=1m\ntime,load\nnot-a-time,5\n")); err == nil {
+		t.Error("bad timestamp should fail")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("# step=1m\ntime,load\n2016-07-01T00:00:00Z,xyz\n")); err == nil {
+		t.Error("bad load should fail")
+	}
+}
+
+func TestReplayFiresExpectedCounts(t *testing.T) {
+	s := timeseries.New(time.Time{}, time.Minute, []float64{10, 0, 5})
+	var fired atomic.Int64
+	perSlot := make([]int64, 3)
+	stats, err := Replay(context.Background(), s, ReplayConfig{
+		SlotWall:  30 * time.Millisecond,
+		LoadScale: 1,
+	}, func(slot int) {
+		fired.Add(1)
+		atomic.AddInt64(&perSlot[slot], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 15 || stats.Requests != 15 {
+		t.Errorf("fired = %d, stats = %+v", fired.Load(), stats)
+	}
+	if perSlot[0] != 10 || perSlot[1] != 0 || perSlot[2] != 5 {
+		t.Errorf("per-slot = %v", perSlot)
+	}
+	if stats.Slots != 3 {
+		t.Errorf("slots = %d", stats.Slots)
+	}
+	// Wall time roughly 3 slots.
+	if stats.Elapsed < 80*time.Millisecond {
+		t.Errorf("elapsed = %v, want ≈90ms", stats.Elapsed)
+	}
+}
+
+func TestReplayScaleAndCap(t *testing.T) {
+	s := timeseries.New(time.Time{}, time.Minute, []float64{100})
+	var fired atomic.Int64
+	_, err := Replay(context.Background(), s, ReplayConfig{
+		SlotWall:   10 * time.Millisecond,
+		LoadScale:  0.1,
+		MaxPerSlot: 7,
+	}, func(int) { fired.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 7 {
+		t.Errorf("fired = %d, want capped 7", fired.Load())
+	}
+}
+
+func TestReplayCancellation(t *testing.T) {
+	s := timeseries.New(time.Time{}, time.Minute, []float64{1000, 1000, 1000})
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	stats, err := Replay(ctx, s, ReplayConfig{SlotWall: 50 * time.Millisecond, LoadScale: 1},
+		func(int) {})
+	if err == nil {
+		t.Error("cancelled replay should return an error")
+	}
+	if stats.Slots >= 3 {
+		t.Errorf("slots = %d, should have stopped early", stats.Slots)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	s := timeseries.New(time.Time{}, time.Minute, []float64{1})
+	if _, err := Replay(context.Background(), s, ReplayConfig{SlotWall: 0, LoadScale: 1}, func(int) {}); err == nil {
+		t.Error("zero SlotWall should fail")
+	}
+	if _, err := Replay(context.Background(), s, ReplayConfig{SlotWall: time.Millisecond, LoadScale: 0}, func(int) {}); err == nil {
+		t.Error("zero LoadScale should fail")
+	}
+}
+
+func TestReplayMaxLagDropsBurst(t *testing.T) {
+	s := timeseries.New(time.Time{}, time.Minute, []float64{4, 4})
+	var fired atomic.Int64
+	slow := true
+	stats, err := Replay(context.Background(), s, ReplayConfig{
+		SlotWall:  40 * time.Millisecond,
+		LoadScale: 1,
+		MaxLag:    20 * time.Millisecond,
+	}, func(int) {
+		fired.Add(1)
+		if slow {
+			// Stall the replayer well past MaxLag once; later events of
+			// the slot must be dropped rather than fired in a burst.
+			slow = false
+			time.Sleep(70 * time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped == 0 {
+		t.Errorf("expected dropped events, stats = %+v", stats)
+	}
+	if stats.Requests+stats.Dropped != 8 {
+		t.Errorf("requests %d + dropped %d != 8", stats.Requests, stats.Dropped)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	cfg := DefaultB2WConfig()
+	cfg.Days = 1
+	s := GenerateB2W(cfg)
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.Step != s.Step || !got.Start.Equal(s.Start) {
+		t.Fatalf("round trip meta mismatch: len %d/%d step %v/%v", got.Len(), s.Len(), got.Step, s.Step)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if got.At(i) != s.At(i) {
+			t.Fatalf("value %d: %v vs %v", i, got.At(i), s.At(i))
+		}
+	}
+}
+
+func TestTraceJSONErrors(t *testing.T) {
+	if _, err := ReadTraceJSON(bytes.NewBufferString("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := ReadTraceJSON(bytes.NewBufferString(`{"start":"2016-07-01T00:00:00Z","step_ms":0,"values":[1]}`)); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := ReadTraceJSON(bytes.NewBufferString(`{"start":"2016-07-01T00:00:00Z","step_ms":60000,"values":[]}`)); err == nil {
+		t.Error("empty values should fail")
+	}
+	bad := timeseries.New(time.Time{}, 0, []float64{1})
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, bad); err == nil {
+		t.Error("zero-step series should fail to encode")
+	}
+}
