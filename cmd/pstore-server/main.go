@@ -4,9 +4,18 @@
 // library; scale requests perform live migrations while transactions
 // continue to execute.
 //
+// With -data-dir set the server is durable: committed transactions are
+// group-committed to per-partition command logs before being acked,
+// partitions snapshot periodically, and a restart (even after a crash)
+// recovers the database from the latest snapshots plus log tails and skips
+// preloading. On SIGINT/SIGTERM the server shuts down gracefully: it stops
+// accepting connections, drains the executors, snapshots every partition
+// and flushes/closes the logs before exiting.
+//
 // Usage:
 //
-//	pstore-server -addr 127.0.0.1:7070 -nodes 2 -partitions 2 -preload 1000
+//	pstore-server -addr 127.0.0.1:7070 -nodes 2 -partitions 2 -preload 1000 \
+//	    -data-dir /var/lib/pstore
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 
 	"pstore/internal/b2w"
 	"pstore/internal/cluster"
+	"pstore/internal/durability"
 	"pstore/internal/engine"
 	"pstore/internal/migration"
 	"pstore/internal/server"
@@ -27,13 +37,17 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7070", "listen address")
-		nodes       = flag.Int("nodes", 2, "initial nodes")
-		partitions  = flag.Int("partitions", 2, "partitions per node")
-		nBuckets    = flag.Int("buckets", 512, "hash buckets (migration granularity)")
-		stockItems  = flag.Int("stock", 2000, "stock catalog size to preload")
-		preload     = flag.Int("preload", 1000, "shopping carts to preload")
-		serviceTime = flag.Duration("service-time", 200*time.Microsecond, "synthetic per-transaction work")
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address")
+		nodes        = flag.Int("nodes", 2, "initial nodes")
+		partitions   = flag.Int("partitions", 2, "partitions per node")
+		nBuckets     = flag.Int("buckets", 512, "hash buckets (migration granularity)")
+		stockItems   = flag.Int("stock", 2000, "stock catalog size to preload")
+		preload      = flag.Int("preload", 1000, "shopping carts to preload")
+		serviceTime  = flag.Duration("service-time", 200*time.Microsecond, "synthetic per-transaction work")
+		dataDir      = flag.String("data-dir", "", "durability directory (empty = in-memory only)")
+		fsyncEvery   = flag.Bool("fsync-every-txn", false, "fsync per transaction instead of group commit")
+		groupCommit  = flag.Duration("group-commit", 2*time.Millisecond, "group-commit fsync interval")
+		snapInterval = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot/log-truncation interval")
 	)
 	flag.Parse()
 
@@ -49,32 +63,65 @@ func main() {
 			ServiceTime:      *serviceTime,
 			MigrationRowCost: *serviceTime / 20,
 		},
+		DataDir: *dataDir,
+		Durability: durability.Options{
+			SyncEvery:           *fsyncEvery,
+			GroupCommitInterval: *groupCommit,
+			SnapshotInterval:    *snapInterval,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
 		os.Exit(1)
 	}
-	defer c.Stop()
 
-	d := b2w.NewDriver(b2w.DriverConfig{StockItems: *stockItems, CartPool: *preload, Seed: 1})
-	if err := d.Preload(c, *preload); err != nil {
-		fmt.Fprintf(os.Stderr, "pstore-server: preload: %v\n", err)
-		os.Exit(1)
+	if c.Recovered() {
+		rows, _ := c.TotalRows()
+		log.Printf("pstore-server: recovered %d rows from %s, skipping preload", rows, *dataDir)
+	} else {
+		d := b2w.NewDriver(b2w.DriverConfig{StockItems: *stockItems, CartPool: *preload, Seed: 1})
+		if err := d.Preload(c, *preload); err != nil {
+			fmt.Fprintf(os.Stderr, "pstore-server: preload: %v\n", err)
+			c.Stop()
+			os.Exit(1)
+		}
+		// Bulk loading bypasses the command log; checkpoint so the preload
+		// survives a crash.
+		if *dataDir != "" {
+			if err := c.SnapshotAll(); err != nil {
+				fmt.Fprintf(os.Stderr, "pstore-server: preload snapshot: %v\n", err)
+				c.Stop()
+				os.Exit(1)
+			}
+		}
 	}
 
 	srv := server.New(c, migration.Options{BucketsPerChunk: 2, ChunkInterval: 5 * time.Millisecond}, log.Printf)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
+		c.Stop()
 		os.Exit(1)
 	}
-	defer srv.Close()
 	rows, _ := c.TotalRows()
-	log.Printf("pstore-server: listening on %s (%d nodes × %d partitions, %d rows preloaded)",
-		bound, *nodes, *partitions, rows)
+	log.Printf("pstore-server: listening on %s (%d nodes × %d partitions, %d rows)",
+		bound, c.NumNodes(), *partitions, rows)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("pstore-server: shutting down")
+	s := <-sig
+	log.Printf("pstore-server: %v: shutting down", s)
+	// Graceful shutdown: stop accepting/serving connections first, then
+	// drain the executors and flush+close the command logs. A second signal
+	// aborts immediately.
+	go func() {
+		<-sig
+		log.Printf("pstore-server: second signal, aborting")
+		os.Exit(1)
+	}()
+	if err := srv.Close(); err != nil {
+		log.Printf("pstore-server: closing listener: %v", err)
+	}
+	c.Stop()
+	log.Printf("pstore-server: shutdown complete")
 }

@@ -5,12 +5,16 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"pstore/internal/durability"
 	"pstore/internal/engine"
 	"pstore/internal/metrics"
 	"pstore/internal/storage"
@@ -42,6 +46,13 @@ type Config struct {
 	// percentiles (the paper windows by second; compressed-time
 	// experiments use shorter windows). Defaults to 1s.
 	LatencyWindow time.Duration
+	// DataDir, when non-empty, enables durability: every partition gets a
+	// command log plus snapshots under DataDir, committed transactions are
+	// fsynced (group commit) before being acked, and New recovers existing
+	// state found there instead of starting empty.
+	DataDir string
+	// Durability tunes the per-partition logs when DataDir is set.
+	Durability durability.Options
 }
 
 func (c Config) retryInterval() time.Duration {
@@ -68,13 +79,18 @@ type Node struct {
 type Cluster struct {
 	cfg Config
 
-	mu       sync.RWMutex
-	nodes    []*Node                  // sorted by ID
-	execs    map[int]*engine.Executor // partition → executor
-	owner    []int                    // bucket → partition
-	nextNode int
-	nextPart int
-	stopped  bool
+	mu        sync.RWMutex
+	nodes     []*Node                  // sorted by ID
+	execs     map[int]*engine.Executor // partition → executor
+	durs      map[int]*durability.Manager
+	owner     []int // bucket → partition
+	nextNode  int
+	nextPart  int
+	stopped   bool
+	recovered bool
+
+	snapStop chan struct{} // stops the periodic snapshot loop
+	snapDone chan struct{}
 
 	latencies *metrics.LatencyRecorder
 	offered   *metrics.Counter
@@ -106,10 +122,25 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:       cfg,
 		execs:     make(map[int]*engine.Executor),
+		durs:      make(map[int]*durability.Manager),
 		owner:     make([]int, cfg.NBuckets),
 		latencies: metrics.NewLatencyRecorder(window),
 		offered:   metrics.NewCounter(time.Second),
 		allocLog:  metrics.NewAllocationTracker(time.Now(), cfg.InitialNodes),
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: data dir: %w", err)
+		}
+		if _, err := os.Stat(c.manifestPath()); err == nil {
+			if err := c.recover(); err != nil {
+				return nil, err
+			}
+			c.startSnapshotLoop()
+			return c, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
 	}
 	nParts := cfg.InitialNodes * cfg.PartitionsPerNode
 	ownedBy := make([][]int, nParts)
@@ -128,16 +159,310 @@ func New(cfg Config) (*Cluster, error) {
 			for _, t := range cfg.Tables {
 				part.CreateTable(t)
 			}
-			c.execs[pid] = engine.NewExecutor(part, cfg.Registry, cfg.Engine)
+			if err := c.startPartition(pid, part, true); err != nil {
+				return nil, err
+			}
 			node.Partitions = append(node.Partitions, pid)
 		}
 		c.nodes = append(c.nodes, node)
 	}
+	if cfg.DataDir != "" {
+		if err := c.writeManifestLocked(); err != nil {
+			return nil, err
+		}
+	}
+	c.startSnapshotLoop()
 	return c, nil
 }
 
-// Stop shuts down every executor.
+// startPartition opens the partition's durability manager (when enabled),
+// optionally writes an initial snapshot so its bucket ownership is durable
+// from the first moment, and launches the executor. Caller holds c.mu or
+// owns c exclusively.
+func (c *Cluster) startPartition(pid int, part *storage.Partition, initialSnapshot bool) error {
+	ecfg := c.cfg.Engine
+	if c.cfg.DataDir != "" {
+		mgr, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
+		if err != nil {
+			return fmt.Errorf("cluster: partition %d durability: %w", pid, err)
+		}
+		if initialSnapshot {
+			if err := mgr.Snapshot(part); err != nil {
+				mgr.Close()
+				return fmt.Errorf("cluster: partition %d initial snapshot: %w", pid, err)
+			}
+		}
+		c.durs[pid] = mgr
+		ecfg.Log = mgr
+	}
+	c.execs[pid] = engine.NewExecutor(part, c.cfg.Registry, ecfg)
+	return nil
+}
+
+func (c *Cluster) manifestPath() string { return filepath.Join(c.cfg.DataDir, "cluster.json") }
+
+func (c *Cluster) partitionDir(pid int) string {
+	return filepath.Join(c.cfg.DataDir, fmt.Sprintf("partition-%05d", pid))
+}
+
+// manifest is the durable cluster layout: which nodes exist and which
+// partitions they host. Bucket ownership is NOT here — each partition's own
+// snapshot+log is the authority, so the manifest never races with
+// migrations.
+type manifest struct {
+	NBuckets          int            `json:"nbuckets"`
+	PartitionsPerNode int            `json:"partitions_per_node"`
+	NextNode          int            `json:"next_node"`
+	NextPart          int            `json:"next_part"`
+	Nodes             []manifestNode `json:"nodes"`
+}
+
+type manifestNode struct {
+	ID         int   `json:"id"`
+	Partitions []int `json:"partitions"`
+}
+
+// writeManifestLocked persists the node/partition layout (atomic rename).
+// Caller holds c.mu or owns c exclusively.
+func (c *Cluster) writeManifestLocked() error {
+	m := manifest{
+		NBuckets:          c.cfg.NBuckets,
+		PartitionsPerNode: c.cfg.PartitionsPerNode,
+		NextNode:          c.nextNode,
+		NextPart:          c.nextPart,
+	}
+	for _, n := range c.nodes {
+		m.Nodes = append(m.Nodes, manifestNode{ID: n.ID, Partitions: append([]int(nil), n.Partitions...)})
+	}
+	raw, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := c.manifestPath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.manifestPath())
+}
+
+// recover rebuilds the cluster from DataDir: the manifest gives the
+// node/partition layout, every partition replays its snapshot + log tail,
+// and the routing table is rebuilt from the recovered bucket ownership.
+func (c *Cluster) recover() error {
+	raw, err := os.ReadFile(c.manifestPath())
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("cluster: manifest: %w", err)
+	}
+	if m.NBuckets != c.cfg.NBuckets {
+		return fmt.Errorf("cluster: data dir has %d buckets, config wants %d", m.NBuckets, c.cfg.NBuckets)
+	}
+	if m.PartitionsPerNode != c.cfg.PartitionsPerNode {
+		return fmt.Errorf("cluster: data dir has %d partitions/node, config wants %d",
+			m.PartitionsPerNode, c.cfg.PartitionsPerNode)
+	}
+	c.nextNode = m.NextNode
+	c.nextPart = m.NextPart
+	c.recovered = true
+
+	type recovered struct {
+		part  *storage.Partition
+		mgr   *durability.Manager
+		stats durability.ReplayStats
+	}
+	parts := make(map[int]*recovered)
+	var pids []int
+	for _, mn := range m.Nodes {
+		node := &Node{ID: mn.ID, Partitions: append([]int(nil), mn.Partitions...)}
+		c.nodes = append(c.nodes, node)
+		for _, pid := range mn.Partitions {
+			part := storage.NewPartition(pid, c.cfg.NBuckets, nil)
+			for _, t := range c.cfg.Tables {
+				part.CreateTable(t)
+			}
+			mgr, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
+			if err != nil {
+				return fmt.Errorf("cluster: partition %d durability: %w", pid, err)
+			}
+			stats, err := mgr.Recover(part, c.cfg.Registry)
+			if err != nil {
+				mgr.Close()
+				return fmt.Errorf("cluster: recovering partition %d: %w", pid, err)
+			}
+			parts[pid] = &recovered{part: part, mgr: mgr, stats: stats}
+			pids = append(pids, pid)
+		}
+	}
+	sort.Ints(pids)
+
+	// Rebuild routing from recovered ownership. A crash between a bucket's
+	// durable arrival at the receiver and the sender's durable handoff
+	// record leaves both partitions claiming it; the receiver (whose claim
+	// comes from a bucket-in record) wins, since post-handoff transactions
+	// were logged there. A bucket nobody claims is re-adopted empty,
+	// round-robin.
+	claim := make([]int, c.cfg.NBuckets)
+	for i := range claim {
+		claim[i] = -1
+	}
+	dirty := make(map[int]bool) // partitions whose state changed during resolution
+	for _, pid := range pids {
+		r := parts[pid]
+		for _, b := range r.part.OwnedBuckets() {
+			prev := claim[b]
+			if prev < 0 {
+				claim[b] = pid
+				continue
+			}
+			// Conflict: prefer the handoff receiver.
+			loser, winner := pid, prev
+			if r.stats.FromHandoff[b] && !parts[prev].stats.FromHandoff[b] {
+				loser, winner = prev, pid
+			}
+			claim[b] = winner
+			if _, err := parts[loser].part.ExtractBucket(b); err != nil {
+				return fmt.Errorf("cluster: resolving bucket %d ownership: %w", b, err)
+			}
+			dirty[loser] = true
+		}
+	}
+	for b, pid := range claim {
+		if pid >= 0 {
+			c.owner[b] = pid
+			continue
+		}
+		adopt := pids[b%len(pids)]
+		if err := parts[adopt].part.ApplyBucket(&storage.BucketData{Bucket: b, Tables: map[string][]storage.Row{}}); err != nil {
+			return fmt.Errorf("cluster: re-adopting lost bucket %d: %w", b, err)
+		}
+		c.owner[b] = adopt
+		dirty[adopt] = true
+	}
+	for pid := range dirty {
+		if err := parts[pid].mgr.Snapshot(parts[pid].part); err != nil {
+			return fmt.Errorf("cluster: snapshotting resolved partition %d: %w", pid, err)
+		}
+	}
+	for _, pid := range pids {
+		r := parts[pid]
+		ecfg := c.cfg.Engine
+		ecfg.Log = r.mgr
+		c.durs[pid] = r.mgr
+		c.execs[pid] = engine.NewExecutor(r.part, c.cfg.Registry, ecfg)
+	}
+	c.allocLog.Set(time.Now(), len(c.nodes))
+	return nil
+}
+
+// Recovered reports whether New restored existing state from DataDir
+// (callers use it to skip re-preloading data).
+func (c *Cluster) Recovered() bool { return c.recovered }
+
+// DurabilityOf returns the partition's durability manager, or nil when
+// durability is disabled (or the partition is gone).
+func (c *Cluster) DurabilityOf(partition int) *durability.Manager {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.durs[partition]
+}
+
+// startSnapshotLoop launches the periodic snapshot/truncate loop when
+// configured.
+func (c *Cluster) startSnapshotLoop() {
+	if c.cfg.DataDir == "" || c.cfg.Durability.SnapshotInterval <= 0 {
+		return
+	}
+	c.snapStop = make(chan struct{})
+	c.snapDone = make(chan struct{})
+	go func() {
+		defer close(c.snapDone)
+		ticker := time.NewTicker(c.cfg.Durability.SnapshotInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.snapStop:
+				return
+			case <-ticker.C:
+				c.SnapshotAll()
+			}
+		}
+	}()
+}
+
+// SnapshotAll snapshots every partition (through its executor, so each
+// snapshot is consistent) and truncates its log. Partitions that stop
+// mid-iteration are skipped.
+func (c *Cluster) SnapshotAll() error {
+	c.mu.RLock()
+	type pair struct {
+		exec *engine.Executor
+		mgr  *durability.Manager
+	}
+	var pairs []pair
+	for pid, mgr := range c.durs {
+		if e, ok := c.execs[pid]; ok {
+			pairs = append(pairs, pair{e, mgr})
+		}
+	}
+	c.mu.RUnlock()
+	var firstErr error
+	for _, pr := range pairs {
+		mgr := pr.mgr
+		err := pr.exec.Do(func(p *storage.Partition) (int, error) {
+			return 0, mgr.Snapshot(p)
+		})
+		if err != nil && !errors.Is(err, engine.ErrStopped) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stop shuts down the cluster: the snapshot loop first, then (with
+// durability on) a final snapshot of every partition so restart needs no
+// replay, then every executor, then the logs are flushed and closed.
 func (c *Cluster) Stop() {
+	c.stopSnapshotLoop()
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	if c.cfg.DataDir != "" {
+		c.SnapshotAll()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.execs {
+		e.Stop()
+	}
+	for _, m := range c.durs {
+		m.Close()
+	}
+}
+
+func (c *Cluster) stopSnapshotLoop() {
+	c.mu.Lock()
+	stop, done := c.snapStop, c.snapDone
+	c.snapStop, c.snapDone = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Crash is a test hook simulating the whole process dying: executors stop
+// without final snapshots, and each log abandons its un-fsynced buffer.
+// Acknowledged transactions survive (group commit fsynced them before the
+// ack); in-flight ones may not — exactly a real crash's contract.
+func (c *Cluster) Crash() {
+	c.stopSnapshotLoop()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.stopped {
@@ -146,6 +471,9 @@ func (c *Cluster) Stop() {
 	c.stopped = true
 	for _, e := range c.execs {
 		e.Stop()
+	}
+	for _, m := range c.durs {
+		m.Crash()
 	}
 }
 
@@ -181,10 +509,20 @@ func (c *Cluster) AddNode() Node {
 		for _, t := range c.cfg.Tables {
 			part.CreateTable(t)
 		}
-		c.execs[pid] = engine.NewExecutor(part, c.cfg.Registry, c.cfg.Engine)
+		// A scale-out node must be fully durable (empty snapshot + open
+		// log) before any bucket migrates onto it; failures here are
+		// programming or I/O errors surfaced loudly.
+		if err := c.startPartition(pid, part, true); err != nil {
+			panic(fmt.Sprintf("cluster: AddNode: %v", err))
+		}
 		node.Partitions = append(node.Partitions, pid)
 	}
 	c.nodes = append(c.nodes, node)
+	if c.cfg.DataDir != "" {
+		if err := c.writeManifestLocked(); err != nil {
+			panic(fmt.Sprintf("cluster: AddNode manifest: %v", err))
+		}
+	}
 	c.allocLog.Set(time.Now(), len(c.nodes))
 	return Node{ID: node.ID, Partitions: append([]int(nil), node.Partitions...)}
 }
@@ -217,8 +555,21 @@ func (c *Cluster) RemoveNode(id int) error {
 	for _, pid := range node.Partitions {
 		c.execs[pid].Stop()
 		delete(c.execs, pid)
+		if mgr, ok := c.durs[pid]; ok {
+			// The partitions own nothing: their durable state is obsolete.
+			mgr.Close()
+			delete(c.durs, pid)
+			if err := os.RemoveAll(c.partitionDir(pid)); err != nil {
+				return fmt.Errorf("cluster: removing partition %d data: %w", pid, err)
+			}
+		}
 	}
 	c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
+	if c.cfg.DataDir != "" {
+		if err := c.writeManifestLocked(); err != nil {
+			return err
+		}
+	}
 	c.allocLog.Set(time.Now(), len(c.nodes))
 	return nil
 }
@@ -317,7 +668,8 @@ func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 
 // LoadRow inserts a row directly into whichever partition owns the key,
 // bypassing stored procedures and synthetic service time. For bulk-loading
-// benchmark data.
+// benchmark data. Loads also bypass the command log — with durability on,
+// call SnapshotAll after bulk loading to checkpoint them.
 func (c *Cluster) LoadRow(table, key string, cols map[string]string) error {
 	for attempt := 0; attempt < 64; attempt++ {
 		pid := c.RouteKey(key)

@@ -1,0 +1,344 @@
+package durability
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"pstore/internal/engine"
+	"pstore/internal/storage"
+)
+
+// testRegistry registers two deterministic procedures: "set" writes
+// arg v into table t, "inc" increments an integer counter.
+func testRegistry() *engine.Registry {
+	reg := engine.NewRegistry()
+	reg.Register("set", func(tx *engine.Txn) error {
+		return tx.Put("t", tx.Key, map[string]string{"v": tx.Arg("v")})
+	})
+	reg.Register("inc", func(tx *engine.Txn) error {
+		row, ok, err := tx.Get("t", tx.Key)
+		if err != nil {
+			return err
+		}
+		n := 0
+		if ok {
+			n, _ = strconv.Atoi(row.Cols["n"])
+		}
+		return tx.Put("t", tx.Key, map[string]string{"n": strconv.Itoa(n + 1)})
+	})
+	return reg
+}
+
+func allBuckets(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func newTestPartition(nBuckets int) *storage.Partition {
+	p := storage.NewPartition(0, nBuckets, allBuckets(nBuckets))
+	p.CreateTable("t")
+	return p
+}
+
+// appendSync appends a command and waits for its durable ack.
+func appendSync(t *testing.T, m *Manager, proc, key string, args map[string]string) {
+	t.Helper()
+	ch := make(chan error, 1)
+	m.Append(proc, key, args, func(err error) { ch <- err })
+	if err := <-ch; err != nil {
+		t.Fatalf("append %s(%s): %v", proc, key, err)
+	}
+}
+
+func openTestManager(t *testing.T, dir string, opts Options) *Manager {
+	t.Helper()
+	m, err := Open(dir, 0, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return m
+}
+
+func getVal(t *testing.T, p *storage.Partition, key string) string {
+	t.Helper()
+	row, ok, err := p.Get("t", key)
+	if err != nil {
+		t.Fatalf("Get %s: %v", key, err)
+	}
+	if !ok {
+		return ""
+	}
+	if v, ok := row.Cols["v"]; ok {
+		return v
+	}
+	return row.Cols["n"]
+}
+
+func TestAppendAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{GroupCommitInterval: 500 * time.Microsecond}
+	m := openTestManager(t, dir, opts)
+	for i := 0; i < 50; i++ {
+		appendSync(t, m, "set", fmt.Sprintf("k%d", i), map[string]string{"v": fmt.Sprintf("v%d", i)})
+	}
+	for i := 0; i < 30; i++ {
+		appendSync(t, m, "inc", "counter", nil)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	m2 := openTestManager(t, dir, opts)
+	defer m2.Close()
+	part := newTestPartition(8)
+	stats, err := m2.Recover(part, testRegistry())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.Txns != 80 {
+		t.Errorf("replayed %d txns, want 80", stats.Txns)
+	}
+	if stats.SnapshotLoaded {
+		t.Errorf("unexpected snapshot")
+	}
+	for i := 0; i < 50; i++ {
+		if got, want := getVal(t, part, fmt.Sprintf("k%d", i)), fmt.Sprintf("v%d", i); got != want {
+			t.Fatalf("k%d = %q, want %q", i, got, want)
+		}
+	}
+	if got := getVal(t, part, "counter"); got != "30" {
+		t.Errorf("counter = %q, want 30", got)
+	}
+}
+
+func TestSnapshotTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{GroupCommitInterval: 500 * time.Microsecond}
+	m := openTestManager(t, dir, opts)
+	part := newTestPartition(8)
+	reg := testRegistry()
+	apply := func(proc, key string, args map[string]string) {
+		if err := engine.ReplayTxn(reg, part, proc, key, args); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		appendSync(t, m, proc, key, args)
+	}
+	for i := 0; i < 40; i++ {
+		apply("inc", "a", nil)
+	}
+	if err := m.Snapshot(part); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Pre-snapshot segments must be gone.
+	segs, err := listNumbered(dir, "wal-", ".log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Errorf("segments after snapshot: %v, want exactly the active one", segs)
+	}
+	// Log tail after the snapshot.
+	for i := 0; i < 7; i++ {
+		apply("inc", "a", nil)
+	}
+	m.Close()
+
+	m2 := openTestManager(t, dir, opts)
+	defer m2.Close()
+	part2 := storage.NewPartition(0, 8, nil) // recovery starts unowned
+	part2.CreateTable("t")
+	stats, err := m2.Recover(part2, reg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !stats.SnapshotLoaded {
+		t.Errorf("snapshot not loaded")
+	}
+	if stats.Txns != 7 {
+		t.Errorf("replayed %d txns, want 7 (the tail)", stats.Txns)
+	}
+	if got := getVal(t, part2, "a"); got != "47" {
+		t.Errorf("a = %q, want 47", got)
+	}
+	if len(part2.OwnedBuckets()) != 8 {
+		t.Errorf("recovered %d buckets, want 8", len(part2.OwnedBuckets()))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{GroupCommitInterval: 500 * time.Microsecond, SegmentBytes: 512}
+	m := openTestManager(t, dir, opts)
+	for i := 0; i < 100; i++ {
+		appendSync(t, m, "set", fmt.Sprintf("k%d", i), map[string]string{"v": "x"})
+	}
+	m.Close()
+	segs, err := listNumbered(dir, "wal-", ".log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("got %d segments, want rotation to produce several", len(segs))
+	}
+	m2 := openTestManager(t, dir, opts)
+	defer m2.Close()
+	part := newTestPartition(8)
+	stats, err := m2.Recover(part, testRegistry())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.Txns != 100 {
+		t.Errorf("replayed %d txns across segments, want 100", stats.Txns)
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{GroupCommitInterval: 500 * time.Microsecond}
+	m := openTestManager(t, dir, opts)
+	for i := 0; i < 10; i++ {
+		appendSync(t, m, "inc", "a", nil)
+	}
+	m.Close()
+	// Corrupt the final record's payload in place.
+	segs, _ := listNumbered(dir, "wal-", ".log")
+	path := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := openTestManager(t, dir, opts)
+	defer m2.Close()
+	part := newTestPartition(8)
+	stats, err := m2.Recover(part, testRegistry())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.Txns != 9 {
+		t.Errorf("replayed %d txns, want 9 (torn final record dropped)", stats.Txns)
+	}
+	if got := getVal(t, part, "a"); got != "9" {
+		t.Errorf("a = %q, want 9", got)
+	}
+}
+
+func TestBucketHandoffReplay(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{GroupCommitInterval: 500 * time.Microsecond}
+	m := openTestManager(t, dir, opts)
+	// Receive a bucket with contents, then hand another away.
+	in := &storage.BucketData{Bucket: 3, Tables: map[string][]storage.Row{
+		"t": {{Key: "migrated", Cols: map[string]string{"v": "yes"}}},
+	}}
+	if err := m.LogBucketIn(in); err != nil {
+		t.Fatalf("LogBucketIn: %v", err)
+	}
+	if err := m.LogBucketOut(5); err != nil {
+		t.Fatalf("LogBucketOut: %v", err)
+	}
+	m.Close()
+
+	m2 := openTestManager(t, dir, opts)
+	defer m2.Close()
+	// Partition starts owning buckets 5 only (e.g. from an older snapshot —
+	// here, none, so seed it manually through a bucket apply).
+	part := storage.NewPartition(0, 8, nil)
+	part.CreateTable("t")
+	if err := part.ApplyBucket(&storage.BucketData{Bucket: 5, Tables: map[string][]storage.Row{}}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m2.Recover(part, testRegistry())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.BucketsIn != 1 || stats.BucketsOut != 1 {
+		t.Errorf("in/out = %d/%d, want 1/1", stats.BucketsIn, stats.BucketsOut)
+	}
+	if !part.Owns(3) || part.Owns(5) {
+		t.Errorf("ownership after replay: owns(3)=%v owns(5)=%v, want true/false", part.Owns(3), part.Owns(5))
+	}
+	if !stats.FromHandoff[3] {
+		t.Errorf("bucket 3 not marked as handoff-received")
+	}
+	row, ok, err := part.Get("t", "migrated")
+	if err != nil || !ok || row.Cols["v"] != "yes" {
+		t.Errorf("migrated row = %v %v %v, want yes", row, ok, err)
+	}
+}
+
+func TestCrashDropsOnlyUnacked(t *testing.T) {
+	dir := t.TempDir()
+	// Long group-commit interval so un-synced data really is buffered.
+	opts := Options{GroupCommitInterval: time.Hour, GroupCommitBatch: 1 << 30}
+	m := openTestManager(t, dir, opts)
+	for i := 0; i < 5; i++ {
+		// With an hour-long group-commit interval the ack only arrives once
+		// Flush forces the sync, so flush first, then reap the ack.
+		ch := make(chan error, 1)
+		m.Append("inc", "a", nil, func(err error) { ch <- err })
+		if err := m.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		if err := <-ch; err != nil {
+			t.Fatalf("append ack: %v", err)
+		}
+	}
+	// These are appended but never synced: a crash may lose them.
+	for i := 0; i < 5; i++ {
+		m.Append("inc", "a", nil, nil)
+	}
+	m.Crash()
+
+	m2 := openTestManager(t, dir, opts)
+	defer m2.Close()
+	part := newTestPartition(8)
+	stats, err := m2.Recover(part, testRegistry())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.Txns != 5 {
+		t.Errorf("replayed %d txns, want exactly the 5 acked ones", stats.Txns)
+	}
+	if got := getVal(t, part, "a"); got != "5" {
+		t.Errorf("a = %q, want 5", got)
+	}
+}
+
+func TestSyncEveryMode(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestManager(t, dir, Options{SyncEvery: true})
+	done := make(chan error, 1)
+	m.Append("inc", "a", nil, func(err error) { done <- err })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sync-every append never acked")
+	}
+	m.Crash() // even a crash right after the ack must not lose the record
+
+	m2 := openTestManager(t, dir, Options{SyncEvery: true})
+	defer m2.Close()
+	part := newTestPartition(8)
+	stats, err := m2.Recover(part, testRegistry())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.Txns != 1 {
+		t.Errorf("replayed %d txns, want 1", stats.Txns)
+	}
+}

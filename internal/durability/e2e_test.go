@@ -1,0 +1,138 @@
+package durability_test
+
+// End-to-end crash test against the real pstore-server binary: build it,
+// run it with -data-dir, write through the TCP client, SIGKILL the process,
+// restart it on the same directory and verify the writes survived.
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pstore/internal/server"
+)
+
+// startServer launches the binary and returns the bound address parsed from
+// its log output.
+func startServer(t *testing.T, bin, dataDir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-nodes", "1", "-partitions", "2", "-buckets", "32",
+		"-stock", "20", "-preload", "10",
+		"-service-time", "0s",
+		"-group-commit", "500us",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				if len(fields) > 0 {
+					addrCh <- fields[0]
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server never reported its address")
+		return nil, ""
+	}
+}
+
+func TestServerSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the server binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "pstore-server")
+	build := exec.Command("go", "build", "-o", bin, "pstore/cmd/pstore-server")
+	build.Dir = "../.." // module root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building server: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	cmd, addr := startServer(t, bin, dataDir)
+	cli, err := server.Dial(addr)
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("dial: %v", err)
+	}
+	// Write through the real stack; every acked call must survive the kill.
+	const cartKey = "crash-cart"
+	for i := 0; i < 25; i++ {
+		sku := "sku-" + string(rune('a'+i%26))
+		if _, err := cli.Call("AddLineToCart", cartKey, map[string]string{
+			"sku": sku, "qty": "1", "price": "9.99",
+		}); err != nil {
+			cmd.Process.Kill()
+			t.Fatalf("AddLineToCart %d: %v", i, err)
+		}
+	}
+	res, err := cli.Call("GetCart", cartKey, nil)
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("GetCart: %v", err)
+	}
+	wantLines := res.Out["lines"]
+	cli.Close()
+
+	// The moment of truth: kill -9, no shutdown hooks run.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	cmd.Wait()
+
+	cmd2, addr2 := startServer(t, bin, dataDir)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd2.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			cmd2.Process.Kill()
+			<-done
+		}
+	}()
+	cli2, err := server.Dial(addr2)
+	if err != nil {
+		t.Fatalf("dial after recovery: %v", err)
+	}
+	defer cli2.Close()
+	res2, err := cli2.Call("GetCart", cartKey, nil)
+	if err != nil {
+		t.Fatalf("GetCart after recovery: %v", err)
+	}
+	if res2.Out["lines"] != wantLines {
+		t.Fatalf("cart diverged after SIGKILL recovery:\ngot:  %s\nwant: %s", res2.Out["lines"], wantLines)
+	}
+	// Preloaded stock must have survived too (checkpointed after preload).
+	stats, err := cli2.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.TotalRows < 20 {
+		t.Errorf("recovered %d rows, want at least the 20 preloaded stock items", stats.TotalRows)
+	}
+}

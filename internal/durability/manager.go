@@ -1,0 +1,227 @@
+package durability
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/engine"
+	"pstore/internal/storage"
+)
+
+// Options tunes a partition's durability manager.
+type Options struct {
+	// SyncEvery forces an fsync per append (per-transaction durability,
+	// the slow baseline). Default false: group commit.
+	SyncEvery bool
+	// GroupCommitInterval is the group-commit fsync cadence. Default 2ms.
+	GroupCommitInterval time.Duration
+	// GroupCommitBatch syncs early once this many acks are pending.
+	// Default 64.
+	GroupCommitBatch int
+	// SegmentBytes rotates the log when the active segment exceeds it.
+	// Default 4 MiB.
+	SegmentBytes int64
+	// SnapshotInterval is how often the owner (the cluster) should snapshot
+	// the partition and truncate the log. Zero disables periodic snapshots;
+	// the log then only truncates at explicit snapshots (shutdown,
+	// migration). The manager does not run the timer itself — snapshots
+	// need exclusive partition access, which only the executor's owner can
+	// arrange.
+	SnapshotInterval time.Duration
+}
+
+// ReplayStats summarizes a recovery.
+type ReplayStats struct {
+	SnapshotLoaded bool
+	Txns           int // command records re-executed
+	BucketsIn      int // migration handoffs re-applied
+	BucketsOut     int
+	Skipped        int // records dropped (e.g. replay against an unowned bucket)
+	// FromHandoff marks buckets whose ownership most recently arrived via a
+	// bucket-in record (not the snapshot). The cluster uses it to pick the
+	// winner when a crash mid-handoff leaves two partitions claiming one
+	// bucket: the handoff receiver's copy carries the post-handoff writes.
+	FromHandoff map[int]bool
+}
+
+// Manager is one partition's durability state: its directory of WAL
+// segments and snapshots. Appends must come from the partition's executor
+// goroutine (the engine guarantees this); Snapshot and Recover need
+// exclusive partition access.
+type Manager struct {
+	dir  string
+	part int
+	opts Options
+	log  *wal
+
+	appended atomic.Int64
+}
+
+// Open creates or reopens the durability directory for a partition. Call
+// Recover before starting the partition's executor when reopening existing
+// state.
+func Open(dir string, partition int, opts Options) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l, err := openWAL(dir, walOptions{
+		syncEvery:    opts.SyncEvery,
+		syncInterval: opts.GroupCommitInterval,
+		batchSize:    opts.GroupCommitBatch,
+		segmentBytes: opts.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{dir: dir, part: partition, opts: opts, log: l}, nil
+}
+
+// Dir returns the manager's directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Appended returns the number of records appended since Open.
+func (m *Manager) Appended() int64 { return m.appended.Load() }
+
+// Append implements engine.CommandLog: it logs a committed transaction and
+// runs onDurable after the record is fsynced (group commit).
+func (m *Manager) Append(proc, key string, args map[string]string, onDurable func(error)) {
+	m.appended.Add(1)
+	err := m.log.append(&Record{Kind: kindTxn, Proc: proc, Key: key, Args: args}, onDurable)
+	if err != nil && onDurable != nil {
+		onDurable(err)
+	}
+}
+
+var _ engine.CommandLog = (*Manager)(nil)
+
+// LogBucketOut durably records that the partition handed the bucket to a
+// peer. Synchronous: the handoff is on disk when it returns.
+func (m *Manager) LogBucketOut(bucket int) error {
+	m.appended.Add(1)
+	if err := m.log.append(&Record{Kind: kindBucketOut, Bucket: bucket}, nil); err != nil {
+		return err
+	}
+	return m.log.sync()
+}
+
+// LogBucketIn durably records a bucket received from a peer, contents
+// inline — the receiver's log stays self-contained: replaying it alone
+// reproduces the bucket without consulting the sender's history.
+// Synchronous: the caller may apply the bucket once this returns.
+func (m *Manager) LogBucketIn(data *storage.BucketData) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	m.appended.Add(1)
+	if err := m.log.append(&Record{Kind: kindBucketIn, Bucket: data.Bucket, Data: raw}, nil); err != nil {
+		return err
+	}
+	return m.log.sync()
+}
+
+// Snapshot persists the partition's full contents, rotates the log and
+// truncates everything the snapshot covers. The caller must hold exclusive
+// access to the partition (run it inside the executor's Do, or before the
+// executor starts).
+func (m *Manager) Snapshot(part *storage.Partition) error {
+	if part.ID() != m.part {
+		return fmt.Errorf("durability: manager for partition %d asked to snapshot partition %d", m.part, part.ID())
+	}
+	seg, err := m.log.rotate()
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(m.dir, part, seg); err != nil {
+		return err
+	}
+	if err := m.log.truncateBefore(seg); err != nil {
+		return err
+	}
+	return pruneSnapshots(m.dir, seg)
+}
+
+// Recover rebuilds the partition from the latest snapshot plus the log
+// tail, replaying command records through the registry. The partition must
+// be freshly created (owning no buckets) and its executor must not be
+// running yet.
+func (m *Manager) Recover(part *storage.Partition, reg *engine.Registry) (ReplayStats, error) {
+	stats := ReplayStats{FromHandoff: make(map[int]bool)}
+	if part.ID() != m.part {
+		return stats, fmt.Errorf("durability: manager for partition %d asked to recover partition %d", m.part, part.ID())
+	}
+	fromSeg, found, err := loadSnapshot(m.dir, part)
+	if err != nil {
+		return stats, err
+	}
+	stats.SnapshotLoaded = found
+	err = replaySegments(m.dir, fromSeg, func(rec *Record) error {
+		switch rec.Kind {
+		case kindTxn:
+			if err := engine.ReplayTxn(reg, part, rec.Proc, rec.Key, rec.Args); err != nil {
+				if isNotOwnedErr(err) {
+					// A command for a bucket the partition no longer owns:
+					// its effects live (and were replayed) at the bucket's
+					// new home. Can only happen for records logged just
+					// before a handoff of the same bucket.
+					stats.Skipped++
+					return nil
+				}
+				return err
+			}
+			stats.Txns++
+		case kindBucketIn:
+			var data storage.BucketData
+			if err := json.Unmarshal(rec.Data, &data); err != nil {
+				return fmt.Errorf("durability: bucket-in record: %w", err)
+			}
+			// Idempotent: drop any stale copy before applying the logged
+			// authoritative contents.
+			if part.Owns(data.Bucket) {
+				if _, err := part.ExtractBucket(data.Bucket); err != nil {
+					return err
+				}
+			}
+			if err := part.ApplyBucket(&data); err != nil {
+				return err
+			}
+			stats.FromHandoff[data.Bucket] = true
+			stats.BucketsIn++
+		case kindBucketOut:
+			if part.Owns(rec.Bucket) {
+				if _, err := part.ExtractBucket(rec.Bucket); err != nil {
+					return err
+				}
+				delete(stats.FromHandoff, rec.Bucket)
+				stats.BucketsOut++
+			} else {
+				stats.Skipped++
+			}
+		default:
+			return fmt.Errorf("durability: unknown record kind %d", rec.Kind)
+		}
+		return nil
+	})
+	return stats, err
+}
+
+func isNotOwnedErr(err error) bool {
+	var notOwned *storage.ErrNotOwned
+	return errors.As(err, &notOwned)
+}
+
+// Flush forces pending appends to stable storage.
+func (m *Manager) Flush() error { return m.log.sync() }
+
+// Close flushes and closes the log.
+func (m *Manager) Close() error { return m.log.close() }
+
+// Crash is a test hook that abandons buffered data and closes the log
+// without flushing, simulating the process being killed. Records whose acks
+// were delivered are already durable; unacked ones may be lost — exactly
+// the guarantee a real crash leaves.
+func (m *Manager) Crash() { m.log.crash() }

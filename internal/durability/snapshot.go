@@ -1,0 +1,141 @@
+package durability
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pstore/internal/storage"
+)
+
+// snapshotHeader opens a snapshot file: where replay resumes and what the
+// partition looked like.
+type snapshotHeader struct {
+	Partition int      `json:"partition"`
+	NBuckets  int      `json:"nbuckets"`
+	Seg       int      `json:"seg"` // first WAL segment to replay after loading
+	Tables    []string `json:"tables"`
+	Buckets   int      `json:"buckets"` // bucket records following the header
+}
+
+// A snapshot file is a JSON stream: one snapshotHeader, then Buckets
+// storage.BucketData values. Files are written to a temp name, fsynced and
+// renamed into place, so a snapshot is either complete or absent. The file
+// is named after the WAL segment replay resumes from, making
+// snapshot/segment pairing visible in a directory listing.
+
+// writeSnapshot persists the partition's full contents. The caller must
+// hold exclusive access to the partition (the executor's goroutine, or
+// recovery before executors start).
+func writeSnapshot(dir string, part *storage.Partition, seg int) error {
+	hdr := snapshotHeader{
+		Partition: part.ID(),
+		NBuckets:  part.NBuckets(),
+		Seg:       seg,
+		Tables:    part.Tables(),
+		Buckets:   len(part.OwnedBuckets()),
+	}
+	tmp := filepath.Join(dir, snapshotName(seg)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&hdr); err != nil {
+		f.Close()
+		return err
+	}
+	for _, b := range part.OwnedBuckets() {
+		data, err := part.CopyBucket(b)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := enc.Encode(data); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName(seg))); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot restores the latest snapshot in dir into the (empty)
+// partition and returns the WAL segment replay resumes from. With no
+// snapshot present it returns (0, false, nil): replay starts from the
+// beginning of the log.
+func loadSnapshot(dir string, part *storage.Partition) (seg int, found bool, err error) {
+	snaps, err := listNumbered(dir, "snap-", ".snap")
+	if err != nil {
+		return 0, false, err
+	}
+	if len(snaps) == 0 {
+		return 0, false, nil
+	}
+	n := snaps[len(snaps)-1]
+	f, err := os.Open(filepath.Join(dir, snapshotName(n)))
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReaderSize(f, 1<<16))
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return 0, false, fmt.Errorf("durability: snapshot %s header: %w", snapshotName(n), err)
+	}
+	if hdr.Partition != part.ID() {
+		return 0, false, fmt.Errorf("durability: snapshot %s is for partition %d, not %d",
+			snapshotName(n), hdr.Partition, part.ID())
+	}
+	if hdr.NBuckets != part.NBuckets() {
+		return 0, false, fmt.Errorf("durability: snapshot %s has %d buckets, cluster has %d",
+			snapshotName(n), hdr.NBuckets, part.NBuckets())
+	}
+	for _, t := range hdr.Tables {
+		part.CreateTable(t)
+	}
+	for i := 0; i < hdr.Buckets; i++ {
+		var data storage.BucketData
+		if err := dec.Decode(&data); err != nil {
+			return 0, false, fmt.Errorf("durability: snapshot %s bucket %d/%d: %w",
+				snapshotName(n), i+1, hdr.Buckets, err)
+		}
+		if err := part.ApplyBucket(&data); err != nil {
+			return 0, false, err
+		}
+	}
+	return hdr.Seg, true, nil
+}
+
+// pruneSnapshots removes all snapshots older than keep (a segment number).
+func pruneSnapshots(dir string, keep int) error {
+	snaps, err := listNumbered(dir, "snap-", ".snap")
+	if err != nil {
+		return err
+	}
+	for _, n := range snaps {
+		if n < keep {
+			if err := os.Remove(filepath.Join(dir, snapshotName(n))); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,10 @@ type Config struct {
 	// Recorder, if set, receives the latency of every completed
 	// transaction.
 	Recorder *metrics.LatencyRecorder
+	// Log, if set, receives every committed writing transaction before the
+	// client is acked (command logging). When nil the executor takes the
+	// in-memory fast path with no durability overhead.
+	Log CommandLog
 }
 
 func (c Config) queueDepth() int {
@@ -66,6 +71,12 @@ type Executor struct {
 	queue chan task
 	prio  chan task
 	done  chan struct{}
+
+	// stopMu serializes queue sends against Stop's close: senders hold the
+	// read side while checking stopped and sending, so close never races
+	// with an in-flight send.
+	stopMu  sync.RWMutex
+	stopped bool
 
 	processed atomic.Int64
 	aborted   atomic.Int64
@@ -122,9 +133,15 @@ func (e *Executor) Aborted() int64 { return e.aborted.Load() }
 // migration tasks (extractions plus applications).
 func (e *Executor) MigratedRows() int64 { return e.migRows.Load() }
 
-// Stop shuts the executor down after draining already queued work.
+// Stop shuts the executor down after draining already queued work. It is
+// idempotent.
 func (e *Executor) Stop() {
-	close(e.queue)
+	e.stopMu.Lock()
+	if !e.stopped {
+		e.stopped = true
+		close(e.queue)
+	}
+	e.stopMu.Unlock()
 	<-e.done
 	e.drainPrio() // fail any priority task that raced in during shutdown
 }
@@ -177,12 +194,20 @@ func (e *Executor) run() {
 		switch {
 		case t.txn != nil:
 			res := e.execTxn(t.txn)
-			res.Latency = time.Since(t.started)
-			if e.cfg.Recorder != nil {
-				e.cfg.Recorder.Record(time.Now(), res.Latency)
-			}
-			if t.reply != nil {
-				t.reply <- res
+			if e.cfg.Log != nil && t.txn.dirty && !isNotOwned(res.Err) {
+				// Command logging: hand the ack to the group committer so
+				// the client never sees a result that could be lost. The
+				// executor moves straight on to the next transaction —
+				// pipelining is what makes group commit cheap.
+				e.ackDurable(t, res)
+			} else {
+				res.Latency = time.Since(t.started)
+				if e.cfg.Recorder != nil {
+					e.cfg.Recorder.Record(time.Now(), res.Latency)
+				}
+				if t.reply != nil {
+					t.reply <- res
+				}
 			}
 		case t.fn != nil:
 			rows, err := t.fn(e.part)
@@ -203,11 +228,36 @@ func (e *Executor) run() {
 	}
 }
 
+func isNotOwned(err error) bool {
+	var notOwned *storage.ErrNotOwned
+	return errors.As(err, &notOwned)
+}
+
+// ackDurable defers a transaction's reply until its log record is on stable
+// storage. The callback runs on the log's group-commit goroutine.
+func (e *Executor) ackDurable(t task, res Result) {
+	started := t.started
+	reply := t.reply
+	e.cfg.Log.Append(t.txn.Proc, t.txn.Key, t.txn.Args, func(logErr error) {
+		if logErr != nil && res.Err == nil {
+			res.Err = fmt.Errorf("engine: command log append: %w", logErr)
+		}
+		res.Latency = time.Since(started)
+		if e.cfg.Recorder != nil {
+			e.cfg.Recorder.Record(time.Now(), res.Latency)
+		}
+		if reply != nil {
+			reply <- res
+		}
+	})
+}
+
 func (e *Executor) execTxn(txn *Txn) Result {
 	proc, ok := e.reg.Lookup(txn.Proc)
 	if !ok {
 		return Result{Err: fmt.Errorf("engine: unknown procedure %q", txn.Proc)}
 	}
+	txn.dirty = false
 	txn.part = e.part
 	err := e.safeCall(proc, txn)
 	txn.part = nil
@@ -306,12 +356,12 @@ func (e *Executor) Reserve() (release func(), err error) {
 // use races with the executor goroutine.
 func (e *Executor) PartitionUnsafe() *storage.Partition { return e.part }
 
-func (e *Executor) enqueue(t task) (err error) {
-	defer func() {
-		if recover() != nil {
-			err = ErrStopped
-		}
-	}()
+func (e *Executor) enqueue(t task) error {
+	e.stopMu.RLock()
+	defer e.stopMu.RUnlock()
+	if e.stopped {
+		return ErrStopped
+	}
 	select {
 	case e.queue <- t:
 		return nil

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"fmt"
+
+	"pstore/internal/storage"
+)
+
+// CommandLog is the durability hook the executor writes through. It is
+// implemented by internal/durability; the engine only sees this interface so
+// the dependency points outward (durability imports engine for replay, not
+// the reverse).
+type CommandLog interface {
+	// Append schedules a committed command for a durable append. onDurable
+	// is invoked exactly once — typically from the group-commit goroutine —
+	// after the record reaches stable storage (nil) or the write fails
+	// (non-nil). The executor defers the client ack into this callback, so
+	// a transaction is never acknowledged before it is durable.
+	Append(proc, key string, args map[string]string, onDurable func(error))
+}
+
+// ReplayTxn runs a stored procedure directly against a partition, outside
+// any executor — the recovery path re-executing a command-log record.
+// Because procedures are deterministic functions of (proc, key, args) and
+// partition state, replaying the logged commands in order rebuilds exactly
+// the pre-crash state. Intentional aborts are deterministic too and are not
+// errors during replay.
+func ReplayTxn(reg *Registry, part *storage.Partition, proc, key string, args map[string]string) (err error) {
+	p, ok := reg.Lookup(proc)
+	if !ok {
+		return fmt.Errorf("engine: replay of unknown procedure %q", proc)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: replayed procedure %q panicked: %v", proc, r)
+		}
+	}()
+	txn := &Txn{Proc: proc, Key: key, Args: args, part: part}
+	err = p(txn)
+	txn.part = nil
+	if err != nil && IsAbort(err) {
+		return nil
+	}
+	return err
+}

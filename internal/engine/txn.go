@@ -22,8 +22,9 @@ type Txn struct {
 	Key  string
 	Args map[string]string
 
-	part *storage.Partition
-	out  map[string]string
+	part  *storage.Partition
+	out   map[string]string
+	dirty bool // set by Put/Delete; only dirty txns are command-logged
 }
 
 // Arg returns the named argument ("" if absent).
@@ -44,12 +45,20 @@ func (t *Txn) Get(table, key string) (storage.Row, bool, error) {
 
 // Put writes a row to the executing partition.
 func (t *Txn) Put(table, key string, cols map[string]string) error {
-	return t.part.Put(table, key, cols)
+	err := t.part.Put(table, key, cols)
+	if err == nil {
+		t.dirty = true
+	}
+	return err
 }
 
 // Delete removes a row from the executing partition.
 func (t *Txn) Delete(table, key string) (bool, error) {
-	return t.part.Delete(table, key)
+	existed, err := t.part.Delete(table, key)
+	if err == nil && existed {
+		t.dirty = true
+	}
+	return existed, err
 }
 
 // Abort returns an error that marks a client-visible, intentional abort

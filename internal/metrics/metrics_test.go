@@ -155,6 +155,71 @@ func TestLatencyRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// TestLatencyRecorderRetention checks the bounded-memory contract: raw
+// sample windows older than the horizon are summarized and evicted, totals
+// and per-window stats stay intact, and late records into evicted windows
+// are dropped and counted.
+func TestLatencyRecorderRetention(t *testing.T) {
+	r := NewLatencyRecorder(time.Second)
+	r.SetRetention(5 * time.Second)
+	base := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 60; i++ {
+		r.Record(base.Add(time.Duration(i)*time.Second), time.Duration(i+1)*time.Millisecond)
+	}
+	if raw := r.RawWindows(); raw > 5 {
+		t.Errorf("RawWindows = %d, want <= 5 (horizon)", raw)
+	}
+	if r.Count() != 60 {
+		t.Errorf("Count = %d, want 60", r.Count())
+	}
+	ws := r.Windows()
+	if len(ws) != 60 {
+		t.Fatalf("windows = %d, want 60", len(ws))
+	}
+	for i, w := range ws {
+		if w.Count != 1 || w.P50 != time.Duration(i+1)*time.Millisecond {
+			t.Errorf("window %d = %+v", i, w)
+		}
+		if !w.Start.Equal(base.Add(time.Duration(i) * time.Second)) {
+			t.Errorf("window %d start = %v", i, w.Start)
+		}
+	}
+	// A record landing in an evicted window is dropped, not resurrected.
+	if r.LateDropped() != 0 {
+		t.Fatalf("LateDropped = %d before late record", r.LateDropped())
+	}
+	r.Record(base.Add(3*time.Second), time.Millisecond)
+	if r.LateDropped() != 1 {
+		t.Errorf("LateDropped = %d, want 1", r.LateDropped())
+	}
+	if r.Count() != 60 {
+		t.Errorf("Count after late drop = %d, want 60", r.Count())
+	}
+}
+
+// TestLatencyRecorderSetRetentionEvicts checks that shrinking the horizon
+// evicts immediately without losing any summaries.
+func TestLatencyRecorderSetRetentionEvicts(t *testing.T) {
+	r := NewLatencyRecorder(time.Second)
+	base := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		r.Record(base.Add(time.Duration(i)*time.Second), 5*time.Millisecond)
+	}
+	if raw := r.RawWindows(); raw != 30 {
+		t.Fatalf("RawWindows = %d, want 30 under the default horizon", raw)
+	}
+	r.SetRetention(3 * time.Second)
+	if raw := r.RawWindows(); raw > 3 {
+		t.Errorf("RawWindows after shrink = %d, want <= 3", raw)
+	}
+	if r.Count() != 30 {
+		t.Errorf("Count = %d, want 30", r.Count())
+	}
+	if got := len(r.Windows()); got != 30 {
+		t.Errorf("windows = %d, want 30", got)
+	}
+}
+
 func TestSLAViolations(t *testing.T) {
 	ws := []WindowStats{
 		{P50: 100 * time.Millisecond, P95: 400 * time.Millisecond, P99: 600 * time.Millisecond},

@@ -395,6 +395,13 @@ func (m *Migration) movePaced(c *cluster.Cluster, list []bucketMove, opts Option
 // moveBucket extracts one bucket at the source executor, repoints routing
 // at the destination, and applies it there. Transactions for the bucket
 // arriving in between retry until the apply lands.
+//
+// With durability on, the handoff is logged receiver-first: the bucket's
+// full contents go into the receiver's command log (so its log alone can
+// rebuild the bucket — it "starts consistent") before the sender logs the
+// bucket out. A crash between the two leaves both partitions claiming the
+// bucket; cluster recovery resolves that in the receiver's favor, so the
+// handoff never loses data.
 func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove) error {
 	srcExec, ok := c.ExecutorOf(mv.fromPart)
 	if !ok {
@@ -417,7 +424,15 @@ func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove) error {
 		return fmt.Errorf("migration: extracting bucket %d from partition %d: %w", mv.bucket, mv.fromPart, err)
 	}
 	c.SetOwner(mv.bucket, mv.toPart)
+	dstMgr := c.DurabilityOf(mv.toPart)
 	err = dstExec.Do(func(p *storage.Partition) (int, error) {
+		if dstMgr != nil {
+			// Durable before visible: once transactions run against the
+			// bucket here, its arrival is already on the receiver's disk.
+			if err := dstMgr.LogBucketIn(data); err != nil {
+				return 0, err
+			}
+		}
 		if err := p.ApplyBucket(data); err != nil {
 			return 0, err
 		}
@@ -425,6 +440,11 @@ func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove) error {
 	})
 	if err != nil {
 		return fmt.Errorf("migration: applying bucket %d to partition %d: %w", mv.bucket, mv.toPart, err)
+	}
+	if srcMgr := c.DurabilityOf(mv.fromPart); srcMgr != nil {
+		if err := srcMgr.LogBucketOut(mv.bucket); err != nil {
+			return fmt.Errorf("migration: logging bucket %d out of partition %d: %w", mv.bucket, mv.fromPart, err)
+		}
 	}
 	m.movedBuckets.Add(1)
 	m.movedRows.Add(int64(data.RowCount()))

@@ -286,6 +286,30 @@ func (p *Partition) ExtractBucket(bucket int) (*BucketData, error) {
 	return data, nil
 }
 
+// CopyBucket returns a deep copy of the bucket's rows without disturbing
+// the partition — the non-destructive sibling of ExtractBucket, used by the
+// durability snapshot encoder. Copying a bucket the partition does not own
+// is an error.
+func (p *Partition) CopyBucket(bucket int) (*BucketData, error) {
+	if !p.owned[bucket] {
+		return nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
+	}
+	data := &BucketData{Bucket: bucket, Tables: make(map[string][]Row)}
+	for name, t := range p.tables {
+		rows, ok := t.buckets[bucket]
+		if !ok {
+			continue
+		}
+		out := make([]Row, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, r.Clone())
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		data.Tables[name] = out
+	}
+	return data, nil
+}
+
 // ApplyBucket installs the bucket's rows and takes ownership. Applying a
 // bucket the partition already owns is an error (it would clobber data).
 func (p *Partition) ApplyBucket(data *BucketData) error {

@@ -180,6 +180,149 @@ func TestExtractEmptyBucket(t *testing.T) {
 	}
 }
 
+// TestExtractApplyMultiTableRoundTrip moves a bucket whose rows span several
+// tables and checks every table's rows arrive intact at the destination.
+func TestExtractApplyMultiTableRoundTrip(t *testing.T) {
+	src := newTestPartition()
+	src.CreateTable("STOCK")
+	src.CreateTable("ORDERS")
+	tables := []string{"CART", "STOCK", "ORDERS"}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("row-%d", i)
+		for _, tab := range tables {
+			if err := src.Put(tab, k, map[string]string{"t": tab, "i": fmt.Sprint(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	bucket := BucketOf("row-0", 64)
+	wantRows := src.BucketRowCount(bucket)
+	if wantRows == 0 {
+		t.Fatal("bucket empty")
+	}
+
+	data, err := src.ExtractBucket(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Tables) != len(tables) {
+		t.Errorf("extracted %d tables, want %d", len(data.Tables), len(tables))
+	}
+	if data.RowCount() != wantRows {
+		t.Errorf("extracted %d rows, want %d", data.RowCount(), wantRows)
+	}
+
+	dst := NewPartition(9, 64, nil)
+	if err := dst.ApplyBucket(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.BucketRowCount(bucket); got != wantRows {
+		t.Errorf("destination holds %d rows, want %d", got, wantRows)
+	}
+	for _, tab := range tables {
+		r, ok, err := dst.Get(tab, "row-0")
+		if err != nil || !ok {
+			t.Fatalf("dest Get(%s): ok=%v err=%v", tab, ok, err)
+		}
+		if r.Cols["t"] != tab {
+			t.Errorf("%s row cols = %v", tab, r.Cols)
+		}
+	}
+}
+
+// TestEmptyBucketRoundTrip checks that extracting a bucket with no rows
+// still transfers ownership: the destination owns it after apply and can
+// accept writes the source now rejects.
+func TestEmptyBucketRoundTrip(t *testing.T) {
+	src := newTestPartition()
+	const bucket = 7
+	// Find a key that hashes into the bucket so we can write post-move.
+	key := ""
+	for i := 0; key == ""; i++ {
+		if k := fmt.Sprintf("k-%d", i); BucketOf(k, 64) == bucket {
+			key = k
+		}
+	}
+
+	data, err := src.ExtractBucket(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.RowCount() != 0 {
+		t.Errorf("rows = %d, want 0", data.RowCount())
+	}
+	if src.Owns(bucket) {
+		t.Error("source should lose ownership of the empty bucket")
+	}
+
+	dst := NewPartition(3, 64, nil)
+	dst.CreateTable("CART")
+	if err := dst.ApplyBucket(data); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Owns(bucket) {
+		t.Error("destination should own the empty bucket")
+	}
+	if err := dst.Put("CART", key, map[string]string{"x": "1"}); err != nil {
+		t.Errorf("write to moved empty bucket: %v", err)
+	}
+	var notOwned *ErrNotOwned
+	if err := src.Put("CART", key, map[string]string{"x": "1"}); !errors.As(err, &notOwned) {
+		t.Errorf("source write after move: err = %v, want ErrNotOwned", err)
+	}
+}
+
+// TestCopyBucketNonDestructive checks the snapshot path: CopyBucket leaves
+// the partition untouched and returns an isolated deep copy.
+func TestCopyBucketNonDestructive(t *testing.T) {
+	p := newTestPartition()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("cart-%d", i)
+		if err := p.Put("CART", k, map[string]string{"i": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bucket := BucketOf("cart-0", 64)
+	want := p.BucketRowCount(bucket)
+
+	data, err := p.CopyBucket(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.RowCount() != want {
+		t.Errorf("copied %d rows, want %d", data.RowCount(), want)
+	}
+	if !p.Owns(bucket) || p.BucketRowCount(bucket) != want {
+		t.Error("copy must not disturb the partition")
+	}
+
+	// A copy restores cleanly into a fresh partition (snapshot load path).
+	dst := NewPartition(2, 64, nil)
+	if err := dst.ApplyBucket(data); err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := dst.Get("CART", "cart-0")
+	if err != nil || !ok {
+		t.Fatalf("restored Get: ok=%v err=%v", ok, err)
+	}
+	if r.Cols["i"] != "0" {
+		t.Errorf("restored cols = %v", r.Cols)
+	}
+
+	// The copy is deep: tampering with it must not reach the partition.
+	first := data.Tables["CART"][0]
+	first.Cols["i"] = "tampered"
+	if r, _, _ := p.Get("CART", first.Key); r.Cols["i"] == "tampered" {
+		t.Error("copy shares row storage with the partition")
+	}
+
+	// Copying an unowned bucket fails.
+	var notOwned *ErrNotOwned
+	if _, err := NewPartition(1, 64, nil).CopyBucket(bucket); !errors.As(err, &notOwned) {
+		t.Errorf("unowned copy: err = %v, want ErrNotOwned", err)
+	}
+}
+
 func TestOwnedBucketsSorted(t *testing.T) {
 	p := NewPartition(0, 16, []int{9, 3, 12})
 	got := p.OwnedBuckets()
