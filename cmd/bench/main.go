@@ -17,6 +17,7 @@ import (
 
 	"pstore/internal/experiments"
 	"pstore/internal/metrics"
+	"pstore/internal/profiling"
 )
 
 func main() {
@@ -26,8 +27,18 @@ func main() {
 		trainDays  = flag.Int("train-days", 4, "training days for the predictor")
 		predictor  = flag.String("predictor", "spar", "predictor for P-Store runs: spar or oracle")
 		seed       = flag.Int64("seed", 3, "trace seed")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		blockProf  = flag.String("blockprofile", "", "write a blocking profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(profiling.Flags{CPU: *cpuProf, Mem: *memProf, Block: *blockProf})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	sc := experiments.QuickScale()
 	run := func(name string, fn func() error) {

@@ -14,12 +14,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"pstore/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	benchN := flag.Int("n", 5000, "bench: total transactions to issue")
+	benchConc := flag.Int("conc", 32, "bench: concurrent in-flight calls (drives request pipelining)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -83,18 +88,61 @@ func main() {
 			fmt.Printf(" %s=%s", k, v)
 		}
 		fmt.Println()
+	case "bench":
+		bench(cl, *benchN, *benchConc)
 	default:
 		usage()
 	}
 }
 
+// bench saturates a single connection with conc concurrent AddLineToCart
+// calls. All goroutines share one Client, so their requests coalesce into
+// batched writes and pipeline through the server — the closed-loop
+// throughput printed here is dominated by how well that batching works.
+func bench(cl *server.Client, n, conc int) {
+	if n <= 0 || conc <= 0 {
+		usage()
+	}
+	var (
+		issued atomic.Int64
+		errs   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			args := map[string]string{"sku": "sku-bench", "qty": "1", "price": "9.99"}
+			for {
+				i := issued.Add(1)
+				if i > int64(n) {
+					return
+				}
+				key := fmt.Sprintf("bench-cart-%d", (int(i)+w)%64)
+				if _, err := cl.Call("AddLineToCart", key, args); err != nil {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("bench: %d txns, %d in flight, %v elapsed, %.0f txn/s, %d errors\n",
+		n, conc, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), errs.Load())
+	if errs.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pstore-client [-addr host:port] <command>
+	fmt.Fprintln(os.Stderr, `usage: pstore-client [-addr host:port] [-n N] [-conc C] <command>
 commands:
   ping
   stats
   scale <nodes>
-  call <procedure> <key> [arg=value ...]`)
+  call <procedure> <key> [arg=value ...]
+  bench    issue -n transactions with -conc concurrent calls over one connection`)
 	os.Exit(2)
 }
 

@@ -32,6 +32,7 @@ import (
 	"pstore/internal/durability"
 	"pstore/internal/engine"
 	"pstore/internal/migration"
+	"pstore/internal/profiling"
 	"pstore/internal/server"
 )
 
@@ -48,8 +49,17 @@ func main() {
 		fsyncEvery   = flag.Bool("fsync-every-txn", false, "fsync per transaction instead of group commit")
 		groupCommit  = flag.Duration("group-commit", 2*time.Millisecond, "group-commit fsync interval")
 		snapInterval = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot/log-truncation interval")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on graceful shutdown)")
+		memProf      = flag.String("memprofile", "", "write an allocation profile to this file on graceful shutdown")
+		blockProf    = flag.String("blockprofile", "", "write a blocking profile to this file on graceful shutdown")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(profiling.Flags{CPU: *cpuProf, Mem: *memProf, Block: *blockProf})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
+		os.Exit(1)
+	}
 
 	reg := engine.NewRegistry()
 	b2w.Register(reg)
@@ -123,5 +133,6 @@ func main() {
 		log.Printf("pstore-server: closing listener: %v", err)
 	}
 	c.Stop()
+	stopProf()
 	log.Printf("pstore-server: shutdown complete")
 }

@@ -124,14 +124,16 @@ func main() {
 
 	fmt.Printf("replaying one retail day (%d slots × %v)...\n", slotsPerDay, slotWall)
 	var calls sync.WaitGroup
-	stats, err := workload.Replay(ctx, trace.Slice(replayStart, trace.Len()),
-		workload.ReplayConfig{SlotWall: slotWall, LoadScale: 1, MaxLag: slotWall},
-		func(int) {
-			calls.Add(1)
-			go func() {
-				defer calls.Done()
-				c.Call(driver.Next())
-			}()
+	stats, err := workload.ReplayBatched(ctx, trace.Slice(replayStart, trace.Len()),
+		workload.ReplayConfig{SlotWall: slotWall, LoadScale: 1, MaxLag: slotWall, Batch: 16},
+		func(_, n int) {
+			calls.Add(n)
+			for j := 0; j < n; j++ {
+				go func() {
+					defer calls.Done()
+					c.Call(driver.Next())
+				}()
+			}
 		})
 	if err != nil {
 		log.Fatal(err)

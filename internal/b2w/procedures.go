@@ -97,6 +97,13 @@ func addLineToCart(tx *engine.Txn) error {
 	if err != nil {
 		return err
 	}
+	if ok {
+		// Reuse the fetched row's column map instead of building a fresh
+		// one: the update path is the hot path, and Put copies anyway.
+		row.Cols["lines"] = enc
+		row.Cols["status"] = StatusOpen
+		return tx.Put(TableCart, tx.Key, row.Cols)
+	}
 	return tx.Put(TableCart, tx.Key, map[string]string{
 		"lines":  enc,
 		"status": StatusOpen,

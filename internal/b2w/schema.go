@@ -9,6 +9,8 @@ package b2w
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // Table names of the simplified B2W database (Fig 14).
@@ -30,23 +32,102 @@ type Line struct {
 	Status   string  `json:"status,omitempty"` // "", "reserved"
 }
 
+// Cart lines are stored in a compact field-separated format rather than
+// JSON: line items are the single hottest value on the transaction path
+// (every cart/checkout procedure decodes and re-encodes them), and
+// reflection-based JSON was the largest allocation source in the whole
+// request hot path. Records are separated by 0x1E, fields by 0x1F:
+//
+//	sku \x1f qty \x1f price [ \x1f status ]  (status omitted when empty)
+//
+// Decoding slices fields out of the stored string without copying.
+const (
+	lineSep  = '\x1e'
+	fieldSep = '\x1f'
+)
+
 // encodeLines serializes line items for storage in a row column.
 func encodeLines(lines []Line) (string, error) {
-	b, err := json.Marshal(lines)
-	if err != nil {
-		return "", fmt.Errorf("b2w: encoding lines: %w", err)
+	if len(lines) == 0 {
+		return "", nil
 	}
-	return string(b), nil
+	var sb strings.Builder
+	sb.Grow(24 * len(lines))
+	var scratch [40]byte
+	for i, l := range lines {
+		if strings.ContainsAny(l.SKU, "\x1e\x1f") || strings.ContainsAny(l.Status, "\x1e\x1f") {
+			return "", fmt.Errorf("b2w: line field contains separator byte: %+v", l)
+		}
+		if i > 0 {
+			sb.WriteByte(lineSep)
+		}
+		sb.WriteString(l.SKU)
+		sb.WriteByte(fieldSep)
+		b := strconv.AppendInt(scratch[:0], int64(l.Quantity), 10)
+		b = append(b, fieldSep)
+		b = strconv.AppendFloat(b, l.Price, 'g', -1, 64)
+		sb.Write(b)
+		if l.Status != "" {
+			sb.WriteByte(fieldSep)
+			sb.WriteString(l.Status)
+		}
+	}
+	return sb.String(), nil
 }
 
-// decodeLines parses line items from a row column ("" means none).
+// decodeLines parses line items from a row column ("" means none). Legacy
+// JSON-encoded values (from data directories written before the compact
+// format) are still understood.
 func decodeLines(s string) ([]Line, error) {
 	if s == "" {
 		return nil, nil
 	}
-	var lines []Line
-	if err := json.Unmarshal([]byte(s), &lines); err != nil {
-		return nil, fmt.Errorf("b2w: decoding lines: %w", err)
+	if s[0] == '[' {
+		var lines []Line
+		if err := json.Unmarshal([]byte(s), &lines); err != nil {
+			return nil, fmt.Errorf("b2w: decoding lines: %w", err)
+		}
+		return lines, nil
+	}
+	lines := make([]Line, 0, strings.Count(s, string(rune(lineSep)))+1)
+	for len(s) > 0 {
+		rec := s
+		if i := strings.IndexByte(s, lineSep); i >= 0 {
+			rec, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
+		var l Line
+		for f := 0; f < 4; f++ {
+			field := rec
+			if i := strings.IndexByte(rec, fieldSep); i >= 0 {
+				field, rec = rec[:i], rec[i+1:]
+			} else {
+				rec = ""
+			}
+			switch f {
+			case 0:
+				l.SKU = field
+			case 1:
+				q, err := strconv.Atoi(field)
+				if err != nil {
+					return nil, fmt.Errorf("b2w: decoding line qty %q: %w", field, err)
+				}
+				l.Quantity = q
+			case 2:
+				p, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("b2w: decoding line price %q: %w", field, err)
+				}
+				l.Price = p
+			case 3:
+				l.Status = field
+			}
+			if rec == "" && f >= 2 {
+				break
+			}
+		}
+		lines = append(lines, l)
 	}
 	return lines, nil
 }

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pstore/internal/durability"
@@ -79,11 +80,18 @@ type Node struct {
 type Cluster struct {
 	cfg Config
 
+	// route is the hot-path routing snapshot: an immutable bucket→partition
+	// table plus partition→executor map, swapped atomically whenever the
+	// topology or ownership changes. Transaction routing reads it with one
+	// atomic load — no lock — so reconfigurations never stall the request
+	// path, and the request path never stalls reconfigurations.
+	route atomic.Pointer[routing]
+
 	mu        sync.RWMutex
 	nodes     []*Node                  // sorted by ID
-	execs     map[int]*engine.Executor // partition → executor
+	execs     map[int]*engine.Executor // partition → executor (master copy)
 	durs      map[int]*durability.Manager
-	owner     []int // bucket → partition
+	owner     []int // bucket → partition (master copy)
 	nextNode  int
 	nextPart  int
 	stopped   bool
@@ -92,7 +100,7 @@ type Cluster struct {
 	snapStop chan struct{} // stops the periodic snapshot loop
 	snapDone chan struct{}
 
-	latencies *metrics.LatencyRecorder
+	latencies *metrics.ShardedRecorder
 	offered   *metrics.Counter
 	allocLog  *metrics.AllocationTracker
 
@@ -124,7 +132,7 @@ func New(cfg Config) (*Cluster, error) {
 		execs:     make(map[int]*engine.Executor),
 		durs:      make(map[int]*durability.Manager),
 		owner:     make([]int, cfg.NBuckets),
-		latencies: metrics.NewLatencyRecorder(window),
+		latencies: metrics.NewShardedRecorder(window),
 		offered:   metrics.NewCounter(time.Second),
 		allocLog:  metrics.NewAllocationTracker(time.Now(), cfg.InitialNodes),
 	}
@@ -171,8 +179,29 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	c.publishRoutingLocked()
 	c.startSnapshotLoop()
 	return c, nil
+}
+
+// routing is one immutable snapshot of the request-routing state.
+type routing struct {
+	owner []int                    // bucket → partition
+	execs map[int]*engine.Executor // partition → executor
+}
+
+// publishRoutingLocked rebuilds and swaps the routing snapshot from the
+// master copies. Caller holds c.mu (or owns c exclusively during New), so
+// writers are serialized; readers are never blocked.
+func (c *Cluster) publishRoutingLocked() {
+	rt := &routing{
+		owner: append([]int(nil), c.owner...),
+		execs: make(map[int]*engine.Executor, len(c.execs)),
+	}
+	for pid, e := range c.execs {
+		rt.execs[pid] = e
+	}
+	c.route.Store(rt)
 }
 
 // startPartition opens the partition's durability manager (when enabled),
@@ -353,6 +382,7 @@ func (c *Cluster) recover() error {
 		c.durs[pid] = r.mgr
 		c.execs[pid] = engine.NewExecutor(r.part, c.cfg.Registry, ecfg)
 	}
+	c.publishRoutingLocked()
 	c.allocLog.Set(time.Now(), len(c.nodes))
 	return nil
 }
@@ -523,6 +553,7 @@ func (c *Cluster) AddNode() Node {
 			panic(fmt.Sprintf("cluster: AddNode manifest: %v", err))
 		}
 	}
+	c.publishRoutingLocked()
 	c.allocLog.Set(time.Now(), len(c.nodes))
 	return Node{ID: node.ID, Partitions: append([]int(nil), node.Partitions...)}
 }
@@ -570,6 +601,7 @@ func (c *Cluster) RemoveNode(id int) error {
 			return err
 		}
 	}
+	c.publishRoutingLocked()
 	c.allocLog.Set(time.Now(), len(c.nodes))
 	return nil
 }
@@ -603,25 +635,23 @@ func (c *Cluster) Reconfiguring() bool {
 
 // OwnerOf returns the partition currently owning the bucket.
 func (c *Cluster) OwnerOf(bucket int) int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.owner[bucket]
+	return c.route.Load().owner[bucket]
 }
 
 // SetOwner points the routing table for a bucket at a partition. The
 // migrator calls this when it starts moving the bucket, so retries land on
-// the destination.
+// the destination. Readers see the swap atomically via the routing
+// snapshot; they are never blocked.
 func (c *Cluster) SetOwner(bucket, partition int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.owner[bucket] = partition
+	c.publishRoutingLocked()
 }
 
 // ExecutorOf returns the executor hosting the partition.
 func (c *Cluster) ExecutorOf(partition int) (*engine.Executor, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.execs[partition]
+	e, ok := c.route.Load().execs[partition]
 	return e, ok
 }
 
@@ -643,10 +673,14 @@ func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 	start := time.Now()
 	c.offered.Add(start, 1)
 	deadline := start.Add(c.cfg.retryBudget())
+	bucket := storage.BucketOf(txn.Key, c.cfg.NBuckets)
 	var res engine.Result
 	for {
-		pid := c.RouteKey(txn.Key)
-		exec, ok := c.ExecutorOf(pid)
+		// One atomic snapshot load covers both the ownership lookup and
+		// the executor lookup — the whole route is lock-free.
+		rt := c.route.Load()
+		pid := rt.owner[bucket]
+		exec, ok := rt.execs[pid]
 		if !ok {
 			res = engine.Result{Err: fmt.Errorf("cluster: no executor for partition %d", pid)}
 		} else {
@@ -710,10 +744,9 @@ func (c *Cluster) TotalRows() (int, error) {
 
 // BucketCounts returns the number of buckets owned per partition.
 func (c *Cluster) BucketCounts() map[int]int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	rt := c.route.Load()
 	out := make(map[int]int)
-	for _, pid := range c.owner {
+	for _, pid := range rt.owner {
 		out[pid]++
 	}
 	return out
@@ -739,7 +772,7 @@ func (c *Cluster) executors() []*engine.Executor {
 func (c *Cluster) Executors() []*engine.Executor { return c.executors() }
 
 // Latencies returns the cluster-wide end-to-end latency recorder.
-func (c *Cluster) Latencies() *metrics.LatencyRecorder { return c.latencies }
+func (c *Cluster) Latencies() *metrics.ShardedRecorder { return c.latencies }
 
 // OfferedLoad returns the counter of submitted transactions per second.
 func (c *Cluster) OfferedLoad() *metrics.Counter { return c.offered }

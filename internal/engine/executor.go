@@ -34,8 +34,10 @@ type Config struct {
 	// fail with ErrOverloaded. Defaults to 8192.
 	QueueDepth int
 	// Recorder, if set, receives the latency of every completed
-	// transaction.
-	Recorder *metrics.LatencyRecorder
+	// transaction. Use a sharded recorder (metrics.NewShardedRecorder)
+	// when many executors share one, so the hot path never crosses a
+	// global mutex.
+	Recorder metrics.Recorder
 	// Log, if set, receives every committed writing transaction before the
 	// client is acked (command logging). When nil the executor takes the
 	// in-memory fast path with no durability overhead.
@@ -315,13 +317,24 @@ func (e *Executor) Submit(txn *Txn) (<-chan Result, error) {
 	return reply, nil
 }
 
-// Call runs a transaction and waits for its result.
+// resultChans recycles Call's one-shot reply channels: every enqueued
+// transaction receives exactly one reply (the run loop drains the queue on
+// Stop), so a received-from channel is always safe to reuse.
+var resultChans = sync.Pool{New: func() any { return make(chan Result, 1) }}
+
+// Call runs a transaction and waits for its result. Unlike Submit it
+// recycles the reply channel, so the steady-state call path does not
+// allocate.
 func (e *Executor) Call(txn *Txn) Result {
-	ch, err := e.Submit(txn)
-	if err != nil {
+	reply := resultChans.Get().(chan Result)
+	t := task{txn: txn, reply: reply, started: time.Now()}
+	if err := e.enqueue(t); err != nil {
+		resultChans.Put(reply)
 		return Result{Err: err}
 	}
-	return <-ch
+	res := <-reply
+	resultChans.Put(reply)
+	return res
 }
 
 // Do runs fn on the executor's goroutine with exclusive partition access

@@ -10,6 +10,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"pstore/internal/storage"
 )
@@ -25,6 +26,29 @@ type Txn struct {
 	part  *storage.Partition
 	out   map[string]string
 	dirty bool // set by Put/Delete; only dirty txns are command-logged
+}
+
+// txnPool recycles Txn contexts (and their output maps) across
+// invocations, keeping the steady-state request path allocation-free.
+var txnPool = sync.Pool{New: func() any { return new(Txn) }}
+
+// AcquireTxn returns a pooled Txn initialized for one invocation. Release
+// it after the result (including Result.Out, which aliases the Txn's
+// output map) has been consumed.
+func AcquireTxn(proc, key string, args map[string]string) *Txn {
+	t := txnPool.Get().(*Txn)
+	t.Proc, t.Key, t.Args = proc, key, args
+	return t
+}
+
+// Release clears the Txn and returns it to the pool. The output map is
+// retained (emptied) so repeated use does not reallocate it. Callers must
+// not touch the Txn — or a Result.Out obtained from it — afterwards.
+func (t *Txn) Release() {
+	clear(t.out)
+	t.Proc, t.Key, t.Args = "", "", nil
+	t.part, t.dirty = nil, false
+	txnPool.Put(t)
 }
 
 // Arg returns the named argument ("" if absent).

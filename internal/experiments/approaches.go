@@ -166,16 +166,19 @@ func RunApproach(cfg ApproachesConfig, a Approach) (res *ApproachResult, err err
 	// Open-loop replay of the trace tail.
 	replaySeries := cfg.Trace.Slice(cfg.ReplayStart, cfg.Trace.Len())
 	var callWG sync.WaitGroup
-	stats, err := workload.Replay(ctx, replaySeries, workload.ReplayConfig{
+	stats, err := workload.ReplayBatched(ctx, replaySeries, workload.ReplayConfig{
 		SlotWall:  sc.SlotWall,
 		LoadScale: 1,
 		MaxLag:    sc.SlotWall,
-	}, func(int) {
-		callWG.Add(1)
-		go func() {
-			defer callWG.Done()
-			c.Call(d.Next())
-		}()
+		Batch:     16,
+	}, func(_, n int) {
+		callWG.Add(n)
+		for j := 0; j < n; j++ {
+			go func() {
+				defer callWG.Done()
+				c.Call(d.Next())
+			}()
+		}
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -95,10 +96,20 @@ func (t *AllocationTracker) Series() []struct {
 type Counter struct {
 	window time.Duration
 
+	epochOnce sync.Once
+	epoch     time.Time
+	started   atomic.Bool
+	next      atomic.Uint64
+	stripes   []counterStripe
+}
+
+// counterStripe is one mutex-guarded bucket map, padded onto its own cache
+// line. Add is on the cluster's per-transaction hot path, so the counter
+// stripes writes the same way ShardedRecorder does and merges on read.
+type counterStripe struct {
 	mu      sync.Mutex
 	buckets map[int64]int
-	epoch   time.Time
-	started bool
+	_       [40]byte
 }
 
 // NewCounter returns a counter with the given window size.
@@ -106,26 +117,44 @@ func NewCounter(window time.Duration) *Counter {
 	if window <= 0 {
 		window = time.Second
 	}
-	return &Counter{window: window, buckets: make(map[int64]int)}
+	c := &Counter{window: window, stripes: make([]counterStripe, defaultShards())}
+	for i := range c.stripes {
+		c.stripes[i].buckets = make(map[int64]int)
+	}
+	return c
 }
 
 // Add counts n events at the given time.
 func (c *Counter) Add(at time.Time, n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.started {
+	c.epochOnce.Do(func() {
 		c.epoch = at
-		c.started = true
+		c.started.Store(true)
+	})
+	idx := int64(at.Sub(c.epoch) / c.window)
+	st := &c.stripes[c.next.Add(1)&uint64(len(c.stripes)-1)]
+	st.mu.Lock()
+	st.buckets[idx] += n
+	st.mu.Unlock()
+}
+
+// merged combines all stripes' buckets. Callers own the returned map.
+func (c *Counter) merged() map[int64]int {
+	out := make(map[int64]int)
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		for idx, v := range st.buckets {
+			out[idx] += v
+		}
+		st.mu.Unlock()
 	}
-	c.buckets[int64(at.Sub(c.epoch)/c.window)] += n
+	return out
 }
 
 // Total returns the sum of all counted events.
 func (c *Counter) Total() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, v := range c.buckets {
+	for _, v := range c.merged() {
 		n += v
 	}
 	return n
@@ -138,18 +167,17 @@ func (c *Counter) RecentRate(now time.Time, k int) float64 {
 	if k <= 0 {
 		k = 1
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.started {
+	if !c.started.Load() {
 		return 0
 	}
+	buckets := c.merged()
 	cur := int64(now.Sub(c.epoch) / c.window)
 	sum, n := 0, 0
 	for i := cur - int64(k); i < cur; i++ {
 		if i < 0 {
 			continue
 		}
-		sum += c.buckets[i]
+		sum += buckets[i]
 		n++
 	}
 	if n == 0 {
@@ -161,14 +189,13 @@ func (c *Counter) RecentRate(now time.Time, k int) float64 {
 // Rate returns the per-window event counts in time order, including empty
 // windows between the first and last events.
 func (c *Counter) Rate() []float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.buckets) == 0 {
+	buckets := c.merged()
+	if len(buckets) == 0 {
 		return nil
 	}
 	var lo, hi int64
 	first := true
-	for i := range c.buckets {
+	for i := range buckets {
 		if first {
 			lo, hi = i, i
 			first = false
@@ -182,7 +209,7 @@ func (c *Counter) Rate() []float64 {
 		}
 	}
 	out := make([]float64, hi-lo+1)
-	for i, v := range c.buckets {
+	for i, v := range buckets {
 		out[i-lo] = float64(v)
 	}
 	return out

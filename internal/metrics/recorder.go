@@ -22,6 +22,12 @@ type WindowStats struct {
 // latency samples are kept before being summarized and evicted.
 const DefaultRetention = 2 * time.Minute
 
+// Recorder receives latency observations. LatencyRecorder (single mutex)
+// and ShardedRecorder (striped, for hot paths) both implement it.
+type Recorder interface {
+	Record(at time.Time, latency time.Duration)
+}
+
 // LatencyRecorder collects transaction latencies into fixed-size time
 // windows and summarizes each window's percentiles. It is safe for
 // concurrent use.
@@ -111,28 +117,7 @@ func (r *LatencyRecorder) evictLocked() {
 
 // summarize computes one window's statistics.
 func (r *LatencyRecorder) summarize(idx int64, lat []time.Duration) WindowStats {
-	sorted := make([]float64, len(lat))
-	var sum, max time.Duration
-	for j, l := range lat {
-		sorted[j] = float64(l)
-		sum += l
-		if l > max {
-			max = l
-		}
-	}
-	sort.Float64s(sorted)
-	ws := WindowStats{
-		Start: r.epoch.Add(time.Duration(idx) * r.window),
-		Count: len(lat),
-		P50:   time.Duration(percentileSorted(sorted, 50)),
-		P95:   time.Duration(percentileSorted(sorted, 95)),
-		P99:   time.Duration(percentileSorted(sorted, 99)),
-		Max:   max,
-	}
-	if len(lat) > 0 {
-		ws.Mean = sum / time.Duration(len(lat))
-	}
-	return ws
+	return summarizeWindow(r.epoch, r.window, idx, lat)
 }
 
 // Count returns the total number of recorded observations (summarized

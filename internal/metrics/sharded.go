@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardedRecorder is a LatencyRecorder drop-in for hot paths: observations
+// are striped across per-shard sample buffers (each with its own mutex, on
+// its own cache line), window bookkeeping is done with atomics, and shards
+// are only merged on read. Under many concurrent recorders — one per
+// executor, plus every client goroutine — it removes the global mutex that
+// made the old recorder the first thing a CPU profile showed.
+//
+// Semantics match LatencyRecorder: samples bucket into fixed windows from
+// the first observation's epoch; windows older than the retention horizon
+// are summarized into WindowStats and their raw samples freed; late
+// observations for already-summarized windows are dropped and counted.
+type ShardedRecorder struct {
+	window time.Duration
+
+	epochOnce sync.Once
+	epoch     time.Time
+
+	next      atomic.Uint64 // round-robin shard cursor
+	maxIdx    atomic.Int64  // newest window seen
+	floor     atomic.Int64  // windows ≤ floor are summarized (or in progress)
+	retention atomic.Int64  // horizon in windows
+	late      atomic.Int64
+
+	shards []recorderShard
+
+	fmu       sync.Mutex
+	finalized map[int64]WindowStats
+}
+
+// recorderShard is one stripe: a mutex plus its own window→samples map,
+// padded so neighboring shards do not share a cache line.
+type recorderShard struct {
+	mu      sync.Mutex
+	buckets map[int64][]time.Duration
+	_       [40]byte
+}
+
+// defaultShards sizes the stripe count to the machine (a power of two so
+// the shard pick is a mask, capped to keep merge-on-read cheap).
+func defaultShards() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 32 {
+		n <<= 1
+	}
+	return n
+}
+
+// NewShardedRecorder returns a sharded recorder with the given window size
+// and the default retention horizon. Shard count scales with GOMAXPROCS.
+func NewShardedRecorder(window time.Duration) *ShardedRecorder {
+	if window <= 0 {
+		window = time.Second
+	}
+	s := &ShardedRecorder{
+		window:    window,
+		shards:    make([]recorderShard, defaultShards()),
+		finalized: make(map[int64]WindowStats),
+	}
+	for i := range s.shards {
+		s.shards[i].buckets = make(map[int64][]time.Duration)
+	}
+	s.maxIdx.Store(-1)
+	s.floor.Store(-1)
+	s.SetRetention(DefaultRetention)
+	return s
+}
+
+// SetRetention changes the retention horizon: windows ending more than
+// horizon behind the newest observation are summarized and their raw
+// samples evicted. A horizon below one window keeps a single raw window.
+func (s *ShardedRecorder) SetRetention(horizon time.Duration) {
+	n := int64(horizon / s.window)
+	if n < 1 {
+		n = 1
+	}
+	s.retention.Store(n)
+	s.evict()
+}
+
+// Record adds one latency observation at the given time.
+func (s *ShardedRecorder) Record(at time.Time, latency time.Duration) {
+	s.epochOnce.Do(func() { s.epoch = at })
+	idx := int64(at.Sub(s.epoch) / s.window)
+	sh := &s.shards[s.next.Add(1)&uint64(len(s.shards)-1)]
+	sh.mu.Lock()
+	// The floor check happens under the shard lock: eviction advances the
+	// floor while holding every shard lock, so a sample appended here can
+	// never belong to a window eviction already swept.
+	if idx <= s.floor.Load() {
+		sh.mu.Unlock()
+		s.late.Add(1)
+		return
+	}
+	sh.buckets[idx] = append(sh.buckets[idx], latency)
+	sh.mu.Unlock()
+	for {
+		m := s.maxIdx.Load()
+		if idx <= m {
+			return
+		}
+		if s.maxIdx.CompareAndSwap(m, idx) {
+			s.evict()
+			return
+		}
+	}
+}
+
+// evict summarizes and frees raw windows older than the horizon. Only the
+// Record that advanced maxIdx (or a retention change) pays this cost —
+// once per window boundary, not per sample.
+func (s *ShardedRecorder) evict() {
+	target := s.maxIdx.Load() - s.retention.Load()
+	if target <= s.floor.Load() {
+		return
+	}
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	target = s.maxIdx.Load() - s.retention.Load()
+	if target <= s.floor.Load() {
+		return
+	}
+	// Collect every stale window's samples from all shards. Holding all
+	// shard locks while advancing the floor makes the sweep atomic with
+	// respect to Record's floor check.
+	merged := make(map[int64][]time.Duration)
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	s.floor.Store(target)
+	for i := range s.shards {
+		for idx, lat := range s.shards[i].buckets {
+			if idx <= target {
+				merged[idx] = append(merged[idx], lat...)
+				delete(s.shards[i].buckets, idx)
+			}
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	for idx, lat := range merged {
+		s.finalized[idx] = summarizeWindow(s.epoch, s.window, idx, lat)
+	}
+}
+
+// merge returns all still-raw windows combined across shards. Caller must
+// not hold any shard lock.
+func (s *ShardedRecorder) merge() map[int64][]time.Duration {
+	out := make(map[int64][]time.Duration)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for idx, lat := range sh.buckets {
+			out[idx] = append(out[idx], lat...)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Count returns the total number of recorded observations (summarized
+// windows included).
+func (s *ShardedRecorder) Count() int {
+	n := 0
+	for _, lat := range s.merge() {
+		n += len(lat)
+	}
+	s.fmu.Lock()
+	for _, ws := range s.finalized {
+		n += ws.Count
+	}
+	s.fmu.Unlock()
+	return n
+}
+
+// LateDropped returns the number of observations dropped because their
+// window had already been summarized and evicted.
+func (s *ShardedRecorder) LateDropped() int64 { return s.late.Load() }
+
+// RawWindows returns the number of windows still holding raw samples
+// (bounded by the retention horizon).
+func (s *ShardedRecorder) RawWindows() int { return len(s.merge()) }
+
+// Windows returns per-window summaries in time order, merging summarized
+// and still-raw windows.
+func (s *ShardedRecorder) Windows() []WindowStats {
+	// Pin the epoch if no observation has: reading it below must not race
+	// with a first concurrent Record.
+	s.epochOnce.Do(func() { s.epoch = time.Now() })
+	raw := s.merge()
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	idxs := make([]int64, 0, len(raw)+len(s.finalized))
+	for i := range raw {
+		if _, done := s.finalized[i]; !done {
+			idxs = append(idxs, i)
+		}
+	}
+	for i := range s.finalized {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	out := make([]WindowStats, 0, len(idxs))
+	for _, i := range idxs {
+		if ws, ok := s.finalized[i]; ok {
+			out = append(out, ws)
+			continue
+		}
+		out = append(out, summarizeWindow(s.epoch, s.window, i, raw[i]))
+	}
+	return out
+}
+
+// summarizeWindow computes one window's statistics.
+func summarizeWindow(epoch time.Time, window time.Duration, idx int64, lat []time.Duration) WindowStats {
+	sorted := make([]float64, len(lat))
+	var sum, max time.Duration
+	for j, l := range lat {
+		sorted[j] = float64(l)
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	sort.Float64s(sorted)
+	ws := WindowStats{
+		Start: epoch.Add(time.Duration(idx) * window),
+		Count: len(lat),
+		P50:   time.Duration(percentileSorted(sorted, 50)),
+		P95:   time.Duration(percentileSorted(sorted, 95)),
+		P99:   time.Duration(percentileSorted(sorted, 99)),
+		Max:   max,
+	}
+	if len(lat) > 0 {
+		ws.Mean = sum / time.Duration(len(lat))
+	}
+	return ws
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"pstore/internal/b2w"
+	"pstore/internal/cluster"
+	"pstore/internal/engine"
+	"pstore/internal/migration"
+)
+
+// startBenchServer builds a server with zero synthetic service time so the
+// benchmark measures protocol + dispatch overhead, not emulated CPU work.
+func startBenchServer(b *testing.B) (string, *cluster.Cluster) {
+	b.Helper()
+	reg := engine.NewRegistry()
+	b2w.Register(reg)
+	c, err := cluster.New(cluster.Config{
+		InitialNodes:      1,
+		PartitionsPerNode: 4,
+		NBuckets:          64,
+		Tables:            b2w.Tables,
+		Registry:          reg,
+		Engine:            engine.Config{ServiceTime: 0},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	srv := New(c, migration.Options{BucketsPerChunk: 8, ChunkInterval: 100 * time.Microsecond}, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return addr, c
+}
+
+// BenchmarkServerCall measures the full networked request hot path: many
+// client goroutines multiplexing stored-procedure calls over one TCP
+// connection. This is the protocol-overhead number the wire codec and
+// batching work targets (see EXPERIMENTS.md "Hot path").
+func BenchmarkServerCall(b *testing.B) {
+	addr, _ := startBenchServer(b)
+	cl, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	args := map[string]string{"sku": "sku-1", "qty": "1", "price": "9.99"}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := benchKeys[i%len(benchKeys)]
+			i++
+			if _, err := cl.Call(b2w.ProcAddLineToCart, key, args); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServerPing isolates the protocol round trip with an empty
+// request body — pure codec + framing + dispatch cost.
+func BenchmarkServerPing(b *testing.B) {
+	addr, _ := startBenchServer(b)
+	cl, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := cl.Ping(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+var benchKeys = func() []string {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = "cart-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	return keys
+}()

@@ -1,7 +1,7 @@
 package server
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -9,18 +9,37 @@ import (
 	"time"
 )
 
+// ErrClientClosed is returned for requests on a Close()d client.
+var ErrClientClosed = errors.New("pstore-client: client closed")
+
 // Client is a network client for a P-Store server. It is safe for
-// concurrent use; requests multiplex over one TCP connection.
+// concurrent use; requests multiplex over one TCP connection, and
+// concurrent calls are coalesced into single writes (batching), so many
+// goroutines sharing one client pay roughly one syscall per batch rather
+// than one per request.
 type Client struct {
 	conn net.Conn
-	enc  *gob.Encoder
+
+	// Write side: callers append encoded frames to wbuf under wmu and
+	// nudge the flusher, which swaps the buffer out and writes it in one
+	// syscall. While a write is in flight new frames pile into the other
+	// buffer — natural batching under concurrency, no added latency when
+	// idle.
+	wmu    sync.Mutex
+	wbuf   []byte
+	wspare []byte
+	wake   chan struct{}
+	done   chan struct{}
 
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan Response
 	closed  bool
-	readErr error
+	readErr error // first connection-level failure, the cause for new calls
 }
+
+// replyChans recycles the one-shot response channels of roundTrip.
+var replyChans = sync.Pool{New: func() any { return make(chan Response, 1) }}
 
 // Dial connects to a P-Store server.
 func Dial(addr string) (*Client, error) {
@@ -30,33 +49,63 @@ func Dial(addr string) (*Client, error) {
 	}
 	c := &Client{
 		conn:    conn,
-		enc:     gob.NewEncoder(conn),
 		pending: make(map[uint64]chan Response),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
 	}
 	go c.readLoop()
+	go c.writeLoop()
 	return c, nil
 }
 
-// Close terminates the connection; outstanding requests fail.
+// Close terminates the connection. All outstanding requests fail
+// deterministically with ErrClientClosed before Close returns.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
+	c.failPendingLocked(ErrClientClosed)
 	c.mu.Unlock()
+	close(c.done)
 	return c.conn.Close()
 }
 
+// failPendingLocked delivers err to every in-flight request. Caller holds
+// c.mu; each channel receives exactly one message because delivery always
+// removes the entry from pending first.
+func (c *Client) failPendingLocked(err error) {
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- Response{ID: id, Err: err.Error()}
+	}
+}
+
+// fail records the first connection-level error and fails all in-flight
+// requests with it.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.failPendingLocked(fmt.Errorf("pstore-client: connection lost: %w", err))
+	c.mu.Unlock()
+}
+
 func (c *Client) readLoop() {
-	dec := gob.NewDecoder(c.conn)
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var frame []byte
 	for {
+		payload, err := readFrame(br, &frame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
 		var resp Response
-		if err := dec.Decode(&resp); err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			for id, ch := range c.pending {
-				ch <- Response{ID: id, Err: "pstore-client: connection lost: " + err.Error()}
-				delete(c.pending, id)
-			}
-			c.mu.Unlock()
+		if err := decodeResponse(payload, &resp); err != nil {
+			c.fail(err)
 			return
 		}
 		c.mu.Lock()
@@ -69,30 +118,75 @@ func (c *Client) readLoop() {
 	}
 }
 
-// roundTrip sends a request and waits for its response.
-func (c *Client) roundTrip(req Request) (Response, error) {
-	ch := make(chan Response, 1)
+// writeLoop flushes batched frames. One iteration writes everything that
+// accumulated while the previous write was on the wire.
+func (c *Client) writeLoop() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.wake:
+		}
+		c.wmu.Lock()
+		buf := c.wbuf
+		c.wbuf = c.wspare[:0]
+		c.wspare = nil
+		c.wmu.Unlock()
+		if len(buf) > 0 {
+			if _, err := c.conn.Write(buf); err != nil {
+				c.fail(err)
+				return
+			}
+		}
+		c.wmu.Lock()
+		if c.wspare == nil {
+			c.wspare = buf[:0]
+		}
+		c.wmu.Unlock()
+	}
+}
+
+// send encodes req into the batch buffer and nudges the flusher.
+func (c *Client) send(req *Request) {
+	c.wmu.Lock()
+	c.wbuf = appendRequest(c.wbuf, req)
+	c.wmu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default: // flusher already scheduled; it will pick this frame up too
+	}
+}
+
+// roundTrip sends a request and waits for its response. A client whose
+// connection has already failed returns the stored cause immediately
+// rather than a generic error.
+func (c *Client) roundTrip(req *Request) (Response, error) {
+	ch := replyChans.Get().(chan Response)
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
+	if c.closed {
 		c.mu.Unlock()
-		return Response{}, errors.New("pstore-client: connection closed")
+		replyChans.Put(ch)
+		return Response{}, ErrClientClosed
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		replyChans.Put(ch)
+		return Response{}, fmt.Errorf("pstore-client: connection lost: %w", err)
 	}
 	c.nextID++
 	req.ID = c.nextID
 	c.pending[req.ID] = ch
-	err := c.enc.Encode(req)
-	if err != nil {
-		delete(c.pending, req.ID)
-		c.mu.Unlock()
-		return Response{}, fmt.Errorf("pstore-client: send: %w", err)
-	}
 	c.mu.Unlock()
-	return <-ch, nil
+	c.send(req)
+	resp := <-ch
+	replyChans.Put(ch)
+	return resp, nil
 }
 
 // Ping checks connectivity.
 func (c *Client) Ping() error {
-	resp, err := c.roundTrip(Request{Kind: KindPing})
+	resp, err := c.roundTrip(&Request{Kind: KindPing})
 	if err != nil {
 		return err
 	}
@@ -111,7 +205,7 @@ type CallResult struct {
 
 // Call executes a stored procedure on the server.
 func (c *Client) Call(proc, key string, args map[string]string) (*CallResult, error) {
-	resp, err := c.roundTrip(Request{Kind: KindCall, Proc: proc, Key: key, Args: args})
+	resp, err := c.roundTrip(&Request{Kind: KindCall, Proc: proc, Key: key, Args: args})
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +222,7 @@ func (c *Client) Call(proc, key string, args map[string]string) (*CallResult, er
 // Scale reconfigures the server's cluster to target nodes, blocking until
 // the live migration completes.
 func (c *Client) Scale(target int) error {
-	resp, err := c.roundTrip(Request{Kind: KindScale, TargetNodes: target})
+	resp, err := c.roundTrip(&Request{Kind: KindScale, TargetNodes: target})
 	if err != nil {
 		return err
 	}
@@ -140,7 +234,7 @@ func (c *Client) Scale(target int) error {
 
 // Stats fetches a cluster status snapshot.
 func (c *Client) Stats() (*Stats, error) {
-	resp, err := c.roundTrip(Request{Kind: KindStats})
+	resp, err := c.roundTrip(&Request{Kind: KindStats})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pstore/internal/b2w"
+)
+
+// TestClientConcurrentPipelining drives one Client from many goroutines —
+// the configuration the write batching and response pipelining exist for.
+// Run under -race this doubles as the data-race check for the shared
+// buffers, pending map and pooled reply channels.
+func TestClientConcurrentPipelining(t *testing.T) {
+	_, addr, _ := startTestServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const goroutines, calls = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				if i%10 == 0 {
+					if err := cl.Ping(); err != nil {
+						t.Errorf("ping: %v", err)
+						return
+					}
+					continue
+				}
+				key := fmt.Sprintf("cart-%d", (g*calls+i)%8) // contended keys
+				if _, err := cl.Call(b2w.ProcAddLineToCart, key,
+					map[string]string{"sku": "s", "qty": "1", "price": "1"}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// blackholeListener accepts one connection and swallows whatever arrives
+// without ever replying, leaving callers' requests permanently in flight.
+func blackholeListener(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	return lis.Addr().String()
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	addr := blackholeListener(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inflight = 8
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			_, err := cl.Call("NoSuchProc", "k", nil)
+			errs <- err
+		}()
+	}
+	// Let the calls register as pending before closing.
+	time.Sleep(50 * time.Millisecond)
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inflight; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Error("pending call succeeded against a server that never replied")
+			} else if !strings.Contains(err.Error(), ErrClientClosed.Error()) {
+				t.Errorf("pending call err = %v, want %v", err, ErrClientClosed)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("pending call did not fail after Close — not deterministic")
+		}
+	}
+	// New requests on the closed client fail immediately with the sentinel.
+	if err := cl.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("ping after close = %v, want ErrClientClosed", err)
+	}
+}
+
+// TestClientReadErrCause kills the server side mid-flight and checks that
+// (a) in-flight calls fail with the read error rather than hanging and
+// (b) later calls fail immediately with the same stored cause.
+func TestClientReadErrCause(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+	cl, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	conn := <-accepted
+
+	callErr := make(chan error, 1)
+	go func() {
+		_, err := cl.Call("Anything", "k", nil)
+		callErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	conn.Close() // abrupt connection loss
+
+	select {
+	case err := <-callErr:
+		if err == nil || !strings.Contains(err.Error(), "connection lost") {
+			t.Errorf("in-flight call err = %v, want connection-lost", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung after connection loss")
+	}
+
+	// The client must now fail fast with the stored cause, not block.
+	start := time.Now()
+	err = cl.Ping()
+	if err == nil || !strings.Contains(err.Error(), "connection lost") {
+		t.Errorf("ping after loss = %v, want stored connection-lost cause", err)
+	}
+	var opErr *net.OpError
+	if !errors.Is(err, io.EOF) && !errors.As(err, &opErr) {
+		t.Errorf("ping after loss = %v, want the wrapped read-side cause", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("post-loss ping took %v, want immediate failure", time.Since(start))
+	}
+}

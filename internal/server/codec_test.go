@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// stripFrame splits an encoded frame into its announced payload, failing if
+// the prefix disagrees with the bytes present.
+func stripFrame(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	n, used := binary.Uvarint(frame)
+	if used <= 0 {
+		t.Fatalf("bad frame prefix in % x", frame)
+	}
+	payload := frame[used:]
+	if uint64(len(payload)) != n {
+		t.Fatalf("prefix says %d bytes, frame carries %d", n, len(payload))
+	}
+	return payload
+}
+
+var codecRequests = []Request{
+	{Kind: KindPing, ID: 1},
+	{Kind: KindStats, ID: 1 << 40},
+	{Kind: KindScale, ID: 7, TargetNodes: 12},
+	{Kind: KindCall, ID: 9, Proc: "AddLineToCart", Key: "cart-42",
+		Args: map[string]string{"sku": "sku-1", "qty": "2", "price": "9.99"}},
+	{Kind: KindCall, ID: 10, Proc: "GetCart", Key: "cart-∅-unicode"},
+}
+
+var codecResponses = []Response{
+	{ID: 1},
+	{ID: 2, Err: "boom", Abort: true, Latency: 3 * time.Millisecond},
+	{ID: 3, Out: map[string]string{"lines": "sku-1\x1f2\x1f9.99", "status": "open"},
+		Latency: 250 * time.Microsecond},
+	{ID: 4, Stats: &Stats{Nodes: 3, Partitions: 6, TotalRows: 1e6, OfferedTxns: 42,
+		P99: 17 * time.Millisecond}},
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range codecRequests {
+		payload := stripFrame(t, appendRequest(nil, &want))
+		var got Request
+		if err := decodeRequest(payload, &got); err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, want := range codecResponses {
+		payload := stripFrame(t, appendResponse(nil, &want))
+		var got Response
+		if err := decodeResponse(payload, &got); err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+// TestBatchedFramesDecodeIndependently mirrors what the batching writers
+// produce: many frames back to back in one buffer.
+func TestBatchedFramesDecodeIndependently(t *testing.T) {
+	var stream []byte
+	for i := range codecRequests {
+		stream = appendRequest(stream, &codecRequests[i])
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var frame []byte
+	for i := range codecRequests {
+		payload, err := readFrame(br, &frame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		var got Request
+		if err := decodeRequest(payload, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, codecRequests[i]) {
+			t.Errorf("frame %d: got %+v want %+v", i, got, codecRequests[i])
+		}
+	}
+	if _, err := readFrame(br, &frame); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestTornFramesRejected cuts a valid frame at every possible byte
+// boundary; each truncation must error (ErrUnexpectedEOF once the prefix
+// was readable) and never hang or succeed.
+func TestTornFramesRejected(t *testing.T) {
+	frame := appendRequest(nil, &codecRequests[3]) // the Call with args
+	for cut := 1; cut < len(frame); cut++ {
+		br := bufio.NewReader(bytes.NewReader(frame[:cut]))
+		var buf []byte
+		_, err := readFrame(br, &buf)
+		if err == nil {
+			t.Fatalf("cut at %d: torn frame decoded", cut)
+		}
+		if cut > 1 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	huge := binary.AppendUvarint(nil, maxFrame+1)
+	br := bufio.NewReader(bytes.NewReader(huge))
+	var buf []byte
+	if _, err := readFrame(br, &buf); !errors.Is(err, errFrameTooLarge) {
+		t.Errorf("err = %v, want errFrameTooLarge", err)
+	}
+	// A frame of exactly maxFrame announced but not delivered is a torn
+	// frame, not a size error.
+	exact := binary.AppendUvarint(nil, maxFrame)
+	br = bufio.NewReader(bytes.NewReader(exact))
+	if _, err := readFrame(br, &buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	payload := stripFrame(t, appendRequest(nil, &codecRequests[0]))
+	payload = append(payload, 0xFF)
+	var req Request
+	if err := decodeRequest(payload, &req); !errors.Is(err, errTrailing) {
+		t.Errorf("request err = %v, want errTrailing", err)
+	}
+	payload = stripFrame(t, appendResponse(nil, &codecResponses[0]))
+	payload = append(payload, 0x00)
+	var resp Response
+	if err := decodeResponse(payload, &resp); !errors.Is(err, errTrailing) {
+		t.Errorf("response err = %v, want errTrailing", err)
+	}
+}
+
+// FuzzDecodeRequest feeds arbitrary payloads to the request decoder: it
+// must never panic, and anything it accepts must survive a re-encode /
+// re-decode round trip unchanged.
+func FuzzDecodeRequest(f *testing.F) {
+	for i := range codecRequests {
+		frame := appendRequest(nil, &codecRequests[i])
+		n, used := binary.Uvarint(frame)
+		_ = n
+		f.Add(frame[used:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindCall)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := decodeRequest(data, &req); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		reframed := appendRequest(nil, &req)
+		n, used := binary.Uvarint(reframed)
+		if used <= 0 || uint64(len(reframed)-used) != n {
+			t.Fatalf("re-encode produced inconsistent frame for %+v", req)
+		}
+		var again Request
+		if err := decodeRequest(reframed[used:], &again); err != nil {
+			t.Fatalf("re-decode of %+v: %v", req, err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip diverged: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+func FuzzDecodeResponse(f *testing.F) {
+	for i := range codecResponses {
+		frame := appendResponse(nil, &codecResponses[i])
+		_, used := binary.Uvarint(frame)
+		f.Add(frame[used:])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var resp Response
+		if err := decodeResponse(data, &resp); err != nil {
+			return
+		}
+		reframed := appendResponse(nil, &resp)
+		n, used := binary.Uvarint(reframed)
+		if used <= 0 || uint64(len(reframed)-used) != n {
+			t.Fatalf("re-encode produced inconsistent frame for %+v", resp)
+		}
+		var again Response
+		if err := decodeResponse(reframed[used:], &again); err != nil {
+			t.Fatalf("re-decode of %+v: %v", resp, err)
+		}
+		if !reflect.DeepEqual(resp, again) {
+			t.Fatalf("round trip diverged: %+v vs %+v", resp, again)
+		}
+	})
+}

@@ -1,9 +1,15 @@
-// Package server exposes a P-Store cluster over TCP with a simple
-// gob-encoded request/response protocol, so the database can be deployed as
-// a standalone process and driven by network clients (cmd/pstore-server and
-// cmd/pstore-client). One server process hosts all partition executors; the
-// elasticity machinery (migration, controllers) operates inside it exactly
-// as in embedded use.
+// Package server exposes a P-Store cluster over TCP with a hand-rolled,
+// length-prefixed binary protocol (see codec.go for the exact framing), so
+// the database can be deployed as a standalone process and driven by
+// network clients (cmd/pstore-server and cmd/pstore-client). One server
+// process hosts all partition executors; the elasticity machinery
+// (migration, controllers) operates inside it exactly as in embedded use.
+//
+// The client multiplexes and pipelines requests over one TCP connection:
+// concurrent calls are coalesced into a single write (batching), the
+// server decodes frames as they arrive, fans each request out to the
+// partition executors, and streams replies back in completion order —
+// responses are matched to requests by ID, not by position.
 package server
 
 import (
@@ -24,16 +30,34 @@ type Request struct {
 	TargetNodes int
 }
 
-// Kind discriminates request types.
-type Kind string
+// Kind discriminates request types. It is a single byte on the wire.
+type Kind uint8
 
-// Supported request kinds.
+// Supported request kinds. The zero value is invalid so a torn or
+// zero-filled frame cannot masquerade as a valid request.
 const (
-	KindPing  Kind = "ping"
-	KindCall  Kind = "call"
-	KindScale Kind = "scale"
-	KindStats Kind = "stats"
+	KindInvalid Kind = iota
+	KindPing
+	KindCall
+	KindScale
+	KindStats
 )
+
+// String returns the kind's protocol name (for errors and logs).
+func (k Kind) String() string {
+	switch k {
+	case KindPing:
+		return "ping"
+	case KindCall:
+		return "call"
+	case KindScale:
+		return "scale"
+	case KindStats:
+		return "stats"
+	default:
+		return "invalid"
+	}
+}
 
 // Response is one server→client message, matched to a Request by ID.
 type Response struct {

@@ -1,12 +1,14 @@
 package server
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"pstore/internal/cluster"
 	"pstore/internal/engine"
@@ -75,6 +77,9 @@ func (s *Server) acceptLoop(lis net.Listener) {
 		if err != nil {
 			return
 		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true) // batching supplies the coalescing; don't add Nagle delay
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -87,6 +92,13 @@ func (s *Server) acceptLoop(lis net.Listener) {
 	}
 }
 
+// reqPool recycles decoded requests (and their Args maps) across frames.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// serveConn decodes frames as fast as they arrive and fans each request
+// out to the executors; replies are written back in completion order
+// through a batching writer, so responses from many concurrent
+// transactions coalesce into few syscalls.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -94,45 +106,102 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var encMu sync.Mutex
-	var wg sync.WaitGroup
-	defer wg.Wait()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	w := newReplyWriter(conn)
+	runner := newCallRunner(s, w)
+	defer w.stop()
+	defer runner.wg.Wait()
+	defer close(runner.ch)
+	var frame []byte
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, net.ErrClosed) {
+		payload, err := readFrame(br, &frame)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
 				s.logf("pstore-server: connection closed: %v", err)
 			}
 			return
 		}
-		wg.Add(1)
-		go func(req Request) {
-			defer wg.Done()
-			resp := s.handle(req)
-			encMu.Lock()
-			defer encMu.Unlock()
-			if err := enc.Encode(resp); err != nil {
-				s.logf("pstore-server: encode: %v", err)
-				conn.Close()
-			}
-		}(req)
+		req := reqPool.Get().(*Request)
+		clear(req.Args)
+		if err := decodeRequest(payload, req); err != nil {
+			s.logf("pstore-server: bad frame: %v", err)
+			return
+		}
+		switch req.Kind {
+		case KindPing:
+			// Answered inline: no executor work, no goroutine.
+			w.reply(&Response{ID: req.ID})
+			reqPool.Put(req)
+		case KindCall:
+			runner.dispatch(req)
+		default:
+			runner.wg.Add(1)
+			go func() {
+				defer runner.wg.Done()
+				resp := s.handleSlow(req)
+				w.reply(&resp)
+				reqPool.Put(req)
+			}()
+		}
 	}
 }
 
-func (s *Server) handle(req Request) Response {
+// callRunner fans transactions out to a self-sizing pool of per-connection
+// worker goroutines. Workers are reused across requests, so steady-state
+// traffic pays no goroutine spawn (and no stack re-growth — transaction
+// call stacks run deep through cluster routing and the executor).
+type callRunner struct {
+	s    *Server
+	w    *replyWriter
+	ch   chan *Request
+	wg   sync.WaitGroup
+	idle atomic.Int64
+}
+
+func newCallRunner(s *Server, w *replyWriter) *callRunner {
+	return &callRunner{s: s, w: w, ch: make(chan *Request, 256)}
+}
+
+// dispatch hands req to an idle worker, growing the pool when none is
+// waiting. The idle count is advisory — a lost race spawns one extra
+// worker that simply parks on the channel.
+func (r *callRunner) dispatch(req *Request) {
+	if r.idle.Load() == 0 {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	r.ch <- req
+}
+
+func (r *callRunner) worker() {
+	defer r.wg.Done()
+	r.idle.Add(1)
+	for req := range r.ch {
+		r.idle.Add(-1)
+		r.s.handleCall(req, r.w)
+		r.idle.Add(1)
+	}
+	r.idle.Add(-1)
+}
+
+// handleCall runs one transaction: pooled Txn in, batched reply out.
+func (s *Server) handleCall(req *Request, w *replyWriter) {
+	txn := engine.AcquireTxn(req.Proc, req.Key, req.Args)
+	res := s.c.Call(txn)
+	resp := Response{ID: req.ID, Out: res.Out, Latency: res.Latency}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+		resp.Abort = engine.IsAbort(res.Err)
+	}
+	w.reply(&resp) // encodes Out before the txn (which owns it) is reused
+	txn.Release()
+	reqPool.Put(req)
+}
+
+// handleSlow serves the rare non-transactional kinds.
+func (s *Server) handleSlow(req *Request) Response {
 	resp := Response{ID: req.ID}
 	switch req.Kind {
-	case KindPing:
-	case KindCall:
-		res := s.c.Call(&engine.Txn{Proc: req.Proc, Key: req.Key, Args: req.Args})
-		resp.Out = res.Out
-		resp.Latency = res.Latency
-		if res.Err != nil {
-			resp.Err = res.Err.Error()
-			resp.Abort = engine.IsAbort(res.Err)
-		}
 	case KindScale:
 		resp.Err = s.scale(req.TargetNodes)
 	case KindStats:
@@ -184,4 +253,90 @@ func (s *Server) stats() *Stats {
 		}
 	}
 	return st
+}
+
+// replyWriter batches response frames: completions append under a mutex
+// and a single flusher goroutine writes whatever accumulated in one
+// syscall, mirroring the client's write batching.
+type replyWriter struct {
+	conn net.Conn
+	wake chan struct{}
+	done chan struct{}
+	quit chan struct{}
+
+	mu    sync.Mutex
+	buf   []byte
+	spare []byte
+	err   error
+}
+
+func newReplyWriter(conn net.Conn) *replyWriter {
+	w := &replyWriter{
+		conn: conn,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+		quit: make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// reply encodes resp into the batch buffer and nudges the flusher. After a
+// write error the connection is dead; frames are dropped.
+func (w *replyWriter) reply(resp *Response) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.buf = appendResponse(w.buf, resp)
+	}
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *replyWriter) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.quit:
+			w.flush() // drain frames buffered before stop
+			return
+		case <-w.wake:
+		}
+		if !w.flush() {
+			return
+		}
+	}
+}
+
+// flush writes everything buffered in one syscall; false means the
+// connection failed.
+func (w *replyWriter) flush() bool {
+	w.mu.Lock()
+	buf := w.buf
+	w.buf = w.spare[:0]
+	w.spare = nil
+	w.mu.Unlock()
+	if len(buf) > 0 {
+		if _, err := w.conn.Write(buf); err != nil {
+			w.mu.Lock()
+			w.err = err
+			w.mu.Unlock()
+			w.conn.Close()
+			return false
+		}
+	}
+	w.mu.Lock()
+	if w.spare == nil {
+		w.spare = buf[:0]
+	}
+	w.mu.Unlock()
+	return true
+}
+
+// stop terminates the flusher after draining anything already buffered.
+func (w *replyWriter) stop() {
+	close(w.quit)
+	<-w.done
 }

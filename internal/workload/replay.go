@@ -24,6 +24,9 @@ type ReplayConfig struct {
 	// instead of firing them in a burst when the replayer catches up after
 	// a scheduling stall. 0 means never drop.
 	MaxLag time.Duration
+	// Batch caps how many already-due events ReplayBatched hands to one
+	// fire call. 0 or 1 means no coalescing.
+	Batch int
 }
 
 // ReplayStats reports what a replay actually fired.
@@ -41,11 +44,31 @@ type ReplayStats struct {
 // schedule, so a slow fire eats into its own slot but drift does not
 // accumulate. Replay stops early when ctx is cancelled.
 func Replay(ctx context.Context, s *timeseries.Series, cfg ReplayConfig, fire func(slot int)) (ReplayStats, error) {
+	cfg.Batch = 1
+	return ReplayBatched(ctx, s, cfg, func(slot, n int) {
+		for j := 0; j < n; j++ {
+			fire(slot)
+		}
+	})
+}
+
+// ReplayBatched is Replay with coalesced submission: when several events
+// of a slot are already due (high trace rates push thousands of events
+// through millisecond slots), they are handed to fire as one call —
+// fire(slot, n) must dispatch n requests — bounded by cfg.Batch per call.
+// This collapses per-event timer wakeups into per-batch ones, which keeps
+// the replayer on schedule at rates where one-goroutine-per-event pacing
+// would itself become the bottleneck.
+func ReplayBatched(ctx context.Context, s *timeseries.Series, cfg ReplayConfig, fire func(slot, n int)) (ReplayStats, error) {
 	if cfg.SlotWall <= 0 {
 		return ReplayStats{}, fmt.Errorf("workload: SlotWall must be positive")
 	}
 	if cfg.LoadScale <= 0 {
 		return ReplayStats{}, fmt.Errorf("workload: LoadScale must be positive")
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 1
 	}
 	var stats ReplayStats
 	start := time.Now()
@@ -55,7 +78,7 @@ func Replay(ctx context.Context, s *timeseries.Series, cfg ReplayConfig, fire fu
 		if cfg.MaxPerSlot > 0 && n > cfg.MaxPerSlot {
 			n = cfg.MaxPerSlot
 		}
-		for k := 0; k < n; k++ {
+		for k := 0; k < n; {
 			due := slotStart.Add(time.Duration(k) * cfg.SlotWall / time.Duration(n))
 			if d := time.Until(due); d > 0 {
 				select {
@@ -65,19 +88,33 @@ func Replay(ctx context.Context, s *timeseries.Series, cfg ReplayConfig, fire fu
 					return stats, ctx.Err()
 				case <-time.After(d):
 				}
-			} else {
-				if ctx.Err() != nil {
-					stats.Slots = i
-					stats.Elapsed = time.Since(start)
-					return stats, ctx.Err()
+			} else if ctx.Err() != nil {
+				stats.Slots = i
+				stats.Elapsed = time.Since(start)
+				return stats, ctx.Err()
+			}
+			// Everything due by now fires as one batch. Events are in
+			// schedule order, so any dropped-for-lag events precede the
+			// fireable ones in the scan.
+			now := time.Now()
+			fired, dropped := 0, 0
+			for k+dropped+fired < n && fired < batch {
+				evDue := slotStart.Add(time.Duration(k+dropped+fired) * cfg.SlotWall / time.Duration(n))
+				if evDue.After(now) {
+					break
 				}
-				if cfg.MaxLag > 0 && -d > cfg.MaxLag {
-					stats.Dropped++
+				if cfg.MaxLag > 0 && now.Sub(evDue) > cfg.MaxLag {
+					dropped++
 					continue
 				}
+				fired++
 			}
-			fire(i)
-			stats.Requests++
+			if fired > 0 {
+				fire(i, fired)
+			}
+			stats.Requests += int64(fired)
+			stats.Dropped += int64(dropped)
+			k += fired + dropped
 		}
 		// Wait out the remainder of the slot (e.g. when n is 0 or small).
 		if d := time.Until(slotStart.Add(cfg.SlotWall)); d > 0 {

@@ -282,3 +282,37 @@ func TestTraceJSONErrors(t *testing.T) {
 		t.Error("zero-step series should fail to encode")
 	}
 }
+
+func TestReplayBatchedCoalescesAndCaps(t *testing.T) {
+	// A 1ms slot carrying 200 events is far behind schedule from the first
+	// wakeup, so nearly everything is due at once; batches must coalesce
+	// but never exceed the configured cap.
+	s := timeseries.New(time.Time{}, time.Minute, []float64{200})
+	var total, calls, oversized atomic.Int64
+	stats, err := ReplayBatched(context.Background(), s, ReplayConfig{
+		SlotWall:  time.Millisecond,
+		LoadScale: 1,
+		Batch:     16,
+	}, func(slot, n int) {
+		if slot != 0 {
+			t.Errorf("slot = %d, want 0", slot)
+		}
+		if n <= 0 || n > 16 {
+			oversized.Add(1)
+		}
+		calls.Add(1)
+		total.Add(int64(n))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 200 || stats.Requests != 200 {
+		t.Errorf("total fired = %d, stats = %+v", total.Load(), stats)
+	}
+	if oversized.Load() != 0 {
+		t.Errorf("%d batches outside (0,16]", oversized.Load())
+	}
+	if calls.Load() >= 200 {
+		t.Errorf("calls = %d, expected coalescing below one call per event", calls.Load())
+	}
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path microbenchmarks with allocation accounting
+# and record the results as BENCH_hotpath.json next to this script's repo
+# root. These are the benchmarks the wire-protocol/batching work is judged
+# by: BenchmarkServerCall must stay ≥2× the old gob baseline (28600 ns/op,
+# 54 allocs/op) and BenchmarkServerPing must stay allocation-free.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s; CI smoke uses 100x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_hotpath.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test ./internal/server/ ./internal/hashing/ ./internal/durability/ \
+  -run 'xxx' -bench 'BenchmarkServerCall|BenchmarkServerPing|BenchmarkMurmur2|BenchmarkDurabilityOverhead' \
+  -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
+
+# Convert `go test -bench` lines into a JSON array:
+#   BenchmarkServerCall-8  100  12345 ns/op  819 B/op  9 allocs/op
+awk '
+  BEGIN { print "[" ; first = 1 }
+  /^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+      if ($i == "B/op")      bytes  = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, bytes, allocs
+  }
+  END { print "\n]" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
