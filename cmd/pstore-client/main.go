@@ -23,6 +23,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (scale is exempt)")
+	retries := flag.Int("retries", 3, "automatic retries for safe-to-retry failures (busy, not sent)")
+	reconnect := flag.Bool("reconnect", true, "redial automatically after connection loss")
 	benchN := flag.Int("n", 5000, "bench: total transactions to issue")
 	benchConc := flag.Int("conc", 32, "bench: concurrent in-flight calls (drives request pipelining)")
 	flag.Parse()
@@ -31,7 +34,11 @@ func main() {
 		usage()
 	}
 
-	cl, err := server.Dial(*addr)
+	cl, err := server.DialOptions(*addr, server.Options{
+		CallTimeout: *timeout,
+		MaxRetries:  *retries,
+		Reconnect:   *reconnect,
+	})
 	if err != nil {
 		fail("dial: %v", err)
 	}
@@ -136,7 +143,7 @@ func bench(cl *server.Client, n, conc int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pstore-client [-addr host:port] [-n N] [-conc C] <command>
+	fmt.Fprintln(os.Stderr, `usage: pstore-client [-addr host:port] [-timeout D] [-retries N] [-n N] [-conc C] <command>
 commands:
   ping
   stats

@@ -12,10 +12,16 @@
 // accepting connections, drains the executors, snapshots every partition
 // and flushes/closes the logs before exiting.
 //
+// With -chaos set the server runs under seeded fault injection for
+// resilience testing: accepted connections drop/delay/duplicate/sever
+// writes, random executors freeze briefly, and migration bucket moves fail
+// transiently — all on a reproducible schedule (see internal/faultinject).
+//
 // Usage:
 //
 //	pstore-server -addr 127.0.0.1:7070 -nodes 2 -partitions 2 -preload 1000 \
 //	    -data-dir /var/lib/pstore
+//	pstore-server -chaos 'seed=42,drop=0.01,sever=0.001,freeze=0.1,movefail=0.05'
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"pstore/internal/cluster"
 	"pstore/internal/durability"
 	"pstore/internal/engine"
+	"pstore/internal/faultinject"
 	"pstore/internal/migration"
 	"pstore/internal/profiling"
 	"pstore/internal/server"
@@ -49,6 +56,7 @@ func main() {
 		fsyncEvery   = flag.Bool("fsync-every-txn", false, "fsync per transaction instead of group commit")
 		groupCommit  = flag.Duration("group-commit", 2*time.Millisecond, "group-commit fsync interval")
 		snapInterval = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot/log-truncation interval")
+		chaosSpec    = flag.String("chaos", "", "fault-injection spec, e.g. 'seed=42,drop=0.01,sever=0.001,freeze=0.1,movefail=0.05' (empty = no chaos)")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on graceful shutdown)")
 		memProf      = flag.String("memprofile", "", "write an allocation profile to this file on graceful shutdown")
 		blockProf    = flag.String("blockprofile", "", "write a blocking profile to this file on graceful shutdown")
@@ -106,7 +114,32 @@ func main() {
 		}
 	}
 
-	srv := server.New(c, migration.Options{BucketsPerChunk: 2, ChunkInterval: 5 * time.Millisecond}, log.Printf)
+	mig := migration.Options{BucketsPerChunk: 2, ChunkInterval: 5 * time.Millisecond}
+
+	// Chaos mode: one seeded injector drives connection faults, executor
+	// freezes, and migration move failures on a reproducible schedule.
+	var inj *faultinject.Injector
+	var freezeStop chan struct{}
+	var freezeDone <-chan struct{}
+	if *chaosSpec != "" {
+		opts, err := faultinject.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
+			c.Stop()
+			os.Exit(1)
+		}
+		inj = faultinject.New(opts)
+		mig.FaultHook = inj.MoveFault
+		mig.MoveRetries = 10
+		freezeStop = make(chan struct{})
+		freezeDone = inj.FreezeLoop(c.Executors, freezeStop)
+		log.Printf("pstore-server: CHAOS MODE enabled (%s)", *chaosSpec)
+	}
+
+	srv := server.New(c, mig, log.Printf)
+	if inj != nil {
+		srv.WrapConns(inj.WrapConn)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
@@ -131,6 +164,13 @@ func main() {
 	}()
 	if err := srv.Close(); err != nil {
 		log.Printf("pstore-server: closing listener: %v", err)
+	}
+	if inj != nil {
+		close(freezeStop)
+		<-freezeDone
+		fc := inj.Counters()
+		log.Printf("pstore-server: chaos totals: drops=%d delays=%d dups=%d severs=%d movefaults=%d freezes=%d",
+			fc.Drops, fc.Delays, fc.Dups, fc.Severs, fc.MoveFaults, fc.Freezes)
 	}
 	c.Stop()
 	stopProf()

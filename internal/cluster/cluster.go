@@ -43,6 +43,11 @@ type Config struct {
 	// RetryBudget bounds how long a transaction keeps retrying before
 	// giving up. Defaults to 10s.
 	RetryBudget time.Duration
+	// RetryAttempts caps how many times a transaction is requeued while its
+	// bucket is in flight, independent of RetryBudget, so the in-between
+	// window of a bucket move can never spin unboundedly even with a tiny
+	// RetryInterval. Defaults to RetryBudget / RetryInterval.
+	RetryAttempts int
 	// LatencyWindow is the aggregation window of the cluster's latency
 	// percentiles (the paper windows by second; compressed-time
 	// experiments use shorter windows). Defaults to 1s.
@@ -68,6 +73,17 @@ func (c Config) retryBudget() time.Duration {
 		return 10 * time.Second
 	}
 	return c.RetryBudget
+}
+
+func (c Config) retryAttempts() int {
+	if c.RetryAttempts > 0 {
+		return c.RetryAttempts
+	}
+	n := int(c.retryBudget() / c.retryInterval())
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Node is one machine in the cluster, hosting PartitionsPerNode executors.
@@ -103,6 +119,7 @@ type Cluster struct {
 	latencies *metrics.ShardedRecorder
 	offered   *metrics.Counter
 	allocLog  *metrics.AllocationTracker
+	events    *metrics.Events
 
 	reconfigMu sync.Mutex
 	reconfig   bool
@@ -135,6 +152,7 @@ func New(cfg Config) (*Cluster, error) {
 		latencies: metrics.NewShardedRecorder(window),
 		offered:   metrics.NewCounter(time.Second),
 		allocLog:  metrics.NewAllocationTracker(time.Now(), cfg.InitialNodes),
+		events:    metrics.NewEvents(),
 	}
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
@@ -667,15 +685,22 @@ func (c *Cluster) NBuckets() int { return c.cfg.NBuckets }
 func (c *Cluster) PartitionsPerNode() int { return c.cfg.PartitionsPerNode }
 
 // Call routes a transaction by its key and executes it, retrying while the
-// key's bucket is in flight between partitions. End-to-end latency
-// (including retries and queueing) is recorded in Latencies.
+// key's bucket is in flight between partitions. The retry loop is bounded
+// both in time (RetryBudget) and in attempts (RetryAttempts), and every
+// requeue is counted in Events as a migration retry — a transaction can
+// observe the in-between window of a bucket move, but never spin in it
+// unboundedly or silently. Overload fast-fails (engine.ErrOverloaded) are
+// never retried here: shedding exists to cut queueing, so the client gets
+// the typed error (and a retry-after hint over the wire) immediately.
+// End-to-end latency (including retries and queueing) is recorded in
+// Latencies.
 func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 	start := time.Now()
 	c.offered.Add(start, 1)
 	deadline := start.Add(c.cfg.retryBudget())
 	bucket := storage.BucketOf(txn.Key, c.cfg.NBuckets)
 	var res engine.Result
-	for {
+	for attempt := 0; ; attempt++ {
 		// One atomic snapshot load covers both the ownership lookup and
 		// the executor lookup — the whole route is lock-free.
 		rt := c.route.Load()
@@ -686,13 +711,18 @@ func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 		} else {
 			res = exec.Call(txn)
 		}
+		if errors.Is(res.Err, engine.ErrOverloaded) {
+			c.events.Add(metrics.EventShed, 1)
+			break
+		}
 		var notOwned *storage.ErrNotOwned
 		retriable := errors.As(res.Err, &notOwned) ||
 			errors.Is(res.Err, engine.ErrStopped) ||
 			(res.Err != nil && !ok)
-		if !retriable || time.Now().After(deadline) {
+		if !retriable || attempt+1 >= c.cfg.retryAttempts() || time.Now().After(deadline) {
 			break
 		}
+		c.events.Add(metrics.EventMigrationRetries, 1)
 		time.Sleep(c.cfg.retryInterval())
 	}
 	res.Latency = time.Since(start)
@@ -779,3 +809,96 @@ func (c *Cluster) OfferedLoad() *metrics.Counter { return c.offered }
 
 // Allocation returns the machine-count tracker (for Eq. 1 cost accounting).
 func (c *Cluster) Allocation() *metrics.AllocationTracker { return c.allocLog }
+
+// Events returns the cluster's rare-path event counters (load sheds,
+// migration retries, injected faults).
+func (c *Cluster) Events() *metrics.Events { return c.events }
+
+// ShedTotal sums admission-control drops across all current executors.
+func (c *Cluster) ShedTotal() int64 {
+	var n int64
+	for _, e := range c.executors() {
+		n += e.Shed()
+	}
+	return n
+}
+
+// ShedRetryAfter is the backoff hint attached to overload fast-fails: half
+// the time a full executor queue needs to drain, clamped to [1ms, 2s]. A
+// client that waits this long before retrying arrives when roughly half the
+// backlog has cleared instead of piling onto a saturated queue.
+func (c *Cluster) ShedRetryAfter() time.Duration {
+	depth := c.cfg.Engine.QueueDepth
+	if depth <= 0 {
+		depth = 8192
+	}
+	hint := time.Duration(depth) * c.cfg.Engine.ServiceTime / 2
+	if hint < time.Millisecond {
+		hint = time.Millisecond
+	}
+	if hint > 2*time.Second {
+		hint = 2 * time.Second
+	}
+	return hint
+}
+
+// ContentChecksum returns an order-independent FNV-1a checksum over every
+// row in the cluster (table, key, sorted columns), plus the row count.
+// Chaos tests compare it before and after a faulty reconfiguration to prove
+// no row was lost or duplicated. Each partition is read through its
+// executor, so per-partition reads are consistent; run it while the
+// workload is quiesced for a globally exact answer.
+func (c *Cluster) ContentChecksum() (uint64, int, error) {
+	var sum uint64
+	rows := 0
+	for _, e := range c.executors() {
+		err := e.Do(func(p *storage.Partition) (int, error) {
+			for _, table := range p.Tables() {
+				t := table
+				_, err := p.Scan(t, func(r storage.Row) bool {
+					sum ^= rowChecksum(t, r) // XOR: commutative, order-free
+					rows++
+					return true
+				})
+				if err != nil {
+					return 0, err
+				}
+			}
+			return 0, nil
+		})
+		if err != nil && !errors.Is(err, engine.ErrStopped) {
+			return 0, 0, err
+		}
+	}
+	return sum, rows, nil
+}
+
+// rowChecksum hashes one row deterministically (FNV-1a over table, key and
+// column pairs in sorted order).
+func rowChecksum(table string, r storage.Row) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff // field separator
+		h *= prime
+	}
+	mix(table)
+	mix(r.Key)
+	cols := make([]string, 0, len(r.Cols))
+	for k := range r.Cols {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	for _, k := range cols {
+		mix(k)
+		mix(r.Cols[k])
+	}
+	return h
+}

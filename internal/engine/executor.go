@@ -83,6 +83,7 @@ type Executor struct {
 	processed atomic.Int64
 	aborted   atomic.Int64
 	migRows   atomic.Int64
+	shed      atomic.Int64
 
 	// workClock is the executor's virtual busy-until time, used to charge
 	// synthetic work precisely even on hosts with coarse sleep timers:
@@ -134,6 +135,10 @@ func (e *Executor) Aborted() int64 { return e.aborted.Load() }
 // MigratedRows returns the number of rows moved through this executor by
 // migration tasks (extractions plus applications).
 func (e *Executor) MigratedRows() int64 { return e.migRows.Load() }
+
+// Shed returns the number of submissions fast-failed with ErrOverloaded —
+// the executor's admission-control drop count.
+func (e *Executor) Shed() int64 { return e.shed.Load() }
 
 // Stop shuts the executor down after draining already queued work. It is
 // idempotent.
@@ -379,6 +384,7 @@ func (e *Executor) enqueue(t task) error {
 	case e.queue <- t:
 		return nil
 	default:
+		e.shed.Add(1)
 		return ErrOverloaded
 	}
 }

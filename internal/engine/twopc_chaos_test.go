@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pstore/internal/storage"
+)
+
+// Fault-injection tests for multi-partition 2PC (MultiDo): a participant
+// frozen during the prepare phase, and a participant lost before commit.
+// The invariant under every fault is atomicity — either all participating
+// partitions apply the transaction or none do — plus clean abort
+// accounting: a failed coordination leaves every executor serving.
+
+func newChaosExecutors(t *testing.T, n int) []*Executor {
+	t.Helper()
+	reg := testRegistry()
+	execs := make([]*Executor, n)
+	for i := 0; i < n; i++ {
+		p := storage.NewPartition(i, 16, allBuckets(16))
+		p.CreateTable("T")
+		execs[i] = NewExecutor(p, reg, Config{})
+	}
+	t.Cleanup(func() {
+		for _, e := range execs {
+			e.Stop()
+		}
+	})
+	return execs
+}
+
+// TestMultiDoParticipantFrozenDuringPrepare freezes one participant (its
+// executor goroutine busy in a long administrative task — what the fault
+// injector's freeze schedule does) while a coordinator gathers
+// reservations. The distributed transaction must wait out the freeze and
+// then commit atomically on all participants, never observing or leaving a
+// partial state.
+func TestMultiDoParticipantFrozenDuringPrepare(t *testing.T) {
+	execs := newChaosExecutors(t, 3)
+	var frozenDone atomic.Bool
+	frozen := make(chan struct{})
+	go func() {
+		// Occupies executor 2's goroutine, like a freeze fault. Priority-lane
+		// FIFO guarantees this runs before the coordinator's reservation of
+		// executor 2 that is issued after <-frozen.
+		execs[2].Do(func(p *storage.Partition) (int, error) {
+			close(frozen)
+			time.Sleep(80 * time.Millisecond)
+			frozenDone.Store(true)
+			return 0, nil
+		})
+	}()
+	<-frozen
+	err := MultiDo(execs, func(parts []*storage.Partition) error {
+		if !frozenDone.Load() {
+			return errors.New("commit body entered while a participant was still frozen")
+		}
+		for _, p := range parts {
+			if err := p.Put("T", "pair", map[string]string{"v": "committed"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("MultiDo should wait out a frozen participant: %v", err)
+	}
+	for _, e := range execs {
+		res := e.Call(&Txn{Proc: "Get", Key: "pair"})
+		if res.Err != nil {
+			t.Fatalf("partition %d: %v", e.Partition(), res.Err)
+		}
+		if res.Out["v"] != "committed" {
+			t.Errorf("partition %d saw %q — partial application", e.Partition(), res.Out["v"])
+		}
+	}
+}
+
+// TestMultiDoParticipantLostBeforeCommit stops a participant before the
+// coordinator can reserve it — the embedded-engine analogue of losing the
+// connection to a prepare-acked node. The transaction must abort cleanly:
+// typed error, zero writes on the surviving participants, and those
+// participants still serving afterwards.
+func TestMultiDoParticipantLostBeforeCommit(t *testing.T) {
+	execs := newChaosExecutors(t, 3)
+	execs[2].Stop() // participant lost; MultiDo reserves 0, 1, then fails on 2
+	err := MultiDo(execs, func(parts []*storage.Partition) error {
+		for _, p := range parts {
+			if err := p.Put("T", "lost", map[string]string{"v": "x"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want to wrap ErrStopped", err)
+	}
+	// No partial application: the commit body never ran, so the surviving
+	// partitions hold nothing.
+	for _, e := range execs[:2] {
+		res := e.Call(&Txn{Proc: "Get", Key: "lost"})
+		if res.Err == nil || !IsAbort(res.Err) {
+			t.Errorf("partition %d has a row from an aborted 2PC (err=%v)", e.Partition(), res.Err)
+		}
+	}
+	// Clean abort: reservations taken before the failure were released, so
+	// the survivors keep serving single-partition work immediately.
+	for _, e := range execs[:2] {
+		if res := e.Call(&Txn{Proc: "Put", Key: "after", Args: map[string]string{"v": "1"}}); res.Err != nil {
+			t.Errorf("partition %d wedged after aborted 2PC: %v", e.Partition(), res.Err)
+		}
+	}
+}
+
+// TestMultiDoBodyErrorReleasesParticipants injects the fault inside the
+// commit body itself (the coordinator decides to abort after prepare). All
+// reservations must be released and abort accounting must stay clean: no
+// deadlock, no lingering parked executors, later transactions run.
+func TestMultiDoBodyErrorReleasesParticipants(t *testing.T) {
+	execs := newChaosExecutors(t, 3)
+	injected := errors.New("coordinator-side fault before commit")
+	err := MultiDo(execs, func(parts []*storage.Partition) error {
+		// Abort before touching any partition — the decision point between
+		// prepare and commit.
+		return injected
+	})
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected fault", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, e := range execs {
+			if res := e.Call(&Txn{Proc: "Put", Key: "k", Args: map[string]string{"v": "1"}}); res.Err != nil {
+				t.Errorf("partition %d: %v", e.Partition(), res.Err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("executors still parked after aborted MultiDo — release leak")
+	}
+}
+
+// TestMultiDoConcurrentWithFreezeNoTornReads hammers a pair of partitions
+// with multi-partition transfers while a chaos goroutine repeatedly
+// freezes one participant. A concurrent multi-partition reader must always
+// observe the conserved total — any torn read means 2PC atomicity broke
+// under the fault schedule.
+func TestMultiDoConcurrentWithFreezeNoTornReads(t *testing.T) {
+	execs := newChaosExecutors(t, 2)
+	const total = 100
+	seed := func(p *storage.Partition, v int) error {
+		return p.Put("T", "bal", map[string]string{"v": fmt.Sprint(v)})
+	}
+	if err := MultiDo(execs, func(parts []*storage.Partition) error {
+		if err := seed(parts[0], total); err != nil {
+			return err
+		}
+		return seed(parts[1], 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	chaosDone := make(chan struct{})
+	go func() { // freeze loop on participant 1
+		defer close(chaosDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			execs[1].Do(func(p *storage.Partition) (int, error) {
+				time.Sleep(2 * time.Millisecond)
+				return 0, nil
+			})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	readBal := func(p *storage.Partition) (int, error) {
+		r, ok, err := p.Get("T", "bal")
+		if err != nil || !ok {
+			return 0, fmt.Errorf("missing balance: %v", err)
+		}
+		var n int
+		fmt.Sscanf(r.Cols["v"], "%d", &n)
+		return n, nil
+	}
+	writerDone := make(chan error, 1)
+	go func() { // transfers: move 1 unit 0→1 per round
+		for i := 0; i < 60; i++ {
+			err := MultiDo(execs, func(parts []*storage.Partition) error {
+				a, err := readBal(parts[0])
+				if err != nil {
+					return err
+				}
+				b, err := readBal(parts[1])
+				if err != nil {
+					return err
+				}
+				if err := seed(parts[0], a-1); err != nil {
+					return err
+				}
+				return seed(parts[1], b+1)
+			})
+			if err != nil {
+				writerDone <- err
+				return
+			}
+		}
+		writerDone <- nil
+	}()
+	for i := 0; i < 40; i++ {
+		err := MultiDo(execs, func(parts []*storage.Partition) error {
+			a, err := readBal(parts[0])
+			if err != nil {
+				return err
+			}
+			b, err := readBal(parts[1])
+			if err != nil {
+				return err
+			}
+			if a+b != total {
+				return fmt.Errorf("torn read: %d + %d != %d", a, b, total)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-writerDone; err != nil {
+		t.Fatalf("transfer writer: %v", err)
+	}
+	close(stop)
+	<-chaosDone
+}

@@ -1,0 +1,227 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pstore/internal/engine"
+	"pstore/internal/storage"
+)
+
+// pipeConns returns a wrapped client→server pipe: writes on the returned
+// conn pass through the injector before reaching the reader.
+func pipeConns(in *Injector) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return in.WrapConn(a), b
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	decide := func(seed int64) []bool {
+		in := New(Options{Seed: seed, DropProb: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.roll() < 0.3
+		}
+		return out
+	}
+	a, b := decide(7), decide(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := decide(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 200-decision schedule")
+	}
+}
+
+func TestDropSwallowsWrites(t *testing.T) {
+	in := New(Options{Seed: 1, DropProb: 1})
+	cw, sr := pipeConns(in)
+	defer cw.Close()
+	defer sr.Close()
+	if n, err := cw.Write([]byte("doomed")); err != nil || n != 6 {
+		t.Fatalf("dropped write = (%d, %v), want silent success", n, err)
+	}
+	sr.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := sr.Read(buf); err == nil {
+		t.Fatalf("read %d bytes of a dropped write", n)
+	}
+	if got := in.Counters().Drops; got != 1 {
+		t.Errorf("Drops = %d, want 1", got)
+	}
+}
+
+func TestDupDoublesWrites(t *testing.T) {
+	in := New(Options{Seed: 1, DupProb: 1})
+	cw, sr := pipeConns(in)
+	defer cw.Close()
+	defer sr.Close()
+	go func() {
+		cw.Write([]byte("xy"))
+		cw.Close()
+	}()
+	got, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "xyxy" {
+		t.Errorf("read %q, want duplicated \"xyxy\"", got)
+	}
+	if in.Counters().Dups != 1 {
+		t.Errorf("Dups = %d, want 1", in.Counters().Dups)
+	}
+}
+
+func TestSeverKillsConnection(t *testing.T) {
+	in := New(Options{Seed: 1, SeverProb: 1})
+	cw, sr := pipeConns(in)
+	defer sr.Close()
+	_, err := cw.Write([]byte("x"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("severed write err = %v, want ErrInjected", err)
+	}
+	// The underlying conn is closed: the peer sees EOF.
+	sr.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := sr.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("peer read after sever = %v, want EOF", err)
+	}
+	if in.Counters().Severs != 1 {
+		t.Errorf("Severs = %d, want 1", in.Counters().Severs)
+	}
+}
+
+func TestDelayStallsWrites(t *testing.T) {
+	in := New(Options{Seed: 1, DelayProb: 1, MaxDelay: 30 * time.Millisecond})
+	cw, sr := pipeConns(in)
+	defer cw.Close()
+	defer sr.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		io.ReadAll(sr)
+	}()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := cw.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) == 0 {
+		t.Error("five always-delayed writes completed instantly")
+	}
+	cw.Close()
+	wg.Wait()
+	if in.Counters().Delays != 5 {
+		t.Errorf("Delays = %d, want 5", in.Counters().Delays)
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	in := New(Options{Seed: 1, DropProb: 1})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := in.WrapListener(lis)
+	defer wrapped.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := wrapped.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		conn.Write([]byte("dropped")) // server→client write goes through the injector
+	}()
+	conn, err := net.Dial("tcp", wrapped.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	<-done
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, _ := conn.Read(make([]byte, 8)); n != 0 {
+		t.Errorf("client read %d bytes through a 100%%-drop listener", n)
+	}
+	if in.Counters().Drops != 1 {
+		t.Errorf("Drops = %d, want 1", in.Counters().Drops)
+	}
+}
+
+func TestMoveFault(t *testing.T) {
+	in := New(Options{Seed: 3, MoveFailProb: 1})
+	if err := in.MoveFault(4, 0, 1); !errors.Is(err, ErrInjected) {
+		t.Errorf("MoveFault = %v, want ErrInjected", err)
+	}
+	off := New(Options{Seed: 3})
+	if err := off.MoveFault(4, 0, 1); err != nil {
+		t.Errorf("disabled MoveFault = %v, want nil", err)
+	}
+	if in.Counters().MoveFaults != 1 {
+		t.Errorf("MoveFaults = %d, want 1", in.Counters().MoveFaults)
+	}
+}
+
+func TestFreezeLoopStallsExecutor(t *testing.T) {
+	part := storage.NewPartition(0, 4, []int{0, 1, 2, 3})
+	part.CreateTable("T")
+	exec := engine.NewExecutor(part, engine.NewRegistry(), engine.Config{})
+	defer exec.Stop()
+	in := New(Options{
+		Seed:        1,
+		FreezeProb:  1,
+		FreezeFor:   40 * time.Millisecond,
+		FreezeEvery: 5 * time.Millisecond,
+	})
+	stop := make(chan struct{})
+	done := in.FreezeLoop(func() []*engine.Executor { return []*engine.Executor{exec} }, stop)
+	deadline := time.Now().Add(2 * time.Second)
+	for in.Counters().Freezes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("freeze loop never froze the executor")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A Do issued while frozen queues behind the stall but completes.
+	if err := exec.Do(func(*storage.Partition) (int, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	if in.Counters().Freezes == 0 {
+		t.Error("no freezes counted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	o, err := ParseSpec("seed=42,drop=0.01,delay=0.02,maxdelay=2ms,dup=0.005,sever=0.001,movefail=0.05,freeze=0.1,freezefor=50ms,freezeevery=200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Seed != 42 || o.DropProb != 0.01 || o.MaxDelay != 2*time.Millisecond ||
+		o.SeverProb != 0.001 || o.MoveFailProb != 0.05 || o.FreezeFor != 50*time.Millisecond {
+		t.Errorf("parsed = %+v", o)
+	}
+	for _, bad := range []string{"", "drop", "bogus=1", "drop=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical event names used across the robustness layer. Using shared
+// constants keeps the counter namespace greppable; Events accepts any name.
+const (
+	// EventShed counts transactions fast-failed by admission control
+	// (executor queue full) instead of being queued.
+	EventShed = "shed_overload"
+	// EventMigrationRetries counts transaction routing retries taken while
+	// a key's bucket was in flight between partitions — the "retry until
+	// the apply lands" window of a live migration.
+	EventMigrationRetries = "migration_retries"
+	// EventMoveRetries counts migration bucket-move attempts retried after
+	// a transient failure.
+	EventMoveRetries = "move_retries"
+	// EventMoveRollbacks counts bucket moves rolled back to their source
+	// partition after the destination repeatedly failed to apply.
+	EventMoveRollbacks = "move_rollbacks"
+	// EventInjectedFaults counts faults fired by a fault injector (chaos
+	// runs only; zero in production).
+	EventInjectedFaults = "injected_faults"
+)
+
+// Events is a registry of named monotonic counters for rare-path
+// accounting: load sheds, migration retries, injected faults. Counters are
+// created on first use; Add is lock-free after that, so counting an event
+// on a hot path costs one atomic increment plus a read-locked map lookup.
+type Events struct {
+	mu       sync.RWMutex
+	counters map[string]*atomic.Int64
+}
+
+// NewEvents returns an empty event-counter registry.
+func NewEvents() *Events {
+	return &Events{counters: make(map[string]*atomic.Int64)}
+}
+
+func (e *Events) counter(name string) *atomic.Int64 {
+	e.mu.RLock()
+	c, ok := e.counters[name]
+	e.mu.RUnlock()
+	if ok {
+		return c
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok = e.counters[name]; !ok {
+		c = new(atomic.Int64)
+		e.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by n.
+func (e *Events) Add(name string, n int64) {
+	if e == nil {
+		return
+	}
+	e.counter(name).Add(n)
+}
+
+// Get returns the named counter's value (zero if never incremented).
+func (e *Events) Get(name string) int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.RLock()
+	c, ok := e.counters[name]
+	e.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Snapshot returns all counters as a plain map.
+func (e *Events) Snapshot() map[string]int64 {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]int64, len(e.counters))
+	for name, c := range e.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Names returns the counter names seen so far, sorted.
+func (e *Events) Names() []string {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.counters))
+	for name := range e.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

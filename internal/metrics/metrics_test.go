@@ -309,3 +309,48 @@ func TestLatencyRecorderRandomizedAgainstNaive(t *testing.T) {
 		t.Errorf("p50 = %v, want %v", ws[0].P50, want)
 	}
 }
+
+func TestEventsCounters(t *testing.T) {
+	e := NewEvents()
+	if got := e.Get(EventShed); got != 0 {
+		t.Errorf("fresh counter = %d, want 0", got)
+	}
+	e.Add(EventShed, 1)
+	e.Add(EventShed, 2)
+	e.Add(EventMigrationRetries, 5)
+	if got := e.Get(EventShed); got != 3 {
+		t.Errorf("shed = %d, want 3", got)
+	}
+	snap := e.Snapshot()
+	if snap[EventShed] != 3 || snap[EventMigrationRetries] != 5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	names := e.Names()
+	if len(names) != 2 || names[0] != EventMigrationRetries || names[1] != EventShed {
+		t.Errorf("names = %v", names)
+	}
+	// nil registry is a no-op everywhere (callers may run without metrics).
+	var nilE *Events
+	nilE.Add(EventShed, 1)
+	if nilE.Get(EventShed) != 0 || nilE.Snapshot() != nil || nilE.Names() != nil {
+		t.Error("nil Events should be inert")
+	}
+}
+
+func TestEventsConcurrent(t *testing.T) {
+	e := NewEvents()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Add(EventShed, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Get(EventShed); got != 8000 {
+		t.Errorf("concurrent adds = %d, want 8000", got)
+	}
+}

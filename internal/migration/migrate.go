@@ -11,11 +11,14 @@ package migration
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pstore/internal/cluster"
+	"pstore/internal/engine"
+	"pstore/internal/metrics"
 	"pstore/internal/plan"
 	"pstore/internal/storage"
 )
@@ -38,6 +41,21 @@ type Options struct {
 	// paper's "rate R×8"): it multiplies BucketsPerChunk and divides
 	// ChunkInterval. Default 1.
 	RateMultiplier int
+	// MoveRetries is how many times a failed bucket move is retried (with
+	// jittered exponential backoff) before the reconfiguration gives up.
+	// Reconfiguration runs exactly when nodes stall and queues overflow, so
+	// a transient extract/apply failure must not abort the whole move.
+	// Default 3; negative disables retries.
+	MoveRetries int
+	// MoveBackoff is the base delay before the first move retry; each
+	// further retry doubles it, with ±50% jitter. Default 5ms.
+	MoveBackoff time.Duration
+	// FaultHook, when non-nil, is consulted before a bucket's extraction
+	// and again between the routing repoint and the apply. A non-nil error
+	// fails the move attempt at that point — the second site exercises the
+	// rollback path. Chaos tests wire faultinject.Injector.MoveFault here;
+	// production leaves it nil.
+	FaultHook func(bucket, fromPart, toPart int) error
 }
 
 func (o Options) normalized() Options {
@@ -52,30 +70,80 @@ func (o Options) normalized() Options {
 	if o.RateMultiplier <= 0 {
 		o.RateMultiplier = 1
 	}
+	if o.MoveRetries == 0 {
+		o.MoveRetries = 3
+	} else if o.MoveRetries < 0 {
+		o.MoveRetries = 0
+	}
+	if o.MoveBackoff <= 0 {
+		o.MoveBackoff = 5 * time.Millisecond
+	}
 	o.BucketsPerChunk *= o.RateMultiplier
 	o.ChunkInterval /= time.Duration(o.RateMultiplier)
 	return o
 }
 
-// Report summarizes a completed reconfiguration.
+// Report summarizes a completed (or failed) reconfiguration. On failure the
+// moved/remaining split and the failing pair tell the operator — and the
+// resume path — exactly where the reconfiguration stopped.
 type Report struct {
 	FromNodes, ToNodes int
 	Rounds             int
-	BucketsMoved       int
-	RowsMoved          int64
-	Duration           time.Duration
+	// BucketsMoved counts buckets fully relocated, across the original run
+	// and any resumes; BucketsRemaining is what a Resume still has to move.
+	BucketsMoved     int
+	BucketsRemaining int
+	RowsMoved        int64
+	// Retries counts bucket-move attempts that were retried after a
+	// transient failure; Rollbacks counts moves rolled back to their source.
+	Retries   int64
+	Rollbacks int64
+	Duration  time.Duration
+	// FailedBucket/FailedFrom/FailedTo identify the move whose error ended
+	// the run. FailedBucket is -1 when the run succeeded.
+	FailedBucket int
+	FailedFrom   int
+	FailedTo     int
 }
 
-// Migration is a handle on an in-progress reconfiguration.
+// Migration is a handle on an in-progress reconfiguration. A failed
+// migration keeps its plan and per-bucket progress, so Resume can finish
+// the reconfiguration without re-moving completed buckets.
 type Migration struct {
 	fromNodes, toNodes int
 	totalBuckets       int64
 	movedBuckets       atomic.Int64
 	movedRows          atomic.Int64
+	retries            atomic.Int64
+	rollbacks          atomic.Int64
+
+	// The plan, kept for Resume.
+	opts    Options // already normalized
+	rounds  []plan.Round
+	moves   map[[2]int][]bucketMove
+	retired []int
+
+	// movedMu guards moved, the per-bucket progress record that makes
+	// retried and resumed runs idempotent: a bucket in the set is never
+	// extracted again.
+	movedMu sync.Mutex
+	moved   map[int]bool
 
 	done   chan struct{}
 	report *Report
 	err    error
+}
+
+func (m *Migration) isMoved(bucket int) bool {
+	m.movedMu.Lock()
+	defer m.movedMu.Unlock()
+	return m.moved[bucket]
+}
+
+func (m *Migration) markMoved(bucket int) {
+	m.movedMu.Lock()
+	m.moved[bucket] = true
+	m.movedMu.Unlock()
 }
 
 // MovedFraction returns the fraction of scheduled buckets already moved —
@@ -131,10 +199,16 @@ func Start(c *cluster.Cluster, targetNodes int, opts Options) (*Migration, error
 		return nil, ErrInProgress
 	}
 	from := c.NumNodes()
-	m := &Migration{fromNodes: from, toNodes: targetNodes, done: make(chan struct{})}
+	m := &Migration{
+		fromNodes: from,
+		toNodes:   targetNodes,
+		opts:      opts,
+		moved:     make(map[int]bool),
+		done:      make(chan struct{}),
+	}
 	if targetNodes == from {
 		c.EndReconfiguration()
-		m.report = &Report{FromNodes: from, ToNodes: targetNodes}
+		m.report = &Report{FromNodes: from, ToNodes: targetNodes, FailedBucket: -1}
 		close(m.done)
 		return m, nil
 	}
@@ -164,33 +238,104 @@ func Start(c *cluster.Cluster, targetNodes int, opts Options) (*Migration, error
 		return nil, err
 	}
 	m.totalBuckets = int64(countMoves(moves))
-	rounds := plan.Schedule(from, targetNodes)
+	m.moves = moves
+	m.rounds = plan.Schedule(from, targetNodes)
+	m.retired = retired
 
-	go func() {
-		defer c.EndReconfiguration()
-		start := time.Now()
-		err := m.execute(c, rounds, moves, opts)
-		if err == nil {
-			for _, id := range retired {
-				if rerr := c.RemoveNode(id); rerr != nil {
-					err = rerr
-					break
-				}
-			}
-		}
-		m.report = &Report{
-			FromNodes:    m.fromNodes,
-			ToNodes:      m.toNodes,
-			Rounds:       len(rounds),
-			BucketsMoved: int(m.movedBuckets.Load()),
-			RowsMoved:    m.movedRows.Load(),
-			Duration:     time.Since(start),
-		}
-		m.err = err
-		close(m.done)
-	}()
+	go m.run(c)
 	return m, nil
 }
+
+// run executes the stored plan and publishes the report. The caller must
+// hold the cluster's reconfiguration lock; run releases it.
+func (m *Migration) run(c *cluster.Cluster) {
+	defer c.EndReconfiguration()
+	start := time.Now()
+	err := m.execute(c, m.rounds, m.moves, m.opts)
+	if err == nil {
+		for _, id := range m.retired {
+			if rerr := c.RemoveNode(id); rerr != nil {
+				err = rerr
+				break
+			}
+		}
+	}
+	rep := &Report{
+		FromNodes:        m.fromNodes,
+		ToNodes:          m.toNodes,
+		Rounds:           len(m.rounds),
+		BucketsMoved:     int(m.movedBuckets.Load()),
+		BucketsRemaining: int(m.totalBuckets - m.movedBuckets.Load()),
+		RowsMoved:        m.movedRows.Load(),
+		Retries:          m.retries.Load(),
+		Rollbacks:        m.rollbacks.Load(),
+		Duration:         time.Since(start),
+		FailedBucket:     -1,
+	}
+	var mf *moveFailure
+	if errors.As(err, &mf) {
+		rep.FailedBucket = mf.mv.bucket
+		rep.FailedFrom = mf.mv.fromPart
+		rep.FailedTo = mf.mv.toPart
+	}
+	m.report = rep
+	m.err = err
+	close(m.done)
+}
+
+// Resume retries a failed reconfiguration from its recorded per-bucket
+// progress: buckets already moved are skipped, the rest re-run the same
+// three-phase schedule, and retiring nodes are removed once everything has
+// landed. It returns a fresh handle sharing the original's progress; the
+// receiver must already have finished with an error.
+func (m *Migration) Resume(c *cluster.Cluster) (*Migration, error) {
+	select {
+	case <-m.done:
+	default:
+		return nil, errors.New("migration: still running, nothing to resume")
+	}
+	if m.err == nil {
+		return nil, errors.New("migration: completed cleanly, nothing to resume")
+	}
+	if !c.BeginReconfiguration() {
+		return nil, ErrInProgress
+	}
+	m2 := &Migration{
+		fromNodes:    m.fromNodes,
+		toNodes:      m.toNodes,
+		totalBuckets: m.totalBuckets,
+		opts:         m.opts,
+		rounds:       m.rounds,
+		moves:        m.moves,
+		retired:      m.retired,
+		moved:        make(map[int]bool, len(m.moved)),
+		done:         make(chan struct{}),
+	}
+	m.movedMu.Lock()
+	for b := range m.moved {
+		m2.moved[b] = true
+	}
+	m.movedMu.Unlock()
+	m2.movedBuckets.Store(m.movedBuckets.Load())
+	m2.movedRows.Store(m.movedRows.Load())
+	m2.retries.Store(m.retries.Load())
+	m2.rollbacks.Store(m.rollbacks.Load())
+	go m2.run(c)
+	return m2, nil
+}
+
+// moveFailure wraps a bucket move's terminal error with the move itself so
+// the report can name the failing pair.
+type moveFailure struct {
+	mv  bucketMove
+	err error
+}
+
+func (f *moveFailure) Error() string {
+	return fmt.Sprintf("migration: bucket %d (%d→%d): %v", f.mv.bucket, f.mv.fromPart, f.mv.toPart, f.err)
+}
+
+func (f *moveFailure) Unwrap() error { return f.err }
 
 // planBucketMoves computes, per machine pair and partition slot, which
 // buckets move where, balancing every slot's bucket pool evenly across the
@@ -381,7 +526,7 @@ func (m *Migration) movePaced(c *cluster.Cluster, list []bucketMove, opts Option
 			end = len(list)
 		}
 		for _, mv := range list[i:end] {
-			if err := m.moveBucket(c, mv); err != nil {
+			if err := m.moveBucket(c, mv, opts); err != nil {
 				return err
 			}
 		}
@@ -392,9 +537,61 @@ func (m *Migration) movePaced(c *cluster.Cluster, list []bucketMove, opts Option
 	return nil
 }
 
-// moveBucket extracts one bucket at the source executor, repoints routing
-// at the destination, and applies it there. Transactions for the bucket
-// arriving in between retry until the apply lands.
+// errRollbackFailed marks a move whose rollback also failed: the bucket's
+// location is ambiguous, so retrying the move could double-apply. The retry
+// loop treats it as terminal.
+var errRollbackFailed = errors.New("migration: rollback failed")
+
+// moveBucket relocates one bucket, retrying transient failures with
+// jittered exponential backoff. Each attempt either completes the move or
+// rolls the bucket back to its source, so attempts are idempotent and a
+// resumed migration can safely re-run any move that has not been recorded
+// as done.
+func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove, opts Options) error {
+	if m.isMoved(mv.bucket) {
+		return nil // resumed run: this bucket already landed
+	}
+	var lastErr error
+	for attempt := 0; attempt <= opts.MoveRetries; attempt++ {
+		if attempt > 0 {
+			m.retries.Add(1)
+			c.Events().Add(metrics.EventMoveRetries, 1)
+			time.Sleep(backoff(opts.MoveBackoff, attempt-1))
+		}
+		err := m.moveBucketOnce(c, mv)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, errRollbackFailed) {
+			break // location ambiguous; retrying risks double-apply
+		}
+	}
+	return &moveFailure{mv: mv, err: lastErr}
+}
+
+// backoff returns the exponential delay for the given retry (0-based) with
+// ±50% jitter, so concurrent transfer pairs retrying against the same
+// stalled node do not retry in lockstep.
+func backoff(base time.Duration, retry int) time.Duration {
+	if retry > 16 {
+		retry = 16
+	}
+	d := base << uint(retry)
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(2*half))
+}
+
+// moveBucketOnce is one attempt: extract at the source, repoint routing,
+// apply at the destination. Transactions for the bucket arriving in between
+// retry until the apply lands (a window bounded by cluster.Config
+// RetryAttempts/RetryBudget and counted in Events as migration retries).
+// On an apply failure the bucket is rolled back — routing repointed at the
+// source and the extracted data re-applied there — so the attempt leaves
+// the cluster exactly as it found it.
 //
 // With durability on, the handoff is logged receiver-first: the bucket's
 // full contents go into the receiver's command log (so its log alone can
@@ -402,7 +599,7 @@ func (m *Migration) movePaced(c *cluster.Cluster, list []bucketMove, opts Option
 // bucket out. A crash between the two leaves both partitions claiming the
 // bucket; cluster recovery resolves that in the receiver's favor, so the
 // handoff never loses data.
-func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove) error {
+func (m *Migration) moveBucketOnce(c *cluster.Cluster, mv bucketMove) error {
 	srcExec, ok := c.ExecutorOf(mv.fromPart)
 	if !ok {
 		return fmt.Errorf("migration: no executor for source partition %d", mv.fromPart)
@@ -410,6 +607,11 @@ func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove) error {
 	dstExec, ok := c.ExecutorOf(mv.toPart)
 	if !ok {
 		return fmt.Errorf("migration: no executor for destination partition %d", mv.toPart)
+	}
+	if hook := m.opts.FaultHook; hook != nil {
+		if err := hook(mv.bucket, mv.fromPart, mv.toPart); err != nil {
+			return fmt.Errorf("before extracting bucket %d: %w", mv.bucket, err)
+		}
 	}
 	var data *storage.BucketData
 	err := srcExec.Do(func(p *storage.Partition) (int, error) {
@@ -425,28 +627,63 @@ func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove) error {
 	}
 	c.SetOwner(mv.bucket, mv.toPart)
 	dstMgr := c.DurabilityOf(mv.toPart)
-	err = dstExec.Do(func(p *storage.Partition) (int, error) {
-		if dstMgr != nil {
-			// Durable before visible: once transactions run against the
-			// bucket here, its arrival is already on the receiver's disk.
-			if err := dstMgr.LogBucketIn(data); err != nil {
+	if hook := m.opts.FaultHook; hook != nil {
+		// Second injection site: the bucket is extracted and routing points
+		// at the destination — a failure here must roll back.
+		err = hook(mv.bucket, mv.fromPart, mv.toPart)
+	}
+	if err == nil {
+		err = dstExec.Do(func(p *storage.Partition) (int, error) {
+			if dstMgr != nil {
+				// Durable before visible: once transactions run against the
+				// bucket here, its arrival is already on the receiver's disk.
+				if err := dstMgr.LogBucketIn(data); err != nil {
+					return 0, err
+				}
+			}
+			if err := p.ApplyBucket(data); err != nil {
 				return 0, err
 			}
+			return data.RowCount(), nil
+		})
+	}
+	if err != nil {
+		applyErr := fmt.Errorf("migration: applying bucket %d to partition %d: %w", mv.bucket, mv.toPart, err)
+		if rbErr := m.rollback(c, srcExec, mv, data); rbErr != nil {
+			return fmt.Errorf("%w after %v: %w", errRollbackFailed, applyErr, rbErr)
 		}
+		return applyErr
+	}
+	// The bucket now lives at the destination: record progress before the
+	// sender-side handoff log, so a failure below is reported but never
+	// re-moves the bucket (recovery resolves dual claims in the receiver's
+	// favor, matching this choice).
+	m.markMoved(mv.bucket)
+	m.movedBuckets.Add(1)
+	m.movedRows.Add(int64(data.RowCount()))
+	if srcMgr := c.DurabilityOf(mv.fromPart); srcMgr != nil {
+		if err := srcMgr.LogBucketOut(mv.bucket); err != nil {
+			return fmt.Errorf("%w: logging bucket %d out of partition %d: %w",
+				errRollbackFailed, mv.bucket, mv.fromPart, err)
+		}
+	}
+	return nil
+}
+
+// rollback returns an extracted bucket to its source partition and repoints
+// routing back, undoing a half-completed move attempt.
+func (m *Migration) rollback(c *cluster.Cluster, srcExec *engine.Executor, mv bucketMove, data *storage.BucketData) error {
+	c.SetOwner(mv.bucket, mv.fromPart)
+	err := srcExec.Do(func(p *storage.Partition) (int, error) {
 		if err := p.ApplyBucket(data); err != nil {
 			return 0, err
 		}
 		return data.RowCount(), nil
 	})
 	if err != nil {
-		return fmt.Errorf("migration: applying bucket %d to partition %d: %w", mv.bucket, mv.toPart, err)
+		return fmt.Errorf("restoring bucket %d to partition %d: %w", mv.bucket, mv.fromPart, err)
 	}
-	if srcMgr := c.DurabilityOf(mv.fromPart); srcMgr != nil {
-		if err := srcMgr.LogBucketOut(mv.bucket); err != nil {
-			return fmt.Errorf("migration: logging bucket %d out of partition %d: %w", mv.bucket, mv.fromPart, err)
-		}
-	}
-	m.movedBuckets.Add(1)
-	m.movedRows.Add(int64(data.RowCount()))
+	m.rollbacks.Add(1)
+	c.Events().Add(metrics.EventMoveRollbacks, 1)
 	return nil
 }

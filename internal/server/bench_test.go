@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"pstore/internal/b2w"
 	"pstore/internal/cluster"
 	"pstore/internal/engine"
+	"pstore/internal/faultinject"
 	"pstore/internal/migration"
 )
 
@@ -81,6 +83,71 @@ func BenchmarkServerPing(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServerCallChaos measures the request path with 1% of server
+// response writes dropped (seeded injector): closed-loop throughput and
+// latency under frame loss, with the client's deadline + retry machinery
+// absorbing the gaps. Compare against BenchmarkServerCall to price the
+// robustness layer under faults (scripts/bench.sh records it as
+// BENCH_chaos.json).
+func BenchmarkServerCallChaos(b *testing.B) {
+	reg := engine.NewRegistry()
+	b2w.Register(reg)
+	c, err := cluster.New(cluster.Config{
+		InitialNodes:      1,
+		PartitionsPerNode: 4,
+		NBuckets:          64,
+		Tables:            b2w.Tables,
+		Registry:          reg,
+		Engine:            engine.Config{ServiceTime: 0},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	for _, key := range benchKeys {
+		txn := engine.AcquireTxn(b2w.ProcAddLineToCart, key,
+			map[string]string{"sku": "sku-1", "qty": "1", "price": "9.99"})
+		if res := c.Call(txn); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		txn.Release()
+	}
+	inj := faultinject.New(faultinject.Options{Seed: 7, DropProb: 0.01})
+	srv := New(c, migration.Options{}, nil)
+	srv.WrapConns(inj.WrapConn)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl, err := DialOptions(addr, Options{
+		CallTimeout: 50 * time.Millisecond, // a dropped response costs one deadline, then a retry
+		MaxRetries:  10,
+		RetryBase:   time.Millisecond,
+		Reconnect:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := benchKeys[i%len(benchKeys)]
+			i++
+			if _, err := cl.CallIdempotent(ctx, b2w.ProcGetCart, key, nil); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(cl.Retries()), "retries")
+	b.ReportMetric(float64(inj.Counters().Drops), "drops")
 }
 
 var benchKeys = func() []string {

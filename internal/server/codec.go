@@ -27,6 +27,7 @@ import (
 //
 //	uvarint id | byte flags | string err | uvarint nout | nout × (string k, string v)
 //	  | uvarint latencyNanos
+//	  | if flagBusy: uvarint retryAfterNanos
 //	  | if flagStats: uvarint nodes | partitions | totalRows | offeredTxns | p99Nanos
 //
 // Strings are uvarint length + raw bytes. Everything is hand-encoded with
@@ -43,6 +44,7 @@ const maxFrame = 16 << 20
 const (
 	flagAbort byte = 1 << iota
 	flagStats
+	flagBusy
 )
 
 // Codec errors.
@@ -196,10 +198,16 @@ func appendResponse(buf []byte, resp *Response) []byte {
 	if resp.Stats != nil {
 		flags |= flagStats
 	}
+	if resp.Busy {
+		flags |= flagBusy
+	}
 	buf = append(buf, flags)
 	buf = appendString(buf, resp.Err)
 	buf = appendStringMap(buf, resp.Out)
 	buf = appendUvarint(buf, uint64(resp.Latency))
+	if resp.Busy {
+		buf = appendUvarint(buf, uint64(resp.RetryAfter))
+	}
 	if st := resp.Stats; st != nil {
 		buf = appendUvarint(buf, uint64(st.Nodes))
 		buf = appendUvarint(buf, uint64(st.Partitions))
@@ -288,6 +296,14 @@ func decodeResponse(data []byte, resp *Response) error {
 		return err
 	}
 	resp.Latency = time.Duration(lat)
+	resp.Busy = flags&flagBusy != 0
+	if resp.Busy {
+		ra, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		resp.RetryAfter = time.Duration(ra)
+	}
 	if flags&flagStats != 0 {
 		var st Stats
 		vals := []*int{&st.Nodes, &st.Partitions, &st.TotalRows, &st.OfferedTxns}

@@ -42,6 +42,8 @@ var codecResponses = []Response{
 		Latency: 250 * time.Microsecond},
 	{ID: 4, Stats: &Stats{Nodes: 3, Partitions: 6, TotalRows: 1e6, OfferedTxns: 42,
 		P99: 17 * time.Millisecond}},
+	{ID: 5, Err: "server overloaded", Busy: true, RetryAfter: 40 * time.Millisecond},
+	{ID: 6, Busy: true}, // busy with no hint still round-trips
 }
 
 func TestRequestRoundTrip(t *testing.T) {

@@ -67,6 +67,12 @@ type Response struct {
 	Out     map[string]string
 	Latency time.Duration
 	Stats   *Stats
+
+	// Busy marks a request shed by the server's admission control before
+	// execution: the transaction did NOT run, so a retry is always safe.
+	// RetryAfter is the server's hint for how long to back off first.
+	Busy       bool
+	RetryAfter time.Duration
 }
 
 // Stats is a cluster status snapshot.

@@ -18,10 +18,11 @@ import (
 
 // Server serves a cluster over TCP.
 type Server struct {
-	c    *cluster.Cluster
-	mig  migration.Options
-	lis  net.Listener
-	logf func(format string, args ...any)
+	c        *cluster.Cluster
+	mig      migration.Options
+	lis      net.Listener
+	logf     func(format string, args ...any)
+	connWrap func(net.Conn) net.Conn
 
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -37,6 +38,11 @@ func New(c *cluster.Cluster, mig migration.Options, logf func(string, ...any)) *
 	}
 	return &Server{c: c, mig: mig, logf: logf, conns: make(map[net.Conn]struct{})}
 }
+
+// WrapConns installs a wrapper applied to every accepted connection — the
+// hook the fault injector uses to chaos-test the wire without the server
+// knowing. Must be called before Listen.
+func (s *Server) WrapConns(wrap func(net.Conn) net.Conn) { s.connWrap = wrap }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:7070") and
 // returns the bound address (useful with port 0).
@@ -79,6 +85,9 @@ func (s *Server) acceptLoop(lis net.Listener) {
 		}
 		if tc, ok := conn.(*net.TCPConn); ok {
 			tc.SetNoDelay(true) // batching supplies the coalescing; don't add Nagle delay
+		}
+		if s.connWrap != nil {
+			conn = s.connWrap(conn)
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -192,6 +201,12 @@ func (s *Server) handleCall(req *Request, w *replyWriter) {
 	if res.Err != nil {
 		resp.Err = res.Err.Error()
 		resp.Abort = engine.IsAbort(res.Err)
+		if errors.Is(res.Err, engine.ErrOverloaded) {
+			// Shed before execution: tell the client it is safe to retry,
+			// and when.
+			resp.Busy = true
+			resp.RetryAfter = s.c.ShedRetryAfter()
+		}
 	}
 	w.reply(&resp) // encodes Out before the txn (which owns it) is reused
 	txn.Release()

@@ -1,40 +1,57 @@
 #!/usr/bin/env bash
 # bench.sh — run the hot-path microbenchmarks with allocation accounting
 # and record the results as BENCH_hotpath.json next to this script's repo
-# root. These are the benchmarks the wire-protocol/batching work is judged
-# by: BenchmarkServerCall must stay ≥2× the old gob baseline (28600 ns/op,
+# root, plus BENCH_chaos.json for the fault-injected request path. These
+# are the benchmarks the wire-protocol/batching work is judged by:
+# BenchmarkServerCall must stay ≥2× the old gob baseline (28600 ns/op,
 # 54 allocs/op) and BenchmarkServerPing must stay allocation-free.
+# BenchmarkServerCallChaos prices the robustness layer: closed-loop
+# throughput/latency with 1% of response writes dropped and the client's
+# deadline+retry machinery absorbing the loss.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s; CI smoke uses 100x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
-OUT="BENCH_hotpath.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-go test ./internal/server/ ./internal/hashing/ ./internal/durability/ \
-  -run 'xxx' -bench 'BenchmarkServerCall|BenchmarkServerPing|BenchmarkMurmur2|BenchmarkDurabilityOverhead' \
-  -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
-
-# Convert `go test -bench` lines into a JSON array:
+# Convert `go test -bench` output on stdin into a JSON array:
 #   BenchmarkServerCall-8  100  12345 ns/op  819 B/op  9 allocs/op
-awk '
-  BEGIN { print "[" ; first = 1 }
-  /^Benchmark/ {
-    name = $1; iters = $2; ns = $3
-    bytes = "null"; allocs = "null"
-    for (i = 4; i <= NF; i++) {
-      if ($i == "B/op")      bytes  = $(i-1)
-      if ($i == "allocs/op") allocs = $(i-1)
+bench_to_json() {
+  awk '
+    BEGIN { print "[" ; first = 1 }
+    /^Benchmark/ {
+      name = $1; iters = $2; ns = $3
+      bytes = "null"; allocs = "null"; retries = "null"; drops = "null"
+      for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes   = $(i-1)
+        if ($i == "allocs/op") allocs  = $(i-1)
+        if ($i == "retries")   retries = $(i-1)
+        if ($i == "drops")     drops   = $(i-1)
+      }
+      if (!first) print ","
+      first = 0
+      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, iters, ns, bytes, allocs
+      if (retries != "null") printf ", \"retries\": %s, \"drops\": %s", retries, drops
+      printf "}"
     }
-    if (!first) print ","
-    first = 0
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, bytes, allocs
-  }
-  END { print "\n]" }
-' "$TMP" > "$OUT"
+    END { print "\n]" }
+  '
+}
 
-echo "wrote $OUT:"
-cat "$OUT"
+go test ./internal/server/ ./internal/hashing/ ./internal/durability/ \
+  -run 'xxx' -bench 'BenchmarkServerCall$|BenchmarkServerPing|BenchmarkMurmur2|BenchmarkDurabilityOverhead' \
+  -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
+bench_to_json < "$TMP" > BENCH_hotpath.json
+
+go test ./internal/server/ \
+  -run 'xxx' -bench 'BenchmarkServerCallChaos' \
+  -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
+bench_to_json < "$TMP" > BENCH_chaos.json
+
+echo "wrote BENCH_hotpath.json:"
+cat BENCH_hotpath.json
+echo "wrote BENCH_chaos.json:"
+cat BENCH_chaos.json
