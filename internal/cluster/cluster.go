@@ -116,10 +116,20 @@ type Cluster struct {
 	snapStop chan struct{} // stops the periodic snapshot loop
 	snapDone chan struct{}
 
-	latencies *metrics.ShardedRecorder
-	offered   *metrics.Counter
-	allocLog  *metrics.AllocationTracker
-	events    *metrics.Events
+	latencies  *metrics.ShardedRecorder
+	offered    *metrics.Counter
+	allocLog   *metrics.AllocationTracker
+	events     *metrics.Events
+	moveStalls *metrics.DurationHist
+
+	// migrating tracks buckets currently in a pre-copy move: still owned
+	// and served by their source partition, but with write capture active.
+	// Routing (Call) never consults it — pre-copy's whole point is that the
+	// request path is untouched until the final flip — it exists for
+	// observability and for planners that want to avoid re-scheduling a
+	// bucket already in flight.
+	migratingMu sync.Mutex
+	migrating   map[int]bool
 
 	reconfigMu sync.Mutex
 	reconfig   bool
@@ -145,14 +155,16 @@ func New(cfg Config) (*Cluster, error) {
 		window = time.Second
 	}
 	c := &Cluster{
-		cfg:       cfg,
-		execs:     make(map[int]*engine.Executor),
-		durs:      make(map[int]*durability.Manager),
-		owner:     make([]int, cfg.NBuckets),
-		latencies: metrics.NewShardedRecorder(window),
-		offered:   metrics.NewCounter(time.Second),
-		allocLog:  metrics.NewAllocationTracker(time.Now(), cfg.InitialNodes),
-		events:    metrics.NewEvents(),
+		cfg:        cfg,
+		execs:      make(map[int]*engine.Executor),
+		durs:       make(map[int]*durability.Manager),
+		owner:      make([]int, cfg.NBuckets),
+		latencies:  metrics.NewShardedRecorder(window),
+		offered:    metrics.NewCounter(time.Second),
+		allocLog:   metrics.NewAllocationTracker(time.Now(), cfg.InitialNodes),
+		events:     metrics.NewEvents(),
+		moveStalls: metrics.NewDurationHist(),
+		migrating:  make(map[int]bool),
 	}
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
@@ -666,6 +678,38 @@ func (c *Cluster) SetOwner(bucket, partition int) {
 	c.owner[bucket] = partition
 	c.publishRoutingLocked()
 }
+
+// SetMigrating marks or unmarks a bucket as being pre-copied: still owned
+// and served at its source, with write capture active. The migrator brackets
+// each phased move with it; the request path never reads this state.
+func (c *Cluster) SetMigrating(bucket int, on bool) {
+	c.migratingMu.Lock()
+	if on {
+		c.migrating[bucket] = true
+	} else {
+		delete(c.migrating, bucket)
+	}
+	c.migratingMu.Unlock()
+}
+
+// IsMigrating reports whether the bucket is currently in a pre-copy move.
+func (c *Cluster) IsMigrating(bucket int) bool {
+	c.migratingMu.Lock()
+	defer c.migratingMu.Unlock()
+	return c.migrating[bucket]
+}
+
+// MigratingCount returns the number of buckets currently in pre-copy moves.
+func (c *Cluster) MigratingCount() int {
+	c.migratingMu.Lock()
+	defer c.migratingMu.Unlock()
+	return len(c.migrating)
+}
+
+// MoveStalls is the histogram of per-bucket-move foreground stall windows
+// (source detach → durable destination commit) — the paper's effective-
+// capacity cost of a reconfiguration, measured directly.
+func (c *Cluster) MoveStalls() *metrics.DurationHist { return c.moveStalls }
 
 // ExecutorOf returns the executor hosting the partition.
 func (c *Cluster) ExecutorOf(partition int) (*engine.Executor, bool) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -337,5 +338,67 @@ func TestMultiDoNoDeadlockUnderContention(t *testing.T) {
 		case <-timeout:
 			t.Fatal("deadlock: MultiDo coordinators never finished")
 		}
+	}
+}
+
+// TestDoBackgroundRunsBehindQueuedTxns pins the background lane's ordering
+// contract: a DoBackground task enqueued after transactions runs only once
+// those transactions have committed, and its row count is charged as
+// migration work like Do's.
+func TestDoBackgroundRunsBehindQueuedTxns(t *testing.T) {
+	var committed atomic.Int64
+	reg := NewRegistry()
+	reg.Register("Inc", func(tx *Txn) error {
+		committed.Add(1)
+		return nil
+	})
+	p := storage.NewPartition(0, 16, allBuckets(16))
+	p.CreateTable("T")
+	e := NewExecutor(p, reg, Config{MigrationRowCost: time.Nanosecond})
+	defer e.Stop()
+
+	// Park the executor so the queue accumulates deterministically.
+	release, err := e.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const txns = 5
+	for i := 0; i < txns; i++ {
+		if _, err := e.Submit(&Txn{Proc: "Inc", Key: "k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen int64
+	done := make(chan error, 1)
+	go func() {
+		done <- e.DoBackground(func(p *storage.Partition) (int, error) {
+			seen = committed.Load()
+			return 7, nil
+		})
+	}()
+	// Give the goroutine time to enqueue behind the transactions, then let
+	// the executor run. FIFO order in the regular queue does the rest.
+	time.Sleep(20 * time.Millisecond)
+	release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if seen != txns {
+		t.Errorf("background task saw %d committed txns, want %d", seen, txns)
+	}
+	if e.MigratedRows() != 7 {
+		t.Errorf("MigratedRows = %d, want 7", e.MigratedRows())
+	}
+}
+
+func TestDoBackgroundErrors(t *testing.T) {
+	e := newTestExecutor(Config{})
+	wantErr := errors.New("boom")
+	if err := e.DoBackground(func(p *storage.Partition) (int, error) { return 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want %v", err, wantErr)
+	}
+	e.Stop()
+	if err := e.DoBackground(func(p *storage.Partition) (int, error) { return 0, nil }); !errors.Is(err, ErrStopped) {
+		t.Errorf("err after stop = %v, want ErrStopped", err)
 	}
 }

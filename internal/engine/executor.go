@@ -354,6 +354,22 @@ func (e *Executor) Do(fn func(p *storage.Partition) (rows int, err error)) error
 	return <-reply
 }
 
+// DoBackground runs fn like Do, but through the regular transaction queue
+// instead of the priority lane: the work waits its turn behind already
+// queued transactions, so foreground latency sees at most one background
+// task of interference. Pre-copy migration streams bucket slices through
+// here — bulk copying is exactly the work that must NOT preempt
+// transactions. Unlike transaction submission, a full queue blocks instead
+// of shedding: migration supplies its own pacing and must not be dropped
+// by admission control.
+func (e *Executor) DoBackground(fn func(p *storage.Partition) (rows int, err error)) error {
+	reply := make(chan error, 1)
+	if err := e.enqueueBlocking(task{fn: fn, fnReply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
 // Reserve parks the executor (used by the distributed-transaction
 // coordinator). It returns a release function once the executor is parked.
 // The caller MUST invoke the release function.
@@ -387,6 +403,20 @@ func (e *Executor) enqueue(t task) error {
 		e.shed.Add(1)
 		return ErrOverloaded
 	}
+}
+
+// enqueueBlocking adds a task to the regular queue, waiting for space
+// instead of shedding. Holding stopMu's read side across the send is safe:
+// the run loop keeps draining the queue until Stop closes it, and Stop can
+// only close it after this send completes and releases the lock.
+func (e *Executor) enqueueBlocking(t task) error {
+	e.stopMu.RLock()
+	defer e.stopMu.RUnlock()
+	if e.stopped {
+		return ErrStopped
+	}
+	e.queue <- t
+	return nil
 }
 
 // enqueuePrio adds a task to the priority lane, blocking if the lane is

@@ -25,6 +25,16 @@ const (
 	// EventInjectedFaults counts faults fired by a fault injector (chaos
 	// runs only; zero in production).
 	EventInjectedFaults = "injected_faults"
+	// EventPreCopyRows counts rows streamed to a move's destination during
+	// the pre-copy phase, off the foreground critical path.
+	EventPreCopyRows = "precopy_rows"
+	// EventDeltaRows counts captured writes replayed at a move's
+	// destination during delta-drain rounds (the final in-stall delta
+	// included).
+	EventDeltaRows = "delta_rows"
+	// EventDeltaRounds counts delta-drain rounds across all bucket moves;
+	// divided by moves it says how quickly pre-copies converge.
+	EventDeltaRounds = "delta_rounds"
 )
 
 // Events is a registry of named monotonic counters for rare-path

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two duration buckets. Bucket i
+// covers [2^(i-1), 2^i) microseconds (bucket 0 is everything under 1µs), so
+// the histogram spans sub-microsecond to ~17 minutes — far beyond any
+// plausible per-move stall.
+const histBuckets = 31
+
+// DurationHist is a fixed-size, log-scale histogram of durations, safe for
+// concurrent use and allocation-free on the record path. The migrator feeds
+// it each bucket move's foreground stall window (detach → durable commit),
+// the interval during which transactions for the bucket can only spin in
+// the routing retry loop — the quantity the pre-copy protocol exists to
+// shrink from O(bucket) to O(delta).
+type DurationHist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewDurationHist returns an empty histogram.
+func NewDurationHist() *DurationHist { return &DurationHist{} }
+
+// histIndex maps a duration to its bucket.
+func histIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	idx := bits.Len64(us) // 0 for <1µs, else floor(log2)+1
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *DurationHist) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		old := h.max.Load()
+		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *DurationHist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Max returns the largest observation.
+func (h *DurationHist) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *DurationHist) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the top
+// edge of the bucket holding the q-th observation. Log-scale buckets make
+// this exact to within 2×, which is plenty for "did the stall shrink by an
+// order of magnitude" questions.
+func (h *DurationHist) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			if i == histBuckets-1 {
+				return h.Max()
+			}
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot returns the per-bucket counts; entry i is the count of
+// observations in [2^(i-1), 2^i) microseconds.
+func (h *DurationHist) Snapshot() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}

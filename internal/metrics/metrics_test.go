@@ -354,3 +354,64 @@ func TestEventsConcurrent(t *testing.T) {
 		t.Errorf("concurrent adds = %d, want 8000", got)
 	}
 }
+
+func TestDurationHist(t *testing.T) {
+	h := NewDurationHist()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should read zero")
+	}
+	// 90 fast observations, 10 slow ones: p50 lands in the fast bucket,
+	// p99 in the slow one. Log-2 buckets bound quantiles within 2×.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond) // bucket [64µs, 128µs)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond) // bucket [8.192ms, 16.384ms)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Max() != 10*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if p50 := h.Quantile(0.5); p50 != 128*time.Microsecond {
+		t.Errorf("p50 = %v, want 128µs (upper edge of the fast bucket)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 16384*time.Microsecond {
+		t.Errorf("p99 = %v, want 16.384ms (upper edge of the slow bucket)", p99)
+	}
+	if mean := h.Mean(); mean < time.Millisecond || mean > 2*time.Millisecond {
+		t.Errorf("Mean = %v, want ~1.09ms", mean)
+	}
+	// Sub-microsecond and negative observations land in bucket 0.
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if snap := h.Snapshot(); snap[0] != 2 {
+		t.Errorf("bucket 0 count = %d, want 2", snap[0])
+	}
+	// An absurdly large observation clamps to the last bucket, whose
+	// quantile reads back the true max.
+	h2 := NewDurationHist()
+	h2.Observe(24 * time.Hour)
+	if h2.Quantile(1) != 24*time.Hour {
+		t.Errorf("overflow quantile = %v", h2.Quantile(1))
+	}
+}
+
+func TestDurationHistConcurrent(t *testing.T) {
+	h := NewDurationHist()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}

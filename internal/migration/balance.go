@@ -85,7 +85,7 @@ func Balance(c *cluster.Cluster, opts Options) (int, error) {
 		}
 	}
 
-	m := &Migration{opts: opts, moved: make(map[int]bool), done: make(chan struct{})}
+	m := newHandle(opts)
 	if err := m.movePaced(c, moves, opts); err != nil {
 		return int(m.movedBuckets.Load()), err
 	}

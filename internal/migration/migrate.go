@@ -50,11 +50,39 @@ type Options struct {
 	// MoveBackoff is the base delay before the first move retry; each
 	// further retry doubles it, with ±50% jitter. Default 5ms.
 	MoveBackoff time.Duration
-	// FaultHook, when non-nil, is consulted before a bucket's extraction
-	// and again between the routing repoint and the apply. A non-nil error
-	// fails the move attempt at that point — the second site exercises the
-	// rollback path. Chaos tests wire faultinject.Injector.MoveFault here;
-	// production leaves it nil.
+	// StopAndCopy selects the legacy single-shot move: extract the whole
+	// bucket in one executor visit, repoint, apply in one visit. Off by
+	// default — moves run the pre-copy / delta-drain / atomic-flip protocol,
+	// whose foreground stall is O(residual delta) instead of O(bucket).
+	// Kept as a flag so benchmarks and ablations can price the difference.
+	StopAndCopy bool
+	// CopySliceRows bounds how many rows a single pre-copy executor visit
+	// may stream, so bulk copying never occupies the source or destination
+	// executor for more than ~CopySliceRows·MigrationRowCost at a time.
+	// Default storage.DefaultCopySliceRows.
+	CopySliceRows int
+	// DeltaThreshold is the residual-delta size (captured writes not yet
+	// replayed at the destination) below which the migrator stops draining
+	// and performs the final flip. The flip pause is O(threshold + writes
+	// arriving during it). Default 16; negative means flip only on an
+	// empty residual.
+	DeltaThreshold int
+	// DeltaMaxRounds caps delta-drain rounds per move, so a write rate that
+	// outruns draining cannot pre-copy forever — after this many rounds the
+	// move flips and absorbs whatever residual remains. Default 6.
+	DeltaMaxRounds int
+	// Seed fixes the PRNG behind retry-backoff jitter so chaos runs pinned
+	// via PSTORE_CHAOS_SEED replay with identical retry spacing. Zero draws
+	// a nondeterministic seed.
+	Seed int64
+	// FaultHook, when non-nil, is consulted at fixed points of each move
+	// attempt: before the move starts, after the pre-copy stream (before
+	// delta draining), and between the routing repoint and the destination
+	// commit. A non-nil error fails the attempt at that point — the later
+	// sites exercise the capture-abort and post-repoint rollback paths.
+	// (The legacy stop-and-copy path has only the first and last sites.)
+	// Chaos tests wire faultinject.Injector.MoveFault here; production
+	// leaves it nil.
 	FaultHook func(bucket, fromPart, toPart int) error
 }
 
@@ -77,6 +105,17 @@ func (o Options) normalized() Options {
 	}
 	if o.MoveBackoff <= 0 {
 		o.MoveBackoff = 5 * time.Millisecond
+	}
+	if o.CopySliceRows <= 0 {
+		o.CopySliceRows = storage.DefaultCopySliceRows
+	}
+	if o.DeltaThreshold == 0 {
+		o.DeltaThreshold = 16
+	} else if o.DeltaThreshold < 0 {
+		o.DeltaThreshold = 0
+	}
+	if o.DeltaMaxRounds <= 0 {
+		o.DeltaMaxRounds = 6
 	}
 	o.BucketsPerChunk *= o.RateMultiplier
 	o.ChunkInterval /= time.Duration(o.RateMultiplier)
@@ -129,9 +168,83 @@ type Migration struct {
 	movedMu sync.Mutex
 	moved   map[int]bool
 
+	// cancel is closed when the run's first error is recorded, waking every
+	// other transfer pair out of pacing and backoff sleeps so a failed
+	// migration does not linger in time.Sleep.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+
+	// rng drives backoff jitter; seeded from Options.Seed so pinned chaos
+	// runs replay with identical retry spacing.
+	rng *lockedRand
+
 	done   chan struct{}
 	report *Report
 	err    error
+}
+
+// newHandle builds a Migration with its runtime machinery (progress map,
+// cancellation, seeded jitter source) initialized. opts must already be
+// normalized.
+func newHandle(opts Options) *Migration {
+	return &Migration{
+		opts:   opts,
+		moved:  make(map[int]bool),
+		cancel: make(chan struct{}),
+		rng:    newLockedRand(opts.Seed),
+		done:   make(chan struct{}),
+	}
+}
+
+// abort wakes every sleeping transfer pair; idempotent.
+func (m *Migration) abort() {
+	m.cancelOnce.Do(func() { close(m.cancel) })
+}
+
+// canceled reports whether the run has already failed elsewhere.
+func (m *Migration) canceled() bool {
+	select {
+	case <-m.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep pauses for d but returns early (false) if the run is canceled.
+func (m *Migration) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !m.canceled()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-m.cancel:
+		return false
+	}
+}
+
+// lockedRand is a mutex-guarded rand.Rand: backoff jitter is drawn from
+// concurrent transfer-pair goroutines, and rand.Rand itself is not safe for
+// concurrent use.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	if seed == 0 {
+		seed = rand.Int63() // nondeterministic default, as before
+	}
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *lockedRand) Int63n(n int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Int63n(n)
 }
 
 func (m *Migration) isMoved(bucket int) bool {
@@ -199,13 +312,9 @@ func Start(c *cluster.Cluster, targetNodes int, opts Options) (*Migration, error
 		return nil, ErrInProgress
 	}
 	from := c.NumNodes()
-	m := &Migration{
-		fromNodes: from,
-		toNodes:   targetNodes,
-		opts:      opts,
-		moved:     make(map[int]bool),
-		done:      make(chan struct{}),
-	}
+	m := newHandle(opts)
+	m.fromNodes = from
+	m.toNodes = targetNodes
 	if targetNodes == from {
 		c.EndReconfiguration()
 		m.report = &Report{FromNodes: from, ToNodes: targetNodes, FailedBucket: -1}
@@ -300,17 +409,13 @@ func (m *Migration) Resume(c *cluster.Cluster) (*Migration, error) {
 	if !c.BeginReconfiguration() {
 		return nil, ErrInProgress
 	}
-	m2 := &Migration{
-		fromNodes:    m.fromNodes,
-		toNodes:      m.toNodes,
-		totalBuckets: m.totalBuckets,
-		opts:         m.opts,
-		rounds:       m.rounds,
-		moves:        m.moves,
-		retired:      m.retired,
-		moved:        make(map[int]bool, len(m.moved)),
-		done:         make(chan struct{}),
-	}
+	m2 := newHandle(m.opts)
+	m2.fromNodes = m.fromNodes
+	m2.toNodes = m.toNodes
+	m2.totalBuckets = m.totalBuckets
+	m2.rounds = m.rounds
+	m2.moves = m.moves
+	m2.retired = m.retired
 	m.movedMu.Lock()
 	for b := range m.moved {
 		m2.moved[b] = true
@@ -482,6 +587,9 @@ func (m *Migration) execute(c *cluster.Cluster, rounds []plan.Round, moves map[[
 			firstErr = err
 		}
 		errMu.Unlock()
+		// Wake every other transfer pair out of pacing/backoff sleeps: the
+		// run is over, lingering in time.Sleep just delays the report.
+		m.abort()
 	}
 	for _, round := range rounds {
 		var wg sync.WaitGroup
@@ -518,7 +626,8 @@ func (m *Migration) execute(c *cluster.Cluster, rounds []plan.Round, moves map[[
 	return nil
 }
 
-// movePaced relocates the buckets chunk by chunk with pacing.
+// movePaced relocates the buckets chunk by chunk with pacing. Pacing sleeps
+// abort early when another transfer pair has already failed the run.
 func (m *Migration) movePaced(c *cluster.Cluster, list []bucketMove, opts Options) error {
 	for i := 0; i < len(list); i += opts.BucketsPerChunk {
 		end := i + opts.BucketsPerChunk
@@ -531,7 +640,9 @@ func (m *Migration) movePaced(c *cluster.Cluster, list []bucketMove, opts Option
 			}
 		}
 		if end < len(list) && opts.ChunkInterval > 0 {
-			time.Sleep(opts.ChunkInterval)
+			if !m.sleep(opts.ChunkInterval) {
+				return nil // run already failed elsewhere; its error wins
+			}
 		}
 	}
 	return nil
@@ -551,14 +662,20 @@ func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove, opts Options) 
 	if m.isMoved(mv.bucket) {
 		return nil // resumed run: this bucket already landed
 	}
+	move := m.moveBucketPreCopy
+	if opts.StopAndCopy {
+		move = m.moveBucketOnce
+	}
 	var lastErr error
 	for attempt := 0; attempt <= opts.MoveRetries; attempt++ {
 		if attempt > 0 {
 			m.retries.Add(1)
 			c.Events().Add(metrics.EventMoveRetries, 1)
-			time.Sleep(backoff(opts.MoveBackoff, attempt-1))
+			if !m.sleep(backoff(m.rng, opts.MoveBackoff, attempt-1)) {
+				break // run already failed elsewhere; stop retrying
+			}
 		}
-		err := m.moveBucketOnce(c, mv)
+		err := move(c, mv)
 		if err == nil {
 			return nil
 		}
@@ -572,8 +689,9 @@ func (m *Migration) moveBucket(c *cluster.Cluster, mv bucketMove, opts Options) 
 
 // backoff returns the exponential delay for the given retry (0-based) with
 // ±50% jitter, so concurrent transfer pairs retrying against the same
-// stalled node do not retry in lockstep.
-func backoff(base time.Duration, retry int) time.Duration {
+// stalled node do not retry in lockstep. Jitter comes from the migration's
+// seeded source, keeping pinned chaos runs reproducible.
+func backoff(rng *lockedRand, base time.Duration, retry int) time.Duration {
 	if retry > 16 {
 		retry = 16
 	}
@@ -582,11 +700,15 @@ func backoff(base time.Duration, retry int) time.Duration {
 	if half <= 0 {
 		return d
 	}
-	return time.Duration(half + rand.Int63n(2*half))
+	return time.Duration(half + rng.Int63n(2*half))
 }
 
-// moveBucketOnce is one attempt: extract at the source, repoint routing,
-// apply at the destination. Transactions for the bucket arriving in between
+// moveBucketOnce is one attempt of the legacy stop-and-copy move, kept
+// behind Options.StopAndCopy for ablation and benchmarking: extract at the
+// source (one executor visit of O(bucket)), repoint routing, apply at the
+// destination (another O(bucket) visit). The default path is
+// moveBucketPreCopy, whose stall is O(residual delta).
+// Transactions for the bucket arriving in between
 // retry until the apply lands (a window bounded by cluster.Config
 // RetryAttempts/RetryBudget and counted in Events as migration retries).
 // On an apply failure the bucket is rolled back — routing repointed at the

@@ -28,6 +28,10 @@ func testRegistry() *engine.Registry {
 		tx.SetOut("v", r.Cols["v"])
 		return nil
 	})
+	reg.Register("Delete", func(tx *engine.Txn) error {
+		_, err := tx.Delete("T", tx.Key)
+		return err
+	})
 	return reg
 }
 

@@ -1,0 +1,251 @@
+package migration
+
+import (
+	"fmt"
+	"time"
+
+	"pstore/internal/cluster"
+	"pstore/internal/metrics"
+	"pstore/internal/storage"
+)
+
+// moveBucketPreCopy is one attempt of the pre-copy / delta-drain /
+// atomic-flip protocol — the default bucket move. Where the legacy
+// stop-and-copy attempt (moveBucketOnce) holds the source executor for the
+// whole extraction and the destination for the whole application, this
+// attempt touches the executors only in bounded visits:
+//
+//	Phase 1 — pre-copy. The source marks the bucket migrating and starts
+//	capturing its writes into an ordered delta log (storage.BeginCapture),
+//	then streams the bucket's snapshot to the destination in slices of at
+//	most CopySliceRows rows. Slices travel through the executors'
+//	background lane (engine.DoBackground), behind queued transactions, so
+//	foreground latency sees at most one slice of interference. The bucket
+//	keeps serving reads and writes at the source throughout.
+//
+//	Phase 2 — delta drain. Captured writes are drained in rounds and
+//	replayed onto the destination's staging area in capture order. Each
+//	round shrinks the residual to the writes that arrived during the
+//	round, so under any write rate the drain converges geometrically; the
+//	loop stops when the residual is ≤ DeltaThreshold or DeltaMaxRounds is
+//	hit.
+//
+//	Phase 3 — atomic flip. The only stop-the-world step: the source
+//	detaches the bucket (O(tables) pointer moves + the final residual
+//	delta), routing repoints, and the destination overlays the final
+//	delta, logs the assembled bucket receiver-first (durable before
+//	visible, exactly as stop-and-copy does), and commits the staged maps
+//	by reference. The foreground stall is O(residual delta), not
+//	O(bucket), and is recorded in the cluster's MoveStalls histogram.
+//
+// Failure anywhere before the flip aborts the capture and discards the
+// staging — the bucket never left the source, so the attempt leaves the
+// cluster exactly as it found it. Failure after the repoint rolls back by
+// reattaching the detached maps and repointing home; if that reattach
+// fails the error wraps errRollbackFailed and the retry loop treats the
+// move as terminal, same as the legacy path. The receiver-first durable
+// handoff, markMoved-before-LogBucketOut ordering, and crash-recovery
+// dual-claim resolution are all unchanged.
+func (m *Migration) moveBucketPreCopy(c *cluster.Cluster, mv bucketMove) error {
+	srcExec, ok := c.ExecutorOf(mv.fromPart)
+	if !ok {
+		return fmt.Errorf("migration: no executor for source partition %d", mv.fromPart)
+	}
+	dstExec, ok := c.ExecutorOf(mv.toPart)
+	if !ok {
+		return fmt.Errorf("migration: no executor for destination partition %d", mv.toPart)
+	}
+	hook := m.opts.FaultHook
+	if hook != nil {
+		if err := hook(mv.bucket, mv.fromPart, mv.toPart); err != nil {
+			return fmt.Errorf("before pre-copying bucket %d: %w", mv.bucket, err)
+		}
+	}
+
+	// Phase 1: begin capture and collect the copy manifest. One short
+	// executor visit — O(bucket keys) to list, no row copying.
+	var slices []storage.CopySlice
+	err := srcExec.Do(func(p *storage.Partition) (int, error) {
+		var err error
+		slices, err = p.BeginCapture(mv.bucket, m.opts.CopySliceRows)
+		return 0, err
+	})
+	if err != nil {
+		return fmt.Errorf("migration: begin capture of bucket %d on partition %d: %w", mv.bucket, mv.fromPart, err)
+	}
+	c.SetMigrating(mv.bucket, true)
+	defer c.SetMigrating(mv.bucket, false)
+
+	// abortMove undoes everything an unflipped attempt did: capture state
+	// at the source, staged rows at the destination. The bucket stayed
+	// owned and live at the source the whole time, so this restores the
+	// pre-attempt state exactly.
+	abortMove := func() {
+		_ = srcExec.Do(func(p *storage.Partition) (int, error) {
+			p.AbortCapture(mv.bucket)
+			return 0, nil
+		})
+		_ = dstExec.Do(func(p *storage.Partition) (int, error) {
+			p.DiscardStaged(mv.bucket)
+			return 0, nil
+		})
+		m.rollbacks.Add(1)
+		c.Events().Add(metrics.EventMoveRollbacks, 1)
+	}
+
+	// Stream the snapshot slices through the background lane: each visit
+	// is bounded by CopySliceRows, and queued foreground transactions run
+	// ahead of every slice.
+	copied := 0
+	for _, s := range slices {
+		if m.canceled() {
+			abortMove()
+			return fmt.Errorf("migration: bucket %d pre-copy canceled: run failed elsewhere", mv.bucket)
+		}
+		var rows []storage.Row
+		err := srcExec.DoBackground(func(p *storage.Partition) (int, error) {
+			var err error
+			rows, err = p.CopyRows(mv.bucket, s)
+			return len(rows), err
+		})
+		if err == nil {
+			table := s.Table
+			err = dstExec.DoBackground(func(p *storage.Partition) (int, error) {
+				return len(rows), p.StageRows(mv.bucket, table, rows)
+			})
+		}
+		if err != nil {
+			abortMove()
+			return fmt.Errorf("migration: pre-copying bucket %d (%d→%d): %w", mv.bucket, mv.fromPart, mv.toPart, err)
+		}
+		copied += len(rows)
+	}
+	c.Events().Add(metrics.EventPreCopyRows, int64(copied))
+
+	if hook != nil {
+		// Second injection site: capture is live and the snapshot is staged
+		// at the destination — a failure here exercises the capture-abort
+		// path before any delta has drained.
+		if err := hook(mv.bucket, mv.fromPart, mv.toPart); err != nil {
+			abortMove()
+			return fmt.Errorf("during delta drain of bucket %d: %w", mv.bucket, err)
+		}
+	}
+
+	// Phase 2: drain rounds until the residual delta is small enough to
+	// absorb inside the flip pause.
+	deltaRows := 0
+	for round := 0; round < m.opts.DeltaMaxRounds; round++ {
+		c.Events().Add(metrics.EventDeltaRounds, 1)
+		var ops []storage.DeltaOp
+		err := srcExec.Do(func(p *storage.Partition) (int, error) {
+			var err error
+			ops, _, err = p.DrainDelta(mv.bucket, 0)
+			return len(ops), err
+		})
+		if err == nil && len(ops) > 0 {
+			err = dstExec.DoBackground(func(p *storage.Partition) (int, error) {
+				return len(ops), p.StageDelta(mv.bucket, ops)
+			})
+		}
+		if err != nil {
+			abortMove()
+			return fmt.Errorf("migration: draining delta of bucket %d (round %d): %w", mv.bucket, round, err)
+		}
+		deltaRows += len(ops)
+		// The residual is whatever was captured while this round's batch
+		// was in flight; flip once it is below threshold.
+		residual := 0
+		err = srcExec.Do(func(p *storage.Partition) (int, error) {
+			residual = p.DeltaLen(mv.bucket)
+			return 0, nil
+		})
+		if err != nil {
+			abortMove()
+			return fmt.Errorf("migration: sizing residual delta of bucket %d: %w", mv.bucket, err)
+		}
+		if residual <= m.opts.DeltaThreshold {
+			break
+		}
+	}
+
+	// Phase 3: the flip. Everything between DetachBucket and CommitStaged
+	// is the foreground stall window — transactions for the bucket requeue
+	// through the cluster's bounded retry loop until the commit lands.
+	stallStart := time.Now()
+	var detached *storage.DetachedBucket
+	var final []storage.DeltaOp
+	err = srcExec.Do(func(p *storage.Partition) (int, error) {
+		var err error
+		detached, final, err = p.DetachBucket(mv.bucket)
+		return len(final), err
+	})
+	if err != nil {
+		abortMove()
+		return fmt.Errorf("migration: detaching bucket %d from partition %d: %w", mv.bucket, mv.fromPart, err)
+	}
+	c.SetOwner(mv.bucket, mv.toPart)
+	dstMgr := c.DurabilityOf(mv.toPart)
+	if hook != nil {
+		// Third injection site: the bucket is detached and routing points at
+		// the destination — a failure here must roll back the flip.
+		err = hook(mv.bucket, mv.fromPart, mv.toPart)
+	}
+	committed := 0
+	if err == nil {
+		err = dstExec.Do(func(p *storage.Partition) (int, error) {
+			if err := p.StageDelta(mv.bucket, final); err != nil {
+				return 0, err
+			}
+			if dstMgr != nil {
+				// Durable before visible: the receiver's log can rebuild the
+				// assembled bucket before any transaction runs against it
+				// here — identical to the stop-and-copy handoff contract.
+				if err := dstMgr.LogBucketIn(p.StagedData(mv.bucket)); err != nil {
+					return 0, err
+				}
+			}
+			var err error
+			committed, err = p.CommitStaged(mv.bucket)
+			// Charge only the final delta: the committed rows already paid
+			// their transfer cost when they streamed through StageRows, and
+			// CommitStaged itself is O(tables) pointer installs.
+			return len(final), err
+		})
+	}
+	if err != nil {
+		applyErr := fmt.Errorf("migration: committing bucket %d to partition %d: %w", mv.bucket, mv.toPart, err)
+		c.SetOwner(mv.bucket, mv.fromPart)
+		rbErr := srcExec.Do(func(p *storage.Partition) (int, error) {
+			return 0, p.ReattachBucket(detached)
+		})
+		_ = dstExec.Do(func(p *storage.Partition) (int, error) {
+			p.DiscardStaged(mv.bucket)
+			return 0, nil
+		})
+		if rbErr != nil {
+			return fmt.Errorf("%w after %v: reattaching bucket %d to partition %d: %w",
+				errRollbackFailed, applyErr, mv.bucket, mv.fromPart, rbErr)
+		}
+		m.rollbacks.Add(1)
+		c.Events().Add(metrics.EventMoveRollbacks, 1)
+		return applyErr
+	}
+	c.MoveStalls().Observe(time.Since(stallStart))
+	c.Events().Add(metrics.EventDeltaRows, int64(deltaRows+len(final)))
+
+	// The bucket now lives at the destination: record progress before the
+	// sender-side handoff log, so a failure below is reported but never
+	// re-moves the bucket (recovery resolves dual claims in the receiver's
+	// favor, matching this choice).
+	m.markMoved(mv.bucket)
+	m.movedBuckets.Add(1)
+	m.movedRows.Add(int64(committed))
+	if srcMgr := c.DurabilityOf(mv.fromPart); srcMgr != nil {
+		if err := srcMgr.LogBucketOut(mv.bucket); err != nil {
+			return fmt.Errorf("%w: logging bucket %d out of partition %d: %w",
+				errRollbackFailed, mv.bucket, mv.fromPart, err)
+		}
+	}
+	return nil
+}

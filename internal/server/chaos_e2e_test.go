@@ -174,6 +174,9 @@ func TestChaosScaleOutEndToEnd(t *testing.T) {
 		MoveRetries:     2,
 		MoveBackoff:     time.Millisecond,
 		FaultHook:       inj.MoveFault,
+		// Same seed as the injector: with PSTORE_CHAOS_SEED pinned, the
+		// retry-backoff jitter replays exactly like the fault schedule.
+		Seed: seed,
 	}
 	m, err := migration.Start(c, 3, migOpts)
 	if err != nil {

@@ -1,0 +1,354 @@
+// Pre-copy live-migration primitives. A bucket relocation used to be
+// stop-and-copy: one ExtractBucket held the source executor for O(bucket)
+// and one ApplyBucket held the destination for the same, so the foreground
+// stall of every move scaled with bucket size. The primitives here let the
+// migrator run a copy-then-delta protocol instead:
+//
+//  1. BeginCapture marks the bucket migrating and starts recording every
+//     subsequent Put/Delete against it into an ordered per-bucket delta
+//     log, returning a manifest of bounded CopySlices.
+//  2. CopyRows streams each slice (≤ sliceRows rows per executor visit)
+//     to the destination, which accumulates them with StageRows — outside
+//     its live tables, invisible to transactions.
+//  3. DrainDelta pops the captured writes in rounds; StageDelta overlays
+//     them on the staged rows in capture order, so the staging area
+//     converges on the live bucket while the bucket keeps serving.
+//  4. DetachBucket is the only stop-the-world moment: it unhooks the
+//     bucket's row maps (O(tables) pointer moves, no row copying), revokes
+//     ownership and returns the final residual delta — O(delta), not
+//     O(bucket). CommitStaged then installs the staged maps at the
+//     destination by reference. ReattachBucket undoes a detach exactly,
+//     for the rollback path.
+//
+// Replaying a delta is idempotent (puts are last-writer-wins, deletes are
+// absence), so a row copied after a captured write converges to the same
+// state once the delta lands.
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeltaOp is one captured write against a migrating bucket, in capture
+// order. Row is valid when Delete is false and is a private clone — safe to
+// hand to another partition.
+type DeltaOp struct {
+	Table  string
+	Key    string
+	Row    Row
+	Delete bool
+}
+
+// CopySlice identifies a bounded chunk of a migrating bucket's rows: one
+// table and at most the slice budget of keys, as of capture time. Keys that
+// vanish before their slice is copied are simply skipped — their deletion
+// is in the delta.
+type CopySlice struct {
+	Table string
+	Keys  []string
+}
+
+// bucketCapture is one migrating bucket's write-capture state.
+type bucketCapture struct {
+	delta []DeltaOp
+}
+
+// DefaultCopySliceRows bounds how many rows one CopySlice may hold when the
+// caller does not choose: small enough that copying a slice never occupies
+// an executor for long, large enough to amortize the per-visit overhead.
+const DefaultCopySliceRows = 256
+
+// BeginCapture marks the bucket as migrating and starts capturing writes to
+// it. It returns the copy manifest: every (table, key) present right now,
+// pre-chunked into slices of at most sliceRows keys (DefaultCopySliceRows
+// if sliceRows ≤ 0). The manifest plus the delta captured from this moment
+// on is exactly the bucket's final contents.
+func (p *Partition) BeginCapture(bucket, sliceRows int) ([]CopySlice, error) {
+	if !p.owned[bucket] {
+		return nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
+	}
+	if p.capture[bucket] != nil {
+		return nil, fmt.Errorf("storage: partition %d already capturing bucket %d", p.id, bucket)
+	}
+	if sliceRows <= 0 {
+		sliceRows = DefaultCopySliceRows
+	}
+	if p.capture == nil {
+		p.capture = make(map[int]*bucketCapture)
+	}
+	p.capture[bucket] = &bucketCapture{}
+	var slices []CopySlice
+	for name, t := range p.tables {
+		rows := t.buckets[bucket]
+		if len(rows) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(rows))
+		for k := range rows {
+			keys = append(keys, k)
+		}
+		for i := 0; i < len(keys); i += sliceRows {
+			end := i + sliceRows
+			if end > len(keys) {
+				end = len(keys)
+			}
+			slices = append(slices, CopySlice{Table: name, Keys: keys[i:end]})
+		}
+	}
+	return slices, nil
+}
+
+// Capturing reports whether the bucket has an active write capture.
+func (p *Partition) Capturing(bucket int) bool { return p.capture[bucket] != nil }
+
+// captureWrite records a write against a migrating bucket. Called from
+// Put/Delete after the write succeeded; a no-op for buckets not capturing.
+func (p *Partition) captureWrite(bucket int, op DeltaOp) {
+	c := p.capture[bucket]
+	if c == nil {
+		return
+	}
+	c.delta = append(c.delta, op)
+}
+
+// CopyRows clones the slice's still-present rows. Keys deleted since the
+// manifest was built are skipped (their delete is in the delta); rows
+// overwritten since carry the newer value, which a later delta replay
+// rewrites idempotently.
+func (p *Partition) CopyRows(bucket int, s CopySlice) ([]Row, error) {
+	if !p.owned[bucket] {
+		return nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
+	}
+	t, ok := p.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", s.Table)
+	}
+	rows := t.buckets[bucket]
+	out := make([]Row, 0, len(s.Keys))
+	for _, k := range s.Keys {
+		if r, ok := rows[k]; ok {
+			out = append(out, r.Clone())
+		}
+	}
+	return out, nil
+}
+
+// DeltaLen returns the number of captured-but-undrained writes for the
+// bucket (zero when not capturing).
+func (p *Partition) DeltaLen(bucket int) int {
+	if c := p.capture[bucket]; c != nil {
+		return len(c.delta)
+	}
+	return 0
+}
+
+// DrainDelta pops up to max captured writes (all of them when max ≤ 0) in
+// capture order and reports how many remain. Draining a bucket that is not
+// capturing is an error — it means the protocol lost track of the bucket.
+func (p *Partition) DrainDelta(bucket, max int) ([]DeltaOp, int, error) {
+	c := p.capture[bucket]
+	if c == nil {
+		return nil, 0, fmt.Errorf("storage: partition %d not capturing bucket %d", p.id, bucket)
+	}
+	if max <= 0 || max >= len(c.delta) {
+		ops := c.delta
+		c.delta = nil
+		return ops, 0, nil
+	}
+	ops := c.delta[:max:max]
+	c.delta = append([]DeltaOp(nil), c.delta[max:]...)
+	return ops, len(c.delta), nil
+}
+
+// AbortCapture discards the bucket's capture state and delta. The bucket
+// stays owned and fully live — aborting a pre-copy costs nothing.
+func (p *Partition) AbortCapture(bucket int) { delete(p.capture, bucket) }
+
+// DetachedBucket holds a bucket's row maps unhooked from their partition —
+// the in-flight state between DetachBucket at the source and the durable
+// commit at the destination. Dropping it frees the source copy; handing it
+// back to ReattachBucket restores the source exactly.
+type DetachedBucket struct {
+	Bucket int
+	part   int
+	tables map[string]map[string]Row
+}
+
+// RowCount returns the number of rows in the detached bucket.
+func (d *DetachedBucket) RowCount() int {
+	n := 0
+	for _, rows := range d.tables {
+		n += len(rows)
+	}
+	return n
+}
+
+// DetachBucket ends the bucket's capture with the stop-the-world step of a
+// pre-copy move: it unhooks the bucket's row maps from the live tables
+// (pointer moves, no row copying), revokes ownership and returns the final
+// residual delta. Cost is O(tables + residual delta) — the per-move stall
+// no longer scales with bucket size.
+func (p *Partition) DetachBucket(bucket int) (*DetachedBucket, []DeltaOp, error) {
+	c := p.capture[bucket]
+	if c == nil {
+		return nil, nil, fmt.Errorf("storage: partition %d not capturing bucket %d", p.id, bucket)
+	}
+	if !p.owned[bucket] {
+		return nil, nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
+	}
+	d := &DetachedBucket{Bucket: bucket, part: p.id, tables: make(map[string]map[string]Row)}
+	for name, t := range p.tables {
+		if rows, ok := t.buckets[bucket]; ok {
+			d.tables[name] = rows
+			delete(t.buckets, bucket)
+		}
+	}
+	delete(p.owned, bucket)
+	final := c.delta
+	delete(p.capture, bucket)
+	return d, final, nil
+}
+
+// ReattachBucket undoes a DetachBucket on the same partition: the row maps
+// are hooked back in and ownership restored. The detached rows already
+// include every captured write, so reattaching alone makes the bucket
+// exactly current. Used by the migration rollback path.
+func (p *Partition) ReattachBucket(d *DetachedBucket) error {
+	if d == nil {
+		return fmt.Errorf("storage: reattach of nil bucket")
+	}
+	if d.part != p.id {
+		return fmt.Errorf("storage: partition %d cannot reattach bucket %d detached from partition %d",
+			p.id, d.Bucket, d.part)
+	}
+	if p.owned[d.Bucket] {
+		return fmt.Errorf("storage: partition %d already owns bucket %d", p.id, d.Bucket)
+	}
+	for name, rows := range d.tables {
+		p.CreateTable(name)
+		p.tables[name].buckets[d.Bucket] = rows
+	}
+	p.owned[d.Bucket] = true
+	return nil
+}
+
+// StageRows accumulates copied rows for a bucket the partition does not own
+// yet. Staged data lives outside the live tables: invisible to
+// transactions, scans, counts and checksums until CommitStaged.
+func (p *Partition) StageRows(bucket int, tableName string, rows []Row) error {
+	st, err := p.stagingFor(bucket)
+	if err != nil {
+		return err
+	}
+	m := st[tableName]
+	if m == nil {
+		m = make(map[string]Row, len(rows))
+		st[tableName] = m
+	}
+	for _, r := range rows {
+		m[r.Key] = r
+	}
+	return nil
+}
+
+// StageDelta overlays captured writes, in capture order, on the staged
+// rows. After the final delta is staged the staging area equals the
+// bucket's live contents at detach time.
+func (p *Partition) StageDelta(bucket int, ops []DeltaOp) error {
+	st, err := p.stagingFor(bucket)
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		m := st[op.Table]
+		if m == nil {
+			if op.Delete {
+				continue
+			}
+			m = make(map[string]Row)
+			st[op.Table] = m
+		}
+		if op.Delete {
+			delete(m, op.Key)
+		} else {
+			m[op.Key] = op.Row
+		}
+	}
+	return nil
+}
+
+func (p *Partition) stagingFor(bucket int) (map[string]map[string]Row, error) {
+	if p.owned[bucket] {
+		return nil, fmt.Errorf("storage: partition %d already owns bucket %d", p.id, bucket)
+	}
+	if p.staged == nil {
+		p.staged = make(map[int]map[string]map[string]Row)
+	}
+	st := p.staged[bucket]
+	if st == nil {
+		st = make(map[string]map[string]Row)
+		p.staged[bucket] = st
+	}
+	return st, nil
+}
+
+// StagedRowCount returns the number of rows currently staged for the bucket.
+func (p *Partition) StagedRowCount(bucket int) int {
+	n := 0
+	for _, rows := range p.staged[bucket] {
+		n += len(rows)
+	}
+	return n
+}
+
+// StagedData snapshots the staged bucket as BucketData with rows in sorted
+// key order — the deterministic encoding the durability handoff record
+// wants. The rows are shared, not cloned: the caller must only serialize
+// them (LogBucketIn) before CommitStaged installs the same maps.
+func (p *Partition) StagedData(bucket int) *BucketData {
+	data := &BucketData{Bucket: bucket, Tables: make(map[string][]Row)}
+	for name, rows := range p.staged[bucket] {
+		out := make([]Row, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, r)
+		}
+		sortRowsByKey(out)
+		data.Tables[name] = out
+	}
+	return data
+}
+
+// CommitStaged installs the staged maps as the bucket's live contents (by
+// reference — O(tables)) and takes ownership, reporting the number of rows
+// that landed. Committing a bucket the partition already owns is an error.
+// A bucket with nothing staged commits empty, matching ApplyBucket of an
+// empty BucketData.
+func (p *Partition) CommitStaged(bucket int) (int, error) {
+	if p.owned[bucket] {
+		return 0, fmt.Errorf("storage: partition %d already owns bucket %d", p.id, bucket)
+	}
+	n := 0
+	for name, rows := range p.staged[bucket] {
+		if len(rows) == 0 {
+			continue
+		}
+		p.CreateTable(name)
+		p.tables[name].buckets[bucket] = rows
+		n += len(rows)
+	}
+	delete(p.staged, bucket)
+	p.owned[bucket] = true
+	return n, nil
+}
+
+// DiscardStaged drops everything staged for the bucket — the destination
+// half of aborting a pre-copy move.
+func (p *Partition) DiscardStaged(bucket int) { delete(p.staged, bucket) }
+
+// sortRowsByKey orders rows deterministically for snapshot and handoff
+// encoding. Live-path extraction no longer sorts (see ExtractBucket); only
+// the durable encoders pay for determinism.
+func sortRowsByKey(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+}

@@ -1,0 +1,320 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// fillBucket inserts keys until the chosen bucket holds n rows in the given
+// table, returning the keys that landed there.
+func fillBucket(t *testing.T, p *Partition, table string, bucket, n int) []string {
+	t.Helper()
+	var keys []string
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("%s-row-%d", table, i)
+		if BucketOf(k, p.NBuckets()) != bucket {
+			continue
+		}
+		if err := p.Put(table, k, map[string]string{"v": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TestPreCopyLifecycle walks the whole protocol at the storage layer: begin
+// capture, copy slices while writes keep landing, drain the delta, detach,
+// stage the final delta and commit — then checks the destination equals the
+// source's final state exactly.
+func TestPreCopyLifecycle(t *testing.T) {
+	src := newTestPartition()
+	const bucket = 5
+	keys := fillBucket(t, src, "CART", bucket, 40)
+
+	slices, err := src.BeginCapture(bucket, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Capturing(bucket) {
+		t.Fatal("capture should be active")
+	}
+	// Manifest must cover every key in bounded slices.
+	manifest := 0
+	for _, s := range slices {
+		if len(s.Keys) > 16 {
+			t.Errorf("slice holds %d keys, budget 16", len(s.Keys))
+		}
+		manifest += len(s.Keys)
+	}
+	if manifest != len(keys) {
+		t.Fatalf("manifest covers %d keys, want %d", manifest, len(keys))
+	}
+
+	// Writes during the copy: update one copied row, delete another, insert
+	// a brand-new one. All must be captured.
+	updated, deleted := keys[0], keys[1]
+	if err := src.Put("CART", updated, map[string]string{"v": "updated"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Delete("CART", deleted); err != nil {
+		t.Fatal(err)
+	}
+	fresh := ""
+	for i := 0; fresh == ""; i++ {
+		if k := fmt.Sprintf("fresh-%d", i); BucketOf(k, src.NBuckets()) == bucket {
+			fresh = k
+		}
+	}
+	if err := src.Put("CART", fresh, map[string]string{"v": "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if src.DeltaLen(bucket) != 3 {
+		t.Fatalf("DeltaLen = %d, want 3", src.DeltaLen(bucket))
+	}
+
+	// Stream the snapshot. The deleted key is skipped (its delete is in the
+	// delta); the updated key may carry either value — the delta rewrites it.
+	dst := NewPartition(2, 64, nil)
+	for _, s := range slices {
+		rows, err := src.CopyRows(bucket, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Key == deleted {
+				t.Error("deleted key should be skipped by CopyRows")
+			}
+		}
+		if err := dst.StageRows(bucket, s.Table, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.Owns(bucket) || dst.RowCount() != 0 {
+		t.Error("staged rows must be invisible until commit")
+	}
+
+	// Drain round.
+	ops, remaining, err := src.DrainDelta(bucket, 0)
+	if err != nil || remaining != 0 {
+		t.Fatalf("DrainDelta: %d remaining, err=%v", remaining, err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("drained %d ops, want 3", len(ops))
+	}
+	if err := dst.StageDelta(bucket, ops); err != nil {
+		t.Fatal(err)
+	}
+
+	// One more write before the flip — it becomes the final residual delta.
+	if err := src.Put("CART", updated, map[string]string{"v": "final"}); err != nil {
+		t.Fatal(err)
+	}
+
+	detached, final, err := src.DetachBucket(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 1 {
+		t.Fatalf("final delta has %d ops, want 1", len(final))
+	}
+	if src.Owns(bucket) || src.Capturing(bucket) {
+		t.Error("detach must revoke ownership and end the capture")
+	}
+	wantRows := len(keys) - 1 + 1 // minus deleted, plus fresh
+	if detached.RowCount() != wantRows {
+		t.Errorf("detached holds %d rows, want %d", detached.RowCount(), wantRows)
+	}
+
+	if err := dst.StageDelta(bucket, final); err != nil {
+		t.Fatal(err)
+	}
+	// StagedData sorts deterministically and must equal the final contents.
+	data := dst.StagedData(bucket)
+	if data.RowCount() != wantRows {
+		t.Errorf("staged data has %d rows, want %d", data.RowCount(), wantRows)
+	}
+	for i := 1; i < len(data.Tables["CART"]); i++ {
+		if data.Tables["CART"][i-1].Key >= data.Tables["CART"][i].Key {
+			t.Fatal("StagedData rows not sorted by key")
+		}
+	}
+
+	n, err := dst.CommitStaged(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantRows {
+		t.Errorf("committed %d rows, want %d", n, wantRows)
+	}
+	if !dst.Owns(bucket) {
+		t.Error("destination should own the bucket after commit")
+	}
+	if r, ok, _ := dst.Get("CART", updated); !ok || r.Cols["v"] != "final" {
+		t.Errorf("updated row = %v, want v=final", r.Cols)
+	}
+	if _, ok, _ := dst.Get("CART", deleted); ok {
+		t.Error("deleted key must not survive the move")
+	}
+	if r, ok, _ := dst.Get("CART", fresh); !ok || r.Cols["v"] != "fresh" {
+		t.Errorf("fresh row = %v", r.Cols)
+	}
+}
+
+func TestBeginCaptureErrors(t *testing.T) {
+	p := newTestPartition()
+	if _, err := p.BeginCapture(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BeginCapture(3, 0); err == nil {
+		t.Error("double BeginCapture should fail")
+	}
+	var notOwned *ErrNotOwned
+	stranger := NewPartition(1, 64, nil)
+	if _, err := stranger.BeginCapture(3, 0); !errors.As(err, &notOwned) {
+		t.Errorf("unowned BeginCapture: err = %v, want ErrNotOwned", err)
+	}
+}
+
+func TestDrainDeltaBounded(t *testing.T) {
+	p := newTestPartition()
+	const bucket = 9
+	if _, err := p.BeginCapture(bucket, 0); err != nil {
+		t.Fatal(err)
+	}
+	keys := fillBucket(t, p, "CART", bucket, 5)
+	ops, remaining, err := p.DrainDelta(bucket, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || remaining != 3 {
+		t.Fatalf("drained %d remaining %d, want 2/3", len(ops), remaining)
+	}
+	if ops[0].Key != keys[0] || ops[1].Key != keys[1] {
+		t.Error("drain must preserve capture order")
+	}
+	ops, remaining, err = p.DrainDelta(bucket, 0)
+	if err != nil || len(ops) != 3 || remaining != 0 {
+		t.Fatalf("second drain: %d ops %d remaining err=%v", len(ops), remaining, err)
+	}
+	// Draining a non-capturing bucket is a protocol error.
+	if _, _, err := p.DrainDelta(60, 0); err == nil {
+		t.Error("draining a non-capturing bucket should fail")
+	}
+}
+
+func TestAbortCaptureLeavesBucketLive(t *testing.T) {
+	p := newTestPartition()
+	const bucket = 11
+	keys := fillBucket(t, p, "CART", bucket, 3)
+	if _, err := p.BeginCapture(bucket, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put("CART", keys[0], map[string]string{"v": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	p.AbortCapture(bucket)
+	if p.Capturing(bucket) || p.DeltaLen(bucket) != 0 {
+		t.Error("abort must clear capture state")
+	}
+	if !p.Owns(bucket) {
+		t.Error("abort must leave the bucket owned")
+	}
+	if r, ok, _ := p.Get("CART", keys[0]); !ok || r.Cols["v"] != "x" {
+		t.Errorf("bucket content after abort = %v", r.Cols)
+	}
+	// A fresh capture can start after an abort.
+	if _, err := p.BeginCapture(bucket, 0); err != nil {
+		t.Errorf("recapture after abort: %v", err)
+	}
+}
+
+func TestDetachReattachRoundTrip(t *testing.T) {
+	p := newTestPartition()
+	const bucket = 21
+	keys := fillBucket(t, p, "CART", bucket, 10)
+	if _, err := p.BeginCapture(bucket, 0); err != nil {
+		t.Fatal(err)
+	}
+	detached, _, err := p.DetachBucket(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Owns(bucket) {
+		t.Fatal("detach must revoke ownership")
+	}
+	// Reattach restores the exact contents and ownership.
+	if err := p.ReattachBucket(detached); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Owns(bucket) {
+		t.Error("reattach must restore ownership")
+	}
+	for _, k := range keys {
+		if _, ok, err := p.Get("CART", k); err != nil || !ok {
+			t.Fatalf("row %s lost across detach/reattach: ok=%v err=%v", k, ok, err)
+		}
+	}
+	// Reattaching while owned, or onto another partition, is an error.
+	if err := p.ReattachBucket(detached); err == nil {
+		t.Error("reattach of an owned bucket should fail")
+	}
+	other := NewPartition(5, 64, nil)
+	if err := other.ReattachBucket(detached); err == nil {
+		t.Error("reattach onto a different partition should fail")
+	}
+	// Detach requires an active capture.
+	if _, _, err := p.DetachBucket(bucket); err == nil {
+		t.Error("detach without capture should fail")
+	}
+}
+
+func TestStagingInvisibleUntilCommit(t *testing.T) {
+	p := NewPartition(4, 64, nil)
+	const bucket = 2
+	rows := []Row{{Key: "a", Cols: map[string]string{"v": "1"}}}
+	if err := p.StageRows(bucket, "T", rows); err != nil {
+		t.Fatal(err)
+	}
+	if p.StagedRowCount(bucket) != 1 {
+		t.Errorf("StagedRowCount = %d", p.StagedRowCount(bucket))
+	}
+	if p.RowCount() != 0 || p.Owns(bucket) {
+		t.Error("staging must not touch live state")
+	}
+	p.DiscardStaged(bucket)
+	if p.StagedRowCount(bucket) != 0 {
+		t.Error("discard must drop staged rows")
+	}
+	// Committing with nothing staged still takes ownership (empty bucket).
+	if n, err := p.CommitStaged(bucket); err != nil || n != 0 {
+		t.Fatalf("empty commit: n=%d err=%v", n, err)
+	}
+	if !p.Owns(bucket) {
+		t.Error("empty commit must still claim the bucket")
+	}
+	// Staging or committing a bucket the partition owns is an error.
+	if err := p.StageRows(bucket, "T", rows); err == nil {
+		t.Error("staging an owned bucket should fail")
+	}
+	if _, err := p.CommitStaged(bucket); err == nil {
+		t.Error("committing an owned bucket should fail")
+	}
+}
+
+// TestExtractBucketClearsCapture pins the interaction between the legacy
+// stop-and-copy path and an abandoned capture: extraction ends it.
+func TestExtractBucketClearsCapture(t *testing.T) {
+	p := newTestPartition()
+	const bucket = 30
+	if _, err := p.BeginCapture(bucket, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExtractBucket(bucket); err != nil {
+		t.Fatal(err)
+	}
+	if p.Capturing(bucket) {
+		t.Error("ExtractBucket must clear capture state")
+	}
+}

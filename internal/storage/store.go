@@ -55,6 +55,13 @@ type Partition struct {
 	nBuckets int
 	tables   map[string]*table
 	owned    map[int]bool // buckets this partition currently owns
+
+	// capture holds per-bucket write-capture state while a pre-copy
+	// migration is streaming the bucket out (see precopy.go); staged holds
+	// rows arriving for buckets this partition does not own yet
+	// (bucket → table → key → row). Both are nil when no move is in flight.
+	capture map[int]*bucketCapture
+	staged  map[int]map[string]map[string]Row
 }
 
 type table struct {
@@ -165,7 +172,13 @@ func (p *Partition) Put(tableName, key string, cols map[string]string) error {
 		rows = make(map[string]Row)
 		t.buckets[b] = rows
 	}
-	rows[key] = Row{Key: key, Cols: cols}.Clone()
+	r := Row{Key: key, Cols: cols}.Clone()
+	rows[key] = r
+	if p.capture != nil {
+		// Stored rows are replaced whole, never mutated in place, so the
+		// delta can share the clone with the live table.
+		p.captureWrite(b, DeltaOp{Table: tableName, Key: key, Row: r})
+	}
 	return nil
 }
 
@@ -188,6 +201,9 @@ func (p *Partition) Delete(tableName, key string) (bool, error) {
 		return false, nil
 	}
 	delete(rows, key)
+	if p.capture != nil {
+		p.captureWrite(b, DeltaOp{Table: tableName, Key: key, Delete: true})
+	}
 	return true, nil
 }
 
@@ -263,7 +279,10 @@ func (d *BucketData) RowCount() int {
 
 // ExtractBucket removes the bucket's rows from the partition and revokes
 // ownership, returning the extracted data. Extracting a bucket the
-// partition does not own is an error.
+// partition does not own is an error. Rows come back in unspecified order —
+// extraction is a live-move hot path, so it does not pay for sorting;
+// encoders that need determinism (snapshots, handoff records) sort
+// themselves. Any in-flight capture state for the bucket is discarded.
 func (p *Partition) ExtractBucket(bucket int) (*BucketData, error) {
 	if !p.owned[bucket] {
 		return nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
@@ -278,11 +297,11 @@ func (p *Partition) ExtractBucket(bucket int) (*BucketData, error) {
 		for _, r := range rows {
 			out = append(out, r)
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 		data.Tables[name] = out
 		delete(t.buckets, bucket)
 	}
 	delete(p.owned, bucket)
+	delete(p.capture, bucket)
 	return data, nil
 }
 
@@ -304,7 +323,7 @@ func (p *Partition) CopyBucket(bucket int) (*BucketData, error) {
 		for _, r := range rows {
 			out = append(out, r.Clone())
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		sortRowsByKey(out)
 		data.Tables[name] = out
 	}
 	return data, nil

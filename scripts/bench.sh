@@ -7,7 +7,10 @@
 # 54 allocs/op) and BenchmarkServerPing must stay allocation-free.
 # BenchmarkServerCallChaos prices the robustness layer: closed-loop
 # throughput/latency with 1% of response writes dropped and the client's
-# deadline+retry machinery absorbing the loss.
+# deadline+retry machinery absorbing the loss. BENCH_migration.json records
+# BenchmarkMigrationStall: the p99 foreground stall a live bucket move
+# inflicts, stop-and-copy vs pre-copy (the pre-copy work is judged by
+# p99_stall_ns ≥5× lower at move_ns ≤1.5×).
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s; CI smoke uses 100x)
 set -euo pipefail
@@ -25,16 +28,21 @@ bench_to_json() {
     /^Benchmark/ {
       name = $1; iters = $2; ns = $3
       bytes = "null"; allocs = "null"; retries = "null"; drops = "null"
+      p99stall = "null"; movens = "null"
       for (i = 4; i <= NF; i++) {
-        if ($i == "B/op")      bytes   = $(i-1)
-        if ($i == "allocs/op") allocs  = $(i-1)
-        if ($i == "retries")   retries = $(i-1)
-        if ($i == "drops")     drops   = $(i-1)
+        if ($i == "B/op")        bytes    = $(i-1)
+        if ($i == "allocs/op")   allocs   = $(i-1)
+        if ($i == "retries")     retries  = $(i-1)
+        if ($i == "drops")       drops    = $(i-1)
+        if ($i == "p99stall_ns") p99stall = $(i-1)
+        if ($i == "move_ns")     movens   = $(i-1)
       }
       if (!first) print ","
       first = 0
       printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, iters, ns, bytes, allocs
       if (retries != "null") printf ", \"retries\": %s, \"drops\": %s", retries, drops
+      if (p99stall != "null") printf ", \"p99_stall_ns\": %s", p99stall
+      if (movens != "null") printf ", \"move_ns\": %s", movens
       printf "}"
     }
     END { print "\n]" }
@@ -51,7 +59,22 @@ go test ./internal/server/ \
   -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
 bench_to_json < "$TMP" > BENCH_chaos.json
 
+# Live-migration stall: p99 foreground latency while a hot bucket moves,
+# legacy stop-and-copy vs the pre-copy/delta-drain default. Acceptance:
+# precopy p99_stall_ns ≤ 1/5 of stopandcopy's, move_ns ≤ 1.5×. Each
+# iteration is one full bucket move (~60-80ms), so cap benchtime at 10x.
+MIG_BENCHTIME="$BENCHTIME"
+case "$MIG_BENCHTIME" in
+  *s) MIG_BENCHTIME="10x" ;;
+esac
+go test ./internal/migration/ \
+  -run 'xxx' -bench 'BenchmarkMigrationStall' \
+  -benchtime "$MIG_BENCHTIME" -count 1 | tee "$TMP"
+bench_to_json < "$TMP" > BENCH_migration.json
+
 echo "wrote BENCH_hotpath.json:"
 cat BENCH_hotpath.json
 echo "wrote BENCH_chaos.json:"
 cat BENCH_chaos.json
+echo "wrote BENCH_migration.json:"
+cat BENCH_migration.json
