@@ -1,0 +1,100 @@
+// Command pstore-vet runs the P-Store invariant analyzers (package
+// internal/analysis) over module packages and prints compiler-style
+// diagnostics. It exits 1 when any diagnostic is found, 2 on load errors,
+// so CI can gate on it exactly like go vet:
+//
+//	go run ./cmd/pstore-vet ./...
+//	go run ./cmd/pstore-vet -checks execblock,determinism ./internal/...
+//
+// The tool is stdlib-only: packages are parsed and type-checked from source
+// (go/types with the source importer), so it needs no network, no GOPATH
+// cache, and no external modules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pstore/internal/analysis"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pstore-vet [-checks name,...] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the P-Store invariant analyzers. Packages default to ./...\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *checksFlag != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := analysis.AnalyzerByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pstore-vet: unknown check %q (run with -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	// Type errors mean the analyzers ran over half-typed code; a "clean" run
+	// on broken input must not look like a pass.
+	if len(loader.TypeErrors) > 0 {
+		for _, e := range loader.TypeErrors {
+			fmt.Fprintf(os.Stderr, "pstore-vet: type error: %v\n", e)
+		}
+		os.Exit(2)
+	}
+
+	diags := analysis.RunAll(analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pstore-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pstore-vet: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,240 @@
+// Package analysis is pstore-vet's engine: a stdlib-only static-analysis
+// driver (go/ast + go/parser + go/types with the source importer — no
+// external dependencies, so it runs in the same offline sandbox as the rest
+// of the module) plus the five P-Store-specific invariant checks:
+//
+//	execblock      executor loops and stored procedures never block
+//	determinism    byte-deterministic encoders never range over maps unsorted
+//	seeddiscipline chaos-replayed packages draw time/randomness from seeds
+//	lockdiscipline no channel ops or executor submissions under a mutex
+//	poolhygiene    pooled values are never used after their Put/Release
+//
+// These are the invariants the Go compiler cannot see but P-Store's
+// correctness rests on (DESIGN.md §10). Analyzers are configured from the
+// source itself through marker comments (//pstore:deterministic,
+// //pstore:seeded, //pstore:executor), and individual findings are
+// suppressed — deliberately and visibly — with //pstore:ignore comments.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats the diagnostic the way compilers do, so editors and CI log
+// scrapers can jump to it: path:line:col: [check] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	annotations map[string]bool
+}
+
+// Annotated reports whether any file of the package carries a
+// //pstore:<name> marker comment (e.g. "deterministic", "seeded").
+func (p *Package) Annotated(name string) bool {
+	if p.annotations == nil {
+		p.annotations = collectAnnotations(p.Files)
+	}
+	return p.annotations[name]
+}
+
+// collectAnnotations gathers the package-level //pstore:<word> markers.
+// "ignore" is not an annotation (it is a per-line suppression) and the
+// function-level "executor" marker is matched against declarations
+// separately, but recording them here is harmless.
+func collectAnnotations(files []*ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if name, _, ok := parseMarker(c.Text); ok {
+					out[name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+var markerRe = regexp.MustCompile(`^//\s*pstore:([a-z]+)\s*(.*)$`)
+
+// parseMarker parses a //pstore:<name> [args] comment.
+func parseMarker(text string) (name, args string, ok bool) {
+	m := markerRe.FindStringSubmatch(text)
+	if m == nil {
+		return "", "", false
+	}
+	return m[1], strings.TrimSpace(m[2]), true
+}
+
+// Check names as constants so analyzer Run funcs can stamp diagnostics
+// without referring back to their own package-level variable (which would be
+// an initialization cycle).
+const (
+	execblockName      = "execblock"
+	determinismName    = "determinism"
+	seeddisciplineName = "seeddiscipline"
+	lockdisciplineName = "lockdiscipline"
+	poolhygieneName    = "poolhygiene"
+)
+
+// An Analyzer is one invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies reports whether the analyzer has anything to say about the
+	// package — analyzers self-configure from marker comments and type
+	// signatures, so adding a package to a check's scope is a source edit,
+	// never a tool edit.
+	Applies func(p *Package) bool
+	// Run analyzes target. all carries every loaded package so checks that
+	// follow calls across package boundaries (execblock) can do so.
+	Run func(target *Package, all []*Package) []Diagnostic
+}
+
+// Analyzers returns the full pstore-vet suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ExecBlock,
+		Determinism,
+		SeedDiscipline,
+		LockDiscipline,
+		PoolHygiene,
+	}
+}
+
+// AnalyzerByName finds one analyzer.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Suppressions maps file → line → the set of check names ignored there. A
+// diagnostic is suppressed by a //pstore:ignore comment on its own line or
+// on the line directly above it, naming the check (or "all"):
+//
+//	time.Sleep(d) //pstore:ignore execblock — reason the invariant holds
+type Suppressions map[string]map[int]map[string]bool
+
+// CollectSuppressions indexes every //pstore:ignore comment across the
+// loaded packages.
+func CollectSuppressions(pkgs []*Package) Suppressions {
+	sup := make(Suppressions)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					name, args, ok := parseMarker(c.Text)
+					if !ok || name != "ignore" {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					byLine := sup[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						sup[pos.Filename] = byLine
+					}
+					checks := byLine[pos.Line]
+					if checks == nil {
+						checks = make(map[string]bool)
+						byLine[pos.Line] = checks
+					}
+					// First whitespace-separated token holds the check
+					// names; anything after it is rationale.
+					fields := strings.Fields(args)
+					if len(fields) == 0 {
+						checks["all"] = true
+						continue
+					}
+					for _, c := range strings.Split(fields[0], ",") {
+						checks[c] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// Suppressed reports whether the diagnostic is covered by an ignore comment
+// on its line or the line above.
+func (s Suppressions) Suppressed(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if checks := byLine[line]; checks != nil && (checks[d.Check] || checks["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAll runs every applicable analyzer over the packages, drops suppressed
+// findings, dedupes (cross-package reachability can reach one site from two
+// roots) and returns the rest sorted by position.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	sup := CollectSuppressions(pkgs)
+	seen := make(map[string]bool)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, p := range pkgs {
+			if a.Applies != nil && !a.Applies(p) {
+				continue
+			}
+			for _, d := range a.Run(p, pkgs) {
+				if sup.Suppressed(d) {
+					continue
+				}
+				key := d.String()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs the full analyzer suite (including suppression
+// handling) over every fixture under testdata/src and compares the
+// formatted diagnostics against the directory's expect.golden. Regenerate
+// goldens with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/analysis
+func TestFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixtures under testdata/src")
+	}
+
+	// One FileSet and one source importer for all fixtures, so the standard
+	// library is type-checked from source once, not once per fixture.
+	fset := token.NewFileSet()
+	build.Default.CgoEnabled = false
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixture(t, fset, imp, dir, "fixture/"+name)
+			diags := RunAll(Analyzers(), []*Package{pkg})
+
+			var sb strings.Builder
+			for _, d := range diags {
+				d.Pos.Filename = filepath.Base(d.Pos.Filename)
+				sb.WriteString(d.String())
+				sb.WriteString("\n")
+			}
+			got := sb.String()
+
+			golden := filepath.Join(dir, "expect.golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run UPDATE_GOLDEN=1 go test): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			// Positive fixtures must actually detect something; negative and
+			// suppression fixtures must stay silent. The directory name
+			// encodes which is which, so an accidentally empty golden cannot
+			// pass as a working detector.
+			if strings.HasSuffix(name, "_pos") && got == "" {
+				t.Errorf("positive fixture %s produced no diagnostics", name)
+			}
+			if (strings.HasSuffix(name, "_neg") || name == "suppress") && got != "" {
+				t.Errorf("fixture %s expected no diagnostics, got:\n%s", name, got)
+			}
+		})
+	}
+}
+
+// loadFixture parses and type-checks one fixture directory with the shared
+// importer. Fixtures must type-check cleanly: an analyzer verdict over
+// broken code proves nothing.
+func loadFixture(t *testing.T, fset *token.FileSet, imp types.Importer, dir, asPath string) *Package {
+	t.Helper()
+	files, err := goFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asts = append(asts, af)
+	}
+	pkg, info, errs := TypeCheck(fset, asPath, asts, imp)
+	if len(errs) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", dir, errs[0])
+	}
+	return &Package{
+		Path:  asPath,
+		Name:  asts[0].Name.Name,
+		Dir:   dir,
+		Fset:  fset,
+		Files: asts,
+		Pkg:   pkg,
+		Info:  info,
+	}
+}
+
+// TestSuppressionParsing pins the ignore-comment grammar: named checks,
+// comma lists, the "all" wildcard, and the line-above form.
+func TestSuppressionParsing(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //pstore:ignore execblock — rationale
+	//pstore:ignore determinism,poolhygiene — rationale
+	_ = 2
+	_ = 3 //pstore:ignore all
+}
+`
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Package{Path: "p", Name: "p", Fset: fset, Files: []*ast.File{af}, Info: &types.Info{}}
+	sup := CollectSuppressions([]*Package{p})
+
+	cases := []struct {
+		line  int
+		check string
+		want  bool
+	}{
+		{4, "execblock", true},
+		{4, "determinism", false},
+		{6, "determinism", true},    // line-above form
+		{6, "poolhygiene", true},    // comma list
+		{6, "execblock", false},     //
+		{7, "seeddiscipline", true}, // "all" wildcard
+	}
+	for _, c := range cases {
+		d := Diagnostic{Pos: token.Position{Filename: "p.go", Line: c.line, Column: 2}, Check: c.check}
+		if got := sup.Suppressed(d); got != c.want {
+			t.Errorf("line %d check %s: suppressed=%v, want %v", c.line, c.check, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// Determinism guards byte-deterministic encoders. Crash recovery replays a
+// command log against state rebuilt from snapshots, and chaos tests compare
+// cluster.ContentChecksum across runs — both assume that encoding the same
+// value twice yields the same bytes. Go randomizes map iteration order per
+// range statement, so a `for k, v := range m` that feeds an encoder output
+// is a latent corruption: it passes every test that only decodes (maps
+// compare unordered) and then breaks byte-level comparison, checksums, or
+// dedup in production.
+//
+// The check applies to packages annotated //pstore:deterministic and flags
+// a range over a map only when the loop body can actually leak iteration
+// order into output: appending to a slice, writing/encoding/printing,
+// building strings, or sending on a channel. Order-insensitive bodies
+// (populating another map, counting, commutative folds like XOR/sum) pass,
+// and the canonical fix — collect keys, sort, iterate the slice — is
+// recognized as such:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+var Determinism = &Analyzer{
+	Name: determinismName,
+	Doc:  "no unsorted map iteration whose order can reach encoder output in //pstore:deterministic packages",
+	Applies: func(p *Package) bool {
+		return p.Annotated("deterministic")
+	},
+	Run: runDeterminism,
+}
+
+// orderSensitiveCall matches callee names that emit or accumulate data in
+// call order.
+var orderSensitiveCall = regexp.MustCompile(`(?i)^(append|write|encode|marshal|print|fprint|sprint|mix|hash|sum|observe|record)`)
+
+func runDeterminism(target *Package, all []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range target.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanStmtsForMapRange(target, fd.Body.List, &diags)
+		}
+	}
+	return diags
+}
+
+// scanStmtsForMapRange walks a statement list, recursing into nested blocks,
+// so each map range can be judged together with its following siblings (for
+// the sorted-keys idiom).
+func scanStmtsForMapRange(p *Package, stmts []ast.Stmt, diags *[]Diagnostic) {
+	for i, s := range stmts {
+		if rs, ok := s.(*ast.RangeStmt); ok {
+			if tv, ok := p.Info.Types[rs.X]; ok && isMapType(tv.Type) {
+				if !sortedKeysIdiom(p, rs, stmts[i+1:]) {
+					if op, opName := orderSensitiveOp(p, rs); op != token.NoPos {
+						*diags = append(*diags, Diagnostic{
+							Pos:   p.Fset.Position(rs.For),
+							Check: determinismName,
+							Message: fmt.Sprintf("map iteration order reaches output through %s: iterate sorted keys instead (collect, sort.Strings, range the slice)",
+								opName),
+						})
+					}
+				}
+			}
+		}
+		// Recurse into every nested statement list.
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			scanStmtsForMapRange(p, x.List, diags)
+		case *ast.IfStmt:
+			scanStmtsForMapRange(p, x.Body.List, diags)
+			if x.Else != nil {
+				scanStmtsForMapRange(p, []ast.Stmt{x.Else}, diags)
+			}
+		case *ast.ForStmt:
+			scanStmtsForMapRange(p, x.Body.List, diags)
+		case *ast.RangeStmt:
+			scanStmtsForMapRange(p, x.Body.List, diags)
+		case *ast.SwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanStmtsForMapRange(p, cc.Body, diags)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanStmtsForMapRange(p, cc.Body, diags)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanStmtsForMapRange(p, cc.Body, diags)
+				}
+			}
+		case *ast.LabeledStmt:
+			scanStmtsForMapRange(p, []ast.Stmt{x.Stmt}, diags)
+		case *ast.GoStmt:
+			if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				scanStmtsForMapRange(p, fl.Body.List, diags)
+			}
+		case *ast.DeferStmt:
+			if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				scanStmtsForMapRange(p, fl.Body.List, diags)
+			}
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.ReturnStmt:
+			// Function literals in expressions get their own scan.
+			ast.Inspect(s, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					scanStmtsForMapRange(p, fl.Body.List, diags)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// sortedKeysIdiom recognizes the canonical deterministic-iteration pattern:
+// a loop body that only appends loop variables (or expressions over them)
+// to one slice, followed — among the statements after the range in the same
+// block — by a sort of that slice.
+func sortedKeysIdiom(p *Package, rs *ast.RangeStmt, following []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Tok != token.ASSIGN {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != lhs.Name {
+		return false
+	}
+	// A sort of the collected slice must follow.
+	for _, s := range following {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		callee := calleeFunc(p.Info, call)
+		if callee == nil {
+			continue
+		}
+		pp := pkgPathOf(callee)
+		if pp != "sort" && pp != "slices" {
+			continue
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && arg.Name == lhs.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// orderSensitiveOp scans a range body for the first operation that leaks
+// iteration order: an append, an emitting call (Write/Encode/Print/...), a
+// string concatenation, or a channel send. It returns NoPos when the body
+// is order-insensitive (map writes, counters, commutative folds).
+func orderSensitiveOp(p *Package, rs *ast.RangeStmt) (token.Pos, string) {
+	var pos token.Pos
+	var what string
+	walkStack(rs.Body, func(n ast.Node, stack []ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// The builtin append is caught by name, same as Write*/Encode*.
+			name := calleeName(x)
+			if name != "" && orderSensitiveCall.MatchString(name) {
+				pos, what = x.Pos(), name
+				return false
+			}
+		case *ast.SendStmt:
+			pos, what = x.Arrow, "channel send"
+			return false
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 {
+				if tv, ok := p.Info.Types[x.Lhs[0]]; ok && isStringType(tv.Type) {
+					pos, what = x.TokPos, "string concatenation"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return pos, what
+}
+
+// calleeName returns the bare name of a call's target for heuristic
+// matching ("" when unnameable).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ExecBlock enforces the H-Store serial-executor discipline: a partition
+// executor's loop, and every stored procedure it runs, must never block.
+// One stalled executor freezes its whole partition — every transaction
+// routed there queues behind the stall, and the paper's per-partition
+// saturation model (1/ServiceTime) collapses. The check seeds from
+// functions marked //pstore:executor (the executor run loop) and from
+// stored-procedure-shaped functions (func(*engine.Txn) error), follows
+// statically resolvable calls across the loaded packages, and reports:
+//
+//   - time.Sleep calls
+//   - channel sends/receives that are not a select arm with an alternative
+//     (a second case or a default) — i.e. operations that can block forever
+//   - calls into I/O packages (os, net, net/http, syscall, os/exec)
+//
+// Function literals are analyzed as part of the function that encloses
+// them: closures an executor function builds typically run on the executor
+// (migration work, Do bodies) or capture its reply machinery.
+var ExecBlock = &Analyzer{
+	Name: execblockName,
+	Doc:  "executor loops and stored procedures must not sleep, block on channels, or do I/O",
+	Applies: func(p *Package) bool {
+		return len(executorSeeds(p)) > 0
+	},
+	Run: runExecBlock,
+}
+
+// ioPackages are packages whose calls mean the executor is waiting on the
+// outside world. A few pure accessors are allowlisted.
+var ioPackages = map[string]bool{
+	"os":       true,
+	"net":      true,
+	"net/http": true,
+	"syscall":  true,
+	"os/exec":  true,
+	"io/fs":    true,
+}
+
+var ioAllowlist = map[string]bool{
+	"os.Getenv":         true,
+	"os.Getpid":         true,
+	"os.Environ":        true,
+	"os.IsExist":        true,
+	"net.JoinHostPort":  true,
+	"net.SplitHostPort": true,
+}
+
+// executorSeeds returns the package's executor-context root functions:
+// functions whose doc (or body) carries //pstore:executor, plus top-level
+// functions with the stored-procedure signature func(*engine.Txn) error.
+func executorSeeds(p *Package) []*ast.FuncDecl {
+	var seeds []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if funcMarked(fd, "executor") || isProcedureShaped(p, fd) {
+				seeds = append(seeds, fd)
+			}
+		}
+	}
+	return seeds
+}
+
+// funcMarked reports whether the declaration's doc comment carries the
+// //pstore:<name> marker.
+func funcMarked(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if got, _, ok := parseMarker(c.Text); ok && got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isProcedureShaped matches the engine's stored-procedure type: a top-level
+// function taking a single *engine.Txn and returning error. These run on a
+// partition executor by construction, so they are seeds wherever declared.
+func isProcedureShaped(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		return false
+	}
+	obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Txn" || named.Obj().Pkg() == nil {
+		return false
+	}
+	if !isErrorType(sig.Results().At(0).Type()) {
+		return false
+	}
+	pkgPath := named.Obj().Pkg().Path()
+	return pkgPath == "pstore/internal/engine" || pkgPath == p.Path
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// funcIndex maps every function object defined across the loaded packages
+// to its declaration, for call-graph traversal.
+func funcIndex(all []*Package) map[*types.Func]indexedFunc {
+	idx := make(map[*types.Func]indexedFunc)
+	for _, p := range all {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[obj] = indexedFunc{pkg: p, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+type indexedFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func runExecBlock(target *Package, all []*Package) []Diagnostic {
+	idx := funcIndex(all)
+	seeds := executorSeeds(target)
+
+	// Breadth-first reachability over statically resolvable calls.
+	type item struct {
+		fn   indexedFunc
+		root string // seed name, for the diagnostic message
+	}
+	visited := make(map[*ast.FuncDecl]bool)
+	var queue []item
+	for _, s := range seeds {
+		queue = append(queue, item{indexedFunc{pkg: target, decl: s}, funcDeclName(s)})
+	}
+
+	var diags []Diagnostic
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if visited[it.fn.decl] {
+			continue
+		}
+		visited[it.fn.decl] = true
+		p, fd := it.fn.pkg, it.fn.decl
+
+		where := funcDeclName(fd)
+		ctx := fmt.Sprintf("%s (executor path via %s)", where, it.root)
+		if where == it.root {
+			ctx = where
+		}
+
+		walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				callee := calleeFunc(p.Info, call)
+				if callee == nil {
+					return true
+				}
+				if isPkgFunc(callee, "time", "Sleep") {
+					diags = append(diags, Diagnostic{
+						Pos:     p.Fset.Position(call.Pos()),
+						Check:   execblockName,
+						Message: fmt.Sprintf("time.Sleep in %s: executors must stay runnable; use a select on a timer and a cancel channel", ctx),
+					})
+					return true
+				}
+				if pp := pkgPathOf(callee); ioPackages[pp] && !ioAllowlist[pp+"."+callee.Name()] {
+					diags = append(diags, Diagnostic{
+						Pos:     p.Fset.Position(call.Pos()),
+						Check:   execblockName,
+						Message: fmt.Sprintf("call to %s.%s in %s: no I/O on the executor path", pp, callee.Name(), ctx),
+					})
+					return true
+				}
+				if next, ok := idx[callee]; ok && !visited[next.decl] {
+					queue = append(queue, item{next, it.root})
+				}
+				return true
+			}
+			if op, ok := blockingChanOp(p.Info, n, stack); ok {
+				kind := "receive"
+				if op.send {
+					kind = "send"
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     p.Fset.Position(op.pos),
+					Check:   execblockName,
+					Message: fmt.Sprintf("blocking channel %s in %s: wrap in a select with a cancel/stop case", kind, ctx),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

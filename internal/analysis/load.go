@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Loader parses and type-checks the module's packages from source. Module
+// packages are resolved by mapping import paths onto directories under the
+// module root; everything else (the standard library) goes through go/types'
+// source importer, which compiles GOROOT sources and therefore works in the
+// same offline, no-network sandbox the rest of the module is built for.
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string // module root directory (holds go.mod)
+	Module string // module path from go.mod
+
+	std     types.Importer
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import-cycle detection
+	// TypeErrors collects non-fatal type-checking complaints; the driver
+	// surfaces them so an analyzer silently seeing half-typed code cannot
+	// masquerade as a clean run.
+	TypeErrors []error
+}
+
+// NewLoader locates the enclosing module starting at dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// The source importer type-checks GOROOT packages from source; with cgo
+	// disabled it selects each package's pure-Go fallback files, so no C
+	// toolchain is needed.
+	build.Default.CgoEnabled = false
+	return &Loader{
+		Fset:    fset,
+		Root:    root,
+		Module:  module,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	raw, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				return p, nil
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load resolves package patterns ("./...", "./internal/server", import
+// paths) and returns the matched packages, type-checked, in a stable order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walkDirs(l.Root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(l.dirImportPath(d))
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dirs, err := l.walkDirs(filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(base, "./"))))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(l.dirImportPath(d))
+			}
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			add(l.dirImportPath(filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))))
+		default:
+			add(pat) // already an import path
+		}
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.loadPackage(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// walkDirs lists directories under root that contain non-test Go files,
+// skipping testdata, hidden and vendor directories.
+func (l *Loader) walkDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// dirImportPath maps a directory under the module root to its import path.
+func (l *Loader) dirImportPath(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// importDir maps a module import path back to its directory.
+func (l *Loader) importDir(path string) string {
+	if path == l.Module {
+		return l.Root
+	}
+	rel := strings.TrimPrefix(path, l.Module+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// goFiles lists the non-test .go files of a directory, sorted.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// loadPackage parses and type-checks one module package (memoized),
+// recursively loading its module-internal imports first.
+func (l *Loader) loadPackage(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.importDir(path)
+	files, err := goFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, nil // directory with only tests — nothing to analyze
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", f, err)
+		}
+		asts = append(asts, af)
+	}
+	// Load module-internal dependencies first so the chained importer can
+	// serve them from the memo table.
+	for _, af := range asts {
+		for _, imp := range af.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == l.Module || strings.HasPrefix(ip, l.Module+"/") {
+				if _, err := l.loadPackage(ip); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	pkg, info, errs := TypeCheck(l.Fset, path, asts, l)
+	l.TypeErrors = append(l.TypeErrors, errs...)
+	p := &Package{
+		Path:  path,
+		Name:  asts[0].Name.Name,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: asts,
+		Pkg:   pkg,
+		Info:  info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer: module packages come from the memo
+// table, everything else from the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		p, err := l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("analysis: %s has no non-test Go files", path)
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// TypeCheck runs go/types over one parsed package. Type errors are
+// collected, not fatal: analyzers nil-check the info they read, and a
+// best-effort answer over slightly broken code beats no answer.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Error: func(err error) {
+			if len(errs) < 20 {
+				errs = append(errs, err)
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, _ := conf.Check(path, fset, files, info) // errors already collected
+	return pkg, info, errs
+}
+
+// LoadFixtureDir parses and type-checks one standalone directory (analyzer
+// test fixtures). Fixtures may import only the standard library.
+func LoadFixtureDir(dir, asPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	build.Default.CgoEnabled = false
+	files, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	pkg, info, errs := TypeCheck(fset, asPath, asts, importer.ForCompiler(fset, "source", nil))
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s: %v", dir, errs[0])
+	}
+	return &Package{
+		Path:  asPath,
+		Name:  asts[0].Name.Name,
+		Dir:   dir,
+		Fset:  fset,
+		Files: asts,
+		Pkg:   pkg,
+		Info:  info,
+	}, nil
+}

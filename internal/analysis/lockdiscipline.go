@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline catches lock-ordered deadlocks before they ship. The
+// cluster coordinator holds c.mu while rewiring routing; partition storage
+// guards its maps with a mutex the executor loop also takes. If code sends
+// on a channel, submits work to an executor, or issues an RPC while one of
+// those mutexes is held, it couples the mutex to progress of another
+// goroutine — and that goroutine may need the same mutex (the classic
+// submit-under-lock deadlock: executor busy → Submit blocks → mutex never
+// released → executor's next callback needs the mutex).
+//
+// The check tracks mutex acquisition lexically inside each function:
+// x.Lock()/x.RLock() on a sync.Mutex/RWMutex marks x held until the
+// matching Unlock in the same statement list (a deferred Unlock holds to
+// the end of the function). While any mutex is held it reports:
+//
+//   - channel sends/receives that can block (not a select arm with an
+//     alternative)
+//   - time.Sleep
+//   - executor submissions and RPCs: methods named Submit or Call on any
+//     module type, and Do/Stop on the engine executor
+//
+// goroutines launched under the lock are skipped — they run without it.
+var LockDiscipline = &Analyzer{
+	Name: lockdisciplineName,
+	Doc:  "no blocking channel ops, sleeps, executor submissions, or RPCs while a mutex is held",
+	Applies: func(p *Package) bool {
+		return true // self-scopes: only functions that take a mutex are examined
+	},
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(target *Package, all []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range target.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanLockedStmts(target, fd.Body.List, map[string]bool{}, funcDeclName(fd), &diags)
+		}
+	}
+	return diags
+}
+
+// mutexLockKind classifies a call as acquiring or releasing a
+// sync.Mutex/RWMutex and returns the lock's receiver expression.
+func mutexLockKind(p *Package, call *ast.CallExpr) (recv ast.Expr, acquire, release bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	callee := calleeFunc(p.Info, call)
+	pkg, typ, ok := namedReceiver(callee)
+	if !ok || pkg != "sync" || (typ != "Mutex" && typ != "RWMutex") {
+		return nil, false, false
+	}
+	switch callee.Name() {
+	case "Lock", "RLock":
+		return sel.X, true, false
+	case "Unlock", "RUnlock":
+		return sel.X, false, true
+	}
+	return nil, false, false
+}
+
+// scanLockedStmts walks one statement list in order, maintaining the set of
+// held mutexes (keyed by the receiver expression's source form). Nested
+// control flow is scanned with a copy of the held set: a Lock inside an if
+// branch does not leak past the branch, matching how the repo structures
+// its critical sections.
+func scanLockedStmts(p *Package, stmts []ast.Stmt, held map[string]bool, fn string, diags *[]Diagnostic) {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if recv, acq, rel := mutexLockKind(p, call); acq || rel {
+					key := types.ExprString(recv)
+					if acq {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			if len(held) > 0 {
+				checkLockedStmt(p, s, held, fn, diags)
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() pins the lock to function exit: the lock stays
+			// held for the remaining statements, which is exactly what the
+			// scan models by leaving `held` untouched. Other deferred work
+			// runs after the explicit statements; skip it.
+			continue
+		case *ast.GoStmt:
+			// A goroutine spawned under the lock does not hold it.
+			continue
+		case *ast.BlockStmt:
+			scanLockedStmts(p, x.List, copyHeld(held), fn, diags)
+		case *ast.IfStmt:
+			if len(held) > 0 && x.Init != nil {
+				checkLockedStmt(p, x.Init, held, fn, diags)
+			}
+			scanLockedStmts(p, x.Body.List, copyHeld(held), fn, diags)
+			if x.Else != nil {
+				scanLockedStmts(p, []ast.Stmt{x.Else}, copyHeld(held), fn, diags)
+			}
+		case *ast.ForStmt:
+			scanLockedStmts(p, x.Body.List, copyHeld(held), fn, diags)
+		case *ast.RangeStmt:
+			scanLockedStmts(p, x.Body.List, copyHeld(held), fn, diags)
+		case *ast.SwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockedStmts(p, cc.Body, copyHeld(held), fn, diags)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockedStmts(p, cc.Body, copyHeld(held), fn, diags)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanLockedStmts(p, cc.Body, copyHeld(held), fn, diags)
+				}
+			}
+		case *ast.LabeledStmt:
+			scanLockedStmts(p, []ast.Stmt{x.Stmt}, held, fn, diags)
+		default:
+			if len(held) > 0 {
+				checkLockedStmt(p, s, held, fn, diags)
+			}
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// checkLockedStmt reports blocking operations inside one simple statement
+// executed with a mutex held. Function literals are skipped — they run when
+// called, usually after the critical section.
+func checkLockedStmt(p *Package, s ast.Stmt, held map[string]bool, fn string, diags *[]Diagnostic) {
+	locks := heldNames(held)
+	walkStack(s, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			callee := calleeFunc(p.Info, call)
+			if isPkgFunc(callee, "time", "Sleep") {
+				*diags = append(*diags, Diagnostic{
+					Pos:     p.Fset.Position(call.Pos()),
+					Check:   lockdisciplineName,
+					Message: fmt.Sprintf("time.Sleep in %s while holding %s: release the lock before waiting", fn, locks),
+				})
+				return true
+			}
+			if what, bad := lockHostileCall(callee); bad {
+				*diags = append(*diags, Diagnostic{
+					Pos:     p.Fset.Position(call.Pos()),
+					Check:   lockdisciplineName,
+					Message: fmt.Sprintf("%s in %s while holding %s: the callee can block on another goroutine that may need the same lock", what, fn, locks),
+				})
+				return true
+			}
+			return true
+		}
+		if op, ok := blockingChanOp(p.Info, n, stack); ok {
+			kind := "receive"
+			if op.send {
+				kind = "send"
+			}
+			*diags = append(*diags, Diagnostic{
+				Pos:     p.Fset.Position(op.pos),
+				Check:   lockdisciplineName,
+				Message: fmt.Sprintf("blocking channel %s in %s while holding %s: move the channel op outside the critical section", kind, fn, locks),
+			})
+		}
+		return true
+	})
+}
+
+// lockHostileCall reports method calls that hand work to (or wait on)
+// another goroutine: executor submissions and RPCs. Submit/Call are flagged
+// on any named receiver; the engine executor's Do/Stop also block on the
+// run loop.
+func lockHostileCall(callee *types.Func) (string, bool) {
+	pkg, typ, ok := namedReceiver(callee)
+	if !ok {
+		return "", false
+	}
+	name := callee.Name()
+	switch name {
+	case "Submit", "Call":
+		return fmt.Sprintf("%s.%s call", typ, name), true
+	case "Do", "Stop":
+		if pkg == "pstore/internal/engine" && typ == "Executor" {
+			return fmt.Sprintf("Executor.%s call", name), true
+		}
+	}
+	return "", false
+}
+
+// heldNames renders the held set for messages, in stable order.
+func heldNames(held map[string]bool) string {
+	// Collect and sort so diagnostics are deterministic.
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) > 1 {
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && names[j] < names[j-1]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

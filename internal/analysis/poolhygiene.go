@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PoolHygiene catches use-after-release on pooled values. The server keeps
+// Request/Response structs and reply channels in sync.Pools, and the engine
+// recycles Txn objects; returning one to its pool and then touching it races
+// with the next goroutine that gets the same object handed out — the classic
+// symptom is a response carrying another request's fields, which no unit
+// test reliably reproduces.
+//
+// The check is flow-insensitive but list-ordered: after a statement
+// `pool.Put(x)` (receiver typed sync.Pool) or `x.Release()` releases the
+// identifier x, any later read of x in the same statement list is reported,
+// until x is reassigned a fresh value. Nested blocks after the release are
+// scanned too; releases inside a nested block do not leak out (the common
+// `if done { pool.Put(x); return }` shape ends the flow with the return).
+var PoolHygiene = &Analyzer{
+	Name: poolhygieneName,
+	Doc:  "no use of a pooled value after its Pool.Put or Release call",
+	Applies: func(p *Package) bool {
+		return true // self-scopes: only functions that release pooled values are examined
+	},
+	Run: runPoolHygiene,
+}
+
+func runPoolHygiene(target *Package, all []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range target.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanPoolStmts(target, fd.Body.List, &diags)
+			// Function literals get the same treatment independently.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					scanPoolStmts(target, fl.Body.List, &diags)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// releasedObject recognizes a release statement and returns the released
+// identifier's object: pool.Put(x) where pool is a sync.Pool, or x.Release()
+// with no arguments.
+func releasedObject(p *Package, s ast.Stmt) (types.Object, string) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	callee := calleeFunc(p.Info, call)
+	if callee == nil {
+		return nil, ""
+	}
+	pkg, typ, isMethod := namedReceiver(callee)
+	switch {
+	case isMethod && pkg == "sync" && typ == "Pool" && callee.Name() == "Put" && len(call.Args) == 1:
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				return obj, "Pool.Put"
+			}
+		}
+	case isMethod && callee.Name() == "Release" && len(call.Args) == 0:
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					return obj, typ + ".Release"
+				}
+			}
+		}
+	}
+	return nil, ""
+}
+
+// scanPoolStmts walks one statement list. When a release of x is found, the
+// remaining statements of the list are checked for reads of x until a
+// reassignment gives x a fresh value. Nested lists are scanned recursively
+// for their own releases.
+func scanPoolStmts(p *Package, stmts []ast.Stmt, diags *[]Diagnostic) {
+	for i, s := range stmts {
+		if obj, how := releasedObject(p, s); obj != nil {
+			checkUseAfterRelease(p, obj, how, stmts[i+1:], diags)
+		}
+		// Recurse into nested statement lists (FuncLits are handled by the
+		// caller's Inspect pass).
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			scanPoolStmts(p, x.List, diags)
+		case *ast.IfStmt:
+			scanPoolStmts(p, x.Body.List, diags)
+			if x.Else != nil {
+				scanPoolStmts(p, []ast.Stmt{x.Else}, diags)
+			}
+		case *ast.ForStmt:
+			scanPoolStmts(p, x.Body.List, diags)
+		case *ast.RangeStmt:
+			scanPoolStmts(p, x.Body.List, diags)
+		case *ast.SwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanPoolStmts(p, cc.Body, diags)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanPoolStmts(p, cc.Body, diags)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanPoolStmts(p, cc.Body, diags)
+				}
+			}
+		case *ast.LabeledStmt:
+			scanPoolStmts(p, []ast.Stmt{x.Stmt}, diags)
+		}
+	}
+}
+
+// checkUseAfterRelease flags reads of obj in the statements following its
+// release. A reassignment of obj (x = ..., x, err := ...) stops the scan —
+// from there x holds a fresh value.
+func checkUseAfterRelease(p *Package, obj types.Object, how string, rest []ast.Stmt, diags *[]Diagnostic) {
+	for _, s := range rest {
+		if reassigns(p, s, obj) {
+			return
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || p.Info.Uses[id] != obj {
+				return true
+			}
+			// The write side of an assignment was handled by reassigns; any
+			// use reaching here is a read (field access, call argument,
+			// another release, ...).
+			*diags = append(*diags, Diagnostic{
+				Pos:     p.Fset.Position(id.Pos()),
+				Check:   poolhygieneName,
+				Message: fmt.Sprintf("%s used after %s returned it to the pool: the object may already be handed to another goroutine", obj.Name(), how),
+			})
+			return true
+		})
+	}
+}
+
+// reassigns reports whether statement s assigns a fresh value to obj as a
+// whole (not a field write, which is itself a use-after-release).
+func reassigns(p *Package, s ast.Stmt, obj types.Object) bool {
+	asg, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range asg.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if p.Info.Uses[id] == obj || p.Info.Defs[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SeedDiscipline keeps chaos replay deterministic. The fault injector, the
+// migration retry/backoff machinery and the e2e chaos suite all replay a
+// failing run from one pinned seed (PSTORE_CHAOS_SEED); that only works if
+// every decision on those paths flows from the seeded source. A bare
+// rand.Intn or a time.Now()-derived branch silently reintroduces
+// nondeterminism — the replayed run stops reproducing the failure and the
+// pinned-seed CI matrix loses its meaning.
+//
+// The check applies to packages annotated //pstore:seeded and flags calls
+// to the global math/rand generator (anything but the seeded constructors
+// rand.New/rand.NewSource) and to wall-clock time (time.Now, time.Since,
+// time.Sleep, time.After, time.Tick). Cancellable timers (time.NewTimer)
+// pass: they carry no entropy into the decision path.
+var SeedDiscipline = &Analyzer{
+	Name: seeddisciplineName,
+	Doc:  "no bare math/rand or wall-clock reads in //pstore:seeded (chaos-replayed) packages",
+	Applies: func(p *Package) bool {
+		return p.Annotated("seeded")
+	},
+	Run: runSeedDiscipline,
+}
+
+// seededRandAllowed are the constructors a seeded source is built from.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// bannedTimeFuncs read the wall clock or park the goroutine on it.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+	"After": true,
+	"Tick":  true,
+}
+
+func runSeedDiscipline(target *Package, all []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range target.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(target.Info, call)
+			if callee == nil {
+				return true
+			}
+			switch pkgPathOf(callee) {
+			case "math/rand", "math/rand/v2":
+				// Methods on a *rand.Rand are fine — that instance was built
+				// from a seed. Only package-level functions hit the global,
+				// process-seeded generator.
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				if !seededRandAllowed[callee.Name()] {
+					diags = append(diags, Diagnostic{
+						Pos:   target.Fset.Position(call.Pos()),
+						Check: seeddisciplineName,
+						Message: fmt.Sprintf("bare rand.%s uses the global generator: draw from the run's seeded *rand.Rand so pinned chaos runs replay",
+							callee.Name()),
+					})
+				}
+			case "time":
+				if bannedTimeFuncs[callee.Name()] {
+					diags = append(diags, Diagnostic{
+						Pos:   target.Fset.Position(call.Pos()),
+						Check: seeddisciplineName,
+						Message: fmt.Sprintf("time.%s on a chaos-replayed path: wall-clock values diverge between runs; use the seeded/cancellable equivalents",
+							callee.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,40 @@
+// Negative fixture: deterministic map handling — the collect-sort idiom,
+// order-insensitive folds, and map-to-map copies. No diagnostics expected.
+package fixture
+
+//pstore:deterministic
+
+import "sort"
+
+// EncodeSorted is the canonical fix: collect keys, sort, iterate the slice.
+func EncodeSorted(m map[string]string) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	for _, k := range keys {
+		buf = append(buf, k...)
+		buf = append(buf, m[k]...)
+	}
+	return buf
+}
+
+// Invert writes into another map: order cannot be observed.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Sum is a commutative fold: order-insensitive.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,24 @@
+// Positive fixture: map iteration order leaks into encoder output.
+package fixture
+
+//pstore:deterministic
+
+// Encode appends key/value bytes in map iteration order — the codec bug
+// this check exists to catch.
+func Encode(m map[string]string) []byte {
+	var buf []byte
+	for k, v := range m {
+		buf = append(buf, k...)
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// Join builds a string in iteration order.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}

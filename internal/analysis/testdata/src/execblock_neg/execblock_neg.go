@@ -1,0 +1,49 @@
+// Negative fixture: executor-path code that waits and replies correctly —
+// cancellable selects, buffered handoffs behind select alternatives, pure
+// computation in procedures. No diagnostics expected.
+package fixture
+
+import "time"
+
+type Txn struct {
+	out map[string]string
+}
+
+// run paces with a timer inside a select that a quit channel can cancel.
+//
+//pstore:executor
+func run(tasks chan func(), quit chan struct{}) {
+	timer := time.NewTimer(time.Millisecond)
+	for fn := range tasks {
+		fn()
+		timer.Reset(time.Millisecond)
+		select {
+		case <-timer.C:
+		case <-quit:
+			return
+		}
+	}
+}
+
+// GetItem only touches the transaction's in-memory state.
+func GetItem(tx *Txn) error {
+	if tx.out == nil {
+		tx.out = make(map[string]string)
+	}
+	tx.out["v"] = "1"
+	return nil
+}
+
+// notify uses a select with default: the send cannot wedge the executor.
+func notify(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// PutItem reaches notify, which is non-blocking.
+func PutItem(tx *Txn) error {
+	notify(make(chan int, 1))
+	return nil
+}

@@ -1,0 +1,42 @@
+// Positive fixture: every function below violates the executor never-block
+// invariant and must be reported.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+// Txn mimics the engine's transaction handle; a top-level func(*Txn) error
+// is stored-procedure-shaped and therefore an execblock seed.
+type Txn struct {
+	out map[string]string
+}
+
+// run is the executor loop seed.
+//
+//pstore:executor
+func run(tasks chan func()) {
+	for fn := range tasks {
+		fn()
+		pace()
+	}
+}
+
+// pace is reachable from run, so its sleep is on the executor path.
+func pace() {
+	time.Sleep(time.Millisecond)
+}
+
+// GetItem blocks on a bare channel receive.
+func GetItem(tx *Txn) error {
+	done := make(chan struct{})
+	<-done
+	return nil
+}
+
+// PutItem does file I/O on the executor path.
+func PutItem(tx *Txn) error {
+	_, err := os.ReadFile("/etc/hostname")
+	return err
+}

@@ -1,0 +1,41 @@
+// Negative fixture: critical sections that only touch shared state, with
+// channel work outside the lock (or behind a non-blocking select). No
+// diagnostics expected.
+package fixture
+
+import "sync"
+
+type Q struct {
+	mu   sync.Mutex
+	vals map[string]int
+	ch   chan int
+}
+
+// Set confines the lock to the map write.
+func (q *Q) Set(k string, v int) {
+	q.mu.Lock()
+	q.vals[k] = v
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// TryNotify uses a select with default: it cannot block under the lock.
+func (q *Q) TryNotify(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.vals["last"] = v
+	select {
+	case q.ch <- v:
+	default:
+	}
+}
+
+// Spawn launches the blocking work on a goroutine that does not hold q.mu.
+func (q *Q) Spawn(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.vals["spawned"] = v
+	go func() {
+		q.ch <- v
+	}()
+}

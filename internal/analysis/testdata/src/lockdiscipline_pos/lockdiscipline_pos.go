@@ -1,0 +1,34 @@
+// Positive fixture: blocking operations while a mutex is held.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type Exec struct{}
+
+// Submit hands work to another goroutine — lock-hostile by name.
+func (Exec) Submit(x int) {}
+
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// SendUnderLock sends on a channel and submits work inside the critical
+// section; both couple q.mu to another goroutine's progress.
+func (q *Q) SendUnderLock(e Exec) {
+	q.mu.Lock()
+	q.ch <- 1
+	e.Submit(2)
+	q.mu.Unlock()
+	q.ch <- 3 // after Unlock: fine
+}
+
+// SleepUnderDeferredLock holds the lock to function end via defer.
+func (q *Q) SleepUnderDeferredLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,39 @@
+// Negative fixture: correct pool usage — Put is the last touch, or the
+// variable is re-bound to a fresh object before reuse. No diagnostics
+// expected.
+package fixture
+
+import "sync"
+
+type Req struct{ ID int }
+
+var pool = sync.Pool{New: func() any { return new(Req) }}
+
+// PutLast returns the object as the final step.
+func PutLast(v int) int {
+	r := pool.Get().(*Req)
+	r.ID = v
+	out := r.ID * 2
+	pool.Put(r)
+	return out
+}
+
+// Reassigned gives r a fresh value after Put; later reads are fine.
+func Reassigned() int {
+	r := pool.Get().(*Req)
+	pool.Put(r)
+	r = new(Req)
+	r.ID = 1
+	return r.ID
+}
+
+type Txn struct{ done bool }
+
+func (t *Txn) Release() {}
+
+// ReleaseLast releases on the way out only.
+func ReleaseLast(t *Txn) bool {
+	v := t.done
+	t.Release()
+	return v
+}

@@ -1,0 +1,28 @@
+// Positive fixture: pooled values touched after returning to their pool.
+package fixture
+
+import "sync"
+
+type Req struct{ ID int }
+
+var pool = sync.Pool{New: func() any { return new(Req) }}
+
+// UseAfterPut reads a field after Pool.Put: the object may already belong
+// to another goroutine.
+func UseAfterPut() int {
+	r := pool.Get().(*Req)
+	r.ID = 7
+	pool.Put(r)
+	return r.ID
+}
+
+type Txn struct{ done bool }
+
+// Release returns the transaction to the engine's pool.
+func (t *Txn) Release() {}
+
+// UseAfterRelease writes through the handle after releasing it.
+func UseAfterRelease(t *Txn) {
+	t.Release()
+	t.done = true
+}

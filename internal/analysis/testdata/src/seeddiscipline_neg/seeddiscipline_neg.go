@@ -1,0 +1,34 @@
+// Negative fixture: a seeded package drawing everything from its pinned
+// source, waiting on cancellable timers. No diagnostics expected.
+package fixture
+
+//pstore:seeded
+
+import (
+	"math/rand"
+	"time"
+)
+
+type injector struct {
+	rng *rand.Rand
+}
+
+// newInjector builds the seeded source — the allowed constructors.
+func newInjector(seed int64) *injector {
+	return &injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// roll draws from the instance generator, never the global one.
+func (in *injector) roll() float64 {
+	return in.rng.Float64()
+}
+
+// wait is cancellable and carries no entropy.
+func wait(d time.Duration, quit chan struct{}) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-quit:
+	}
+}

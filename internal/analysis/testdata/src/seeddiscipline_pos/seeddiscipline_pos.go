@@ -1,0 +1,20 @@
+// Positive fixture: bare global randomness and wall-clock reads in a
+// chaos-replayed (seeded) package.
+package fixture
+
+//pstore:seeded
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff draws from the process-global generator and reads the wall clock.
+func Backoff() time.Duration {
+	if rand.Intn(2) == 0 {
+		return 0
+	}
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,47 @@
+// Suppression fixture: every violation below carries a //pstore:ignore
+// comment (same line or line above), so no diagnostics are expected. Each
+// check name must match; "all" covers everything on its line.
+package fixture
+
+//pstore:seeded
+//pstore:deterministic
+
+import (
+	"sync"
+	"time"
+)
+
+// Jitter sleeps deliberately; the suppression names the check inline.
+func Jitter() {
+	time.Sleep(time.Millisecond) //pstore:ignore seeddiscipline — fixture: deliberate jitter, duration is configured
+}
+
+// Stamp is suppressed from the line above.
+func Stamp() time.Time {
+	//pstore:ignore seeddiscipline — fixture: observability timestamp only
+	return time.Now()
+}
+
+// Encode suppresses with the "all" wildcard.
+func Encode(m map[string]string) []byte {
+	var buf []byte
+	for k := range m { //pstore:ignore all — fixture: order is rehashed downstream
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+type Req struct{ ID int }
+
+var pool = sync.Pool{New: func() any { return new(Req) }}
+
+// Recycle names two checks in one comma-separated suppression.
+func Recycle(mu *sync.Mutex, ch chan int) int {
+	r := pool.Get().(*Req)
+	pool.Put(r)
+	mu.Lock()
+	defer mu.Unlock()
+	//pstore:ignore poolhygiene,lockdiscipline — fixture: exercising multi-check suppression
+	ch <- r.ID
+	return 0
+}

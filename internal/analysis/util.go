@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// calleeFunc resolves the statically known callee of a call expression: a
+// package-level function, a method, or a qualified stdlib function. Calls
+// through function values and interfaces return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the named function (or method) of the
+// package with the given import path.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// pkgPathOf returns the defining package path of f ("" for builtins).
+func pkgPathOf(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// namedReceiver returns the defining package path and type name of a method
+// call's receiver (after stripping pointers), or ok=false for non-methods.
+func namedReceiver(f *types.Func) (pkgPath, typeName string, ok bool) {
+	if f == nil {
+		return "", "", false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}
+
+// walkStack traverses the AST calling fn with each node and the stack of its
+// ancestors (outermost first, not including the node itself). Returning
+// false from fn prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil { // pop after a fully visited subtree
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // pruned: Inspect sends no matching nil pop
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// chanOp describes a blocking channel operation found in source.
+type chanOp struct {
+	pos  token.Pos
+	send bool
+}
+
+// blockingChanOp reports whether node n (with ancestor stack) is a channel
+// send or receive that can block indefinitely: one that is not the
+// communication clause of a select statement offering an alternative
+// (another case or a default). A receive used as the range/comm expression
+// of a select case is fine; the same receive buried in a case *body* still
+// blocks and is reported.
+func blockingChanOp(info *types.Info, n ast.Node, stack []ast.Node) (chanOp, bool) {
+	switch x := n.(type) {
+	case *ast.SendStmt:
+		if selectAllows(stack, n) {
+			return chanOp{}, false
+		}
+		return chanOp{pos: x.Arrow, send: true}, true
+	case *ast.UnaryExpr:
+		if x.Op != token.ARROW {
+			return chanOp{}, false
+		}
+		// Only a receive whose operand really is a channel (not a constant
+		// expression some broken fixture produced).
+		if info != nil {
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+					return chanOp{}, false
+				}
+			}
+		}
+		if selectAllows(stack, n) {
+			return chanOp{}, false
+		}
+		return chanOp{pos: x.OpPos, send: false}, true
+	}
+	return chanOp{}, false
+}
+
+// selectAllows reports whether n is (part of) the communication statement of
+// a select clause whose select offers an alternative: at least two comm
+// clauses, or a default. Such an operation cannot wedge the goroutine — the
+// select's other arms (typically a cancel or stop channel) can fire instead.
+func selectAllows(stack []ast.Node, n ast.Node) bool {
+	// Find the nearest enclosing CommClause and check n belongs to its comm
+	// statement, not its body.
+	for i := len(stack) - 1; i >= 0; i-- {
+		cc, ok := stack[i].(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		// Is n inside the comm statement (as opposed to the clause body)?
+		inComm := false
+		if cc.Comm != nil {
+			top := n
+			if i+1 < len(stack) {
+				top = stack[i+1]
+			}
+			if top == cc.Comm {
+				inComm = true
+			}
+		}
+		if !inComm {
+			return false
+		}
+		// The enclosing select: stack[i-1] is its BlockStmt, stack[i-2] the
+		// SelectStmt.
+		for j := i - 1; j >= 0; j-- {
+			if sel, ok := stack[j].(*ast.SelectStmt); ok {
+				clauses := 0
+				hasDefault := false
+				for _, s := range sel.Body.List {
+					c := s.(*ast.CommClause)
+					if c.Comm == nil {
+						hasDefault = true
+					} else {
+						clauses++
+					}
+				}
+				return hasDefault || clauses >= 2
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// funcDeclName renders a function's name for diagnostics, with a receiver
+// prefix for methods.
+func funcDeclName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// isMapType reports whether t (possibly named) is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

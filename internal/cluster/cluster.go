@@ -4,6 +4,10 @@
 // reconfigurations, and cluster-wide load and latency measurement.
 package cluster
 
+//pstore:deterministic — ContentChecksum and snapshot manifests are
+// compared across chaos-seed replays; iteration order must not leak into
+// them.
+
 import (
 	"encoding/json"
 	"errors"
@@ -461,10 +465,17 @@ func (c *Cluster) SnapshotAll() error {
 		exec *engine.Executor
 		mgr  *durability.Manager
 	}
+	// Snapshot in partition order: the manifest written per snapshot round
+	// is compared across runs, so the iteration order must be stable.
+	pids := make([]int, 0, len(c.durs))
+	for pid := range c.durs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
 	var pairs []pair
-	for pid, mgr := range c.durs {
+	for _, pid := range pids {
 		if e, ok := c.execs[pid]; ok {
-			pairs = append(pairs, pair{e, mgr})
+			pairs = append(pairs, pair{e, c.durs[pid]})
 		}
 	}
 	c.mu.RUnlock()
@@ -499,7 +510,7 @@ func (c *Cluster) Stop() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.execs {
-		e.Stop()
+		e.Stop() //pstore:ignore lockdiscipline — executor goroutines never take c.mu, so waiting out their drain under the lock cannot deadlock
 	}
 	for _, m := range c.durs {
 		m.Close()
@@ -530,7 +541,7 @@ func (c *Cluster) Crash() {
 	}
 	c.stopped = true
 	for _, e := range c.execs {
-		e.Stop()
+		e.Stop() //pstore:ignore lockdiscipline — executor goroutines never take c.mu, so waiting out their drain under the lock cannot deadlock
 	}
 	for _, m := range c.durs {
 		m.Crash()
@@ -614,7 +625,7 @@ func (c *Cluster) RemoveNode(id int) error {
 		}
 	}
 	for _, pid := range node.Partitions {
-		c.execs[pid].Stop()
+		c.execs[pid].Stop() //pstore:ignore lockdiscipline — executor goroutines never take c.mu, so waiting out their drain under the lock cannot deadlock
 		delete(c.execs, pid)
 		if mgr, ok := c.durs[pid]; ok {
 			// The partitions own nothing: their durable state is obsolete.

@@ -13,6 +13,9 @@
 // BenchmarkDurabilityOverhead).
 package durability
 
+//pstore:deterministic — log records and snapshots are replayed and
+// checksum-compared across crash/recovery runs; encoding must be byte-stable.
+
 import (
 	"bufio"
 	"encoding/binary"

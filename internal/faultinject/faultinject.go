@@ -14,6 +14,9 @@
 // rather than byte corruption (the codec's torn-frame tests cover that).
 package faultinject
 
+//pstore:seeded — fault schedules replay from PSTORE_CHAOS_SEED; every
+// draw must come from the injector's seeded rng.
+
 import (
 	"errors"
 	"fmt"
@@ -198,7 +201,7 @@ func (c *faultConn) Write(b []byte) (int, error) {
 	}
 	if in.opts.DelayProb > 0 && in.roll() < in.opts.DelayProb {
 		in.delays.Add(1)
-		time.Sleep(in.rollDelay())
+		time.Sleep(in.rollDelay()) //pstore:ignore seeddiscipline — the delay IS the injected fault; its duration comes from the seeded rng
 	}
 	n, err := c.Conn.Write(b)
 	if err == nil && n == len(b) && in.opts.DupProb > 0 && in.roll() < in.opts.DupProb {
@@ -247,6 +250,7 @@ func (in *Injector) FreezeLoop(execs func() []*engine.Executor, stop <-chan stru
 				// lane, so the whole partition stalls — exactly a frozen
 				// node. Do fails harmlessly if the executor already stopped.
 				e.Do(func(*storage.Partition) (int, error) {
+					//pstore:ignore seeddiscipline — the stall IS the injected fault (frozen node); duration is configured, not drawn
 					time.Sleep(in.opts.FreezeFor)
 					return 0, nil
 				})

@@ -8,6 +8,9 @@
 // faster migration means more latency interference (Fig 8).
 package migration
 
+//pstore:seeded — chaos runs replay migrations from PSTORE_CHAOS_SEED;
+// randomness and timing decisions must flow from the configured seed.
+
 import (
 	"errors"
 	"fmt"
@@ -236,7 +239,7 @@ type lockedRand struct {
 
 func newLockedRand(seed int64) *lockedRand {
 	if seed == 0 {
-		seed = rand.Int63() // nondeterministic default, as before
+		seed = rand.Int63() //pstore:ignore seeddiscipline — seed==0 explicitly requests a nondeterministic run; chaos tests always pass a seed
 	}
 	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
 }
@@ -359,7 +362,7 @@ func Start(c *cluster.Cluster, targetNodes int, opts Options) (*Migration, error
 // hold the cluster's reconfiguration lock; run releases it.
 func (m *Migration) run(c *cluster.Cluster) {
 	defer c.EndReconfiguration()
-	start := time.Now()
+	start := time.Now() //pstore:ignore seeddiscipline — report observability only; Duration never feeds a migration decision
 	err := m.execute(c, m.rounds, m.moves, m.opts)
 	if err == nil {
 		for _, id := range m.retired {
@@ -378,7 +381,7 @@ func (m *Migration) run(c *cluster.Cluster) {
 		RowsMoved:        m.movedRows.Load(),
 		Retries:          m.retries.Load(),
 		Rollbacks:        m.rollbacks.Load(),
-		Duration:         time.Since(start),
+		Duration:         time.Since(start), //pstore:ignore seeddiscipline — report observability only
 		FailedBucket:     -1,
 	}
 	var mf *moveFailure

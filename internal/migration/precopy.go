@@ -172,7 +172,7 @@ func (m *Migration) moveBucketPreCopy(c *cluster.Cluster, mv bucketMove) error {
 	// Phase 3: the flip. Everything between DetachBucket and CommitStaged
 	// is the foreground stall window — transactions for the bucket requeue
 	// through the cluster's bounded retry loop until the commit lands.
-	stallStart := time.Now()
+	stallStart := time.Now() //pstore:ignore seeddiscipline — stall-window observability only; never feeds a migration decision
 	var detached *storage.DetachedBucket
 	var final []storage.DeltaOp
 	err = srcExec.Do(func(p *storage.Partition) (int, error) {
@@ -231,7 +231,7 @@ func (m *Migration) moveBucketPreCopy(c *cluster.Cluster, mv bucketMove) error {
 		c.Events().Add(metrics.EventMoveRollbacks, 1)
 		return applyErr
 	}
-	c.MoveStalls().Observe(time.Since(stallStart))
+	c.MoveStalls().Observe(time.Since(stallStart)) //pstore:ignore seeddiscipline — stall-window observability only
 	c.Events().Add(metrics.EventDeltaRows, int64(deltaRows+len(final)))
 
 	// The bucket now lives at the destination: record progress before the

@@ -6,6 +6,10 @@
 // of §4.4.1 (Table 1).
 package plan
 
+//pstore:deterministic — the planner's output (moves, schedules) feeds
+// cluster reconfiguration; two nodes planning from the same state must
+// produce identical plans.
+
 import "fmt"
 
 // Params holds the empirically discovered model parameters of §4.1.

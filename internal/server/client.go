@@ -202,7 +202,7 @@ func (c *Client) Close() error {
 // c.mu; each channel receives exactly one message because delivery always
 // removes the entry from pending first.
 func (c *Client) failPendingLocked(err error) {
-	for id, ch := range c.pending {
+	for id, ch := range c.pending { //pstore:ignore determinism — each waiter gets exactly one message on its own channel; delivery order across waiters is unobservable
 		delete(c.pending, id)
 		ch <- Response{ID: id, Err: err.Error()}
 	}

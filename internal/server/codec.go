@@ -6,9 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 	"time"
 )
+
+//pstore:deterministic — the wire codec must be byte-deterministic: replicas
+// compare checksums of encoded frames and the fuzzers assert
+// encode(decode(x)) is byte-stable.
 
 // Wire format
 //
@@ -65,12 +70,22 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// appendStringMap appends a count-prefixed map of key/value strings.
+// appendStringMap appends a count-prefixed map of key/value strings in
+// sorted key order, so the same map always encodes to the same bytes. Keys
+// are staged in a stack-allocated array for the common small-arg case; the
+// sort itself is allocation-free (generic slices.Sort, no interface boxing),
+// keeping the encode path heap-quiet.
 func appendStringMap(buf []byte, m map[string]string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(m)))
-	for k, v := range m {
+	var arr [16]string
+	keys := arr[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
 		buf = appendString(buf, k)
-		buf = appendString(buf, v)
+		buf = appendString(buf, m[k])
 	}
 	return buf
 }

@@ -207,3 +207,82 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 	})
 }
+
+// TestEncodeByteStable pins the codec's byte determinism: decoding a frame
+// and re-encoding it must reproduce the exact bytes, every time. Each
+// iteration decodes into a freshly built map, so with an unsorted map range
+// in the encoder (the bug this guards against) the argument order — and the
+// bytes — would shuffle between iterations.
+func TestEncodeByteStable(t *testing.T) {
+	for _, req := range codecRequests {
+		first := appendRequest(nil, &req)
+		for i := 0; i < 32; i++ {
+			var rt Request
+			if err := decodeRequest(stripFrame(t, first), &rt); err != nil {
+				t.Fatalf("decode %+v: %v", req, err)
+			}
+			again := appendRequest(nil, &rt)
+			if !bytes.Equal(first, again) {
+				t.Fatalf("request encoding not byte-stable (iteration %d):\n% x\n% x", i, first, again)
+			}
+		}
+	}
+	for _, resp := range codecResponses {
+		first := appendResponse(nil, &resp)
+		for i := 0; i < 32; i++ {
+			var rt Response
+			if err := decodeResponse(stripFrame(t, first), &rt); err != nil {
+				t.Fatalf("decode %+v: %v", resp, err)
+			}
+			again := appendResponse(nil, &rt)
+			if !bytes.Equal(first, again) {
+				t.Fatalf("response encoding not byte-stable (iteration %d):\n% x\n% x", i, first, again)
+			}
+		}
+	}
+}
+
+// FuzzCodec asserts encode determinism over arbitrary accepted payloads:
+// for any input either decoder accepts, encode(decode(x)) must be
+// byte-identical across repeated decode/encode cycles. This is the
+// byte-level guarantee the durability checksums and replica comparison
+// rest on; FuzzDecodeRequest/FuzzDecodeResponse only check structural
+// (DeepEqual) round trips, which an unsorted map range would still pass.
+func FuzzCodec(f *testing.F) {
+	for i := range codecRequests {
+		frame := appendRequest(nil, &codecRequests[i])
+		_, used := binary.Uvarint(frame)
+		f.Add(frame[used:])
+	}
+	for i := range codecResponses {
+		frame := appendResponse(nil, &codecResponses[i])
+		_, used := binary.Uvarint(frame)
+		f.Add(frame[used:])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if decodeRequest(data, &req) == nil {
+			first := appendRequest(nil, &req)
+			_, used := binary.Uvarint(first)
+			var rt Request
+			if err := decodeRequest(first[used:], &rt); err != nil {
+				t.Fatalf("re-decode of accepted request %+v: %v", req, err)
+			}
+			if again := appendRequest(nil, &rt); !bytes.Equal(first, again) {
+				t.Fatalf("request encoding not byte-stable:\n% x\n% x", first, again)
+			}
+		}
+		var resp Response
+		if decodeResponse(data, &resp) == nil {
+			first := appendResponse(nil, &resp)
+			_, used := binary.Uvarint(first)
+			var rt Response
+			if err := decodeResponse(first[used:], &rt); err != nil {
+				t.Fatalf("re-decode of accepted response %+v: %v", resp, err)
+			}
+			if again := appendResponse(nil, &rt); !bytes.Equal(first, again) {
+				t.Fatalf("response encoding not byte-stable:\n% x\n% x", first, again)
+			}
+		}
+	})
+}

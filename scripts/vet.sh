@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# vet.sh — the repo's full static gate: gofmt, go vet, then pstore-vet
+# (cmd/pstore-vet), the project's own invariant analyzer suite (executor
+# never-block, encoder determinism, seed discipline, lock discipline, pool
+# hygiene — DESIGN.md §10). Exits nonzero on any formatting drift, vet
+# complaint, or pstore-vet diagnostic, so CI and pre-commit hooks can gate
+# on it as one step.
+#
+# Usage: scripts/vet.sh [packages...]   (default ./...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PKGS=("${@:-./...}")
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "files need gofmt:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet "${PKGS[@]}"
+
+echo "== pstore-vet"
+go run ./cmd/pstore-vet "${PKGS[@]}"
+
+echo "ok"
