@@ -6,6 +6,8 @@
 //	pstore-client scale 4
 //	pstore-client call AddLineToCart cart-42 sku=sku-1 qty=2 price=9.99
 //	pstore-client call GetCart cart-42
+//	pstore-client read GetCart cart-42     # session-consistent, replica-served
+//	pstore-client kill-node 1              # chaos: drop a node, force failover
 package main
 
 import (
@@ -57,6 +59,13 @@ func main() {
 		}
 		fmt.Printf("nodes=%d partitions=%d rows=%d offered=%d last-p99=%v\n",
 			st.Nodes, st.Partitions, st.TotalRows, st.OfferedTxns, st.P99)
+		if st.ReplFactor > 0 || st.DeadNodes > 0 {
+			fmt.Printf("repl: k=%d replicas=%d max-lag=%d records=%d failovers=%d promotions=%d resyncs=%d\n",
+				st.ReplFactor, st.ReplReplicas, st.ReplMaxLag, st.ReplRecords,
+				st.ReplFailovers, st.ReplPromotions, st.ReplResyncs)
+			fmt.Printf("reads: replica=%d fallback=%d stale-waits=%d dead-nodes=%d\n",
+				st.ReplReplicaReads, st.ReplFallbackReads, st.ReplStaleWaits, st.DeadNodes)
+		}
 	case "scale":
 		if len(args) != 2 {
 			usage()
@@ -69,7 +78,7 @@ func main() {
 			fail("scale: %v", err)
 		}
 		fmt.Printf("scaled to %d nodes\n", target)
-	case "call":
+	case "call", "read":
 		if len(args) < 3 {
 			usage()
 		}
@@ -82,19 +91,38 @@ func main() {
 			}
 			callArgs[parts[0]] = parts[1]
 		}
-		res, err := cl.Call(proc, key, callArgs)
+		var res *server.CallResult
+		if args[0] == "read" {
+			// Session-consistent read: a fresh CLI process has an empty
+			// session vector, so any caught-up replica may serve it.
+			res, err = cl.Read(proc, key, callArgs)
+		} else {
+			res, err = cl.Call(proc, key, callArgs)
+		}
 		if err != nil {
 			if res != nil && res.Abort {
 				fmt.Printf("aborted: %v (latency %v)\n", err, res.Latency)
 				return
 			}
-			fail("call: %v", err)
+			fail("%s: %v", args[0], err)
 		}
 		fmt.Printf("ok latency=%v", res.Latency)
 		for k, v := range res.Out {
 			fmt.Printf(" %s=%s", k, v)
 		}
 		fmt.Println()
+	case "kill-node":
+		if len(args) != 2 {
+			usage()
+		}
+		node, err := strconv.Atoi(args[1])
+		if err != nil {
+			usage()
+		}
+		if err := cl.KillNode(node); err != nil {
+			fail("kill-node: %v", err)
+		}
+		fmt.Printf("node %d killed; failover in progress\n", node)
 	case "bench":
 		bench(cl, *benchN, *benchConc)
 	default:
@@ -149,6 +177,8 @@ commands:
   stats
   scale <nodes>
   call <procedure> <key> [arg=value ...]
+  read <procedure> <key> [arg=value ...]   session-consistent read, replica-served when possible
+  kill-node <node>                         chaos: kill one node's partitions, forcing failover
   bench    issue -n transactions with -conc concurrent calls over one connection`)
 	os.Exit(2)
 }

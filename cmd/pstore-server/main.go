@@ -12,6 +12,12 @@
 // accepting connections, drains the executors, snapshots every partition
 // and flushes/closes the logs before exiting.
 //
+// With -replicas k set, every partition ships its command log to k
+// synchronous standbys hosted on other nodes; writes ack only after all live
+// standbys confirm, session-consistent reads (pstore-client read) are served
+// from standbys, and killing a node (pstore-client kill-node) promotes the
+// caught-up standby within seconds (see internal/replication).
+//
 // With -chaos set the server runs under seeded fault injection for
 // resilience testing: accepted connections drop/delay/duplicate/sever
 // writes, random executors freeze briefly, and migration bucket moves fail
@@ -52,6 +58,7 @@ func main() {
 		stockItems   = flag.Int("stock", 2000, "stock catalog size to preload")
 		preload      = flag.Int("preload", 1000, "shopping carts to preload")
 		serviceTime  = flag.Duration("service-time", 200*time.Microsecond, "synthetic per-transaction work")
+		replicas     = flag.Int("replicas", 0, "synchronous standbys per partition (k-safety; 0 = no replication)")
 		dataDir      = flag.String("data-dir", "", "durability directory (empty = in-memory only)")
 		fsyncEvery   = flag.Bool("fsync-every-txn", false, "fsync per transaction instead of group commit")
 		groupCommit  = flag.Duration("group-commit", 2*time.Millisecond, "group-commit fsync interval")
@@ -81,7 +88,8 @@ func main() {
 			ServiceTime:      *serviceTime,
 			MigrationRowCost: *serviceTime / 20,
 		},
-		DataDir: *dataDir,
+		DataDir:           *dataDir,
+		ReplicationFactor: *replicas,
 		Durability: durability.Options{
 			SyncEvery:           *fsyncEvery,
 			GroupCommitInterval: *groupCommit,
@@ -147,8 +155,8 @@ func main() {
 		os.Exit(1)
 	}
 	rows, _ := c.TotalRows()
-	log.Printf("pstore-server: listening on %s (%d nodes × %d partitions, %d rows)",
-		bound, c.NumNodes(), *partitions, rows)
+	log.Printf("pstore-server: listening on %s (%d nodes × %d partitions, %d rows, k=%d)",
+		bound, c.NumNodes(), *partitions, rows, *replicas)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

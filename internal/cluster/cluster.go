@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"pstore/internal/durability"
 	"pstore/internal/engine"
 	"pstore/internal/metrics"
+	"pstore/internal/replication"
 	"pstore/internal/storage"
 )
 
@@ -63,6 +65,16 @@ type Config struct {
 	DataDir string
 	// Durability tunes the per-partition logs when DataDir is set.
 	Durability durability.Options
+	// ReplicationFactor is k: each partition's command log is shipped to k
+	// standby replicas on other nodes, writes are acked only after every
+	// live replica acks them, and a dead primary fails over to its most
+	// caught-up replica. 0 disables replication.
+	ReplicationFactor int
+	// Replication tunes log shipping when ReplicationFactor > 0.
+	Replication replication.Options
+	// ReplicationConnWrap, when set, wraps every log-shipping connection
+	// (both hub-accepted and tail-dialed) — the fault injection hook.
+	ReplicationConnWrap func(net.Conn) net.Conn
 }
 
 func (c Config) retryInterval() time.Duration {
@@ -120,6 +132,20 @@ type Cluster struct {
 	snapStop chan struct{} // stops the periodic snapshot loop
 	snapDone chan struct{}
 
+	// Replication state (nil maps when ReplicationFactor == 0); the
+	// methods live in replication.go. feeds/replicas/epochs are guarded by
+	// c.mu; failoverMu serializes failovers so two probes of the same dead
+	// primary cannot promote twice.
+	hub        *replication.Hub
+	feeds      map[int]*replication.Feed
+	replicas   map[int][]*replicaHandle
+	epochs     map[int]uint64
+	deadNodes  map[int]bool
+	rrSeq      atomic.Uint64 // replica read round-robin cursor
+	monStop    chan struct{}
+	monDone    chan struct{}
+	failoverMu sync.Mutex
+
 	latencies  *metrics.ShardedRecorder
 	offered    *metrics.Counter
 	allocLog   *metrics.AllocationTracker
@@ -170,6 +196,11 @@ func New(cfg Config) (*Cluster, error) {
 		moveStalls: metrics.NewDurationHist(),
 		migrating:  make(map[int]bool),
 	}
+	if cfg.ReplicationFactor > 0 {
+		if err := c.initReplication(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("cluster: data dir: %w", err)
@@ -179,6 +210,9 @@ func New(cfg Config) (*Cluster, error) {
 				return nil, err
 			}
 			c.startSnapshotLoop()
+			if c.replicationEnabled() {
+				c.startReplicationStandbys()
+			}
 			return c, nil
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, err
@@ -215,6 +249,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.publishRoutingLocked()
 	c.startSnapshotLoop()
+	if c.replicationEnabled() {
+		c.startReplicationStandbys()
+	}
 	return c, nil
 }
 
@@ -244,19 +281,24 @@ func (c *Cluster) publishRoutingLocked() {
 // owns c exclusively.
 func (c *Cluster) startPartition(pid int, part *storage.Partition, initialSnapshot bool) error {
 	ecfg := c.cfg.Engine
+	var mgr *durability.Manager
 	if c.cfg.DataDir != "" {
-		mgr, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
+		m, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
 		if err != nil {
 			return fmt.Errorf("cluster: partition %d durability: %w", pid, err)
 		}
 		if initialSnapshot {
-			if err := mgr.Snapshot(part); err != nil {
-				mgr.Close()
+			if err := m.Snapshot(part); err != nil {
+				m.Close()
 				return fmt.Errorf("cluster: partition %d initial snapshot: %w", pid, err)
 			}
 		}
+		mgr = m
 		c.durs[pid] = mgr
 		ecfg.Log = mgr
+	}
+	if c.replicationEnabled() {
+		ecfg.Log = c.installFeedLocked(pid, mgr)
 	}
 	c.execs[pid] = engine.NewExecutor(part, c.cfg.Registry, ecfg)
 	return nil
@@ -414,6 +456,9 @@ func (c *Cluster) recover() error {
 		ecfg := c.cfg.Engine
 		ecfg.Log = r.mgr
 		c.durs[pid] = r.mgr
+		if c.replicationEnabled() {
+			ecfg.Log = c.installFeedLocked(pid, r.mgr)
+		}
 		c.execs[pid] = engine.NewExecutor(r.part, c.cfg.Registry, ecfg)
 	}
 	c.publishRoutingLocked()
@@ -439,15 +484,18 @@ func (c *Cluster) startSnapshotLoop() {
 	if c.cfg.DataDir == "" || c.cfg.Durability.SnapshotInterval <= 0 {
 		return
 	}
-	c.snapStop = make(chan struct{})
-	c.snapDone = make(chan struct{})
+	// Capture the channels: stopSnapshotLoop nils the fields, and a
+	// receive on a re-read nil field would park this goroutine forever.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.snapStop, c.snapDone = stop, done
 	go func() {
-		defer close(c.snapDone)
+		defer close(done)
 		ticker := time.NewTicker(c.cfg.Durability.SnapshotInterval)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-c.snapStop:
+			case <-stop:
 				return
 			case <-ticker.C:
 				c.SnapshotAll()
@@ -492,11 +540,13 @@ func (c *Cluster) SnapshotAll() error {
 	return firstErr
 }
 
-// Stop shuts down the cluster: the snapshot loop first, then (with
-// durability on) a final snapshot of every partition so restart needs no
-// replay, then every executor, then the logs are flushed and closed.
+// Stop shuts down the cluster: the snapshot and failover loops first, then
+// (with durability on) a final snapshot of every partition so restart needs
+// no replay, then every executor, then the logs are flushed and closed and
+// the replication machinery (feeds, standbys, hub) is torn down.
 func (c *Cluster) Stop() {
 	c.stopSnapshotLoop()
+	c.stopMonitor()
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()
@@ -508,12 +558,27 @@ func (c *Cluster) Stop() {
 		c.SnapshotAll()
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, e := range c.execs {
 		e.Stop() //pstore:ignore lockdiscipline — executor goroutines never take c.mu, so waiting out their drain under the lock cannot deadlock
 	}
 	for _, m := range c.durs {
 		m.Close()
+	}
+	for _, f := range c.feeds {
+		f.Close()
+	}
+	var handles []*replicaHandle
+	for _, hs := range c.replicas { //pstore:ignore determinism — shutdown kill-list; every handle is stopped, order across partitions is unobservable
+		handles = append(handles, hs...)
+	}
+	hub := c.hub
+	c.mu.Unlock()
+	for _, h := range handles {
+		h.rep.Kill()
+		h.tail.Stop()
+	}
+	if hub != nil {
+		hub.Close()
 	}
 }
 
@@ -534,17 +599,34 @@ func (c *Cluster) stopSnapshotLoop() {
 // ack); in-flight ones may not — exactly a real crash's contract.
 func (c *Cluster) Crash() {
 	c.stopSnapshotLoop()
+	c.stopMonitor()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.stopped {
+		c.mu.Unlock()
 		return
 	}
 	c.stopped = true
 	for _, e := range c.execs {
 		e.Stop() //pstore:ignore lockdiscipline — executor goroutines never take c.mu, so waiting out their drain under the lock cannot deadlock
 	}
+	for _, f := range c.feeds {
+		f.Close()
+	}
 	for _, m := range c.durs {
 		m.Crash()
+	}
+	var handles []*replicaHandle
+	for _, hs := range c.replicas { //pstore:ignore determinism — shutdown kill-list; every handle is stopped, order across partitions is unobservable
+		handles = append(handles, hs...)
+	}
+	hub := c.hub
+	c.mu.Unlock()
+	for _, h := range handles {
+		h.rep.Kill()
+		h.tail.Stop()
+	}
+	if hub != nil {
+		hub.Close()
 	}
 }
 
@@ -600,9 +682,10 @@ func (c *Cluster) AddNode() Node {
 }
 
 // RemoveNode retires a node whose partitions no longer own any buckets.
+// Standby replicas it hosted stop serving; the failover monitor respawns
+// them elsewhere.
 func (c *Cluster) RemoveNode(id int) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	idx := -1
 	for i, n := range c.nodes {
 		if n.ID == id {
@@ -611,39 +694,75 @@ func (c *Cluster) RemoveNode(id int) error {
 		}
 	}
 	if idx < 0 {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: no node %d", id)
 	}
 	if len(c.nodes) == 1 {
+		c.mu.Unlock()
 		return errors.New("cluster: cannot remove the last node")
 	}
 	node := c.nodes[idx]
 	for _, pid := range node.Partitions {
 		for _, owner := range c.owner {
 			if owner == pid {
+				c.mu.Unlock()
 				return fmt.Errorf("cluster: node %d partition %d still owns buckets", id, pid)
 			}
 		}
 	}
+	var doomedFeeds []*replication.Feed
+	var doomedReps []*replicaHandle
 	for _, pid := range node.Partitions {
 		c.execs[pid].Stop() //pstore:ignore lockdiscipline — executor goroutines never take c.mu, so waiting out their drain under the lock cannot deadlock
 		delete(c.execs, pid)
+		if f, ok := c.feeds[pid]; ok {
+			doomedFeeds = append(doomedFeeds, f)
+			delete(c.feeds, pid)
+			delete(c.epochs, pid)
+			c.hub.Deregister(pid)
+			doomedReps = append(doomedReps, c.replicas[pid]...)
+			delete(c.replicas, pid)
+		}
 		if mgr, ok := c.durs[pid]; ok {
 			// The partitions own nothing: their durable state is obsolete.
 			mgr.Close()
 			delete(c.durs, pid)
 			if err := os.RemoveAll(c.partitionDir(pid)); err != nil {
+				c.mu.Unlock()
 				return fmt.Errorf("cluster: removing partition %d data: %w", pid, err)
 			}
 		}
 	}
+	// Standbys of other partitions hosted here lose their home too.
+	for pid, hs := range c.replicas { //pstore:ignore determinism — eviction sweep; all doomed standbys are killed, order across partitions is unobservable
+		keep := hs[:0]
+		for _, h := range hs {
+			if h.node == id {
+				doomedReps = append(doomedReps, h)
+			} else {
+				keep = append(keep, h)
+			}
+		}
+		c.replicas[pid] = keep
+	}
+	delete(c.deadNodes, id)
 	c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
 	if c.cfg.DataDir != "" {
 		if err := c.writeManifestLocked(); err != nil {
+			c.mu.Unlock()
 			return err
 		}
 	}
 	c.publishRoutingLocked()
 	c.allocLog.Set(time.Now(), len(c.nodes))
+	c.mu.Unlock()
+	for _, f := range doomedFeeds {
+		f.Close()
+	}
+	for _, h := range doomedReps {
+		h.rep.Kill()
+		h.tail.Stop()
+	}
 	return nil
 }
 
@@ -773,6 +892,8 @@ func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 		var notOwned *storage.ErrNotOwned
 		retriable := errors.As(res.Err, &notOwned) ||
 			errors.Is(res.Err, engine.ErrStopped) ||
+			errors.Is(res.Err, replication.ErrFenced) ||
+			errors.Is(res.Err, replication.ErrClosed) ||
 			(res.Err != nil && !ok)
 		if !retriable || attempt+1 >= c.cfg.retryAttempts() || time.Now().After(deadline) {
 			break
@@ -787,20 +908,33 @@ func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 
 // LoadRow inserts a row directly into whichever partition owns the key,
 // bypassing stored procedures and synthetic service time. For bulk-loading
-// benchmark data. Loads also bypass the command log — with durability on,
-// call SnapshotAll after bulk loading to checkpoint them.
+// benchmark data. Loads bypass the fsynced command log (with durability on,
+// call SnapshotAll after bulk loading to checkpoint them) but still ship to
+// replicas — standbys must see every row a primary holds.
 func (c *Cluster) LoadRow(table, key string, cols map[string]string) error {
 	for attempt := 0; attempt < 64; attempt++ {
 		pid := c.RouteKey(key)
-		exec, ok := c.ExecutorOf(pid)
-		if !ok {
+		c.mu.RLock()
+		exec := c.execs[pid]
+		feed := c.feeds[pid]
+		c.mu.RUnlock()
+		if exec == nil {
 			return fmt.Errorf("cluster: no executor for partition %d", pid)
 		}
 		err := exec.Do(func(p *storage.Partition) (int, error) {
-			return 0, p.Put(table, key, cols)
+			if perr := p.Put(table, key, cols); perr != nil {
+				return 0, perr
+			}
+			if feed != nil {
+				return 0, feed.LogPut(table, key, cols)
+			}
+			return 0, nil
 		})
 		var notOwned *storage.ErrNotOwned
-		if errors.As(err, &notOwned) {
+		if errors.As(err, &notOwned) ||
+			errors.Is(err, engine.ErrStopped) ||
+			errors.Is(err, replication.ErrFenced) ||
+			errors.Is(err, replication.ErrClosed) {
 			time.Sleep(c.cfg.retryInterval())
 			continue
 		}

@@ -1,0 +1,815 @@
+package cluster
+
+// Replication wiring: each partition's command log is wrapped in a
+// replication.Feed shipped through one cluster-wide hub to k standby
+// replicas hosted on other nodes. A monitor goroutine probes primaries and
+// promotes the most caught-up replica when one dies — failover in seconds,
+// not a disk replay in minutes — and respawns standbys to restore k.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pstore/internal/durability"
+	"pstore/internal/engine"
+	"pstore/internal/metrics"
+	"pstore/internal/replication"
+	"pstore/internal/storage"
+)
+
+// replicaHandle pairs a standby replica with its shipping client and the
+// node hosting it.
+type replicaHandle struct {
+	rep  *replication.Replica
+	tail *replication.Tail
+	node int
+}
+
+// HandoffLog is the destination of migration bucket handoff records: the
+// partition's replication feed when replication is on (so replicas see the
+// ownership change in log order), else its durability manager directly.
+type HandoffLog interface {
+	LogBucketIn(data *storage.BucketData) error
+	LogBucketOut(bucket int) error
+}
+
+// HandoffOf returns where the migrator must log the partition's bucket
+// handoffs, or nil when the partition has neither feed nor durable log.
+func (c *Cluster) HandoffOf(partition int) HandoffLog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if f, ok := c.feeds[partition]; ok {
+		return f
+	}
+	if m, ok := c.durs[partition]; ok {
+		return m
+	}
+	return nil
+}
+
+func (c *Cluster) replicationEnabled() bool { return c.cfg.ReplicationFactor > 0 }
+
+func (c *Cluster) replOpts() replication.Options { return c.cfg.Replication.Normalized() }
+
+// initReplication creates the hub and shipping state. Called from New
+// before any partition starts, so feeds can register as they are created.
+func (c *Cluster) initReplication() error {
+	c.feeds = make(map[int]*replication.Feed)
+	c.replicas = make(map[int][]*replicaHandle)
+	c.epochs = make(map[int]uint64)
+	c.deadNodes = make(map[int]bool)
+	c.hub = replication.NewHub(c.replOpts(), c.events)
+	if c.cfg.ReplicationConnWrap != nil {
+		c.hub.SetConnWrapper(c.cfg.ReplicationConnWrap)
+	}
+	if err := c.hub.Listen("127.0.0.1:0"); err != nil {
+		return fmt.Errorf("cluster: replication hub: %w", err)
+	}
+	return nil
+}
+
+// installFeedLocked wraps the partition's durability manager (nilable) in a
+// replication feed at the partition's current epoch and registers it with
+// the hub. Caller holds c.mu or owns c exclusively.
+func (c *Cluster) installFeedLocked(pid int, mgr *durability.Manager) *replication.Feed {
+	var start uint64
+	if mgr != nil {
+		start = mgr.Seq()
+	}
+	feed := replication.NewFeed(pid, mgr, c.epochs[pid], start, c.replOpts(), c.events)
+	feed.SetSnapshotFunc(c.partitionSnapshotFunc(pid))
+	c.feeds[pid] = feed
+	c.epochs[pid] = feed.Epoch()
+	c.hub.Register(pid, feed)
+	return feed
+}
+
+// partitionSnapshotFunc returns the feed's consistent-cut provider: the cut
+// runs inside the partition's current executor, so it can never interleave
+// with appends and the captured LSN is exact.
+func (c *Cluster) partitionSnapshotFunc(pid int) replication.SnapshotFunc {
+	return func() (*replication.Snapshot, error) {
+		c.mu.RLock()
+		exec := c.execs[pid]
+		feed := c.feeds[pid]
+		c.mu.RUnlock()
+		if exec == nil || feed == nil {
+			return nil, fmt.Errorf("cluster: partition %d gone", pid)
+		}
+		var snap *replication.Snapshot
+		err := exec.Do(func(p *storage.Partition) (int, error) {
+			s := &replication.Snapshot{Tables: p.Tables(), LSN: feed.LSN(), Epoch: feed.Epoch()}
+			for _, b := range p.OwnedBuckets() {
+				data, err := p.CopyBucket(b)
+				if err != nil {
+					return 0, err
+				}
+				s.Buckets = append(s.Buckets, data)
+			}
+			snap = s
+			return 0, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return snap, nil
+	}
+}
+
+// startReplicationStandbys spawns the initial replicas and the failover
+// monitor. Called once from New after routing is published.
+func (c *Cluster) startReplicationStandbys() {
+	c.mu.Lock()
+	pids := make([]int, 0, len(c.execs))
+	for pid := range c.execs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		c.spawnReplicasLocked(pid)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.monStop, c.monDone = stop, done
+	c.mu.Unlock()
+	go c.monitorLoop(stop, done)
+}
+
+func (c *Cluster) stopMonitor() {
+	c.mu.Lock()
+	stop, done := c.monStop, c.monDone
+	c.monStop, c.monDone = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// nodeOfPartitionLocked returns the ID of the node hosting the partition's
+// primary, or -1.
+func (c *Cluster) nodeOfPartitionLocked(pid int) int {
+	for _, n := range c.nodes {
+		for _, p := range n.Partitions {
+			if p == pid {
+				return n.ID
+			}
+		}
+	}
+	return -1
+}
+
+// spawnReplicasLocked tops the partition's standby count back up to k,
+// placing new replicas on alive nodes that host neither the primary nor an
+// existing replica (falling back to any alive node when the cluster is too
+// small for strict anti-affinity). Caller holds c.mu.
+func (c *Cluster) spawnReplicasLocked(pid int) {
+	if c.stopped {
+		return
+	}
+	used := map[int]bool{c.nodeOfPartitionLocked(pid): true}
+	serving := 0
+	for _, h := range c.replicas[pid] {
+		if h.rep.Serving() {
+			serving++
+			used[h.node] = true
+		}
+	}
+	var alive []int
+	for _, n := range c.nodes {
+		if !c.deadNodes[n.ID] {
+			alive = append(alive, n.ID)
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	for serving < c.cfg.ReplicationFactor {
+		nid := -1
+		for i := 0; i < len(alive); i++ {
+			cand := alive[(pid+i)%len(alive)]
+			if !used[cand] {
+				nid = cand
+				break
+			}
+		}
+		if nid < 0 {
+			nid = alive[(pid+serving)%len(alive)] // anti-affinity impossible; redundancy still counts
+		}
+		used[nid] = true
+		rep := replication.NewReplica(pid, c.cfg.NBuckets, fmt.Sprintf("node-%d", nid), c.cfg.Registry, c.replOpts(), c.events)
+		tail := replication.StartTail(c.hub.Addr(), rep, c.cfg.ReplicationConnWrap, c.replOpts(), c.events)
+		c.replicas[pid] = append(c.replicas[pid], &replicaHandle{rep: rep, tail: tail, node: nid})
+		serving++
+	}
+}
+
+// monitorLoop is the failover monitor: every HealthInterval it probes each
+// primary executor (a stopped one fails over immediately; a wedged one is
+// deposed after ProbeStrikes consecutive probe timeouts) and respawns
+// standbys for partitions below k.
+func (c *Cluster) monitorLoop(stop, done chan struct{}) {
+	defer close(done)
+	opts := c.replOpts()
+	ticker := time.NewTicker(opts.HealthInterval)
+	defer ticker.Stop()
+	strikes := make(map[int]int)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		c.probePrimaries(stop, strikes, opts)
+		c.restoreReplicas()
+	}
+}
+
+func (c *Cluster) probePrimaries(stop chan struct{}, strikes map[int]int, opts replication.Options) {
+	c.mu.RLock()
+	if c.stopped {
+		c.mu.RUnlock()
+		return
+	}
+	type probe struct {
+		pid  int
+		exec *engine.Executor
+	}
+	probes := make([]probe, 0, len(c.execs))
+	for pid, e := range c.execs {
+		probes = append(probes, probe{pid, e})
+	}
+	c.mu.RUnlock()
+	sort.Slice(probes, func(i, j int) bool { return probes[i].pid < probes[j].pid })
+	for _, pr := range probes {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		switch {
+		case pr.exec.Stopped():
+			delete(strikes, pr.pid)
+			c.failoverPartition(pr.pid, pr.exec)
+		case !pr.exec.Healthy(opts.ProbeTimeout):
+			strikes[pr.pid]++
+			if strikes[pr.pid] >= opts.ProbeStrikes {
+				delete(strikes, pr.pid)
+				c.failoverPartition(pr.pid, pr.exec)
+			}
+		default:
+			delete(strikes, pr.pid)
+		}
+	}
+}
+
+// restoreReplicas prunes dead standbys and spawns replacements so every
+// partition converges back to k.
+func (c *Cluster) restoreReplicas() {
+	var doomed []*replicaHandle
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	pids := make([]int, 0, len(c.execs))
+	for pid := range c.execs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		keep := c.replicas[pid][:0]
+		for _, h := range c.replicas[pid] {
+			if h.rep.Serving() && !c.deadNodes[h.node] {
+				keep = append(keep, h)
+			} else {
+				doomed = append(doomed, h)
+			}
+		}
+		c.replicas[pid] = keep
+		c.spawnReplicasLocked(pid)
+	}
+	c.mu.Unlock()
+	for _, h := range doomed {
+		h.rep.Kill()
+		go h.tail.Stop()
+	}
+}
+
+// failoverPartition deposes the partition's primary and promotes its most
+// caught-up serving replica: fence the old feed (nothing it holds may ever
+// be acked), lift the replica's in-memory partition into a new executor at
+// epoch+1, lay down a fresh durable snapshot, and republish routing. The
+// whole path touches no log replay — the replica is already at the
+// replicated horizon, which is what makes failover a seconds-scale event.
+func (c *Cluster) failoverPartition(pid int, oldExec *engine.Executor) {
+	c.failoverMu.Lock()
+	defer c.failoverMu.Unlock()
+
+	c.mu.Lock()
+	if c.stopped || c.execs[pid] != oldExec {
+		c.mu.Unlock()
+		return
+	}
+	oldFeed := c.feeds[pid]
+	oldMgr := c.durs[pid]
+	c.mu.Unlock()
+	if oldFeed == nil {
+		return
+	}
+	c.events.Add(metrics.EventReplFailovers, 1)
+	oldFeed.Fence()
+	if !oldExec.Stopped() {
+		// Wedged, not dead: drain it in the background. Its appends hit the
+		// fenced feed, so nothing it finishes can be acked or shipped.
+		go oldExec.Stop()
+	}
+	if oldMgr != nil {
+		oldMgr.Crash()
+	}
+
+	c.mu.Lock()
+	var best *replicaHandle
+	bestIdx := -1
+	for i, h := range c.replicas[pid] {
+		// An unseeded standby (spawned but never snapshot-synced) holds
+		// nothing and must not be promoted over disk recovery.
+		if !h.rep.Serving() || !h.rep.Seeded() || c.deadNodes[h.node] {
+			continue
+		}
+		if best == nil || h.rep.Applied() > best.rep.Applied() {
+			best, bestIdx = h, i
+		}
+	}
+	if best != nil {
+		c.replicas[pid] = append(c.replicas[pid][:bestIdx], c.replicas[pid][bestIdx+1:]...)
+	}
+	c.mu.Unlock()
+
+	if best == nil {
+		c.restartFromDisk(pid, oldExec, oldFeed)
+		return
+	}
+
+	part, applied, repEpoch := best.rep.Promote()
+	best.tail.Stop()
+	for _, t := range c.cfg.Tables {
+		part.CreateTable(t)
+	}
+	newEpoch := oldFeed.Epoch()
+	if repEpoch > newEpoch {
+		newEpoch = repEpoch
+	}
+	newEpoch++
+
+	var mgr *durability.Manager
+	if c.cfg.DataDir != "" {
+		// The old log is fenced history; the promoted state becomes the new
+		// durable baseline via a fresh snapshot at the applied LSN.
+		os.RemoveAll(c.partitionDir(pid))
+		m, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
+		if err == nil {
+			m.SetBaseSeq(applied)
+			if serr := m.Snapshot(part); serr != nil {
+				m.Close()
+			} else {
+				mgr = m
+			}
+		}
+	}
+
+	ecfg := c.cfg.Engine
+	feed := replication.NewFeed(pid, mgr, newEpoch, applied, c.replOpts(), c.events)
+	feed.SetSnapshotFunc(c.partitionSnapshotFunc(pid))
+	ecfg.Log = feed
+	exec := engine.NewExecutor(part, c.cfg.Registry, ecfg)
+
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		exec.Stop() //pstore:ignore lockdiscipline — only failoverPartition takes failoverMu and this executor is freshly built: no goroutine it waits on can want the lock
+		feed.Close()
+		if mgr != nil {
+			mgr.Close()
+		}
+		return
+	}
+	if mgr != nil {
+		c.durs[pid] = mgr
+	} else {
+		delete(c.durs, pid)
+	}
+	c.feeds[pid] = feed
+	c.execs[pid] = exec
+	c.epochs[pid] = newEpoch
+	c.movePartitionLocked(pid, best.node)
+	if c.cfg.DataDir != "" {
+		c.writeManifestLocked()
+	}
+	c.publishRoutingLocked()
+	c.mu.Unlock()
+	c.hub.Register(pid, feed)
+	c.events.Add(metrics.EventReplPromotions, 1)
+}
+
+// restartFromDisk is the slow-path failover when no serving replica exists:
+// recover the partition from its own durable log (the availability floor
+// replication is meant to avoid).
+func (c *Cluster) restartFromDisk(pid int, oldExec *engine.Executor, oldFeed *replication.Feed) {
+	if c.cfg.DataDir == "" {
+		return // nothing to recover from; the partition stays down
+	}
+	part := storage.NewPartition(pid, c.cfg.NBuckets, nil)
+	for _, t := range c.cfg.Tables {
+		part.CreateTable(t)
+	}
+	mgr, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
+	if err != nil {
+		return
+	}
+	if _, err := mgr.Recover(part, c.cfg.Registry); err != nil {
+		mgr.Close()
+		return
+	}
+	newEpoch := oldFeed.Epoch() + 1
+	ecfg := c.cfg.Engine
+	feed := replication.NewFeed(pid, mgr, newEpoch, mgr.Seq(), c.replOpts(), c.events)
+	feed.SetSnapshotFunc(c.partitionSnapshotFunc(pid))
+	ecfg.Log = feed
+	exec := engine.NewExecutor(part, c.cfg.Registry, ecfg)
+	c.mu.Lock()
+	if c.stopped || c.execs[pid] != oldExec {
+		c.mu.Unlock()
+		exec.Stop()
+		feed.Close()
+		mgr.Close()
+		return
+	}
+	c.durs[pid] = mgr
+	c.feeds[pid] = feed
+	c.execs[pid] = exec
+	c.epochs[pid] = newEpoch
+	c.publishRoutingLocked()
+	c.mu.Unlock()
+	c.hub.Register(pid, feed)
+	c.events.Add(metrics.EventReplPromotions, 1)
+}
+
+// movePartitionLocked reassigns the partition to the given node in the
+// membership lists. Caller holds c.mu.
+func (c *Cluster) movePartitionLocked(pid, toNode int) {
+	for _, n := range c.nodes {
+		for i, p := range n.Partitions {
+			if p == pid {
+				if n.ID == toNode {
+					return
+				}
+				n.Partitions = append(n.Partitions[:i], n.Partitions[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, n := range c.nodes {
+		if n.ID == toNode {
+			n.Partitions = append(n.Partitions, pid)
+			sort.Ints(n.Partitions)
+			return
+		}
+	}
+}
+
+// KillNode simulates a node dying without warning (kill -9 scale): every
+// replica it hosts stops serving, and every primary it hosts is killed —
+// feed fenced first so nothing in flight can be acked, then the log crashes
+// and the executor stops. The failover monitor promotes replacements.
+func (c *Cluster) KillNode(id int) error {
+	c.mu.Lock()
+	var node *Node
+	for _, n := range c.nodes {
+		if n.ID == id {
+			node = n
+			break
+		}
+	}
+	if node == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	if !c.replicationEnabled() {
+		c.mu.Unlock()
+		return errors.New("cluster: KillNode requires replication (nothing would take over)")
+	}
+	if c.deadNodes[id] {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: node %d already dead", id)
+	}
+	alive := 0
+	for _, n := range c.nodes {
+		if !c.deadNodes[n.ID] {
+			alive++
+		}
+	}
+	if alive <= 1 {
+		c.mu.Unlock()
+		return errors.New("cluster: cannot kill the last alive node")
+	}
+	c.deadNodes[id] = true
+	pids := append([]int(nil), node.Partitions...)
+	var doomed []*replicaHandle
+	for pid, hs := range c.replicas { //pstore:ignore determinism — kill sweep; every doomed handle dies, order across partitions is unobservable
+		keep := hs[:0]
+		for _, h := range hs {
+			if h.node == id {
+				doomed = append(doomed, h)
+			} else {
+				keep = append(keep, h)
+			}
+		}
+		c.replicas[pid] = keep
+	}
+	c.mu.Unlock()
+
+	for _, h := range doomed {
+		h.rep.Kill()
+		go h.tail.Stop()
+	}
+	for _, pid := range pids {
+		c.KillPartition(pid)
+	}
+	return nil
+}
+
+// KillPartition kills one partition's primary in place: fence, crash the
+// log, stop the executor. The monitor's next probe triggers the failover.
+func (c *Cluster) KillPartition(pid int) {
+	c.mu.RLock()
+	feed := c.feeds[pid]
+	mgr := c.durs[pid]
+	exec := c.execs[pid]
+	c.mu.RUnlock()
+	if feed != nil {
+		feed.Fence()
+	}
+	if mgr != nil {
+		mgr.Crash()
+	}
+	if exec != nil {
+		exec.Stop()
+	}
+}
+
+// DeadNodes returns the IDs of killed nodes still in the membership.
+func (c *Cluster) DeadNodes() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]int, 0, len(c.deadNodes))
+	for id := range c.deadNodes {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pickReplica returns one serving replica of the partition, round-robin, or
+// nil when none exists.
+func (c *Cluster) pickReplica(pid int) *replication.Replica {
+	c.mu.RLock()
+	var reps []*replication.Replica
+	for _, h := range c.replicas[pid] {
+		if h.rep.Serving() && !c.deadNodes[h.node] {
+			reps = append(reps, h.rep)
+		}
+	}
+	c.mu.RUnlock()
+	if len(reps) == 0 {
+		return nil
+	}
+	return reps[int(c.rrSeq.Add(1))%len(reps)]
+}
+
+// CallReadOnly routes a read-only transaction to a replica of the key's
+// partition, enforcing session consistency: the replica waits until its
+// applied LSN covers the session's last write to that partition before
+// serving. With no replica available — or when the replica read fails
+// (stale horizon, mid-promotion) — the read falls back to the primary,
+// which trivially satisfies the session. Retries mirror Call.
+func (c *Cluster) CallReadOnly(proc, key string, args map[string]string, session map[int]uint64) engine.Result {
+	start := time.Now()
+	c.offered.Add(start, 1)
+	deadline := start.Add(c.cfg.retryBudget())
+	bucket := storage.BucketOf(key, c.cfg.NBuckets)
+	var res engine.Result
+	for attempt := 0; ; attempt++ {
+		rt := c.route.Load()
+		pid := rt.owner[bucket]
+		if rep := c.pickReplica(pid); rep != nil {
+			out, err := rep.SessionRead(proc, key, args, session[pid])
+			if err == nil {
+				res = engine.Result{Out: out, Partition: pid}
+				break
+			}
+			var notOwned *storage.ErrNotOwned
+			if !errors.As(err, &notOwned) && !errors.Is(err, storage.ErrReadOnly) &&
+				!errors.Is(err, replication.ErrStaleRead) && !errors.Is(err, replication.ErrReplicaGone) {
+				res = engine.Result{Err: err, Partition: pid}
+				break
+			}
+			// Replica cannot serve this read right now; the primary can.
+			c.events.Add(metrics.EventReplFallbackReads, 1)
+		}
+		exec, ok := rt.execs[pid]
+		if !ok {
+			res = engine.Result{Err: fmt.Errorf("cluster: no executor for partition %d", pid)}
+		} else {
+			res = exec.Call(&engine.Txn{Proc: proc, Key: key, Args: args})
+		}
+		if errors.Is(res.Err, engine.ErrOverloaded) {
+			c.events.Add(metrics.EventShed, 1)
+			break
+		}
+		var notOwned *storage.ErrNotOwned
+		retriable := errors.As(res.Err, &notOwned) ||
+			errors.Is(res.Err, engine.ErrStopped) ||
+			(res.Err != nil && !ok)
+		if !retriable || attempt+1 >= c.cfg.retryAttempts() || time.Now().After(deadline) {
+			break
+		}
+		c.events.Add(metrics.EventMigrationRetries, 1)
+		time.Sleep(c.cfg.retryInterval())
+	}
+	res.Latency = time.Since(start)
+	c.latencies.Record(time.Now(), res.Latency)
+	return res
+}
+
+// WaitReplicasCaughtUp blocks until every serving replica's applied LSN has
+// converged with its feed head — the quiesce step before a cluster-wide
+// checksum. The workload must be stopped, or the heads keep moving.
+func (c *Cluster) WaitReplicasCaughtUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		behind := ""
+		c.mu.RLock()
+		for pid, feed := range c.feeds { //pstore:ignore determinism — observability only: the timeout error names one arbitrary lagging replica
+			target := feed.LSN()
+			for _, h := range c.replicas[pid] {
+				if h.rep.Serving() && !c.deadNodes[h.node] && h.rep.Applied() < target {
+					behind = fmt.Sprintf("partition %d replica on node-%d at %d, feed at %d",
+						pid, h.node, h.rep.Applied(), target)
+				}
+			}
+		}
+		c.mu.RUnlock()
+		if behind == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: replicas not caught up after %v: %s", timeout, behind)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// QuiescedChecksum waits for replica horizons to converge, then returns the
+// cluster content checksum — the one number chaos tests compare against a
+// fault-free oracle run.
+func (c *Cluster) QuiescedChecksum(timeout time.Duration) (uint64, int, error) {
+	if c.replicationEnabled() {
+		if err := c.WaitReplicasCaughtUp(timeout); err != nil {
+			return 0, 0, err
+		}
+	}
+	return c.ContentChecksum()
+}
+
+// partitionChecksum scans one partition into the cluster's order-free
+// row checksum.
+func partitionChecksum(p *storage.Partition) (uint64, int, error) {
+	var sum uint64
+	rows := 0
+	for _, table := range p.Tables() {
+		t := table
+		if _, err := p.Scan(t, func(r storage.Row) bool {
+			sum ^= rowChecksum(t, r)
+			rows++
+			return true
+		}); err != nil {
+			return 0, 0, err
+		}
+	}
+	return sum, rows, nil
+}
+
+// VerifyReplicas proves every caught-up replica holds byte-equivalent
+// content to its primary (checksum + row count). Run it quiesced, after
+// WaitReplicasCaughtUp.
+func (c *Cluster) VerifyReplicas() error {
+	c.mu.RLock()
+	pids := make([]int, 0, len(c.feeds))
+	for pid := range c.feeds {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	type target struct {
+		exec *engine.Executor
+		feed *replication.Feed
+		reps []*replicaHandle
+	}
+	targets := make(map[int]target, len(pids))
+	for _, pid := range pids {
+		t := target{exec: c.execs[pid], feed: c.feeds[pid]}
+		for _, h := range c.replicas[pid] {
+			if h.rep.Serving() && !c.deadNodes[h.node] {
+				t.reps = append(t.reps, h)
+			}
+		}
+		targets[pid] = t
+	}
+	c.mu.RUnlock()
+
+	for _, pid := range pids {
+		t := targets[pid]
+		if t.exec == nil || len(t.reps) == 0 {
+			continue
+		}
+		head := t.feed.LSN()
+		var psum uint64
+		var prows int
+		err := t.exec.Do(func(p *storage.Partition) (int, error) {
+			var perr error
+			psum, prows, perr = partitionChecksum(p)
+			return 0, perr
+		})
+		if errors.Is(err, engine.ErrStopped) {
+			continue // mid-failover; the next quiesce pass will see the new primary
+		}
+		if err != nil {
+			return err
+		}
+		for _, h := range t.reps {
+			if got := h.rep.Applied(); got != head {
+				return fmt.Errorf("cluster: partition %d replica on node-%d at LSN %d, feed at %d", pid, h.node, got, head)
+			}
+			var rsum uint64
+			var rrows int
+			var rerr error
+			h.rep.Inspect(func(p *storage.Partition) {
+				rsum, rrows, rerr = partitionChecksum(p)
+			})
+			if rerr != nil {
+				return rerr
+			}
+			if rsum != psum || rrows != prows {
+				return fmt.Errorf("cluster: partition %d replica on node-%d diverged: %d rows sum %x, primary %d rows sum %x",
+					pid, h.node, rrows, rsum, prows, psum)
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicationStats is a point-in-time summary of the shipping subsystem.
+type ReplicationStats struct {
+	Factor        int    // configured k
+	Replicas      int    // serving standbys across all partitions
+	MaxLagRecords uint64 // worst feed-head minus replica-applied gap
+	Records       int64  // records shipped
+	Failovers     int64
+	Promotions    int64
+	Resyncs       int64
+	StaleWaits    int64 // session reads that had to wait for the horizon
+	ReplicaReads  int64
+	FallbackReads int64
+}
+
+// ReplicationStats reports the current shipping state and counters.
+func (c *Cluster) ReplicationStats() ReplicationStats {
+	s := ReplicationStats{
+		Factor:        c.cfg.ReplicationFactor,
+		Records:       c.events.Get(metrics.EventReplRecords),
+		Failovers:     c.events.Get(metrics.EventReplFailovers),
+		Promotions:    c.events.Get(metrics.EventReplPromotions),
+		Resyncs:       c.events.Get(metrics.EventReplResyncs),
+		StaleWaits:    c.events.Get(metrics.EventReplStaleWaits),
+		ReplicaReads:  c.events.Get(metrics.EventReplicaReads),
+		FallbackReads: c.events.Get(metrics.EventReplFallbackReads),
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for pid, feed := range c.feeds {
+		head := feed.LSN()
+		for _, h := range c.replicas[pid] {
+			if !h.rep.Serving() || c.deadNodes[h.node] {
+				continue
+			}
+			s.Replicas++
+			if lag := head - h.rep.Applied(); lag > s.MaxLagRecords {
+				s.MaxLagRecords = lag
+			}
+		}
+	}
+	return s
+}

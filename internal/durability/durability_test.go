@@ -51,7 +51,7 @@ func newTestPartition(nBuckets int) *storage.Partition {
 func appendSync(t *testing.T, m *Manager, proc, key string, args map[string]string) {
 	t.Helper()
 	ch := make(chan error, 1)
-	m.Append(proc, key, args, func(err error) { ch <- err })
+	m.Append(proc, key, args, func(_ uint64, err error) { ch <- err })
 	if err := <-ch; err != nil {
 		t.Fatalf("append %s(%s): %v", proc, key, err)
 	}
@@ -287,7 +287,7 @@ func TestCrashDropsOnlyUnacked(t *testing.T) {
 		// With an hour-long group-commit interval the ack only arrives once
 		// Flush forces the sync, so flush first, then reap the ack.
 		ch := make(chan error, 1)
-		m.Append("inc", "a", nil, func(err error) { ch <- err })
+		m.Append("inc", "a", nil, func(_ uint64, err error) { ch <- err })
 		if err := m.Flush(); err != nil {
 			t.Fatalf("Flush: %v", err)
 		}
@@ -320,7 +320,7 @@ func TestSyncEveryMode(t *testing.T) {
 	dir := t.TempDir()
 	m := openTestManager(t, dir, Options{SyncEvery: true})
 	done := make(chan error, 1)
-	m.Append("inc", "a", nil, func(err error) { done <- err })
+	m.Append("inc", "a", nil, func(_ uint64, err error) { done <- err })
 	select {
 	case err := <-done:
 		if err != nil {

@@ -59,6 +59,11 @@ type Manager struct {
 	log  *wal
 
 	appended atomic.Int64
+	// seq is the last assigned log sequence number (the replication LSN).
+	// Appends are serialized by the caller — the partition's executor, or a
+	// replication feed's append mutex — so a plain atomic counter stays
+	// contiguous.
+	seq atomic.Uint64
 }
 
 // Open creates or reopens the durability directory for a partition. Call
@@ -86,23 +91,46 @@ func (m *Manager) Dir() string { return m.dir }
 // Appended returns the number of records appended since Open.
 func (m *Manager) Appended() int64 { return m.appended.Load() }
 
+// Seq returns the last assigned log sequence number.
+func (m *Manager) Seq() uint64 { return m.seq.Load() }
+
+// SetBaseSeq aligns the manager's sequence counter so the next append gets
+// n+1 — used after recovery and when a promoted replica opens a fresh log
+// that must continue its primary's LSN space.
+func (m *Manager) SetBaseSeq(n uint64) { m.seq.Store(n) }
+
 // Append implements engine.CommandLog: it logs a committed transaction and
 // runs onDurable after the record is fsynced (group commit).
-func (m *Manager) Append(proc, key string, args map[string]string, onDurable func(error)) {
+func (m *Manager) Append(proc, key string, args map[string]string, onDurable func(uint64, error)) {
 	m.appended.Add(1)
-	err := m.log.append(&Record{Kind: kindTxn, Proc: proc, Key: key, Args: args}, onDurable)
+	seq := m.seq.Add(1)
+	var cb func(error)
+	if onDurable != nil {
+		cb = func(err error) { onDurable(seq, err) }
+	}
+	err := m.log.append(&Record{Seq: seq, Kind: kindTxn, Proc: proc, Key: key, Args: args}, cb)
 	if err != nil && onDurable != nil {
-		onDurable(err)
+		onDurable(seq, err)
 	}
 }
 
 var _ engine.CommandLog = (*Manager)(nil)
 
+// AppendPut logs a direct row load (cluster.LoadRow through a replication
+// feed). Asynchronous: the record rides the next group commit — bulk
+// preloads must not pay one fsync per row.
+func (m *Manager) AppendPut(table, key string, cols map[string]string) (uint64, error) {
+	m.appended.Add(1)
+	seq := m.seq.Add(1)
+	return seq, m.log.append(&Record{Seq: seq, Kind: kindPut, Tab: table, Key: key, Args: cols}, nil)
+}
+
 // LogBucketOut durably records that the partition handed the bucket to a
 // peer. Synchronous: the handoff is on disk when it returns.
 func (m *Manager) LogBucketOut(bucket int) error {
 	m.appended.Add(1)
-	if err := m.log.append(&Record{Kind: kindBucketOut, Bucket: bucket}, nil); err != nil {
+	seq := m.seq.Add(1)
+	if err := m.log.append(&Record{Seq: seq, Kind: kindBucketOut, Bucket: bucket}, nil); err != nil {
 		return err
 	}
 	return m.log.sync()
@@ -118,7 +146,8 @@ func (m *Manager) LogBucketIn(data *storage.BucketData) error {
 		return err
 	}
 	m.appended.Add(1)
-	if err := m.log.append(&Record{Kind: kindBucketIn, Bucket: data.Bucket, Data: raw}, nil); err != nil {
+	seq := m.seq.Add(1)
+	if err := m.log.append(&Record{Seq: seq, Kind: kindBucketIn, Bucket: data.Bucket, Data: raw}, nil); err != nil {
 		return err
 	}
 	return m.log.sync()
@@ -136,7 +165,7 @@ func (m *Manager) Snapshot(part *storage.Partition) error {
 	if err != nil {
 		return err
 	}
-	if err := writeSnapshot(m.dir, part, seg); err != nil {
+	if err := writeSnapshot(m.dir, part, seg, m.seq.Load()); err != nil {
 		return err
 	}
 	if err := m.log.truncateBefore(seg); err != nil {
@@ -154,12 +183,20 @@ func (m *Manager) Recover(part *storage.Partition, reg *engine.Registry) (Replay
 	if part.ID() != m.part {
 		return stats, fmt.Errorf("durability: manager for partition %d asked to recover partition %d", m.part, part.ID())
 	}
-	fromSeg, found, err := loadSnapshot(m.dir, part)
+	fromSeg, snapSeq, found, err := loadSnapshot(m.dir, part)
 	if err != nil {
 		return stats, err
 	}
 	stats.SnapshotLoaded = found
+	seq := snapSeq
 	err = replaySegments(m.dir, fromSeg, func(rec *Record) error {
+		// Restore the LSN counter. Legacy records without a Seq advance it
+		// by one each, which matches how they would have been stamped.
+		if rec.Seq > 0 {
+			seq = rec.Seq
+		} else {
+			seq++
+		}
 		switch rec.Kind {
 		case kindTxn:
 			if err := engine.ReplayTxn(reg, part, rec.Proc, rec.Key, rec.Args); err != nil {
@@ -201,12 +238,40 @@ func (m *Manager) Recover(part *storage.Partition, reg *engine.Registry) (Replay
 			} else {
 				stats.Skipped++
 			}
+		case kindPut:
+			if !part.OwnsKey(rec.Key) {
+				stats.Skipped++
+				return nil
+			}
+			part.CreateTable(rec.Tab)
+			if err := part.Put(rec.Tab, rec.Key, rec.Args); err != nil {
+				return err
+			}
+			stats.Txns++
 		default:
 			return fmt.Errorf("durability: unknown record kind %d", rec.Kind)
 		}
 		return nil
 	})
+	m.seq.Store(seq)
 	return stats, err
+}
+
+// ReadFrom streams every durable record with Seq > afterSeq, in order, to
+// fn — the replication catch-up path for a replica whose subscription
+// point fell off the feed's in-memory buffer. It tolerates running
+// concurrently with active appends: a torn tail ends the stream silently,
+// exactly like recovery, and the caller bridges any remaining gap from the
+// feed buffer or retries. Records logged before the latest snapshot are
+// gone (truncated); the caller detects the gap from the first record's Seq
+// and falls back to a full snapshot.
+func (m *Manager) ReadFrom(afterSeq uint64, fn func(*Record) error) error {
+	return replaySegments(m.dir, 0, func(rec *Record) error {
+		if rec.Seq <= afterSeq {
+			return nil
+		}
+		return fn(rec)
+	})
 }
 
 func isNotOwnedErr(err error) bool {

@@ -15,7 +15,8 @@ import (
 type snapshotHeader struct {
 	Partition int      `json:"partition"`
 	NBuckets  int      `json:"nbuckets"`
-	Seg       int      `json:"seg"` // first WAL segment to replay after loading
+	Seg       int      `json:"seg"`           // first WAL segment to replay after loading
+	Seq       uint64   `json:"seq,omitempty"` // LSN covered by the snapshot; replay resumes after it
 	Tables    []string `json:"tables"`
 	Buckets   int      `json:"buckets"` // bucket records following the header
 }
@@ -29,11 +30,12 @@ type snapshotHeader struct {
 // writeSnapshot persists the partition's full contents. The caller must
 // hold exclusive access to the partition (the executor's goroutine, or
 // recovery before executors start).
-func writeSnapshot(dir string, part *storage.Partition, seg int) error {
+func writeSnapshot(dir string, part *storage.Partition, seg int, seq uint64) error {
 	hdr := snapshotHeader{
 		Partition: part.ID(),
 		NBuckets:  part.NBuckets(),
 		Seg:       seg,
+		Seq:       seq,
 		Tables:    part.Tables(),
 		Buckets:   len(part.OwnedBuckets()),
 	}
@@ -78,34 +80,34 @@ func writeSnapshot(dir string, part *storage.Partition, seg int) error {
 }
 
 // loadSnapshot restores the latest snapshot in dir into the (empty)
-// partition and returns the WAL segment replay resumes from. With no
-// snapshot present it returns (0, false, nil): replay starts from the
-// beginning of the log.
-func loadSnapshot(dir string, part *storage.Partition) (seg int, found bool, err error) {
+// partition, returning the WAL segment replay resumes from and the LSN the
+// snapshot covers. With no snapshot present it returns (0, 0, false, nil):
+// replay starts from the beginning of the log.
+func loadSnapshot(dir string, part *storage.Partition) (seg int, seq uint64, found bool, err error) {
 	snaps, err := listNumbered(dir, "snap-", ".snap")
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	if len(snaps) == 0 {
-		return 0, false, nil
+		return 0, 0, false, nil
 	}
 	n := snaps[len(snaps)-1]
 	f, err := os.Open(filepath.Join(dir, snapshotName(n)))
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	defer f.Close()
 	dec := json.NewDecoder(bufio.NewReaderSize(f, 1<<16))
 	var hdr snapshotHeader
 	if err := dec.Decode(&hdr); err != nil {
-		return 0, false, fmt.Errorf("durability: snapshot %s header: %w", snapshotName(n), err)
+		return 0, 0, false, fmt.Errorf("durability: snapshot %s header: %w", snapshotName(n), err)
 	}
 	if hdr.Partition != part.ID() {
-		return 0, false, fmt.Errorf("durability: snapshot %s is for partition %d, not %d",
+		return 0, 0, false, fmt.Errorf("durability: snapshot %s is for partition %d, not %d",
 			snapshotName(n), hdr.Partition, part.ID())
 	}
 	if hdr.NBuckets != part.NBuckets() {
-		return 0, false, fmt.Errorf("durability: snapshot %s has %d buckets, cluster has %d",
+		return 0, 0, false, fmt.Errorf("durability: snapshot %s has %d buckets, cluster has %d",
 			snapshotName(n), hdr.NBuckets, part.NBuckets())
 	}
 	for _, t := range hdr.Tables {
@@ -114,14 +116,14 @@ func loadSnapshot(dir string, part *storage.Partition) (seg int, found bool, err
 	for i := 0; i < hdr.Buckets; i++ {
 		var data storage.BucketData
 		if err := dec.Decode(&data); err != nil {
-			return 0, false, fmt.Errorf("durability: snapshot %s bucket %d/%d: %w",
+			return 0, 0, false, fmt.Errorf("durability: snapshot %s bucket %d/%d: %w",
 				snapshotName(n), i+1, hdr.Buckets, err)
 		}
 		if err := part.ApplyBucket(&data); err != nil {
-			return 0, false, err
+			return 0, 0, false, err
 		}
 	}
-	return hdr.Seg, true, nil
+	return hdr.Seg, hdr.Seq, true, nil
 }
 
 // pruneSnapshots removes all snapshots older than keep (a segment number).

@@ -42,13 +42,28 @@ const (
 	kindTxn       = 1 // a committed stored-procedure invocation
 	kindBucketIn  = 2 // bucket received from a peer, full contents inline
 	kindBucketOut = 3 // bucket handed off to a peer
+	kindPut       = 4 // a direct row load (cluster.LoadRow through a feed)
+)
+
+// Exported record kinds for consumers of the tail reader (ReadFrom) — the
+// replication feed re-encodes durable records as ship frames.
+const (
+	KindTxn       = kindTxn
+	KindBucketIn  = kindBucketIn
+	KindBucketOut = kindBucketOut
+	KindPut       = kindPut
 )
 
 // Record is one durable log entry.
 type Record struct {
+	// Seq is the record's log sequence number, contiguous per partition.
+	// It doubles as the replication LSN: a replica subscribed at LSN n can
+	// be caught up from disk by streaming records with Seq > n.
+	Seq  uint64            `json:"s,omitempty"`
 	Kind int               `json:"k"`
 	Proc string            `json:"p,omitempty"`
 	Key  string            `json:"key,omitempty"`
+	Tab  string            `json:"t,omitempty"` // kindPut's table
 	Args map[string]string `json:"a,omitempty"`
 	// Bucket and Data carry migration handoffs (kindBucketIn/kindBucketOut).
 	Bucket int             `json:"b,omitempty"`
@@ -244,8 +259,9 @@ func (l *wal) append(rec *Record, onDurable func(error)) error {
 		l.pending = append(l.pending, onDurable)
 	}
 	if l.opts.syncEvery {
-		err := l.syncLocked()
+		cbs, err := l.syncLocked()
 		l.mu.Unlock()
+		runDurableCbs(cbs, err)
 		return err
 	}
 	full := len(l.pending) >= l.opts.batchSize
@@ -262,14 +278,22 @@ func (l *wal) append(rec *Record, onDurable func(error)) error {
 // sync forces buffered records to stable storage, acking their callbacks.
 func (l *wal) sync() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	return l.syncLocked()
+	cbs, err := l.syncLocked()
+	l.mu.Unlock()
+	runDurableCbs(cbs, err)
+	return err
 }
 
-func (l *wal) syncLocked() error {
+// syncLocked flushes and fsyncs under mu, detaching the pending durable
+// callbacks for the CALLER to run after releasing mu. Callbacks must never
+// run under the log's mutex: a replication feed's callback takes the feed's
+// own lock, which the feed may hold while appending here — running the
+// callback inline would deadlock.
+func (l *wal) syncLocked() ([]func(error), error) {
 	var err error
 	if ferr := l.w.Flush(); ferr != nil {
 		err = ferr
@@ -281,10 +305,14 @@ func (l *wal) syncLocked() error {
 	}
 	cbs := l.pending
 	l.pending = nil
+	return cbs, err
+}
+
+// runDurableCbs delivers a sync's outcome to its detached callbacks.
+func runDurableCbs(cbs []func(error), err error) {
 	for _, cb := range cbs {
 		cb(err)
 	}
-	return err
 }
 
 // committer is the group-commit loop: it syncs on a timer and whenever a
@@ -305,10 +333,13 @@ func (l *wal) committer() {
 			l.mu.Unlock()
 			return
 		}
+		var cbs []func(error)
+		var err error
 		if len(l.pending) > 0 || l.w.Buffered() > 0 {
-			l.syncLocked()
+			cbs, err = l.syncLocked()
 		}
 		l.mu.Unlock()
+		runDurableCbs(cbs, err)
 	}
 }
 
@@ -317,17 +348,21 @@ func (l *wal) committer() {
 // before the returned segment is durable.
 func (l *wal) rotate() (int, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, ErrClosed
 	}
-	if err := l.syncLocked(); err != nil {
+	cbs, err := l.syncLocked()
+	if err == nil {
+		err = l.openSegmentLocked(l.seg + 1)
+	}
+	seg := l.seg
+	l.mu.Unlock()
+	runDurableCbs(cbs, err)
+	if err != nil {
 		return 0, err
 	}
-	if err := l.openSegmentLocked(l.seg + 1); err != nil {
-		return 0, err
-	}
-	return l.seg, nil
+	return seg, nil
 }
 
 // truncateBefore deletes segments numbered below seg (the snapshot
@@ -356,13 +391,15 @@ func (l *wal) close() error {
 	}
 	l.closed = true
 	var err error
+	var cbs []func(error)
 	if !l.crashed {
-		err = l.syncLocked()
+		cbs, err = l.syncLocked()
 		if cerr := l.file.Close(); err == nil {
 			err = cerr
 		}
 	}
 	l.mu.Unlock()
+	runDurableCbs(cbs, err)
 	close(l.stop)
 	<-l.done
 	return err

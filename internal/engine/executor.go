@@ -56,6 +56,12 @@ type Result struct {
 	Out     map[string]string
 	Err     error
 	Latency time.Duration
+	// Partition is the partition that executed the transaction; LSN is the
+	// command-log position of a logged write (zero for reads and for
+	// configurations without a command log). Clients use the pair to track
+	// per-partition read-your-writes sessions against replicas.
+	Partition int
+	LSN       uint64
 }
 
 // Executor runs one partition's work serially: transactions, migration
@@ -159,6 +165,47 @@ func (e *Executor) Stop() {
 	e.drainPrio() // fail any priority task that raced in during shutdown
 }
 
+// Stopped reports whether Stop has been called. It is the failover
+// monitor's fast path: a killed partition's executor reads as stopped
+// immediately, without waiting out a probe timeout.
+func (e *Executor) Stopped() bool {
+	e.stopMu.RLock()
+	defer e.stopMu.RUnlock()
+	return e.stopped
+}
+
+// Healthy probes the executor with a no-op priority task, reporting whether
+// it responded within the timeout. A false answer means the executor is
+// stopped or wedged (hung procedure, frozen goroutine) — the failover
+// monitor's liveness signal. The probe rides the priority lane, so a deep
+// transaction backlog does not read as dead.
+func (e *Executor) Healthy(timeout time.Duration) bool {
+	select {
+	case <-e.done:
+		return false
+	default:
+	}
+	reply := make(chan error, 1)
+	t := task{fn: func(p *storage.Partition) (int, error) { return 0, nil }, fnReply: reply}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case e.prio <- t:
+	case <-e.done:
+		return false
+	case <-timer.C:
+		return false
+	}
+	select {
+	case err := <-reply:
+		return err == nil
+	case <-e.done:
+		return false
+	case <-timer.C:
+		return false
+	}
+}
+
 // drainPrio fails all pending priority tasks with ErrStopped.
 func (e *Executor) drainPrio() {
 	for {
@@ -253,11 +300,13 @@ func isNotOwned(err error) bool {
 }
 
 // ackDurable defers a transaction's reply until its log record is on stable
-// storage. The callback runs on the log's group-commit goroutine.
+// storage. The callback runs on the log's group-commit goroutine (or a
+// replication feed's completion path).
 func (e *Executor) ackDurable(t task, res Result) {
 	started := t.started
 	reply := t.reply
-	e.cfg.Log.Append(t.txn.Proc, t.txn.Key, t.txn.Args, func(logErr error) {
+	e.cfg.Log.Append(t.txn.Proc, t.txn.Key, t.txn.Args, func(lsn uint64, logErr error) {
+		res.LSN = lsn
 		if logErr != nil && res.Err == nil {
 			res.Err = fmt.Errorf("engine: command log append: %w", logErr)
 		}
@@ -274,7 +323,7 @@ func (e *Executor) ackDurable(t task, res Result) {
 func (e *Executor) execTxn(txn *Txn) Result {
 	proc, ok := e.reg.Lookup(txn.Proc)
 	if !ok {
-		return Result{Err: fmt.Errorf("engine: unknown procedure %q", txn.Proc)}
+		return Result{Err: fmt.Errorf("engine: unknown procedure %q", txn.Proc), Partition: e.part.ID()}
 	}
 	txn.dirty = false
 	txn.part = e.part
@@ -285,14 +334,14 @@ func (e *Executor) execTxn(txn *Txn) Result {
 		// The key's bucket is in flight to another partition: the engine
 		// detects this on the index lookup and requeues without doing the
 		// transaction's work, so no service time is charged.
-		return Result{Out: txn.out, Err: err}
+		return Result{Out: txn.out, Err: err, Partition: e.part.ID()}
 	}
 	e.spin(e.cfg.ServiceTime)
 	e.processed.Add(1)
 	if err != nil && IsAbort(err) {
 		e.aborted.Add(1)
 	}
-	return Result{Out: txn.out, Err: err}
+	return Result{Out: txn.out, Err: err, Partition: e.part.ID()}
 }
 
 // safeCall runs a stored procedure, converting a panic into an error so a

@@ -15,8 +15,14 @@ type CommandLog interface {
 	// is invoked exactly once — typically from the group-commit goroutine —
 	// after the record reaches stable storage (nil) or the write fails
 	// (non-nil). The executor defers the client ack into this callback, so
-	// a transaction is never acknowledged before it is durable.
-	Append(proc, key string, args map[string]string, onDurable func(error))
+	// a transaction is never acknowledged before it is durable. lsn is the
+	// record's log sequence number; clients use it to anchor
+	// read-your-writes sessions against replicas. Implementations that ship
+	// the log to replicas (internal/replication) additionally delay the
+	// callback until every live replica has acknowledged lsn — synchronous
+	// k-safety — and may fail the append with a fencing error after the
+	// partition's primaryship moved.
+	Append(proc, key string, args map[string]string, onDurable func(lsn uint64, err error))
 }
 
 // ReplayTxn runs a stored procedure directly against a partition, outside
@@ -42,4 +48,26 @@ func ReplayTxn(reg *Registry, part *storage.Partition, proc, key string, args ma
 		return nil
 	}
 	return err
+}
+
+// ReadOnlyCall runs a stored procedure against a partition outside any
+// executor and returns its output map — the replica read path. The caller
+// must hold whatever lock serializes access to the partition (a replica's
+// apply mutex) and should have put the partition in read-only mode so a
+// mistakenly routed writing procedure fails instead of silently diverging
+// the replica from its primary.
+func ReadOnlyCall(reg *Registry, part *storage.Partition, proc, key string, args map[string]string) (out map[string]string, err error) {
+	p, ok := reg.Lookup(proc)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown procedure %q", proc)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: procedure %q panicked: %v", proc, r)
+		}
+	}()
+	txn := &Txn{Proc: proc, Key: key, Args: args, part: part}
+	err = p(txn)
+	txn.part = nil
+	return txn.out, err
 }

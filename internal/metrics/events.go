@@ -35,6 +35,32 @@ const (
 	// EventDeltaRounds counts delta-drain rounds across all bucket moves;
 	// divided by moves it says how quickly pre-copies converge.
 	EventDeltaRounds = "delta_rounds"
+	// EventReplRecords counts command-log records shipped to replica
+	// subscribers (each record counted once per feed, not per replica).
+	EventReplRecords = "repl_records_shipped"
+	// EventReplFailovers counts primary failures detected and acted on by
+	// the failover monitor.
+	EventReplFailovers = "repl_failovers"
+	// EventReplPromotions counts replicas promoted to primary.
+	EventReplPromotions = "repl_promotions"
+	// EventReplStaleWaits counts session reads that had to wait for a
+	// replica's applied LSN to catch up to the client's session LSN.
+	EventReplStaleWaits = "repl_stale_read_waits"
+	// EventReplicaReads counts read-only transactions served from replicas.
+	EventReplicaReads = "repl_replica_reads"
+	// EventReplFallbackReads counts read-only transactions that fell back to
+	// the primary (no live replica, replica lagging past the stale-read
+	// timeout, or replica mid-resync).
+	EventReplFallbackReads = "repl_fallback_reads"
+	// EventReplResyncs counts replica stream re-subscriptions (reconnects
+	// after a severed stream, snapshot resyncs after falling behind).
+	EventReplResyncs = "repl_resyncs"
+	// EventReplDeposed counts subscribers cut from a feed's ack quorum
+	// (slow, disconnected, or fenced).
+	EventReplDeposed = "repl_deposed_subscribers"
+	// EventReplFencedWrites counts writes rejected because the partition's
+	// feed was fenced by a newer epoch (deposed primary).
+	EventReplFencedWrites = "repl_fenced_writes"
 )
 
 // Events is a registry of named monotonic counters for rare-path

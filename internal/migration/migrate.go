@@ -751,7 +751,7 @@ func (m *Migration) moveBucketOnce(c *cluster.Cluster, mv bucketMove) error {
 		return fmt.Errorf("migration: extracting bucket %d from partition %d: %w", mv.bucket, mv.fromPart, err)
 	}
 	c.SetOwner(mv.bucket, mv.toPart)
-	dstMgr := c.DurabilityOf(mv.toPart)
+	dstMgr := c.HandoffOf(mv.toPart)
 	if hook := m.opts.FaultHook; hook != nil {
 		// Second injection site: the bucket is extracted and routing points
 		// at the destination — a failure here must roll back.
@@ -786,7 +786,7 @@ func (m *Migration) moveBucketOnce(c *cluster.Cluster, mv bucketMove) error {
 	m.markMoved(mv.bucket)
 	m.movedBuckets.Add(1)
 	m.movedRows.Add(int64(data.RowCount()))
-	if srcMgr := c.DurabilityOf(mv.fromPart); srcMgr != nil {
+	if srcMgr := c.HandoffOf(mv.fromPart); srcMgr != nil {
 		if err := srcMgr.LogBucketOut(mv.bucket); err != nil {
 			return fmt.Errorf("%w: logging bucket %d out of partition %d: %w",
 				errRollbackFailed, mv.bucket, mv.fromPart, err)

@@ -1,0 +1,588 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+
+	"pstore/internal/durability"
+	"pstore/internal/metrics"
+	"pstore/internal/storage"
+)
+
+// Snapshot is a consistent cut of a partition at one LSN, used to seed a
+// replica that cannot be caught up incrementally.
+type Snapshot struct {
+	Tables  []string
+	Buckets []*storage.BucketData
+	LSN     uint64
+	Epoch   uint64
+}
+
+// SnapshotFunc produces a consistent snapshot of the feed's partition at
+// its current LSN. The cluster wires it to run inside the partition
+// executor's exclusive section, so the cut never interleaves with appends.
+type SnapshotFunc func() (*Snapshot, error)
+
+// Feed is the primary side of one partition's replication: it implements
+// engine.CommandLog, assigns LSNs, chains records to the partition's
+// durability manager (when one exists), retains a bounded tail of encoded
+// records for catch-up and fans them out to subscribers.
+//
+// A transaction's onDurable callback fires only once the record is locally
+// durable AND every live subscriber has acked its LSN — synchronous
+// k-safety. With zero live subscribers the feed degrades to local
+// durability alone (availability over redundancy; the failover monitor
+// restores k in the background).
+//
+// Lock order: appendMu > mu > inner's locks. appendMu serializes LSN
+// assignment with the inner manager's sequence counter so LSN == seq always
+// holds; mu guards feed state and is never held across an inner call or a
+// caller-visible callback.
+type Feed struct {
+	part   int
+	inner  *durability.Manager // may be nil: in-memory cluster
+	opts   Options
+	events *metrics.Events
+
+	appendMu sync.Mutex
+
+	mu      sync.Mutex
+	lsn     uint64 // last assigned LSN
+	epoch   uint64
+	fenced  bool
+	closed  bool
+	durable uint64 // highest locally durable LSN
+
+	buf      [][]byte // encoded frames for LSNs [bufStart, bufStart+len)
+	bufStart uint64
+
+	subs    map[*Subscriber]struct{}
+	waiters []*waiter
+	snapFn  SnapshotFunc
+}
+
+type waiter struct {
+	lsn       uint64
+	fn        func(uint64, error)
+	localDone bool
+	localErr  error
+}
+
+type completion struct {
+	fn  func(uint64, error)
+	lsn uint64
+	err error
+}
+
+// NewFeed creates a feed for the partition at the given epoch, continuing
+// the LSN space after startLSN. inner may be nil (no on-disk durability);
+// when set, its sequence counter must equal startLSN — the feed keeps the
+// two aligned from then on.
+func NewFeed(part int, inner *durability.Manager, epoch, startLSN uint64, opts Options, events *metrics.Events) *Feed {
+	if epoch == 0 {
+		epoch = 1
+	}
+	return &Feed{
+		part:     part,
+		inner:    inner,
+		opts:     opts.Normalized(),
+		events:   events,
+		lsn:      startLSN,
+		epoch:    epoch,
+		bufStart: startLSN + 1,
+		subs:     make(map[*Subscriber]struct{}),
+	}
+}
+
+// Partition returns the feed's partition ID.
+func (f *Feed) Partition() int { return f.part }
+
+// LSN returns the last assigned log sequence number.
+func (f *Feed) LSN() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lsn
+}
+
+// Epoch returns the feed's epoch.
+func (f *Feed) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Horizon returns the replication horizon: the highest LSN acked by every
+// live subscriber (the feed head when none are live). Everything at or
+// below it survives any single-primary failure.
+func (f *Feed) Horizon() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.lsn
+	for s := range f.subs {
+		if s.live && s.acked < h {
+			h = s.acked
+		}
+	}
+	return h
+}
+
+// Subscribers returns (live, total) subscriber counts.
+func (f *Feed) Subscribers() (live, total int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for s := range f.subs {
+		if s.live {
+			live++
+		}
+	}
+	return live, len(f.subs)
+}
+
+// SetSnapshotFunc installs the consistent-cut provider used for full
+// resyncs. Must be set before the first subscriber attaches.
+func (f *Feed) SetSnapshotFunc(fn SnapshotFunc) {
+	f.mu.Lock()
+	f.snapFn = fn
+	f.mu.Unlock()
+}
+
+// Append implements engine.CommandLog: it ships the committed command to
+// subscribers and defers onDurable until the record is locally durable and
+// replica-acked.
+func (f *Feed) Append(proc, key string, args map[string]string, onDurable func(uint64, error)) {
+	f.appendMu.Lock()
+	f.mu.Lock()
+	if err := f.unusableLocked(); err != nil {
+		f.mu.Unlock()
+		f.appendMu.Unlock()
+		f.events.Add(metrics.EventReplFencedWrites, 1)
+		if onDurable != nil {
+			onDurable(0, err)
+		}
+		return
+	}
+	f.lsn++
+	lsn := f.lsn
+	// Encode immediately: args aliases a pooled map the engine reuses after
+	// the ack, so the feed must not retain it.
+	frame := appendRecord(nil, &Record{LSN: lsn, Epoch: f.epoch, Kind: RecTxn, Proc: proc, Key: key, Args: args})
+	f.publishLocked(lsn, frame)
+	if onDurable != nil {
+		f.waiters = append(f.waiters, &waiter{lsn: lsn, fn: onDurable})
+	}
+	f.mu.Unlock()
+
+	if f.inner != nil {
+		// Still under appendMu: the inner manager assigns seq == lsn.
+		f.inner.Append(proc, key, args, func(_ uint64, err error) { f.localDurable(lsn, err) })
+		f.appendMu.Unlock()
+		return
+	}
+	f.appendMu.Unlock()
+	f.localDurable(lsn, nil)
+}
+
+// LogPut ships a direct row load (cluster.LoadRow). Asynchronous: bulk
+// preloads must not block on per-row replica acks; ordering alone keeps
+// replicas consistent.
+func (f *Feed) LogPut(table, key string, cols map[string]string) error {
+	f.appendMu.Lock()
+	f.mu.Lock()
+	if err := f.unusableLocked(); err != nil {
+		f.mu.Unlock()
+		f.appendMu.Unlock()
+		return err
+	}
+	f.lsn++
+	lsn := f.lsn
+	frame := appendRecord(nil, &Record{LSN: lsn, Epoch: f.epoch, Kind: RecPut, Tab: table, Key: key, Args: cols})
+	f.publishLocked(lsn, frame)
+	f.mu.Unlock()
+	var err error
+	if f.inner != nil {
+		_, err = f.inner.AppendPut(table, key, cols)
+	}
+	f.appendMu.Unlock()
+	if f.inner == nil {
+		f.localDurable(lsn, nil)
+	}
+	return err
+}
+
+// LogBucketIn ships a migration bucket handoff (receive side), chaining to
+// the durability manager's synchronous bucket-in record.
+func (f *Feed) LogBucketIn(data *storage.BucketData) error {
+	f.appendMu.Lock()
+	f.mu.Lock()
+	if err := f.unusableLocked(); err != nil {
+		f.mu.Unlock()
+		f.appendMu.Unlock()
+		return err
+	}
+	f.lsn++
+	lsn := f.lsn
+	frame := appendRecord(nil, &Record{LSN: lsn, Epoch: f.epoch, Kind: RecBucketIn, Bucket: data.Bucket, Data: data})
+	f.publishLocked(lsn, frame)
+	f.mu.Unlock()
+	var err error
+	if f.inner != nil {
+		err = f.inner.LogBucketIn(data)
+	}
+	f.appendMu.Unlock()
+	if f.inner == nil {
+		f.localDurable(lsn, nil)
+	}
+	return err
+}
+
+// LogBucketOut ships a migration bucket handoff (send side).
+func (f *Feed) LogBucketOut(bucket int) error {
+	f.appendMu.Lock()
+	f.mu.Lock()
+	if err := f.unusableLocked(); err != nil {
+		f.mu.Unlock()
+		f.appendMu.Unlock()
+		return err
+	}
+	f.lsn++
+	lsn := f.lsn
+	frame := appendRecord(nil, &Record{LSN: lsn, Epoch: f.epoch, Kind: RecBucketOut, Bucket: bucket})
+	f.publishLocked(lsn, frame)
+	f.mu.Unlock()
+	var err error
+	if f.inner != nil {
+		err = f.inner.LogBucketOut(bucket)
+	}
+	f.appendMu.Unlock()
+	if f.inner == nil {
+		f.localDurable(lsn, nil)
+	}
+	return err
+}
+
+func (f *Feed) unusableLocked() error {
+	if f.closed {
+		return ErrClosed
+	}
+	if f.fenced {
+		return ErrFenced
+	}
+	return nil
+}
+
+// publishLocked adds the encoded frame to the retained tail and every
+// subscriber queue. A subscriber whose queue is full cannot keep up within
+// the retained window and is deposed — it will resync.
+func (f *Feed) publishLocked(lsn uint64, frame []byte) {
+	f.buf = append(f.buf, frame)
+	if len(f.buf) > f.opts.MaxBuffer {
+		drop := len(f.buf) - f.opts.MaxBuffer
+		f.buf = append(f.buf[:0], f.buf[drop:]...)
+		f.bufStart += uint64(drop)
+	}
+	f.events.Add(metrics.EventReplRecords, 1)
+	for s := range f.subs { //pstore:ignore determinism — every subscriber gets the same frame on its own queue; delivery order across subscribers is unobservable
+		select {
+		case s.q <- frame:
+		default:
+			f.deposeLocked(s)
+		}
+	}
+	_ = lsn
+}
+
+// localDurable marks lsn locally durable and completes any waiters whose
+// replica acks are already in. Runs on the group-commit goroutine (or the
+// appender itself when there is no inner log).
+func (f *Feed) localDurable(lsn uint64, err error) {
+	f.mu.Lock()
+	if err == nil && lsn > f.durable {
+		f.durable = lsn
+	}
+	for _, w := range f.waiters {
+		if w.lsn == lsn {
+			w.localDone = true
+			w.localErr = err
+			break
+		}
+	}
+	comps := f.completableLocked()
+	f.mu.Unlock()
+	runCompletions(comps)
+}
+
+// completableLocked detaches every waiter that can complete now: locally
+// failed ones complete immediately with their error; locally durable ones
+// complete once every live subscriber has acked their LSN (trivially true
+// with no live subscribers).
+func (f *Feed) completableLocked() []completion {
+	if len(f.waiters) == 0 {
+		return nil
+	}
+	var out []completion
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		switch {
+		case w.localDone && w.localErr != nil:
+			out = append(out, completion{w.fn, w.lsn, w.localErr})
+		case w.localDone && f.ackedCoverLocked(w.lsn):
+			out = append(out, completion{w.fn, w.lsn, nil})
+		default:
+			kept = append(kept, w)
+		}
+	}
+	f.waiters = kept
+	return out
+}
+
+func (f *Feed) ackedCoverLocked(lsn uint64) bool {
+	for s := range f.subs {
+		if s.live && s.acked < lsn {
+			return false
+		}
+	}
+	return true
+}
+
+func runCompletions(comps []completion) {
+	for _, c := range comps {
+		c.fn(c.lsn, c.err)
+	}
+}
+
+// Fence rejects all future appends and fails every in-flight waiter with
+// ErrFenced: the partition's primaryship has moved to a higher epoch, so
+// nothing this feed holds may ever be acknowledged. Subscribers are deposed
+// — they must resubscribe to the new primary's feed.
+func (f *Feed) Fence() {
+	f.mu.Lock()
+	f.fenced = true
+	var comps []completion
+	for _, w := range f.waiters {
+		comps = append(comps, completion{w.fn, 0, ErrFenced})
+	}
+	f.waiters = nil
+	for s := range f.subs {
+		f.deposeLocked(s)
+	}
+	f.mu.Unlock()
+	runCompletions(comps)
+}
+
+// Close shuts the feed down, failing in-flight waiters with ErrClosed and
+// deposing subscribers. Idempotent.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	var comps []completion
+	for _, w := range f.waiters {
+		comps = append(comps, completion{w.fn, 0, ErrClosed})
+	}
+	f.waiters = nil
+	for s := range f.subs {
+		f.deposeLocked(s)
+	}
+	f.mu.Unlock()
+	runCompletions(comps)
+}
+
+// Subscriber is one attached replica stream. The hub reads frames from
+// Frames and forwards acks via Ack; Gone closes when the feed deposed the
+// subscriber (too slow, fenced, or feed closed).
+type Subscriber struct {
+	f        *Feed
+	q        chan []byte
+	gone     chan struct{}
+	goneOnce sync.Once
+
+	// Guarded by f.mu.
+	acked   uint64
+	live    bool
+	joinLSN uint64
+}
+
+// Frames returns the subscriber's record stream.
+func (s *Subscriber) Frames() <-chan []byte { return s.q }
+
+// Gone closes when the subscriber has been cut from the feed.
+func (s *Subscriber) Gone() <-chan struct{} { return s.gone }
+
+// Ack records that the replica has applied everything through lsn. The
+// first ack at or past the subscriber's join point adds it to the ack
+// quorum — joins are pause-less: a catching-up replica never gates writes.
+func (s *Subscriber) Ack(lsn uint64) {
+	f := s.f
+	f.mu.Lock()
+	if lsn > s.acked {
+		s.acked = lsn
+	}
+	if !s.live {
+		if _, attached := f.subs[s]; attached && s.acked >= s.joinLSN {
+			s.live = true
+		}
+	}
+	comps := f.completableLocked()
+	f.mu.Unlock()
+	runCompletions(comps)
+}
+
+// Acked returns the subscriber's ack watermark.
+func (s *Subscriber) Acked() uint64 {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	return s.acked
+}
+
+// Close detaches the subscriber from the feed (connection closed).
+func (s *Subscriber) Close() {
+	f := s.f
+	f.mu.Lock()
+	if _, ok := f.subs[s]; ok {
+		f.deposeLocked(s)
+	}
+	comps := f.completableLocked()
+	f.mu.Unlock()
+	runCompletions(comps)
+}
+
+// deposeLocked cuts the subscriber from the feed and its ack quorum.
+func (f *Feed) deposeLocked(s *Subscriber) {
+	delete(f.subs, s)
+	s.live = false
+	s.goneOnce.Do(func() { close(s.gone) })
+	f.events.Add(metrics.EventReplDeposed, 1)
+}
+
+// Attachment is the result of subscribing to a feed: the live Subscriber
+// plus whatever the replica needs first — a full Snapshot (resync) or a
+// Catchup batch of encoded frames contiguous with the live queue.
+type Attachment struct {
+	Sub      *Subscriber
+	Epoch    uint64
+	StartLSN uint64 // the replica resumes applying after this LSN
+	Snapshot *Snapshot
+	Catchup  [][]byte
+}
+
+// Attach subscribes a replica that has applied through fromLSN at
+// fromEpoch. The feed picks the cheapest correct seeding: the in-memory
+// tail when it covers fromLSN+1, a disk read through the durability tail
+// reader when not, and a full snapshot when the replica's history is
+// unusable (older epoch, ahead of the feed, or the log has been truncated
+// past its position).
+func (f *Feed) Attach(fromLSN, fromEpoch uint64) (*Attachment, error) {
+	f.mu.Lock()
+	if f.closed || f.fenced {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if fromEpoch > f.epoch {
+		f.mu.Unlock()
+		return nil, errStaleEpoch
+	}
+	// A replica from an older epoch may have applied unacked records the
+	// new primary never had; its prefix is not trustworthy. Same if it
+	// claims to be ahead of the feed. Both resync from a snapshot.
+	needSnapshot := fromEpoch != f.epoch || fromLSN > f.lsn
+	if !needSnapshot && fromLSN+1 >= f.bufStart {
+		att := f.attachLocked(fromLSN)
+		f.mu.Unlock()
+		return att, nil
+	}
+	snapFn := f.snapFn
+	bufStart := f.bufStart
+	f.mu.Unlock()
+
+	if !needSnapshot && f.inner != nil {
+		// One disk pass narrows the gap; if the tail reader ends inside the
+		// retained window the attach below is incremental.
+		frames, last, err := f.diskCatchup(fromLSN)
+		if err == nil && last >= bufStart-1 {
+			f.mu.Lock()
+			if f.closed || f.fenced {
+				f.mu.Unlock()
+				return nil, ErrClosed
+			}
+			if last+1 >= f.bufStart && last <= f.lsn {
+				att := f.attachLocked(last)
+				att.Catchup = append(frames, att.Catchup...)
+				att.StartLSN = fromLSN
+				f.mu.Unlock()
+				return att, nil
+			}
+			f.mu.Unlock()
+		}
+	}
+
+	// Full resync.
+	if snapFn == nil {
+		return nil, fmt.Errorf("replication: partition %d: no snapshot provider for resync", f.part)
+	}
+	f.events.Add(metrics.EventReplResyncs, 1)
+	snap, err := snapFn()
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if f.closed || f.fenced {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if snap.LSN+1 < f.bufStart || snap.LSN > f.lsn {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("replication: partition %d: snapshot cut %d outside retained window [%d,%d]",
+			f.part, snap.LSN, f.bufStart, f.lsn)
+	}
+	att := f.attachLocked(snap.LSN)
+	att.Snapshot = snap
+	f.mu.Unlock()
+	return att, nil
+}
+
+// attachLocked registers a subscriber that has (or will have, via the
+// returned catch-up/snapshot) applied through fromLSN, and hands back the
+// retained frames bridging fromLSN to the live queue.
+func (f *Feed) attachLocked(fromLSN uint64) *Attachment {
+	s := &Subscriber{
+		f:       f,
+		q:       make(chan []byte, f.opts.MaxBuffer),
+		gone:    make(chan struct{}),
+		acked:   fromLSN,
+		joinLSN: f.lsn,
+	}
+	if s.acked >= s.joinLSN {
+		s.live = true
+	}
+	f.subs[s] = struct{}{}
+	var catchup [][]byte
+	if fromLSN < f.lsn {
+		catchup = append(catchup, f.buf[fromLSN+1-f.bufStart:]...)
+	}
+	return &Attachment{Sub: s, Epoch: f.epoch, StartLSN: fromLSN, Catchup: catchup}
+}
+
+// diskCatchup re-encodes durable records after fromLSN as ship frames.
+func (f *Feed) diskCatchup(fromLSN uint64) (frames [][]byte, last uint64, err error) {
+	last = fromLSN
+	epoch := f.Epoch()
+	err = f.inner.ReadFrom(fromLSN, func(rec *durability.Record) error {
+		srec, cerr := fromDurable(rec, epoch)
+		if cerr != nil {
+			return cerr
+		}
+		if srec.LSN != last+1 {
+			return fmt.Errorf("replication: disk catch-up gap: have %d, next record %d", last, srec.LSN)
+		}
+		frames = append(frames, appendRecord(nil, srec))
+		last = srec.LSN
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return frames, last, nil
+}

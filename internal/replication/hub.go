@@ -1,0 +1,433 @@
+package replication
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pstore/internal/metrics"
+	"pstore/internal/storage"
+)
+
+// Hub is the log-shipping server: replicas dial in, subscribe to a
+// partition's feed and stream records; acks flow back on the same
+// connection and advance the feed's replication horizon. One hub serves
+// every partition a process hosts.
+type Hub struct {
+	opts   Options
+	events *metrics.Events
+
+	mu     sync.Mutex
+	feeds  map[int]*Feed
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wrap   func(net.Conn) net.Conn
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewHub creates a hub with no feeds registered.
+func NewHub(opts Options, events *metrics.Events) *Hub {
+	return &Hub{opts: opts.Normalized(), events: events, feeds: make(map[int]*Feed), conns: make(map[net.Conn]struct{})}
+}
+
+// Register installs (or replaces, after a failover) the partition's feed.
+func (h *Hub) Register(part int, f *Feed) {
+	h.mu.Lock()
+	h.feeds[part] = f
+	h.mu.Unlock()
+}
+
+// Deregister removes the partition's feed; new subscribers are refused.
+func (h *Hub) Deregister(part int) {
+	h.mu.Lock()
+	delete(h.feeds, part)
+	h.mu.Unlock()
+}
+
+// SetConnWrapper installs a connection wrapper (fault injection). Applies
+// to connections accepted after the call.
+func (h *Hub) SetConnWrapper(wrap func(net.Conn) net.Conn) {
+	h.mu.Lock()
+	h.wrap = wrap
+	h.mu.Unlock()
+}
+
+// Listen binds the hub and starts accepting subscribers.
+func (h *Hub) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	h.ln = ln
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go h.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the hub's bound address ("" before Listen).
+func (h *Hub) Addr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ln == nil {
+		return ""
+	}
+	return h.ln.Addr().String()
+}
+
+// Close stops the listener and severs every subscriber connection.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	ln := h.ln
+	conns := make([]net.Conn, 0, len(h.conns))
+	for c := range h.conns { //pstore:ignore determinism — shutdown sever-list; every conn is closed, order is unobservable
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	h.wg.Wait()
+}
+
+func (h *Hub) acceptLoop(ln net.Listener) {
+	defer h.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if h.wrap != nil {
+			conn = h.wrap(conn)
+		}
+		h.conns[conn] = struct{}{}
+		h.mu.Unlock()
+		h.wg.Add(1)
+		go h.serveConn(conn)
+	}
+}
+
+func (h *Hub) dropConn(conn net.Conn) {
+	conn.Close()
+	h.mu.Lock()
+	delete(h.conns, conn)
+	h.mu.Unlock()
+}
+
+// serveConn handles one subscriber: subscribe → seeding (snapshot or
+// catch-up frames) → live stream, with an ack reader on the side.
+func (h *Hub) serveConn(conn net.Conn) {
+	defer h.wg.Done()
+	defer h.dropConn(conn)
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	conn.SetReadDeadline(time.Now().Add(h.opts.DialTimeout)) //pstore:ignore seeddiscipline — I/O deadline arming, not a decision path
+	var rbuf []byte
+	payload, err := readShipFrame(br, &rbuf)
+	if err != nil {
+		return
+	}
+	part, fromLSN, fromEpoch, err := decodeSubscribe(payload)
+	if err != nil {
+		return
+	}
+
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	h.mu.Lock()
+	feed, ok := h.feeds[part]
+	h.mu.Unlock()
+	if !ok {
+		writeErrorFrame(conn, bw, fmt.Sprintf("no feed for partition %d", part), h.opts.AckTimeout)
+		return
+	}
+	att, err := feed.Attach(fromLSN, fromEpoch)
+	if err != nil {
+		writeErrorFrame(conn, bw, err.Error(), h.opts.AckTimeout)
+		return
+	}
+	defer att.Sub.Close()
+
+	// Acks ride the same conn: a reader goroutine forwards them to the
+	// subscriber. Its read deadline doubles as the liveness check — the
+	// tail keepalives well inside AckTimeout, so a silent peer means a
+	// dead or wedged replica and the connection is severed (the feed
+	// deposes the subscriber via defer above, unblocking writers).
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		defer conn.Close()
+		var abuf []byte
+		for {
+			conn.SetReadDeadline(time.Now().Add(h.opts.AckTimeout)) //pstore:ignore seeddiscipline — I/O deadline arming, not a decision path
+			payload, err := readShipFrame(br, &abuf)
+			if err != nil {
+				return
+			}
+			lsn, err := decodeAck(payload)
+			if err != nil {
+				return
+			}
+			att.Sub.Ack(lsn)
+		}
+	}()
+
+	if !h.writeSeeding(conn, bw, att) {
+		return
+	}
+	h.streamLive(conn, bw, att)
+}
+
+// writeSeeding sends the hello plus snapshot/catch-up frames.
+func (h *Hub) writeSeeding(conn net.Conn, bw *bufio.Writer, att *Attachment) bool {
+	armWriteDeadline(conn, h.opts.AckTimeout)
+	bw.Write(encodeHello(att))
+	if att.Snapshot != nil {
+		for _, b := range att.Snapshot.Buckets {
+			armWriteDeadline(conn, h.opts.AckTimeout)
+			bw.Write(encodeBucketFrame(b))
+			if bw.Available() == 0 {
+				if bw.Flush() != nil {
+					return false
+				}
+			}
+		}
+	}
+	for _, frame := range att.Catchup {
+		armWriteDeadline(conn, h.opts.AckTimeout)
+		if _, err := bw.Write(frame); err != nil {
+			return false
+		}
+	}
+	return bw.Flush() == nil
+}
+
+// streamLive forwards the subscriber's live queue until the connection or
+// the subscription dies. Flushes at queue-drain boundaries so a burst of
+// records pays one syscall.
+func (h *Hub) streamLive(conn net.Conn, bw *bufio.Writer, att *Attachment) {
+	frames := att.Sub.Frames()
+	gone := att.Sub.Gone()
+	for {
+		var frame []byte
+		select {
+		case frame = <-frames:
+		case <-gone:
+			return
+		}
+		for {
+			armWriteDeadline(conn, h.opts.AckTimeout)
+			if _, err := bw.Write(frame); err != nil {
+				return
+			}
+			select {
+			case frame = <-frames:
+				continue
+			default:
+			}
+			break
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+func armWriteDeadline(conn net.Conn, d time.Duration) {
+	conn.SetWriteDeadline(time.Now().Add(d)) //pstore:ignore seeddiscipline — I/O deadline arming, not a decision path
+}
+
+func writeErrorFrame(conn net.Conn, bw *bufio.Writer, msg string, timeout time.Duration) {
+	armWriteDeadline(conn, timeout)
+	bw.Write(encodeErrorFrame(msg))
+	bw.Flush()
+}
+
+// ---- ship-stream message encoding ----
+
+func frame(payload []byte) []byte {
+	out := appendUvarint(make([]byte, 0, len(payload)+4), uint64(len(payload)))
+	return append(out, payload...)
+}
+
+func encodeSubscribe(part int, fromLSN, fromEpoch uint64) []byte {
+	p := []byte{msgSubscribe}
+	p = appendUvarint(p, uint64(part))
+	p = appendUvarint(p, fromLSN)
+	p = appendUvarint(p, fromEpoch)
+	return frame(p)
+}
+
+func decodeSubscribe(payload []byte) (part int, fromLSN, fromEpoch uint64, err error) {
+	r := reader{data: payload}
+	kind, err := r.byte()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if kind != msgSubscribe {
+		return 0, 0, 0, fmt.Errorf("replication: expected subscribe, got message kind %d", kind)
+	}
+	pv, err := r.uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if fromLSN, err = r.uvarint(); err != nil {
+		return 0, 0, 0, err
+	}
+	if fromEpoch, err = r.uvarint(); err != nil {
+		return 0, 0, 0, err
+	}
+	return int(pv), fromLSN, fromEpoch, r.done()
+}
+
+func encodeHello(att *Attachment) []byte {
+	p := []byte{msgHello}
+	p = appendUvarint(p, att.Epoch)
+	p = appendUvarint(p, att.StartLSN)
+	if att.Snapshot == nil {
+		p = append(p, 0)
+		return frame(p)
+	}
+	p = append(p, 1)
+	p = appendUvarint(p, uint64(len(att.Snapshot.Tables)))
+	for _, t := range att.Snapshot.Tables {
+		p = appendString(p, t)
+	}
+	p = appendUvarint(p, uint64(len(att.Snapshot.Buckets)))
+	return frame(p)
+}
+
+// helloMsg is the decoded hub greeting.
+type helloMsg struct {
+	Epoch    uint64
+	StartLSN uint64
+	Snapshot bool
+	Tables   []string
+	NBuckets int
+}
+
+func decodeHello(payload []byte) (*helloMsg, error) {
+	r := reader{data: payload}
+	kind, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind == msgError {
+		msg, merr := r.string()
+		if merr != nil {
+			return nil, merr
+		}
+		return nil, fmt.Errorf("replication: hub refused subscription: %s", msg)
+	}
+	if kind != msgHello {
+		return nil, fmt.Errorf("replication: expected hello, got message kind %d", kind)
+	}
+	h := &helloMsg{}
+	if h.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if h.StartLSN, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	snap, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if snap == 0 {
+		return h, r.done()
+	}
+	h.Snapshot = true
+	nt, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nt > uint64(len(r.data)) {
+		return nil, errShipTruncated
+	}
+	for i := uint64(0); i < nt; i++ {
+		t, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		h.Tables = append(h.Tables, t)
+	}
+	nb, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	h.NBuckets = int(nb)
+	return h, r.done()
+}
+
+func encodeBucketFrame(b *storage.BucketData) []byte {
+	p := []byte{msgBucket}
+	p = appendBucketData(p, b)
+	return frame(p)
+}
+
+func decodeBucketFrame(payload []byte) (*storage.BucketData, error) {
+	r := reader{data: payload}
+	kind, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind != msgBucket {
+		return nil, fmt.Errorf("replication: expected snapshot bucket, got message kind %d", kind)
+	}
+	d, err := r.bucketData()
+	if err != nil {
+		return nil, err
+	}
+	return d, r.done()
+}
+
+func encodeErrorFrame(msg string) []byte {
+	p := []byte{msgError}
+	p = appendString(p, msg)
+	return frame(p)
+}
+
+func encodeAck(lsn uint64) []byte {
+	p := []byte{msgAck}
+	p = appendUvarint(p, lsn)
+	return frame(p)
+}
+
+func decodeAck(payload []byte) (uint64, error) {
+	r := reader{data: payload}
+	kind, err := r.byte()
+	if err != nil {
+		return 0, err
+	}
+	if kind != msgAck {
+		return 0, fmt.Errorf("replication: expected ack, got message kind %d", kind)
+	}
+	lsn, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return lsn, r.done()
+}

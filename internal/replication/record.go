@@ -1,0 +1,362 @@
+package replication
+
+//pstore:deterministic — shipped records are replayed on replicas and
+// compared byte-for-byte across runs; map iteration order must not leak
+// into the encoding.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+
+	"pstore/internal/durability"
+	"pstore/internal/storage"
+)
+
+// Record kinds. They mirror the durability log's kinds, plus RecPut for
+// bulk loads shipped outside stored procedures.
+const (
+	RecTxn       byte = 1 // a committed stored-procedure invocation
+	RecBucketIn  byte = 2 // bucket received in a migration handoff, contents inline
+	RecBucketOut byte = 3 // bucket handed off to a peer
+	RecPut       byte = 4 // a direct row load (cluster.LoadRow)
+)
+
+// Ship-stream message kinds, kept disjoint from record kinds so a frame's
+// first byte always identifies it.
+const (
+	msgSubscribe byte = 100 // replica → hub: part, epoch, fromLSN
+	msgHello     byte = 101 // hub → replica: epoch, startLSN, optional snapshot header
+	msgError     byte = 102 // hub → replica: refusal with reason
+	msgBucket    byte = 103 // hub → replica: one snapshot bucket
+	msgAck       byte = 104 // replica → hub: applied LSN
+)
+
+// Record is one shipped command-log entry. A replica applying records in
+// LSN order reconstructs the primary's partition exactly.
+type Record struct {
+	LSN   uint64
+	Epoch uint64
+	Kind  byte
+
+	Proc string            // RecTxn
+	Key  string            // RecTxn, RecPut
+	Args map[string]string // RecTxn args; RecPut columns
+	Tab  string            // RecPut table
+
+	Bucket int                 // RecBucketIn, RecBucketOut
+	Data   *storage.BucketData // RecBucketIn
+}
+
+// maxShipFrame bounds a single shipped frame; a corrupt length prefix is
+// rejected before any allocation.
+const maxShipFrame = 64 << 20
+
+// Codec errors. Torn or truncated frames must fail loudly — a replica that
+// silently mis-decoded a record would diverge.
+var (
+	errShipTruncated = errors.New("replication: truncated record payload")
+	errShipTrailing  = errors.New("replication: trailing bytes after record")
+	errShipTooLarge  = errors.New("replication: frame exceeds size limit")
+)
+
+func appendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendStringMap writes a count-prefixed map in sorted key order so the
+// same map always encodes to the same bytes.
+func appendStringMap(buf []byte, m map[string]string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	var arr [16]string
+	keys := arr[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		buf = appendString(buf, k)
+		buf = appendString(buf, m[k])
+	}
+	return buf
+}
+
+// appendBucketData writes one bucket's rows with tables and rows sorted, so
+// two replicas encoding identical state produce identical bytes.
+func appendBucketData(buf []byte, d *storage.BucketData) []byte {
+	buf = appendUvarint(buf, uint64(d.Bucket))
+	names := make([]string, 0, len(d.Tables))
+	for name := range d.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = appendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		rows := append([]storage.Row(nil), d.Tables[name]...)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+		buf = appendString(buf, name)
+		buf = appendUvarint(buf, uint64(len(rows)))
+		for _, r := range rows {
+			buf = appendString(buf, r.Key)
+			buf = appendStringMap(buf, r.Cols)
+		}
+	}
+	return buf
+}
+
+// fromDurable converts a durable log record into a ship record at the
+// feed's current epoch — the disk catch-up path re-shipping committed
+// history to a lagging replica.
+func fromDurable(rec *durability.Record, epoch uint64) (*Record, error) {
+	out := &Record{LSN: rec.Seq, Epoch: epoch}
+	switch rec.Kind {
+	case durability.KindTxn:
+		out.Kind = RecTxn
+		out.Proc, out.Key, out.Args = rec.Proc, rec.Key, rec.Args
+	case durability.KindPut:
+		out.Kind = RecPut
+		out.Tab, out.Key, out.Args = rec.Tab, rec.Key, rec.Args
+	case durability.KindBucketOut:
+		out.Kind = RecBucketOut
+		out.Bucket = rec.Bucket
+	case durability.KindBucketIn:
+		out.Kind = RecBucketIn
+		var data storage.BucketData
+		if err := json.Unmarshal(rec.Data, &data); err != nil {
+			return nil, fmt.Errorf("replication: durable bucket-in record: %w", err)
+		}
+		out.Bucket, out.Data = data.Bucket, &data
+	default:
+		return nil, fmt.Errorf("replication: unknown durable record kind %d", rec.Kind)
+	}
+	return out, nil
+}
+
+// reader tracks a decode position inside one payload.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errShipTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, errShipTruncated
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return "", errShipTruncated
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) stringMap() (map[string]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos)/2 {
+		return nil, errShipTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+func (r *reader) bucketData() (*storage.BucketData, error) {
+	b, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nt, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nt > uint64(len(r.data)-r.pos) {
+		return nil, errShipTruncated
+	}
+	d := &storage.BucketData{Bucket: int(b), Tables: make(map[string][]storage.Row, nt)}
+	for i := uint64(0); i < nt; i++ {
+		name, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		nr, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nr > uint64(len(r.data)-r.pos) {
+			return nil, errShipTruncated
+		}
+		rows := make([]storage.Row, 0, nr)
+		for j := uint64(0); j < nr; j++ {
+			key, err := r.string()
+			if err != nil {
+				return nil, err
+			}
+			cols, err := r.stringMap()
+			if err != nil {
+				return nil, err
+			}
+			if cols == nil {
+				cols = map[string]string{}
+			}
+			rows = append(rows, storage.Row{Key: key, Cols: cols})
+		}
+		d.Tables[name] = rows
+	}
+	return d, nil
+}
+
+func (r *reader) done() error {
+	if r.pos != len(r.data) {
+		return errShipTrailing
+	}
+	return nil
+}
+
+// appendRecord appends rec as one length-prefixed frame.
+func appendRecord(buf []byte, rec *Record) []byte {
+	payload := make([]byte, 0, 64)
+	payload = append(payload, rec.Kind)
+	payload = appendUvarint(payload, rec.LSN)
+	payload = appendUvarint(payload, rec.Epoch)
+	switch rec.Kind {
+	case RecTxn:
+		payload = appendString(payload, rec.Proc)
+		payload = appendString(payload, rec.Key)
+		payload = appendStringMap(payload, rec.Args)
+	case RecPut:
+		payload = appendString(payload, rec.Tab)
+		payload = appendString(payload, rec.Key)
+		payload = appendStringMap(payload, rec.Args)
+	case RecBucketOut:
+		payload = appendUvarint(payload, uint64(rec.Bucket))
+	case RecBucketIn:
+		payload = appendBucketData(payload, rec.Data)
+	}
+	buf = appendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...)
+}
+
+// decodeRecord parses one record payload (frame length already stripped).
+func decodeRecord(data []byte) (*Record, error) {
+	r := reader{data: data}
+	kind, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{Kind: kind}
+	if rec.LSN, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if rec.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case RecTxn:
+		if rec.Proc, err = r.string(); err != nil {
+			return nil, err
+		}
+		if rec.Key, err = r.string(); err != nil {
+			return nil, err
+		}
+		if rec.Args, err = r.stringMap(); err != nil {
+			return nil, err
+		}
+	case RecPut:
+		if rec.Tab, err = r.string(); err != nil {
+			return nil, err
+		}
+		if rec.Key, err = r.string(); err != nil {
+			return nil, err
+		}
+		if rec.Args, err = r.stringMap(); err != nil {
+			return nil, err
+		}
+	case RecBucketOut:
+		b, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rec.Bucket = int(b)
+	case RecBucketIn:
+		d, err := r.bucketData()
+		if err != nil {
+			return nil, err
+		}
+		rec.Bucket = d.Bucket
+		rec.Data = d
+	default:
+		return nil, fmt.Errorf("replication: unknown record kind %d", kind)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// readShipFrame reads one length-prefixed frame into buf (reused across
+// calls) and returns the payload slice, valid until the next call. A short
+// read returns io.ErrUnexpectedEOF — a torn frame, never a silent
+// truncation.
+func readShipFrame(br *bufio.Reader, buf *[]byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxShipFrame {
+		return nil, errShipTooLarge
+	}
+	if uint64(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,270 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pstore/internal/engine"
+	"pstore/internal/metrics"
+	"pstore/internal/storage"
+)
+
+// Replica is a standby copy of one partition. Records arrive in LSN order
+// from a Tail and are applied deterministically; session-consistent reads
+// wait until the applied horizon covers the caller's last written LSN.
+// All state is guarded by mu — the replica's serial "executor".
+type Replica struct {
+	part     int
+	nBuckets int
+	node     string
+	reg      *engine.Registry
+	opts     Options
+	events   *metrics.Events
+
+	mu      sync.Mutex
+	p       *storage.Partition
+	applied uint64
+	epoch   uint64
+	serving bool
+	seeded  bool
+	notify  chan struct{} // closed and replaced on every apply
+}
+
+// NewReplica creates an empty standby for the partition, hosted on the
+// named node. It owns no buckets until a snapshot or bucket-in records
+// arrive.
+func NewReplica(part, nBuckets int, node string, reg *engine.Registry, opts Options, events *metrics.Events) *Replica {
+	return &Replica{
+		part:     part,
+		nBuckets: nBuckets,
+		node:     node,
+		reg:      reg,
+		opts:     opts.Normalized(),
+		events:   events,
+		p:        storage.NewPartition(part, nBuckets, nil),
+		serving:  true,
+		notify:   make(chan struct{}),
+	}
+}
+
+// Partition returns the replica's partition ID.
+func (r *Replica) Partition() int { return r.part }
+
+// Node returns the node hosting the replica.
+func (r *Replica) Node() string { return r.node }
+
+// Applied returns the replica's applied LSN horizon.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Epoch returns the highest primary epoch the replica has seen.
+func (r *Replica) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Serving reports whether the replica still serves its standby role.
+func (r *Replica) Serving() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.serving
+}
+
+// Seeded reports whether the replica has ever synced state from its
+// primary — via snapshot install or a first applied record. An unseeded
+// replica holds nothing and is not a promotion candidate.
+func (r *Replica) Seeded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seeded
+}
+
+// InstallSnapshot replaces the replica's entire state with a consistent
+// cut — the full-resync seeding path.
+func (r *Replica) InstallSnapshot(snap *Snapshot) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.serving {
+		return ErrReplicaGone
+	}
+	p := storage.NewPartition(r.part, r.nBuckets, nil)
+	for _, t := range snap.Tables {
+		p.CreateTable(t)
+	}
+	for _, b := range snap.Buckets {
+		if err := p.ApplyBucket(b); err != nil {
+			return err
+		}
+	}
+	r.p = p
+	r.applied = snap.LSN
+	if snap.Epoch > r.epoch {
+		r.epoch = snap.Epoch
+	}
+	r.seeded = true
+	r.wakeLocked()
+	return nil
+}
+
+// Apply replays one shipped record. It is the replica's serial apply loop —
+// the standby twin of the primary's executor, so pstore-vet's never-block
+// analysis covers it: nothing here may sleep, touch the network, or block
+// on a channel.
+//
+// Records are idempotent at the LSN level (duplicates skip) and fenced at
+// the epoch level (records from a deposed primary are rejected); a gap
+// forces the caller to resync.
+//
+//pstore:executor
+func (r *Replica) Apply(rec *Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.serving {
+		return ErrReplicaGone
+	}
+	if rec.Epoch < r.epoch {
+		return ErrFenced
+	}
+	if rec.Epoch > r.epoch {
+		r.epoch = rec.Epoch
+	}
+	if rec.LSN <= r.applied {
+		return nil // duplicate from a catch-up overlap
+	}
+	if rec.LSN != r.applied+1 {
+		return fmt.Errorf("replication: partition %d replica: gap at LSN %d (applied %d)", r.part, rec.LSN, r.applied)
+	}
+	if err := r.applyLocked(rec); err != nil {
+		return err
+	}
+	r.applied = rec.LSN
+	r.seeded = true
+	r.wakeLocked()
+	return nil
+}
+
+func (r *Replica) applyLocked(rec *Record) error {
+	switch rec.Kind {
+	case RecTxn:
+		if !r.p.OwnsKey(rec.Key) {
+			return nil // logged just before the bucket left this partition
+		}
+		return engine.ReplayTxn(r.reg, r.p, rec.Proc, rec.Key, rec.Args)
+	case RecPut:
+		if !r.p.OwnsKey(rec.Key) {
+			return nil
+		}
+		r.p.CreateTable(rec.Tab)
+		return r.p.Put(rec.Tab, rec.Key, rec.Args)
+	case RecBucketOut:
+		if !r.p.Owns(rec.Bucket) {
+			return nil
+		}
+		_, err := r.p.ExtractBucket(rec.Bucket)
+		return err
+	case RecBucketIn:
+		// Replace-then-apply keeps the record idempotent against a stale
+		// copy left by an earlier seeding race.
+		if r.p.Owns(rec.Bucket) {
+			if _, err := r.p.ExtractBucket(rec.Bucket); err != nil {
+				return err
+			}
+		}
+		return r.p.ApplyBucket(rec.Data)
+	default:
+		return fmt.Errorf("replication: unknown record kind %d", rec.Kind)
+	}
+}
+
+func (r *Replica) wakeLocked() {
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// WaitApplied blocks until the replica's applied LSN reaches min, the
+// timeout passes (ErrStaleRead) or the replica stops serving.
+func (r *Replica) WaitApplied(min uint64, timeout time.Duration) error {
+	r.mu.Lock()
+	if r.applied >= min && r.serving {
+		r.mu.Unlock()
+		return nil
+	}
+	r.events.Add(metrics.EventReplStaleWaits, 1)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		if !r.serving {
+			r.mu.Unlock()
+			return ErrReplicaGone
+		}
+		if r.applied >= min {
+			r.mu.Unlock()
+			return nil
+		}
+		ch := r.notify
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			return ErrStaleRead
+		}
+		r.mu.Lock()
+	}
+}
+
+// SessionRead runs a read-only stored procedure against the replica after
+// waiting for its horizon to cover the session's minLSN. The partition is
+// put in read-only mode for the call, so a mistakenly routed writing
+// procedure fails instead of silently diverging the replica.
+func (r *Replica) SessionRead(proc, key string, args map[string]string, minLSN uint64) (map[string]string, error) {
+	if err := r.WaitApplied(minLSN, r.opts.StaleReadTimeout); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.serving {
+		return nil, ErrReplicaGone
+	}
+	r.p.SetReadOnly(true)
+	out, err := engine.ReadOnlyCall(r.reg, r.p, proc, key, args)
+	r.p.SetReadOnly(false)
+	r.events.Add(metrics.EventReplicaReads, 1)
+	return out, err
+}
+
+// Promote takes the replica out of standby duty and hands its partition to
+// the caller, which builds a primary from it: the fast failover path — no
+// disk replay, the in-memory state is already at the applied horizon.
+// Returns the partition, the applied LSN and the epoch the replica had
+// seen.
+func (r *Replica) Promote() (*storage.Partition, uint64, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serving = false
+	r.wakeLocked()
+	p := r.p
+	r.p = storage.NewPartition(r.part, r.nBuckets, nil)
+	return p, r.applied, r.epoch
+}
+
+// Kill stops the replica serving (its host node died). Waiters unblock
+// with ErrReplicaGone.
+func (r *Replica) Kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serving = false
+	r.wakeLocked()
+}
+
+// Inspect runs fn with exclusive access to the replica's partition —
+// verification hooks (content checksums) only; fn must not mutate.
+func (r *Replica) Inspect(fn func(p *storage.Partition)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.p)
+}

@@ -1,0 +1,124 @@
+// Package replication makes partitions k-safe by shipping the per-partition
+// command log to standby replicas: because executors are deterministic
+// serial H-Store-style threads, a replica that replays the same commands in
+// the same order reaches byte-identical state, so replication costs one log
+// stream instead of a data pipeline.
+//
+// The pieces:
+//
+//   - Feed: the primary side. It implements engine.CommandLog, assigns each
+//     record a log sequence number (LSN) and the partition's current epoch,
+//     chains to the partition's durability manager when one exists, retains
+//     a bounded tail of encoded records for catch-up, and fans records out
+//     to subscribers. A transaction is acknowledged only after it is locally
+//     durable AND every live subscriber has acked its LSN (synchronous
+//     k-safety) — that is what makes failover lossless.
+//   - Hub: a TCP log-shipping server. Replicas connect, subscribe with a
+//     (partition, epoch, fromLSN) triple, and receive either an incremental
+//     record stream, a disk catch-up (via the durability tail reader), or a
+//     full snapshot followed by the live stream. The hub reads acks off the
+//     same connection and advances the feed's replication horizon.
+//   - Tail: the replica-side client. It dials the hub, subscribes from its
+//     applied LSN, applies records through the Replica and acks them,
+//     reconnecting with seeded jittered backoff after stream failures.
+//   - Replica: a standby partition plus the deterministic apply loop,
+//     session-consistent reads (wait until applied ≥ the client's session
+//     LSN), epoch fencing (records from a deposed primary are rejected) and
+//     promotion to primary.
+//
+// Epochs implement fencing: every promotion bumps the partition's epoch, a
+// replica adopts the highest epoch it has seen and rejects records from any
+// lower one, so a deposed primary that limps on can never ack or replicate
+// another write.
+package replication
+
+//pstore:seeded — reconnect jitter must come from the injected seed so chaos
+// runs replay deterministically; wall-clock use is limited to I/O deadlines
+// and lag observability, marked where it occurs.
+
+import (
+	"errors"
+	"time"
+)
+
+// Errors surfaced across the subsystem.
+var (
+	// ErrFenced marks writes rejected because the partition's feed was
+	// deposed by a failover: a newer epoch exists, the write must not be
+	// acknowledged or shipped.
+	ErrFenced = errors.New("replication: primary fenced by a newer epoch")
+	// ErrClosed is returned by operations on a closed feed or hub.
+	ErrClosed = errors.New("replication: closed")
+	// ErrStaleRead marks a session read that timed out waiting for the
+	// replica's horizon to cover the client's last written LSN.
+	ErrStaleRead = errors.New("replication: replica horizon behind session")
+	// ErrReplicaGone marks reads routed to a replica that was killed or
+	// promoted out of standby duty.
+	ErrReplicaGone = errors.New("replication: replica not serving")
+	// errStaleEpoch is the hub's rejection of a subscriber that has seen a
+	// newer epoch than the feed — the feed belongs to a deposed primary.
+	errStaleEpoch = errors.New("replication: subscriber epoch newer than feed")
+)
+
+// Options tunes the replication subsystem. The zero value selects the
+// defaults documented per field.
+type Options struct {
+	// AckTimeout is how long the hub waits for a subscriber to make ack
+	// progress on outstanding records before deposing it from the ack
+	// quorum. Default 2s.
+	AckTimeout time.Duration
+	// MaxBuffer bounds the encoded records a feed retains for incremental
+	// catch-up; a live subscriber falling further behind is deposed and must
+	// resync. Default 8192.
+	MaxBuffer int
+	// StaleReadTimeout bounds how long a session read waits for the
+	// replica's applied LSN to reach the session's LSN before the caller
+	// falls back to the primary. Default 2s.
+	StaleReadTimeout time.Duration
+	// DialTimeout bounds each tail connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// RetryBase is the tail's reconnect backoff base (doubled per attempt
+	// with seeded ±50% jitter, capped at 1s). Default 10ms.
+	RetryBase time.Duration
+	// Seed seeds the tails' reconnect jitter so chaos runs are replayable.
+	Seed int64
+	// HealthInterval is the cadence of the cluster's primary health probe
+	// loop. Default 50ms.
+	HealthInterval time.Duration
+	// ProbeTimeout is the deadline on one health probe of a primary
+	// executor. Default 250ms — far above chaos freeze windows, so brief
+	// injected freezes never trip a failover.
+	ProbeTimeout time.Duration
+	// ProbeStrikes is how many consecutive probe timeouts depose a hung
+	// (but not stopped) primary. Default 3.
+	ProbeStrikes int
+}
+
+// Normalized fills defaults.
+func (o Options) Normalized() Options {
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 2 * time.Second
+	}
+	if o.MaxBuffer <= 0 {
+		o.MaxBuffer = 8192
+	}
+	if o.StaleReadTimeout <= 0 {
+		o.StaleReadTimeout = 2 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 10 * time.Millisecond
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 50 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 250 * time.Millisecond
+	}
+	if o.ProbeStrikes <= 0 {
+		o.ProbeStrikes = 3
+	}
+	return o
+}

@@ -139,6 +139,12 @@ type Client struct {
 
 	retries    atomic.Int64
 	reconnects atomic.Int64
+
+	// Session vector: the highest LSN this client has written per
+	// partition. Read attaches it so a replica serving the read waits
+	// until it has applied the client's own writes (read-your-writes).
+	sessMu  sync.Mutex
+	session map[int]uint64
 }
 
 // replyChans recycles the one-shot response channels of roundTrip.
@@ -562,6 +568,9 @@ func (c *Client) callCtx(ctx context.Context, proc, key string, args map[string]
 	if err != nil {
 		return nil, err
 	}
+	if resp.Err == "" {
+		c.noteWrite(resp)
+	}
 	res := &CallResult{Out: resp.Out, Latency: resp.Latency, Abort: resp.Abort}
 	if resp.Err != "" && !resp.Abort {
 		return nil, errors.New(resp.Err)
@@ -570,6 +579,77 @@ func (c *Client) callCtx(ctx context.Context, proc, key string, args map[string]
 		return res, fmt.Errorf("pstore-client: aborted: %s", resp.Err)
 	}
 	return res, nil
+}
+
+// noteWrite folds a routed call response into the session vector.
+func (c *Client) noteWrite(resp Response) {
+	if !resp.Routed || resp.LSN == 0 {
+		return
+	}
+	c.sessMu.Lock()
+	if c.session == nil {
+		c.session = make(map[int]uint64)
+	}
+	if resp.LSN > c.session[resp.Part] {
+		c.session[resp.Part] = resp.LSN
+	}
+	c.sessMu.Unlock()
+}
+
+// Session returns a copy of the client's session vector — the highest LSN
+// it has written per partition.
+func (c *Client) Session() map[int]uint64 {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	out := make(map[int]uint64, len(c.session))
+	for p, lsn := range c.session {
+		out[p] = lsn
+	}
+	return out
+}
+
+// Read executes a read-only stored procedure with session consistency: the
+// server may serve it from a replica, but only one that has applied every
+// write this client has made. Reads are idempotent, so ambiguous failures
+// retry automatically under the client's retry policy.
+func (c *Client) Read(proc, key string, args map[string]string) (*CallResult, error) {
+	return c.ReadCtx(context.Background(), proc, key, args)
+}
+
+// ReadCtx is Read honoring the context's deadline.
+func (c *Client) ReadCtx(ctx context.Context, proc, key string, args map[string]string) (*CallResult, error) {
+	req := Request{Kind: KindRead, Proc: proc, Key: key, Args: args, Session: c.Session()}
+	resp, err := c.do(ctx, "read", &req, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &CallResult{Out: resp.Out, Latency: resp.Latency, Abort: resp.Abort}
+	if resp.Err != "" && !resp.Abort {
+		return nil, errors.New(resp.Err)
+	}
+	if resp.Abort {
+		return res, fmt.Errorf("pstore-client: aborted: %s", resp.Err)
+	}
+	return res, nil
+}
+
+// KillNode asks the server to kill one node's partitions in place — the
+// chaos hook driving failover tests: primaries hosted there crash and
+// their replicas are promoted. Not idempotent (a second kill of the same
+// node is an error), so ambiguous failures are returned, not retried.
+func (c *Client) KillNode(node int) error { return c.KillNodeCtx(context.Background(), node) }
+
+// KillNodeCtx is KillNode honoring the context's deadline.
+func (c *Client) KillNodeCtx(ctx context.Context, node int) error {
+	req := Request{Kind: KindKillNode, Node: node}
+	resp, err := c.do(ctx, "kill-node", &req, false)
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
 }
 
 // Scale reconfigures the server's cluster to target nodes, blocking until

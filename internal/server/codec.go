@@ -25,7 +25,9 @@ import (
 //
 //	byte kind | uvarint id | kind-specific fields
 //	  call:  string proc | string key | uvarint nargs | nargs × (string k, string v)
+//	  read:  call fields | uvarint nsess | nsess × (uvarint part, uvarint lsn), ascending part
 //	  scale: uvarint targetNodes
+//	  kill-node: uvarint node
 //	  ping, stats: (empty)
 //
 // Response payload:
@@ -33,7 +35,11 @@ import (
 //	uvarint id | byte flags | string err | uvarint nout | nout × (string k, string v)
 //	  | uvarint latencyNanos
 //	  | if flagBusy: uvarint retryAfterNanos
+//	  | if flagRouted: uvarint part | uvarint lsn
 //	  | if flagStats: uvarint nodes | partitions | totalRows | offeredTxns | p99Nanos
+//	    | uvarint replFactor | replReplicas | replMaxLag | replRecords
+//	    | replFailovers | replPromotions | replResyncs | replStaleWaits
+//	    | replReplicaReads | replFallbackReads | deadNodes
 //
 // Strings are uvarint length + raw bytes. Everything is hand-encoded with
 // no reflection; encoders append into caller-owned buffers so the steady
@@ -50,6 +56,7 @@ const (
 	flagAbort byte = 1 << iota
 	flagStats
 	flagBusy
+	flagRouted
 )
 
 // Codec errors.
@@ -194,10 +201,64 @@ func appendRequest(buf []byte, req *Request) []byte {
 		buf = appendString(buf, req.Proc)
 		buf = appendString(buf, req.Key)
 		buf = appendStringMap(buf, req.Args)
+	case KindRead:
+		buf = appendString(buf, req.Proc)
+		buf = appendString(buf, req.Key)
+		buf = appendStringMap(buf, req.Args)
+		buf = appendSessionVector(buf, req.Session)
 	case KindScale:
 		buf = appendUvarint(buf, uint64(req.TargetNodes))
+	case KindKillNode:
+		buf = appendUvarint(buf, uint64(req.Node))
 	}
 	return patchFrameLen(buf, body, lenAt)
+}
+
+// appendSessionVector writes the per-partition LSN watermark map in
+// ascending partition order, so the same session always encodes to the
+// same bytes.
+func appendSessionVector(buf []byte, sess map[int]uint64) []byte {
+	buf = appendUvarint(buf, uint64(len(sess)))
+	var arr [16]int
+	parts := arr[:0]
+	for p := range sess {
+		parts = append(parts, p)
+	}
+	slices.Sort(parts)
+	for _, p := range parts {
+		buf = appendUvarint(buf, uint64(p))
+		buf = appendUvarint(buf, sess[p])
+	}
+	return buf
+}
+
+// sessionVector decodes the session map, reusing dst when present.
+func (r *reader) sessionVector(dst map[int]uint64) (map[int]uint64, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos)/2 {
+		return nil, errTruncated
+	}
+	if n == 0 {
+		return dst, nil
+	}
+	if dst == nil {
+		dst = make(map[int]uint64, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		p, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		lsn, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dst[int(p)] = lsn
+	}
+	return dst, nil
 }
 
 // appendResponse appends resp as one frame (length prefix included).
@@ -216,6 +277,9 @@ func appendResponse(buf []byte, resp *Response) []byte {
 	if resp.Busy {
 		flags |= flagBusy
 	}
+	if resp.Routed {
+		flags |= flagRouted
+	}
 	buf = append(buf, flags)
 	buf = appendString(buf, resp.Err)
 	buf = appendStringMap(buf, resp.Out)
@@ -223,12 +287,27 @@ func appendResponse(buf []byte, resp *Response) []byte {
 	if resp.Busy {
 		buf = appendUvarint(buf, uint64(resp.RetryAfter))
 	}
+	if resp.Routed {
+		buf = appendUvarint(buf, uint64(resp.Part))
+		buf = appendUvarint(buf, resp.LSN)
+	}
 	if st := resp.Stats; st != nil {
 		buf = appendUvarint(buf, uint64(st.Nodes))
 		buf = appendUvarint(buf, uint64(st.Partitions))
 		buf = appendUvarint(buf, uint64(st.TotalRows))
 		buf = appendUvarint(buf, uint64(st.OfferedTxns))
 		buf = appendUvarint(buf, uint64(st.P99))
+		buf = appendUvarint(buf, uint64(st.ReplFactor))
+		buf = appendUvarint(buf, uint64(st.ReplReplicas))
+		buf = appendUvarint(buf, st.ReplMaxLag)
+		buf = appendUvarint(buf, uint64(st.ReplRecords))
+		buf = appendUvarint(buf, uint64(st.ReplFailovers))
+		buf = appendUvarint(buf, uint64(st.ReplPromotions))
+		buf = appendUvarint(buf, uint64(st.ReplResyncs))
+		buf = appendUvarint(buf, uint64(st.ReplStaleWaits))
+		buf = appendUvarint(buf, uint64(st.ReplReplicaReads))
+		buf = appendUvarint(buf, uint64(st.ReplFallbackReads))
+		buf = appendUvarint(buf, uint64(st.DeadNodes))
 	}
 	return patchFrameLen(buf, body, lenAt)
 }
@@ -276,12 +355,31 @@ func decodeRequest(data []byte, req *Request) error {
 		if req.Args, err = r.stringMap(req.Args); err != nil {
 			return err
 		}
+	case KindRead:
+		if req.Proc, err = r.string(); err != nil {
+			return err
+		}
+		if req.Key, err = r.string(); err != nil {
+			return err
+		}
+		if req.Args, err = r.stringMap(req.Args); err != nil {
+			return err
+		}
+		if req.Session, err = r.sessionVector(req.Session); err != nil {
+			return err
+		}
 	case KindScale:
 		n, err := r.uvarint()
 		if err != nil {
 			return err
 		}
 		req.TargetNodes = int(n)
+	case KindKillNode:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		req.Node = int(n)
 	default:
 		return fmt.Errorf("pstore-wire: unknown request kind %d", k)
 	}
@@ -319,6 +417,17 @@ func decodeResponse(data []byte, resp *Response) error {
 		}
 		resp.RetryAfter = time.Duration(ra)
 	}
+	resp.Routed = flags&flagRouted != 0
+	if resp.Routed {
+		part, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		resp.Part = int(part)
+		if resp.LSN, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
 	if flags&flagStats != 0 {
 		var st Stats
 		vals := []*int{&st.Nodes, &st.Partitions, &st.TotalRows, &st.OfferedTxns}
@@ -334,6 +443,27 @@ func decodeResponse(data []byte, resp *Response) error {
 			return err
 		}
 		st.P99 = time.Duration(p99)
+		repl := []*int{&st.ReplFactor, &st.ReplReplicas}
+		for _, p := range repl {
+			v, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			*p = int(v)
+		}
+		if st.ReplMaxLag, err = r.uvarint(); err != nil {
+			return err
+		}
+		repl = []*int{&st.ReplRecords, &st.ReplFailovers, &st.ReplPromotions,
+			&st.ReplResyncs, &st.ReplStaleWaits, &st.ReplReplicaReads,
+			&st.ReplFallbackReads, &st.DeadNodes}
+		for _, p := range repl {
+			v, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			*p = int(v)
+		}
 		resp.Stats = &st
 	}
 	return r.done()

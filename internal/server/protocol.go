@@ -21,13 +21,21 @@ type Request struct {
 	ID   uint64
 	Kind Kind
 
-	// Call fields.
+	// Call and Read fields.
 	Proc string
 	Key  string
 	Args map[string]string
 
+	// Read fields: the caller's session vector — the highest LSN it has
+	// written per partition. A replica serving the read must have applied
+	// at least that LSN (read-your-writes).
+	Session map[int]uint64
+
 	// Scale fields.
 	TargetNodes int
+
+	// KillNode fields.
+	Node int
 }
 
 // Kind discriminates request types. It is a single byte on the wire.
@@ -41,6 +49,8 @@ const (
 	KindCall
 	KindScale
 	KindStats
+	KindRead     // session-consistent read, served by a replica when possible
+	KindKillNode // chaos hook: SIGKILL-equivalent for one node's partitions
 )
 
 // String returns the kind's protocol name (for errors and logs).
@@ -54,6 +64,10 @@ func (k Kind) String() string {
 		return "scale"
 	case KindStats:
 		return "stats"
+	case KindRead:
+		return "read"
+	case KindKillNode:
+		return "kill-node"
 	default:
 		return "invalid"
 	}
@@ -73,6 +87,13 @@ type Response struct {
 	// RetryAfter is the server's hint for how long to back off first.
 	Busy       bool
 	RetryAfter time.Duration
+
+	// Routed marks call/read responses that carry the executing partition
+	// and the write's LSN; the client folds them into its session vector so
+	// later reads see this write.
+	Routed bool
+	Part   int
+	LSN    uint64
 }
 
 // Stats is a cluster status snapshot.
@@ -82,4 +103,17 @@ type Stats struct {
 	TotalRows   int
 	OfferedTxns int
 	P99         time.Duration
+
+	// Replication fields; all zero when replication is disabled.
+	ReplFactor        int    // configured k
+	ReplReplicas      int    // live standby count across partitions
+	ReplMaxLag        uint64 // worst feed-head minus replica-applied gap, in records
+	ReplRecords       int    // command-log records shipped
+	ReplFailovers     int
+	ReplPromotions    int
+	ReplResyncs       int
+	ReplStaleWaits    int // session reads that had to wait on a replica
+	ReplReplicaReads  int
+	ReplFallbackReads int // reads bounced from a replica to the primary
+	DeadNodes         int
 }

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pstore/internal/cluster"
+	"pstore/internal/migration"
+)
+
+// startReplBenchServer builds a networked cluster with replication factor k
+// and zero synthetic service time, so the benchmark isolates the cost the
+// replication layer adds to the request path.
+func startReplBenchServer(b *testing.B, k int) (*Client, func() error) {
+	b.Helper()
+	c, err := cluster.New(replClusterConfig(k, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	srv := New(c, migration.Options{}, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	return cl, func() error { return c.WaitReplicasCaughtUp(10 * time.Second) }
+}
+
+// BenchmarkReplicatedCall prices k-safety on the write path: the same
+// networked Put workload with no replication (k=0) and with one synchronous
+// standby per partition (k=1). The k=1 number includes shipping each command
+// over TCP and waiting for the standby's ack before the client sees its
+// response — the paper's claim is that command-log shipping makes this
+// nearly free relative to the protocol round trip. scripts/bench.sh records
+// both as BENCH_replication.json.
+func BenchmarkReplicatedCall(b *testing.B) {
+	for _, k := range []int{0, 1} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cl, _ := startReplBenchServer(b, k)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					key := benchKeys[i%len(benchKeys)]
+					i++
+					if _, err := cl.Call("Put", key, map[string]string{"v": key}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkReplicaRead measures session-consistent read throughput served
+// from standbys: keys are preloaded, replicas quiesce to the head, then
+// parallel KindRead requests (carrying the client's session vector) hit the
+// replica path instead of the primary executors.
+func BenchmarkReplicaRead(b *testing.B) {
+	cl, quiesce := startReplBenchServer(b, 1)
+	for _, key := range benchKeys {
+		if _, err := cl.Call("Put", key, map[string]string{"v": key}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := quiesce(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := benchKeys[i%len(benchKeys)]
+			i++
+			if _, err := cl.Read("Get", key, nil); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

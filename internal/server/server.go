@@ -132,6 +132,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		req := reqPool.Get().(*Request)
 		clear(req.Args)
+		clear(req.Session)
 		if err := decodeRequest(payload, req); err != nil {
 			s.logf("pstore-server: bad frame: %v", err)
 			return
@@ -141,7 +142,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Answered inline: no executor work, no goroutine.
 			w.reply(&Response{ID: req.ID})
 			reqPool.Put(req)
-		case KindCall:
+		case KindCall, KindRead:
 			runner.dispatch(req)
 		default:
 			runner.wg.Add(1)
@@ -193,11 +194,19 @@ func (r *callRunner) worker() {
 	r.idle.Add(-1)
 }
 
-// handleCall runs one transaction: pooled Txn in, batched reply out.
+// handleCall runs one transaction (or a session-consistent read): pooled
+// Txn in, batched reply out.
 func (s *Server) handleCall(req *Request, w *replyWriter) {
-	txn := engine.AcquireTxn(req.Proc, req.Key, req.Args)
-	res := s.c.Call(txn)
-	resp := Response{ID: req.ID, Out: res.Out, Latency: res.Latency}
+	var res engine.Result
+	var txn *engine.Txn
+	if req.Kind == KindRead {
+		res = s.c.CallReadOnly(req.Proc, req.Key, req.Args, req.Session)
+	} else {
+		txn = engine.AcquireTxn(req.Proc, req.Key, req.Args)
+		res = s.c.Call(txn)
+	}
+	resp := Response{ID: req.ID, Out: res.Out, Latency: res.Latency,
+		Routed: true, Part: res.Partition, LSN: res.LSN}
 	if res.Err != nil {
 		resp.Err = res.Err.Error()
 		resp.Abort = engine.IsAbort(res.Err)
@@ -209,7 +218,9 @@ func (s *Server) handleCall(req *Request, w *replyWriter) {
 		}
 	}
 	w.reply(&resp) // encodes Out before the txn (which owns it) is reused
-	txn.Release()
+	if txn != nil {
+		txn.Release()
+	}
 	reqPool.Put(req)
 }
 
@@ -221,6 +232,12 @@ func (s *Server) handleSlow(req *Request) Response {
 		resp.Err = s.scale(req.TargetNodes)
 	case KindStats:
 		resp.Stats = s.stats()
+	case KindKillNode:
+		if err := s.c.KillNode(req.Node); err != nil {
+			resp.Err = err.Error()
+		} else {
+			s.logf("pstore-server: node %d killed (chaos)", req.Node)
+		}
 	default:
 		resp.Err = fmt.Sprintf("pstore-server: unknown request kind %q", req.Kind)
 	}
@@ -267,6 +284,18 @@ func (s *Server) stats() *Stats {
 			st.P99 = ws[len(ws)-1].P99
 		}
 	}
+	rs := s.c.ReplicationStats()
+	st.ReplFactor = rs.Factor
+	st.ReplReplicas = rs.Replicas
+	st.ReplMaxLag = rs.MaxLagRecords
+	st.ReplRecords = int(rs.Records)
+	st.ReplFailovers = int(rs.Failovers)
+	st.ReplPromotions = int(rs.Promotions)
+	st.ReplResyncs = int(rs.Resyncs)
+	st.ReplStaleWaits = int(rs.StaleWaits)
+	st.ReplReplicaReads = int(rs.ReplicaReads)
+	st.ReplFallbackReads = int(rs.FallbackReads)
+	st.DeadNodes = len(s.c.DeadNodes())
 	return st
 }
 

@@ -62,7 +62,20 @@ type Partition struct {
 	// (bucket → table → key → row). Both are nil when no move is in flight.
 	capture map[int]*bucketCapture
 	staged  map[int]map[string]map[string]Row
+
+	// readOnly rejects Put/Delete — set by a replica around read-only
+	// transactions so a mistakenly routed writing procedure fails loudly
+	// instead of silently diverging the replica from its primary.
+	readOnly bool
 }
+
+// ErrReadOnly is returned for writes against a partition in read-only mode
+// (a replica serving reads).
+var ErrReadOnly = fmt.Errorf("storage: partition is read-only")
+
+// SetReadOnly toggles read-only mode. Callers synchronize with whatever
+// lock owns the partition (the replica's apply mutex).
+func (p *Partition) SetReadOnly(ro bool) { p.readOnly = ro }
 
 type table struct {
 	name    string
@@ -159,6 +172,9 @@ func (p *Partition) Get(tableName, key string) (Row, bool, error) {
 
 // Put inserts or replaces the row with the key in the table.
 func (p *Partition) Put(tableName, key string, cols map[string]string) error {
+	if p.readOnly {
+		return ErrReadOnly
+	}
 	b, err := p.checkOwned(key)
 	if err != nil {
 		return err
@@ -185,6 +201,9 @@ func (p *Partition) Put(tableName, key string, cols map[string]string) error {
 // Delete removes the row with the key from the table, reporting whether it
 // existed.
 func (p *Partition) Delete(tableName, key string) (bool, error) {
+	if p.readOnly {
+		return false, ErrReadOnly
+	}
 	b, err := p.checkOwned(key)
 	if err != nil {
 		return false, err

@@ -59,6 +59,16 @@ go test ./internal/server/ \
   -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
 bench_to_json < "$TMP" > BENCH_chaos.json
 
+# Replication: BenchmarkReplicatedCall prices k-safety on the write path
+# (k=0 vs k=1 — the k=1 run ships every command to a synchronous standby and
+# waits for its ack); BenchmarkReplicaRead is session-consistent read
+# throughput served from standbys. Acceptance: k=1 write overhead stays
+# small relative to the k=0 protocol round trip.
+go test ./internal/server/ \
+  -run 'xxx' -bench 'BenchmarkReplicatedCall|BenchmarkReplicaRead' \
+  -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
+bench_to_json < "$TMP" > BENCH_replication.json
+
 # Live-migration stall: p99 foreground latency while a hot bucket moves,
 # legacy stop-and-copy vs the pre-copy/delta-drain default. Acceptance:
 # precopy p99_stall_ns ≤ 1/5 of stopandcopy's, move_ns ≤ 1.5×. Each
@@ -78,3 +88,5 @@ echo "wrote BENCH_chaos.json:"
 cat BENCH_chaos.json
 echo "wrote BENCH_migration.json:"
 cat BENCH_migration.json
+echo "wrote BENCH_replication.json:"
+cat BENCH_replication.json
