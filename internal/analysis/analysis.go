@@ -1,13 +1,14 @@
 // Package analysis is pstore-vet's engine: a stdlib-only static-analysis
 // driver (go/ast + go/parser + go/types with the source importer — no
 // external dependencies, so it runs in the same offline sandbox as the rest
-// of the module) plus the five P-Store-specific invariant checks:
+// of the module) plus the six P-Store-specific invariant checks:
 //
 //	execblock      executor loops and stored procedures never block
 //	determinism    byte-deterministic encoders never range over maps unsorted
 //	seeddiscipline chaos-replayed packages draw time/randomness from seeds
 //	lockdiscipline no channel ops or executor submissions under a mutex
 //	poolhygiene    pooled values are never used after their Put/Release
+//	tupleescape    zero-copy tuple views never outlive their transaction
 //
 // These are the invariants the Go compiler cannot see but P-Store's
 // correctness rests on (DESIGN.md §10). Analyzers are configured from the
@@ -99,6 +100,7 @@ const (
 	seeddisciplineName = "seeddiscipline"
 	lockdisciplineName = "lockdiscipline"
 	poolhygieneName    = "poolhygiene"
+	tupleescapeName    = "tupleescape"
 )
 
 // An Analyzer is one invariant check.
@@ -123,6 +125,7 @@ func Analyzers() []*Analyzer {
 		SeedDiscipline,
 		LockDiscipline,
 		PoolHygiene,
+		TupleEscape,
 	}
 }
 

@@ -1,0 +1,40 @@
+// Negative fixture: tuple views used within their borrowing scope, owned
+// copies stored instead, and one deliberate (annotated) retention.
+package fixture
+
+type TupleView struct{ b []byte }
+
+func (v TupleView) Key() string { return string(v.b) }
+
+// Row mimics the owned-copy escape hatch.
+func (v TupleView) Row() string { return string(append([]byte(nil), v.b...)) }
+
+func getView() TupleView { return TupleView{} }
+
+var lastKey string
+
+var lastRow string
+
+// Fine: locals, derived owned values, and returning a view (GetView itself
+// does) are all within the borrow discipline.
+func Fine(ch chan string) TupleView {
+	v := getView()
+	local := v
+	_ = local.Key()
+	lastKey = v.Key()   // owned string, not the view
+	lastRow = v.Row()   // owned copy
+	ch <- v.Key()       // derived value crosses the channel, not the view
+	go consume(v.Row()) // same for goroutines
+	return v
+}
+
+func consume(s string) {}
+
+var pinned TupleView
+
+// Pin retains a view on purpose; the annotation keeps the check honest
+// about deliberate exceptions.
+func Pin() {
+	v := getView()
+	pinned = v //pstore:ignore tupleescape — fixture: deliberate pin with a stated rationale
+}

@@ -1,0 +1,32 @@
+// Positive fixture: zero-copy tuple views escaping their borrowing scope.
+package fixture
+
+// TupleView stands in for storage.TupleView — the analyzer matches the
+// type by name, so the fixture needs no import of the real package.
+type TupleView struct{ b []byte }
+
+// Key mimics the real accessor.
+func (v TupleView) Key() string { return string(v.b) }
+
+func getView() TupleView { return TupleView{} }
+
+var lastView TupleView
+
+var cache = map[string]TupleView{}
+
+var recent []TupleView
+
+type holder struct{ v TupleView }
+
+// Leak demonstrates every escaping store shape the check knows.
+func Leak(h *holder, ch chan TupleView) {
+	v := getView()
+	lastView = v
+	h.v = v
+	cache["k"] = v
+	recent = append(recent, v)
+	ch <- v
+	go consume(v)
+}
+
+func consume(v TupleView) {}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// TupleEscape catches zero-copy tuple views outliving their borrow scope. A
+// storage.TupleView aliases the owning partition's arena bytes and is valid
+// only inside the transaction (or scan callback) that obtained it: the
+// executor may compact the arena between transactions, after which a
+// retained view reads from recycled pages. The compiler cannot see this —
+// the bytes stay reachable, so nothing crashes; the view just goes quietly
+// stale — which is exactly the kind of invariant pstore-vet exists for.
+//
+// The check is flow-insensitive and intentionally conservative: it flags
+// the store shapes through which a view can outlive its scope —
+// assignment to a package-level variable (directly or through an index
+// expression), a struct-field store, a channel send, and a goroutine
+// argument — regardless of whether the destination provably survives the
+// transaction. Returning a view (GetView itself does) and holding it in
+// locals are fine. Deliberate retention sites annotate
+// //pstore:ignore tupleescape with a rationale, like every other check.
+// Views are matched by type name (TupleView), so fixtures can define a
+// local stand-in type.
+var TupleEscape = &Analyzer{
+	Name: tupleescapeName,
+	Doc:  "no TupleView stored, sent, or handed to a goroutine beyond its borrowing transaction",
+	Applies: func(p *Package) bool {
+		return true // self-scopes: only code touching a TupleView-typed value is examined
+	},
+	Run: runTupleEscape,
+}
+
+// isTupleViewType reports whether t is (or points to, or is a container
+// of) a named type called TupleView.
+func isTupleViewType(t types.Type) bool {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Slice:
+			t = x.Elem()
+		case *types.Array:
+			t = x.Elem()
+		case *types.Map:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj().Name() == "TupleView"
+		default:
+			return false
+		}
+	}
+}
+
+// isPackageLevel reports whether the expression resolves to a package-scope
+// object (directly, or through index expressions into one).
+func isPackageLevel(p *Package, expr ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			if obj == nil {
+				obj = p.Info.Defs[x]
+			}
+			return obj != nil && obj.Parent() == p.Pkg.Scope()
+		case *ast.IndexExpr:
+			expr = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func runTupleEscape(target *Package, all []*Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     target.Fset.Position(pos.Pos()),
+			Check:   tupleescapeName,
+			Message: fmt.Sprintf(format, args...) + ": the view borrows partition arena bytes valid only within its transaction; copy with CopyCols or Row first",
+		})
+	}
+	for _, f := range target.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					lhs = ast.Unparen(lhs)
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if !isTupleViewType(target.Info.TypeOf(lhs)) {
+						continue
+					}
+					switch l := lhs.(type) {
+					case *ast.SelectorExpr:
+						report(l, "TupleView stored in field %s escapes its transaction", l.Sel.Name)
+					case *ast.Ident:
+						if isPackageLevel(target, l) {
+							report(l, "TupleView assigned to package-level %s escapes its transaction", l.Name)
+						}
+					case *ast.IndexExpr:
+						if isPackageLevel(target, l.X) {
+							report(l, "TupleView stored in package-level container escapes its transaction")
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if isTupleViewType(target.Info.TypeOf(x.Value)) {
+					report(x, "TupleView sent across a channel escapes its transaction")
+				}
+			case *ast.GoStmt:
+				for _, arg := range x.Call.Args {
+					if isTupleViewType(target.Info.TypeOf(arg)) {
+						report(arg, "TupleView handed to a goroutine escapes its transaction")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"pstore/internal/engine"
+	"pstore/internal/storage"
 )
 
 // Procedure names (Table 4).
@@ -63,16 +64,32 @@ func Register(reg *engine.Registry) {
 	reg.Register(ProcDeleteCheckout, deleteCheckout)
 }
 
+// The procedures read through zero-copy TupleViews (tx.GetView) and write
+// through the transaction's scratch column map (tx.ScratchCols): column
+// values borrowed from a view may be placed in the scratch map because Put
+// encodes the map into the store immediately and never retains it. No view
+// or borrowed value is kept past procedure return — the tupleescape vet
+// check enforces this.
+
+// col returns the named column of a view ("" when absent or invalid).
+func col(v storage.TupleView, name string) string {
+	if !v.Valid() {
+		return ""
+	}
+	s, _ := v.Col(name)
+	return s
+}
+
 // addLineToCart adds a new item to the shopping cart, creating the cart if
 // it does not exist yet.
 func addLineToCart(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableCart, tx.Key)
+	v, ok, err := tx.GetView(TableCart, tx.Key)
 	if err != nil {
 		return err
 	}
 	var lines []Line
 	if ok {
-		if lines, err = decodeLines(row.Cols["lines"]); err != nil {
+		if lines, err = decodeLines(col(v, "lines")); err != nil {
 			return err
 		}
 	}
@@ -97,29 +114,22 @@ func addLineToCart(tx *engine.Txn) error {
 	if err != nil {
 		return err
 	}
-	if ok {
-		// Reuse the fetched row's column map instead of building a fresh
-		// one: the update path is the hot path, and Put copies anyway.
-		row.Cols["lines"] = enc
-		row.Cols["status"] = StatusOpen
-		return tx.Put(TableCart, tx.Key, row.Cols)
-	}
-	return tx.Put(TableCart, tx.Key, map[string]string{
-		"lines":  enc,
-		"status": StatusOpen,
-	})
+	cols := tx.ScratchCols()
+	cols["lines"] = enc
+	cols["status"] = StatusOpen
+	return tx.Put(TableCart, tx.Key, cols)
 }
 
 // deleteLineFromCart removes an item from the cart.
 func deleteLineFromCart(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableCart, tx.Key)
+	v, ok, err := tx.GetView(TableCart, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("cart not found")
 	}
-	lines, err := decodeLines(row.Cols["lines"])
+	lines, err := decodeLines(col(v, "lines"))
 	if err != nil {
 		return err
 	}
@@ -134,21 +144,22 @@ func deleteLineFromCart(tx *engine.Txn) error {
 	if err != nil {
 		return err
 	}
-	row.Cols["lines"] = enc
-	return tx.Put(TableCart, tx.Key, row.Cols)
+	cols := v.AliasCols(tx.ScratchCols())
+	cols["lines"] = enc
+	return tx.Put(TableCart, tx.Key, cols)
 }
 
 // getCart retrieves the items currently in the cart.
 func getCart(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableCart, tx.Key)
+	v, ok, err := tx.GetView(TableCart, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("cart not found")
 	}
-	tx.SetOut("lines", row.Cols["lines"])
-	tx.SetOut("status", row.Cols["status"])
+	tx.SetOut("lines", col(v, "lines"))
+	tx.SetOut("status", col(v, "status"))
 	return nil
 }
 
@@ -160,41 +171,44 @@ func deleteCart(tx *engine.Txn) error {
 
 // getStock retrieves the stock inventory information for an item.
 func getStock(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableStock, tx.Key)
+	v, ok, err := tx.GetView(TableStock, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("stock item not found")
 	}
-	for k, v := range row.Cols {
-		tx.SetOut(k, v)
-	}
+	v.Range(func(name, val string) bool {
+		tx.SetOut(name, val)
+		return true
+	})
 	return nil
 }
 
 // getStockQuantity determines the availability of an item.
 func getStockQuantity(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableStock, tx.Key)
+	v, ok, err := tx.GetView(TableStock, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("stock item not found")
 	}
-	tx.SetOut("available", row.Cols["available"])
+	tx.SetOut("available", col(v, "available"))
 	return nil
 }
 
 // stockInts parses the stock counters of a row.
-func stockInts(cols map[string]string) (available, reserved, sold int) {
-	available, _ = strconv.Atoi(cols["available"])
-	reserved, _ = strconv.Atoi(cols["reserved"])
-	sold, _ = strconv.Atoi(cols["sold"])
+func stockInts(v storage.TupleView) (available, reserved, sold int) {
+	available, _ = strconv.Atoi(col(v, "available"))
+	reserved, _ = strconv.Atoi(col(v, "reserved"))
+	sold, _ = strconv.Atoi(col(v, "sold"))
 	return
 }
 
-func putStock(tx *engine.Txn, cols map[string]string, available, reserved, sold int) error {
+// putStock rewrites a stock row's counters, preserving its other columns.
+func putStock(tx *engine.Txn, v storage.TupleView, available, reserved, sold int) error {
+	cols := v.AliasCols(tx.ScratchCols())
 	cols["available"] = strconv.Itoa(available)
 	cols["reserved"] = strconv.Itoa(reserved)
 	cols["sold"] = strconv.Itoa(sold)
@@ -205,7 +219,7 @@ func putStock(tx *engine.Txn, cols map[string]string, available, reserved, sold 
 // when availability is insufficient, which removes the item from the
 // customer's cart at the application layer.
 func reserveStock(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableStock, tx.Key)
+	v, ok, err := tx.GetView(TableStock, tx.Key)
 	if err != nil {
 		return err
 	}
@@ -216,16 +230,16 @@ func reserveStock(tx *engine.Txn) error {
 	if qty <= 0 {
 		qty = 1
 	}
-	available, reserved, sold := stockInts(row.Cols)
+	available, reserved, sold := stockInts(v)
 	if available < qty {
 		return tx.Abort("insufficient stock")
 	}
-	return putStock(tx, row.Cols, available-qty, reserved+qty, sold)
+	return putStock(tx, v, available-qty, reserved+qty, sold)
 }
 
 // purchaseStock marks reserved units as purchased.
 func purchaseStock(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableStock, tx.Key)
+	v, ok, err := tx.GetView(TableStock, tx.Key)
 	if err != nil {
 		return err
 	}
@@ -236,16 +250,16 @@ func purchaseStock(tx *engine.Txn) error {
 	if qty <= 0 {
 		qty = 1
 	}
-	available, reserved, sold := stockInts(row.Cols)
+	available, reserved, sold := stockInts(v)
 	if reserved < qty {
 		return tx.Abort("purchase exceeds reservation")
 	}
-	return putStock(tx, row.Cols, available, reserved-qty, sold+qty)
+	return putStock(tx, v, available, reserved-qty, sold+qty)
 }
 
 // cancelStockReservation returns reserved units to availability.
 func cancelStockReservation(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableStock, tx.Key)
+	v, ok, err := tx.GetView(TableStock, tx.Key)
 	if err != nil {
 		return err
 	}
@@ -256,38 +270,38 @@ func cancelStockReservation(tx *engine.Txn) error {
 	if qty <= 0 {
 		qty = 1
 	}
-	available, reserved, sold := stockInts(row.Cols)
+	available, reserved, sold := stockInts(v)
 	if reserved < qty {
 		return tx.Abort("cancel exceeds reservation")
 	}
-	return putStock(tx, row.Cols, available+qty, reserved-qty, sold)
+	return putStock(tx, v, available+qty, reserved-qty, sold)
 }
 
 // createStockTransaction records that an item in a cart has been reserved.
 func createStockTransaction(tx *engine.Txn) error {
-	if _, ok, err := tx.Get(TableStockTx, tx.Key); err != nil {
+	if _, ok, err := tx.GetView(TableStockTx, tx.Key); err != nil {
 		return err
 	} else if ok {
 		return tx.Abort("stock transaction already exists")
 	}
-	return tx.Put(TableStockTx, tx.Key, map[string]string{
-		"sku":     tx.Arg("sku"),
-		"qty":     tx.Arg("qty"),
-		"cart_id": tx.Arg("cart_id"),
-		"status":  StatusReserved,
-	})
+	cols := tx.ScratchCols()
+	cols["sku"] = tx.Arg("sku")
+	cols["qty"] = tx.Arg("qty")
+	cols["cart_id"] = tx.Arg("cart_id")
+	cols["status"] = StatusReserved
+	return tx.Put(TableStockTx, tx.Key, cols)
 }
 
 // reserveCart marks the items in the shopping cart as reserved.
 func reserveCart(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableCart, tx.Key)
+	v, ok, err := tx.GetView(TableCart, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("cart not found")
 	}
-	lines, err := decodeLines(row.Cols["lines"])
+	lines, err := decodeLines(col(v, "lines"))
 	if err != nil {
 		return err
 	}
@@ -298,30 +312,32 @@ func reserveCart(tx *engine.Txn) error {
 	if err != nil {
 		return err
 	}
-	row.Cols["lines"] = enc
-	row.Cols["status"] = StatusReserved
-	return tx.Put(TableCart, tx.Key, row.Cols)
+	cols := v.AliasCols(tx.ScratchCols())
+	cols["lines"] = enc
+	cols["status"] = StatusReserved
+	return tx.Put(TableCart, tx.Key, cols)
 }
 
 // getStockTransaction retrieves a stock transaction.
 func getStockTransaction(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableStockTx, tx.Key)
+	v, ok, err := tx.GetView(TableStockTx, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("stock transaction not found")
 	}
-	for k, v := range row.Cols {
-		tx.SetOut(k, v)
-	}
+	v.Range(func(name, val string) bool {
+		tx.SetOut(name, val)
+		return true
+	})
 	return nil
 }
 
 // updateStockTransaction changes a stock transaction's status to purchased
 // or cancelled.
 func updateStockTransaction(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableStockTx, tx.Key)
+	v, ok, err := tx.GetView(TableStockTx, tx.Key)
 	if err != nil {
 		return err
 	}
@@ -332,48 +348,50 @@ func updateStockTransaction(tx *engine.Txn) error {
 	if status != StatusPurchased && status != StatusCancelled {
 		return fmt.Errorf("b2w: invalid stock transaction status %q", status)
 	}
-	row.Cols["status"] = status
-	return tx.Put(TableStockTx, tx.Key, row.Cols)
+	cols := v.AliasCols(tx.ScratchCols())
+	cols["status"] = status
+	return tx.Put(TableStockTx, tx.Key, cols)
 }
 
 // createCheckout starts the checkout process.
 func createCheckout(tx *engine.Txn) error {
-	if _, ok, err := tx.Get(TableCheckout, tx.Key); err != nil {
+	if _, ok, err := tx.GetView(TableCheckout, tx.Key); err != nil {
 		return err
 	} else if ok {
 		return tx.Abort("checkout already exists")
 	}
-	return tx.Put(TableCheckout, tx.Key, map[string]string{
-		"cart_id": tx.Arg("cart_id"),
-		"status":  StatusOpen,
-		"lines":   "",
-	})
+	cols := tx.ScratchCols()
+	cols["cart_id"] = tx.Arg("cart_id")
+	cols["status"] = StatusOpen
+	cols["lines"] = ""
+	return tx.Put(TableCheckout, tx.Key, cols)
 }
 
 // createCheckoutPayment adds payment information to the checkout.
 func createCheckoutPayment(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableCheckout, tx.Key)
+	v, ok, err := tx.GetView(TableCheckout, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("checkout not found")
 	}
-	row.Cols["payment_method"] = tx.Arg("method")
-	row.Cols["payment_amount"] = tx.Arg("amount")
-	return tx.Put(TableCheckout, tx.Key, row.Cols)
+	cols := v.AliasCols(tx.ScratchCols())
+	cols["payment_method"] = tx.Arg("method")
+	cols["payment_amount"] = tx.Arg("amount")
+	return tx.Put(TableCheckout, tx.Key, cols)
 }
 
 // addLineToCheckout adds a new item to the checkout object.
 func addLineToCheckout(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableCheckout, tx.Key)
+	v, ok, err := tx.GetView(TableCheckout, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("checkout not found")
 	}
-	lines, err := decodeLines(row.Cols["lines"])
+	lines, err := decodeLines(col(v, "lines"))
 	if err != nil {
 		return err
 	}
@@ -387,20 +405,21 @@ func addLineToCheckout(tx *engine.Txn) error {
 	if err != nil {
 		return err
 	}
-	row.Cols["lines"] = enc
-	return tx.Put(TableCheckout, tx.Key, row.Cols)
+	cols := v.AliasCols(tx.ScratchCols())
+	cols["lines"] = enc
+	return tx.Put(TableCheckout, tx.Key, cols)
 }
 
 // deleteLineFromCheckout removes an item from the checkout object.
 func deleteLineFromCheckout(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableCheckout, tx.Key)
+	v, ok, err := tx.GetView(TableCheckout, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("checkout not found")
 	}
-	lines, err := decodeLines(row.Cols["lines"])
+	lines, err := decodeLines(col(v, "lines"))
 	if err != nil {
 		return err
 	}
@@ -415,22 +434,24 @@ func deleteLineFromCheckout(tx *engine.Txn) error {
 	if err != nil {
 		return err
 	}
-	row.Cols["lines"] = enc
-	return tx.Put(TableCheckout, tx.Key, row.Cols)
+	cols := v.AliasCols(tx.ScratchCols())
+	cols["lines"] = enc
+	return tx.Put(TableCheckout, tx.Key, cols)
 }
 
 // getCheckout retrieves the checkout object.
 func getCheckout(tx *engine.Txn) error {
-	row, ok, err := tx.Get(TableCheckout, tx.Key)
+	v, ok, err := tx.GetView(TableCheckout, tx.Key)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return tx.Abort("checkout not found")
 	}
-	for k, v := range row.Cols {
-		tx.SetOut(k, v)
-	}
+	v.Range(func(name, val string) bool {
+		tx.SetOut(name, val)
+		return true
+	})
 	return nil
 }
 

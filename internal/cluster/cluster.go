@@ -428,7 +428,7 @@ func (c *Cluster) recover() error {
 				loser, winner = prev, pid
 			}
 			claim[b] = winner
-			if _, err := parts[loser].part.ExtractBucket(b); err != nil {
+			if err := parts[loser].part.DropBucket(b); err != nil {
 				return fmt.Errorf("cluster: resolving bucket %d ownership: %w", b, err)
 			}
 			dirty[loser] = true
@@ -871,6 +871,14 @@ func (c *Cluster) PartitionsPerNode() int { return c.cfg.PartitionsPerNode }
 func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 	start := time.Now()
 	c.offered.Add(start, 1)
+	return c.callSync(txn, start)
+}
+
+// callSync is Call's bounded retry loop, shared with CallAsync's fallback
+// path (which has already counted the offered load and must keep the
+// original start time so the retry deadline and recorded latency span the
+// whole call).
+func (c *Cluster) callSync(txn *engine.Txn, start time.Time) engine.Result {
 	deadline := start.Add(c.cfg.retryBudget())
 	bucket := storage.BucketOf(txn.Key, c.cfg.NBuckets)
 	var res engine.Result
@@ -889,13 +897,7 @@ func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 			c.events.Add(metrics.EventShed, 1)
 			break
 		}
-		var notOwned *storage.ErrNotOwned
-		retriable := errors.As(res.Err, &notOwned) ||
-			errors.Is(res.Err, engine.ErrStopped) ||
-			errors.Is(res.Err, replication.ErrFenced) ||
-			errors.Is(res.Err, replication.ErrClosed) ||
-			(res.Err != nil && !ok)
-		if !retriable || attempt+1 >= c.cfg.retryAttempts() || time.Now().After(deadline) {
+		if !c.retriable(res.Err, ok) || attempt+1 >= c.cfg.retryAttempts() || time.Now().After(deadline) {
 			break
 		}
 		c.events.Add(metrics.EventMigrationRetries, 1)
@@ -904,6 +906,78 @@ func (c *Cluster) Call(txn *engine.Txn) engine.Result {
 	res.Latency = time.Since(start)
 	c.latencies.Record(time.Now(), res.Latency)
 	return res
+}
+
+// retriable reports whether err means the transaction never ran (bucket in
+// flight, executor stopped or fenced mid-route) and may safely be requeued.
+// routed is false when the routing table had no executor for the owner.
+func (c *Cluster) retriable(err error, routed bool) bool {
+	return storage.IsNotOwned(err) ||
+		errors.Is(err, engine.ErrStopped) ||
+		errors.Is(err, replication.ErrFenced) ||
+		errors.Is(err, replication.ErrClosed) ||
+		(err != nil && !routed)
+}
+
+// asyncCall carries one CallAsync invocation's bookkeeping through the
+// executor's completion path. Pooled so the steady-state async call path
+// allocates nothing.
+type asyncCall struct {
+	c     *Cluster
+	txn   *engine.Txn
+	comp  engine.Completion
+	start time.Time
+}
+
+var asyncCallPool = sync.Pool{New: func() any { return new(asyncCall) }}
+
+// Complete runs on the executor (or group-commit) goroutine: it applies the
+// cluster-level accounting that Call does inline — shed events, latency
+// recording — and hands the result to the caller's completion. The rare
+// retriable outcome (the bucket moved or the executor died between routing
+// and execution; the transaction never ran) falls back to the synchronous
+// retry loop on a fresh goroutine, keeping the executor non-blocked.
+func (a *asyncCall) Complete(res engine.Result) {
+	c, txn, comp, start := a.c, a.txn, a.comp, a.start
+	*a = asyncCall{}
+	asyncCallPool.Put(a)
+	if errors.Is(res.Err, engine.ErrOverloaded) {
+		c.events.Add(metrics.EventShed, 1)
+	} else if c.retriable(res.Err, true) {
+		go func() {
+			c.events.Add(metrics.EventMigrationRetries, 1)
+			comp.Complete(c.callSync(txn, start))
+		}()
+		return
+	}
+	res.Latency = time.Since(start)
+	c.latencies.Record(time.Now(), res.Latency)
+	comp.Complete(res)
+}
+
+// CallAsync routes and executes a transaction like Call, but delivers the
+// result through comp instead of blocking the caller: the reply is produced
+// directly on the executor's completion path, so a server connection can
+// dispatch a call and return to its read loop without parking a goroutine
+// per in-flight transaction. comp.Complete must be non-blocking (it runs on
+// the executor or group-commit goroutine) and may be invoked synchronously
+// on the caller's goroutine when admission control sheds the call.
+func (c *Cluster) CallAsync(txn *engine.Txn, comp engine.Completion) {
+	start := time.Now()
+	c.offered.Add(start, 1)
+	rt := c.route.Load()
+	bucket := storage.BucketOf(txn.Key, c.cfg.NBuckets)
+	pid := rt.owner[bucket]
+	exec, ok := rt.execs[pid]
+	if !ok {
+		// No executor for the owner (node mid-removal): take the slow path,
+		// which retries against fresh routing tables.
+		go func() { comp.Complete(c.callSync(txn, start)) }()
+		return
+	}
+	a := asyncCallPool.Get().(*asyncCall)
+	a.c, a.txn, a.comp, a.start = c, txn, comp, start
+	exec.CallAsync(txn, a)
 }
 
 // LoadRow inserts a row directly into whichever partition owns the key,
@@ -930,8 +1004,7 @@ func (c *Cluster) LoadRow(table, key string, cols map[string]string) error {
 			}
 			return 0, nil
 		})
-		var notOwned *storage.ErrNotOwned
-		if errors.As(err, &notOwned) ||
+		if storage.IsNotOwned(err) ||
 			errors.Is(err, engine.ErrStopped) ||
 			errors.Is(err, replication.ErrFenced) ||
 			errors.Is(err, replication.ErrClosed) {

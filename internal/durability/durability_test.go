@@ -2,8 +2,11 @@ package durability
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strconv"
 	"testing"
 	"time"
@@ -340,5 +343,144 @@ func TestSyncEveryMode(t *testing.T) {
 	}
 	if stats.Txns != 1 {
 		t.Errorf("replayed %d txns, want 1", stats.Txns)
+	}
+}
+
+// partitionContents materializes every table of a partition as
+// table → key → cols, the canonical form for whole-partition equality
+// checks; contentChecksum folds the same data into an order-free FNV-1a
+// sum, mirroring the cluster-level determinism checksum.
+func partitionContents(t *testing.T, p *storage.Partition) map[string]map[string]map[string]string {
+	t.Helper()
+	out := make(map[string]map[string]map[string]string)
+	for _, tab := range p.Tables() {
+		rows := make(map[string]map[string]string)
+		if _, err := p.Scan(tab, func(r storage.Row) bool {
+			rows[r.Key] = r.Cols
+			return true
+		}); err != nil {
+			t.Fatalf("Scan %s: %v", tab, err)
+		}
+		out[tab] = rows
+	}
+	return out
+}
+
+func contentChecksum(t *testing.T, p *storage.Partition) uint64 {
+	t.Helper()
+	var sum uint64
+	for _, tab := range p.Tables() {
+		if _, err := p.Scan(tab, func(r storage.Row) bool {
+			h := fnv.New64a()
+			h.Write([]byte(tab))
+			h.Write([]byte{0})
+			h.Write([]byte(r.Key))
+			cols := make([]string, 0, len(r.Cols))
+			for c := range r.Cols {
+				cols = append(cols, c)
+			}
+			sort.Strings(cols)
+			for _, c := range cols {
+				h.Write([]byte{0})
+				h.Write([]byte(c))
+				h.Write([]byte{1})
+				h.Write([]byte(r.Cols[c]))
+			}
+			sum ^= h.Sum64() // XOR: commutative, order-free
+			return true
+		}); err != nil {
+			t.Fatalf("Scan %s: %v", tab, err)
+		}
+	}
+	return sum
+}
+
+// TestSchemaEvolutionReplay recovers a log whose rows grow columns midway:
+// early transactions write {v}, later ones add {audit, by} to the same
+// table — so the live partition interned the new columns mid-stream while
+// a recovering partition meets them in whatever order replay encounters.
+// Field-ID assignment is in-memory only; the recovered contents and the
+// order-free checksum must match the live partition exactly. A snapshot is
+// taken while the schema is still narrow, so recovery also exercises
+// snapshot-load followed by wider-schema tail replay.
+func TestSchemaEvolutionReplay(t *testing.T) {
+	reg := engine.NewRegistry()
+	reg.Register("set", func(tx *engine.Txn) error {
+		return tx.Put("t", tx.Key, map[string]string{"v": tx.Arg("v")})
+	})
+	reg.Register("audit", func(tx *engine.Txn) error {
+		// The mid-log schema change: two columns this table has never held.
+		cols := map[string]string{"audit": tx.Arg("audit"), "by": tx.Arg("by")}
+		if v, ok, err := tx.Get("t", tx.Key); err != nil {
+			return err
+		} else if ok {
+			cols["v"] = v.Cols["v"]
+		}
+		return tx.Put("t", tx.Key, cols)
+	})
+
+	dir := t.TempDir()
+	opts := Options{GroupCommitInterval: 500 * time.Microsecond}
+	m := openTestManager(t, dir, opts)
+	live := newTestPartition(8)
+	apply := func(proc, key string, args map[string]string) {
+		if err := engine.ReplayTxn(reg, live, proc, key, args); err != nil {
+			t.Fatalf("apply %s(%s): %v", proc, key, err)
+		}
+		appendSync(t, m, proc, key, args)
+	}
+	for i := 0; i < 32; i++ {
+		apply("set", fmt.Sprintf("k%d", i), map[string]string{"v": fmt.Sprintf("v%d", i)})
+	}
+	// Snapshot with only {v} on disk; the columns added below live in the
+	// log tail.
+	if err := m.Snapshot(live); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for i := 0; i < 32; i += 2 {
+		apply("audit", fmt.Sprintf("k%d", i),
+			map[string]string{"audit": fmt.Sprintf("a%d", i), "by": "ops"})
+	}
+	// And rows born after the evolution, never seen without the new columns.
+	for i := 32; i < 40; i++ {
+		apply("audit", fmt.Sprintf("k%d", i),
+			map[string]string{"audit": fmt.Sprintf("a%d", i), "by": "ops"})
+	}
+	m.Close()
+
+	m2 := openTestManager(t, dir, opts)
+	defer m2.Close()
+	recovered := storage.NewPartition(0, 8, nil)
+	recovered.CreateTable("t")
+	stats, err := m2.Recover(recovered, reg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !stats.SnapshotLoaded {
+		t.Error("snapshot not loaded")
+	}
+	if stats.Txns != 24 {
+		t.Errorf("replayed %d txns, want the 24 post-snapshot ones", stats.Txns)
+	}
+	if got, want := contentChecksum(t, recovered), contentChecksum(t, live); got != want {
+		t.Errorf("content checksum after replay = %#x, want %#x", got, want)
+	}
+	if got, want := partitionContents(t, recovered), partitionContents(t, live); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered contents diverge from live partition:\n got %v\nwant %v", got, want)
+	}
+	// Spot-check the mixed generations: an untouched narrow row, an
+	// upgraded row, and a born-wide row.
+	for key, want := range map[string]map[string]string{
+		"k1":  {"v": "v1"},
+		"k2":  {"v": "v2", "audit": "a2", "by": "ops"},
+		"k35": {"audit": "a35", "by": "ops"},
+	} {
+		row, ok, err := recovered.Get("t", key)
+		if err != nil || !ok {
+			t.Fatalf("Get %s: %v %v", key, ok, err)
+		}
+		if !reflect.DeepEqual(row.Cols, want) {
+			t.Errorf("%s = %v, want %v", key, row.Cols, want)
+		}
 	}
 }

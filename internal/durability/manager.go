@@ -219,7 +219,7 @@ func (m *Manager) Recover(part *storage.Partition, reg *engine.Registry) (Replay
 			// Idempotent: drop any stale copy before applying the logged
 			// authoritative contents.
 			if part.Owns(data.Bucket) {
-				if _, err := part.ExtractBucket(data.Bucket); err != nil {
+				if err := part.DropBucket(data.Bucket); err != nil {
 					return err
 				}
 			}
@@ -230,7 +230,7 @@ func (m *Manager) Recover(part *storage.Partition, reg *engine.Registry) (Replay
 			stats.BucketsIn++
 		case kindBucketOut:
 			if part.Owns(rec.Bucket) {
-				if _, err := part.ExtractBucket(rec.Bucket); err != nil {
+				if err := part.DropBucket(rec.Bucket); err != nil {
 					return err
 				}
 				delete(stats.FromHandoff, rec.Bucket)

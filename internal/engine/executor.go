@@ -103,9 +103,18 @@ type Executor struct {
 	spinTimer *time.Timer
 }
 
+// Completion receives a transaction's result on the completion path of an
+// asynchronous call (CallAsync). Complete runs on the executor goroutine —
+// or the group-commit goroutine for logged writes — so implementations must
+// be non-blocking and bounded: encode, hand off, return.
+type Completion interface {
+	Complete(Result)
+}
+
 type task struct {
 	txn     *Txn
 	reply   chan Result
+	comp    Completion
 	started time.Time
 
 	fn      func(p *storage.Partition) (rows int, err error)
@@ -267,13 +276,7 @@ func (e *Executor) run() {
 				// pipelining is what makes group commit cheap.
 				e.ackDurable(t, res)
 			} else {
-				res.Latency = time.Since(t.started)
-				if e.cfg.Recorder != nil {
-					e.cfg.Recorder.Record(time.Now(), res.Latency)
-				}
-				if t.reply != nil {
-					t.reply <- res //pstore:ignore execblock — reply is buffered (cap 1) and single-use; the send cannot block
-				}
+				e.deliver(t, res)
 			}
 		case t.fn != nil:
 			rows, err := t.fn(e.part)
@@ -294,9 +297,25 @@ func (e *Executor) run() {
 	}
 }
 
-func isNotOwned(err error) bool {
-	var notOwned *storage.ErrNotOwned
-	return errors.As(err, &notOwned)
+func isNotOwned(err error) bool { return storage.IsNotOwned(err) }
+
+// deliver completes a transaction task: it stamps the latency, records it,
+// and hands the result to the task's completion (async calls) or reply
+// channel (synchronous calls). It runs on the executor goroutine; both
+// delivery forms are bounded — Complete implementations are contractually
+// non-blocking and reply channels are buffered single-use.
+func (e *Executor) deliver(t task, res Result) {
+	res.Latency = time.Since(t.started)
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(time.Now(), res.Latency)
+	}
+	if t.comp != nil {
+		t.comp.Complete(res)
+		return
+	}
+	if t.reply != nil {
+		t.reply <- res //pstore:ignore execblock — reply is buffered (cap 1) and single-use; the send cannot block
+	}
 }
 
 // ackDurable defers a transaction's reply until its log record is on stable
@@ -305,6 +324,7 @@ func isNotOwned(err error) bool {
 func (e *Executor) ackDurable(t task, res Result) {
 	started := t.started
 	reply := t.reply
+	comp := t.comp
 	e.cfg.Log.Append(t.txn.Proc, t.txn.Key, t.txn.Args, func(lsn uint64, logErr error) {
 		res.LSN = lsn
 		if logErr != nil && res.Err == nil {
@@ -313,6 +333,10 @@ func (e *Executor) ackDurable(t task, res Result) {
 		res.Latency = time.Since(started)
 		if e.cfg.Recorder != nil {
 			e.cfg.Recorder.Record(time.Now(), res.Latency)
+		}
+		if comp != nil {
+			comp.Complete(res)
+			return
 		}
 		if reply != nil {
 			reply <- res //pstore:ignore execblock — reply is buffered (cap 1) and single-use; runs on the group-commit goroutine
@@ -329,8 +353,7 @@ func (e *Executor) execTxn(txn *Txn) Result {
 	txn.part = e.part
 	err := e.safeCall(proc, txn)
 	txn.part = nil
-	var notOwned *storage.ErrNotOwned
-	if errors.As(err, &notOwned) {
+	if storage.IsNotOwned(err) {
 		// The key's bucket is in flight to another partition: the engine
 		// detects this on the index lookup and requeues without doing the
 		// transaction's work, so no service time is charged.
@@ -421,6 +444,18 @@ func (e *Executor) Call(txn *Txn) Result {
 	res := <-reply
 	resultChans.Put(reply)
 	return res
+}
+
+// CallAsync enqueues a transaction and delivers its result through comp
+// instead of a reply channel: the executor (or the group committer, for
+// logged writes) invokes comp.Complete directly, so a completed call needs
+// no wakeup of a parked caller goroutine. Enqueue failures (ErrOverloaded,
+// ErrStopped) complete synchronously on the caller's goroutine.
+func (e *Executor) CallAsync(txn *Txn, comp Completion) {
+	t := task{txn: txn, comp: comp, started: time.Now()}
+	if err := e.enqueue(t); err != nil {
+		comp.Complete(Result{Err: err})
+	}
 }
 
 // Do runs fn on the executor's goroutine with exclusive partition access

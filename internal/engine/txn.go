@@ -23,9 +23,10 @@ type Txn struct {
 	Key  string
 	Args map[string]string
 
-	part  *storage.Partition
-	out   map[string]string
-	dirty bool // set by Put/Delete; only dirty txns are command-logged
+	part    *storage.Partition
+	out     map[string]string
+	scratch map[string]string // reusable column buffer, see ScratchCols
+	dirty   bool              // set by Put/Delete; only dirty txns are command-logged
 }
 
 // txnPool recycles Txn contexts (and their output maps) across
@@ -46,6 +47,7 @@ func AcquireTxn(proc, key string, args map[string]string) *Txn {
 // not touch the Txn — or a Result.Out obtained from it — afterwards.
 func (t *Txn) Release() {
 	clear(t.out)
+	clear(t.scratch)
 	t.Proc, t.Key, t.Args = "", "", nil
 	t.part, t.dirty = nil, false
 	txnPool.Put(t)
@@ -62,9 +64,32 @@ func (t *Txn) SetOut(name, value string) {
 	t.out[name] = value
 }
 
-// Get reads a row from the executing partition.
+// Get reads a row from the executing partition, materialized as an owned
+// Row. Hot procedures should prefer GetView, which does not allocate.
 func (t *Txn) Get(table, key string) (storage.Row, bool, error) {
 	return t.part.Get(table, key)
+}
+
+// GetView reads a row as a zero-copy view borrowing the partition's arena
+// bytes. The view is valid only until the procedure returns and must not be
+// retained (enforced by the tupleescape vet check); copy what outlives the
+// transaction with CopyCols or Row.
+func (t *Txn) GetView(table, key string) (storage.TupleView, bool, error) {
+	return t.part.GetView(table, key)
+}
+
+// ScratchCols returns an emptied column map owned by the Txn, for building
+// a row to Put without allocating. Put encodes the map immediately and
+// never retains it, so one scratch map per transaction context is safe —
+// but a second ScratchCols call reuses (and clears) the same map, so build
+// and Put one row at a time.
+func (t *Txn) ScratchCols() map[string]string {
+	if t.scratch == nil {
+		t.scratch = make(map[string]string, 8)
+	} else {
+		clear(t.scratch)
+	}
+	return t.scratch
 }
 
 // Put writes a row to the executing partition.

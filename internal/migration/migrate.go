@@ -708,9 +708,11 @@ func backoff(rng *lockedRand, base time.Duration, retry int) time.Duration {
 
 // moveBucketOnce is one attempt of the legacy stop-and-copy move, kept
 // behind Options.StopAndCopy for ablation and benchmarking: extract at the
-// source (one executor visit of O(bucket)), repoint routing, apply at the
-// destination (another O(bucket) visit). The default path is
-// moveBucketPreCopy, whose stall is O(residual delta).
+// source, repoint routing, apply at the destination. Both executor visits
+// move the bucket's arena pages by reference (O(tables) pointer moves, plus
+// a schema re-encode at the destination only when field IDs differ), but
+// unlike moveBucketPreCopy the bucket is unavailable from extract to apply
+// — the stall spans the whole handoff instead of the residual delta.
 // Transactions for the bucket arriving in between
 // retry until the apply lands (a window bounded by cluster.Config
 // RetryAttempts/RetryBudget and counted in Events as migration retries).
@@ -738,14 +740,14 @@ func (m *Migration) moveBucketOnce(c *cluster.Cluster, mv bucketMove) error {
 			return fmt.Errorf("before extracting bucket %d: %w", mv.bucket, err)
 		}
 	}
-	var data *storage.BucketData
+	var pages *storage.BucketPages
 	err := srcExec.Do(func(p *storage.Partition) (int, error) {
 		var err error
-		data, err = p.ExtractBucket(mv.bucket)
+		pages, err = p.ExtractBucketPages(mv.bucket)
 		if err != nil {
 			return 0, err
 		}
-		return data.RowCount(), nil
+		return pages.RowCount(), nil
 	})
 	if err != nil {
 		return fmt.Errorf("migration: extracting bucket %d from partition %d: %w", mv.bucket, mv.fromPart, err)
@@ -762,19 +764,21 @@ func (m *Migration) moveBucketOnce(c *cluster.Cluster, mv bucketMove) error {
 			if dstMgr != nil {
 				// Durable before visible: once transactions run against the
 				// bucket here, its arrival is already on the receiver's disk.
-				if err := dstMgr.LogBucketIn(data); err != nil {
+				// Only this durable record pays the O(rows) materialization —
+				// the in-memory handoff below moves pages by reference.
+				if err := dstMgr.LogBucketIn(pages.Data()); err != nil {
 					return 0, err
 				}
 			}
-			if err := p.ApplyBucket(data); err != nil {
+			if err := p.ApplyBucketPages(pages); err != nil {
 				return 0, err
 			}
-			return data.RowCount(), nil
+			return pages.RowCount(), nil
 		})
 	}
 	if err != nil {
 		applyErr := fmt.Errorf("migration: applying bucket %d to partition %d: %w", mv.bucket, mv.toPart, err)
-		if rbErr := m.rollback(c, srcExec, mv, data); rbErr != nil {
+		if rbErr := m.rollback(c, srcExec, mv, pages); rbErr != nil {
 			return fmt.Errorf("%w after %v: %w", errRollbackFailed, applyErr, rbErr)
 		}
 		return applyErr
@@ -785,7 +789,7 @@ func (m *Migration) moveBucketOnce(c *cluster.Cluster, mv bucketMove) error {
 	// favor, matching this choice).
 	m.markMoved(mv.bucket)
 	m.movedBuckets.Add(1)
-	m.movedRows.Add(int64(data.RowCount()))
+	m.movedRows.Add(int64(pages.RowCount()))
 	if srcMgr := c.HandoffOf(mv.fromPart); srcMgr != nil {
 		if err := srcMgr.LogBucketOut(mv.bucket); err != nil {
 			return fmt.Errorf("%w: logging bucket %d out of partition %d: %w",
@@ -796,14 +800,16 @@ func (m *Migration) moveBucketOnce(c *cluster.Cluster, mv bucketMove) error {
 }
 
 // rollback returns an extracted bucket to its source partition and repoints
-// routing back, undoing a half-completed move attempt.
-func (m *Migration) rollback(c *cluster.Cluster, srcExec *engine.Executor, mv bucketMove, data *storage.BucketData) error {
+// routing back, undoing a half-completed move attempt. The pages go home by
+// reference — and verbatim, since they are still encoded against the
+// source's own schemas.
+func (m *Migration) rollback(c *cluster.Cluster, srcExec *engine.Executor, mv bucketMove, pages *storage.BucketPages) error {
 	c.SetOwner(mv.bucket, mv.fromPart)
 	err := srcExec.Do(func(p *storage.Partition) (int, error) {
-		if err := p.ApplyBucket(data); err != nil {
+		if err := p.ApplyBucketPages(pages); err != nil {
 			return 0, err
 		}
-		return data.RowCount(), nil
+		return pages.RowCount(), nil
 	})
 	if err != nil {
 		return fmt.Errorf("restoring bucket %d to partition %d: %w", mv.bucket, mv.fromPart, err)

@@ -102,23 +102,27 @@ func (m *Migration) moveBucketPreCopy(c *cluster.Cluster, mv bucketMove) error {
 			abortMove()
 			return fmt.Errorf("migration: bucket %d pre-copy canceled: run failed elsewhere", mv.bucket)
 		}
-		var rows []storage.Row
+		var batch *storage.TupleBatch
 		err := srcExec.DoBackground(func(p *storage.Partition) (int, error) {
 			var err error
-			rows, err = p.CopyRows(mv.bucket, s)
-			return len(rows), err
+			batch, err = p.CopyRows(mv.bucket, s)
+			if batch == nil {
+				return 0, err
+			}
+			return batch.Len(), err
 		})
 		if err == nil {
-			table := s.Table
+			// The batch aliases the source bucket's append-only arena pages —
+			// handing it across executors copies slice headers, not rows.
 			err = dstExec.DoBackground(func(p *storage.Partition) (int, error) {
-				return len(rows), p.StageRows(mv.bucket, table, rows)
+				return batch.Len(), p.StageRows(mv.bucket, batch)
 			})
 		}
 		if err != nil {
 			abortMove()
 			return fmt.Errorf("migration: pre-copying bucket %d (%d→%d): %w", mv.bucket, mv.fromPart, mv.toPart, err)
 		}
-		copied += len(rows)
+		copied += batch.Len()
 	}
 	c.Events().Add(metrics.EventPreCopyRows, int64(copied))
 

@@ -165,13 +165,12 @@ func (r *Replica) applyLocked(rec *Record) error {
 		if !r.p.Owns(rec.Bucket) {
 			return nil
 		}
-		_, err := r.p.ExtractBucket(rec.Bucket)
-		return err
+		return r.p.DropBucket(rec.Bucket)
 	case RecBucketIn:
 		// Replace-then-apply keeps the record idempotent against a stale
 		// copy left by an earlier seeding race.
 		if r.p.Owns(rec.Bucket) {
-			if _, err := r.p.ExtractBucket(rec.Bucket); err != nil {
+			if err := r.p.DropBucket(rec.Bucket); err != nil {
 				return err
 			}
 		}

@@ -142,7 +142,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Answered inline: no executor work, no goroutine.
 			w.reply(&Response{ID: req.ID})
 			reqPool.Put(req)
-		case KindCall, KindRead:
+		case KindCall:
+			// Transactions dispatch straight from the read loop: the
+			// executor's completion path encodes the reply, so no
+			// per-in-flight-call goroutine exists to wake.
+			s.dispatchCall(req, w)
+		case KindRead:
 			runner.dispatch(req)
 		default:
 			runner.wg.Add(1)
@@ -194,8 +199,54 @@ func (r *callRunner) worker() {
 	r.idle.Add(-1)
 }
 
-// handleCall runs one transaction (or a session-consistent read): pooled
-// Txn in, batched reply out.
+// callCompletion carries one asynchronous transaction through the
+// executor's completion path back to its connection's batching writer.
+// Pooled so the steady-state call path allocates nothing.
+type callCompletion struct {
+	s   *Server
+	w   *replyWriter
+	req *Request
+	txn *engine.Txn
+}
+
+var callCompletions = sync.Pool{New: func() any { return new(callCompletion) }}
+
+// dispatchCall hands a transaction to the cluster's async call path. The
+// reply is encoded by Complete on the executor (or group-commit) goroutine;
+// the read loop moves straight on to the next frame.
+func (s *Server) dispatchCall(req *Request, w *replyWriter) {
+	txn := engine.AcquireTxn(req.Proc, req.Key, req.Args)
+	cc := callCompletions.Get().(*callCompletion)
+	cc.s, cc.w, cc.req, cc.txn = s, w, req, txn
+	s.c.CallAsync(txn, cc)
+}
+
+// Complete encodes the transaction's reply into the connection's batch
+// buffer. It is bounded — appendResponse under a mutex plus a non-blocking
+// wake — which is what the engine.Completion contract requires of code
+// running on the executor goroutine.
+func (cc *callCompletion) Complete(res engine.Result) {
+	s, w, req, txn := cc.s, cc.w, cc.req, cc.txn
+	*cc = callCompletion{}
+	callCompletions.Put(cc)
+	resp := Response{ID: req.ID, Out: res.Out, Latency: res.Latency,
+		Routed: true, Part: res.Partition, LSN: res.LSN}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+		resp.Abort = engine.IsAbort(res.Err)
+		if errors.Is(res.Err, engine.ErrOverloaded) {
+			resp.Busy = true
+			resp.RetryAfter = s.c.ShedRetryAfter()
+		}
+	}
+	w.reply(&resp) // encodes Out before the txn (which owns it) is released
+	txn.Release()
+	reqPool.Put(req)
+}
+
+// handleCall runs one session-consistent read synchronously on a runner
+// worker: pooled Txn in, batched reply out. (Transactions take the async
+// dispatchCall path instead.)
 func (s *Server) handleCall(req *Request, w *replyWriter) {
 	var res engine.Result
 	var txn *engine.Txn

@@ -8,15 +8,17 @@
 //     subsequent Put/Delete against it into an ordered per-bucket delta
 //     log, returning a manifest of bounded CopySlices.
 //  2. CopyRows streams each slice (≤ sliceRows rows per executor visit)
-//     to the destination, which accumulates them with StageRows — outside
-//     its live tables, invisible to transactions.
+//     to the destination as a TupleBatch — encoded tuples aliased straight
+//     out of the bucket arena, no per-row cloning — which the destination
+//     accumulates with StageRows, outside its live tables, invisible to
+//     transactions.
 //  3. DrainDelta pops the captured writes in rounds; StageDelta overlays
-//     them on the staged rows in capture order, so the staging area
+//     them on the staged tuples in capture order, so the staging area
 //     converges on the live bucket while the bucket keeps serving.
 //  4. DetachBucket is the only stop-the-world moment: it unhooks the
-//     bucket's row maps (O(tables) pointer moves, no row copying), revokes
+//     bucket's arenas (O(tables) pointer moves, no row copying), revokes
 //     ownership and returns the final residual delta — O(delta), not
-//     O(bucket). CommitStaged then installs the staged maps at the
+//     O(bucket). CommitStaged then installs the staged arenas at the
 //     destination by reference. ReattachBucket undoes a detach exactly,
 //     for the rollback path.
 //
@@ -31,12 +33,15 @@ import (
 )
 
 // DeltaOp is one captured write against a migrating bucket, in capture
-// order. Row is valid when Delete is false and is a private clone — safe to
-// hand to another partition.
+// order. Tuple is valid when Delete is false: an alias of the bucket's
+// append-only arena bytes (stable for the op's lifetime), decoded against
+// Schema — safe to hand to another partition, which re-encodes it against
+// its own schema as it stages.
 type DeltaOp struct {
 	Table  string
 	Key    string
-	Row    Row
+	Tuple  []byte
+	Schema *Schema
 	Delete bool
 }
 
@@ -47,6 +52,36 @@ type DeltaOp struct {
 type CopySlice struct {
 	Table string
 	Keys  []string
+}
+
+// TupleBatch is one copied slice in flight: encoded tuples aliasing the
+// source bucket's arena pages, plus the schema that decodes them. The
+// aliases are stable (pages are append-only), so the batch crosses to the
+// destination executor without copying a byte.
+type TupleBatch struct {
+	Table  string
+	Schema *Schema
+	Tuples [][]byte
+}
+
+// Len returns the number of tuples in the batch.
+func (tb *TupleBatch) Len() int { return len(tb.Tuples) }
+
+// View returns a zero-copy view of the i'th tuple.
+func (tb *TupleBatch) View(i int) TupleView {
+	return TupleView{b: tb.Tuples[i], schema: tb.Schema}
+}
+
+// NewTupleBatch encodes materialized rows into a self-contained batch with
+// its own schema — the bridge for callers that hold Rows rather than a
+// bucket (tests, bulk loads).
+func NewTupleBatch(tableName string, rows []Row) *TupleBatch {
+	s := newSchema()
+	batch := &TupleBatch{Table: tableName, Schema: s, Tuples: make([][]byte, 0, len(rows))}
+	for _, r := range rows {
+		batch.Tuples = append(batch.Tuples, appendTuple(nil, s, r.Key, r.Cols))
+	}
+	return batch
 }
 
 // bucketCapture is one migrating bucket's write-capture state.
@@ -79,14 +114,18 @@ func (p *Partition) BeginCapture(bucket, sliceRows int) ([]CopySlice, error) {
 	}
 	p.capture[bucket] = &bucketCapture{}
 	var slices []CopySlice
+	//pstore:ignore determinism — manifest order only shapes in-flight slice boundaries; staging is key-addressed, so the landed content is order-independent
 	for name, t := range p.tables {
 		rows := t.buckets[bucket]
-		if len(rows) == 0 {
+		if rows == nil || rows.len() == 0 {
 			continue
 		}
-		keys := make([]string, 0, len(rows))
-		for k := range rows {
-			keys = append(keys, k)
+		keys := make([]string, 0, rows.len())
+		//pstore:ignore determinism — same: keys feed the copy manifest, not a durable encoding
+		for k := range rows.index {
+			// Index keys alias arena bytes; manifest keys must outlive any
+			// overwrite of those rows, so copy them out.
+			keys = append(keys, string(append([]byte(nil), k...)))
 		}
 		for i := 0; i < len(keys); i += sliceRows {
 			end := i + sliceRows
@@ -112,11 +151,11 @@ func (p *Partition) captureWrite(bucket int, op DeltaOp) {
 	c.delta = append(c.delta, op)
 }
 
-// CopyRows clones the slice's still-present rows. Keys deleted since the
-// manifest was built are skipped (their delete is in the delta); rows
-// overwritten since carry the newer value, which a later delta replay
-// rewrites idempotently.
-func (p *Partition) CopyRows(bucket int, s CopySlice) ([]Row, error) {
+// CopyRows gathers the slice's still-present rows as a zero-copy
+// TupleBatch. Keys deleted since the manifest was built are skipped (their
+// delete is in the delta); rows overwritten since carry the newer value,
+// which a later delta replay rewrites idempotently.
+func (p *Partition) CopyRows(bucket int, s CopySlice) (*TupleBatch, error) {
 	if !p.owned[bucket] {
 		return nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
 	}
@@ -124,14 +163,17 @@ func (p *Partition) CopyRows(bucket int, s CopySlice) ([]Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown table %q", s.Table)
 	}
+	batch := &TupleBatch{Table: s.Table, Schema: t.schema, Tuples: make([][]byte, 0, len(s.Keys))}
 	rows := t.buckets[bucket]
-	out := make([]Row, 0, len(s.Keys))
+	if rows == nil {
+		return batch, nil
+	}
 	for _, k := range s.Keys {
-		if r, ok := rows[k]; ok {
-			out = append(out, r.Clone())
+		if tuple := rows.get(k); tuple != nil {
+			batch.Tuples = append(batch.Tuples, tuple)
 		}
 	}
-	return out, nil
+	return batch, nil
 }
 
 // DeltaLen returns the number of captured-but-undrained writes for the
@@ -165,27 +207,27 @@ func (p *Partition) DrainDelta(bucket, max int) ([]DeltaOp, int, error) {
 // stays owned and fully live — aborting a pre-copy costs nothing.
 func (p *Partition) AbortCapture(bucket int) { delete(p.capture, bucket) }
 
-// DetachedBucket holds a bucket's row maps unhooked from their partition —
+// DetachedBucket holds a bucket's arenas unhooked from their partition —
 // the in-flight state between DetachBucket at the source and the durable
 // commit at the destination. Dropping it frees the source copy; handing it
 // back to ReattachBucket restores the source exactly.
 type DetachedBucket struct {
 	Bucket int
 	part   int
-	tables map[string]map[string]Row
+	tables map[string]*bucketRows
 }
 
 // RowCount returns the number of rows in the detached bucket.
 func (d *DetachedBucket) RowCount() int {
 	n := 0
 	for _, rows := range d.tables {
-		n += len(rows)
+		n += rows.len()
 	}
 	return n
 }
 
 // DetachBucket ends the bucket's capture with the stop-the-world step of a
-// pre-copy move: it unhooks the bucket's row maps from the live tables
+// pre-copy move: it unhooks the bucket's arenas from the live tables
 // (pointer moves, no row copying), revokes ownership and returns the final
 // residual delta. Cost is O(tables + residual delta) — the per-move stall
 // no longer scales with bucket size.
@@ -197,7 +239,7 @@ func (p *Partition) DetachBucket(bucket int) (*DetachedBucket, []DeltaOp, error)
 	if !p.owned[bucket] {
 		return nil, nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
 	}
-	d := &DetachedBucket{Bucket: bucket, part: p.id, tables: make(map[string]map[string]Row)}
+	d := &DetachedBucket{Bucket: bucket, part: p.id, tables: make(map[string]*bucketRows)}
 	for name, t := range p.tables {
 		if rows, ok := t.buckets[bucket]; ok {
 			d.tables[name] = rows
@@ -210,7 +252,7 @@ func (p *Partition) DetachBucket(bucket int) (*DetachedBucket, []DeltaOp, error)
 	return d, final, nil
 }
 
-// ReattachBucket undoes a DetachBucket on the same partition: the row maps
+// ReattachBucket undoes a DetachBucket on the same partition: the arenas
 // are hooked back in and ownership restored. The detached rows already
 // include every captured write, so reattaching alone makes the bucket
 // exactly current. Used by the migration rollback path.
@@ -233,61 +275,92 @@ func (p *Partition) ReattachBucket(d *DetachedBucket) error {
 	return nil
 }
 
-// StageRows accumulates copied rows for a bucket the partition does not own
-// yet. Staged data lives outside the live tables: invisible to
-// transactions, scans, counts and checksums until CommitStaged.
-func (p *Partition) StageRows(bucket int, tableName string, rows []Row) error {
-	st, err := p.stagingFor(bucket)
+// stagePut re-encodes one source-schema tuple against the staging table's
+// schema (a verbatim arena copy when the schemas already agree) and indexes
+// it in the staged bucket.
+func (p *Partition) stagePut(st *bucketRows, src, dst *Schema, tuple []byte) {
+	if sameFields(src, dst) {
+		st.putTuple(tuple)
+		return
+	}
+	p.enc = remapTuple(p.enc[:0], src, dst, tuple)
+	st.putTuple(p.enc)
+}
+
+// stageSchemaFor returns the schema staged tuples for tableName are encoded
+// against: the live table's own schema, creating the table if needed, so
+// CommitStaged installs arenas without any re-encoding. Seeding an empty
+// schema from the source's field order keeps the verbatim fast path hot.
+func (p *Partition) stageSchemaFor(tableName string, src *Schema) *Schema {
+	p.CreateTable(tableName)
+	dst := p.tables[tableName].schema
+	if dst.NumFields() == 0 {
+		for _, name := range src.fieldNames() {
+			dst.intern(name)
+		}
+	}
+	return dst
+}
+
+// StageRows accumulates a copied batch for a bucket the partition does not
+// own yet. Staged tuples live outside the live tables: invisible to
+// transactions, scans, counts and checksums until CommitStaged. Tuples are
+// re-encoded against the destination table's schema on arrival (verbatim
+// when field tables agree), so the final commit stays O(tables).
+func (p *Partition) StageRows(bucket int, batch *TupleBatch) error {
+	stb, err := p.stagingFor(bucket)
 	if err != nil {
 		return err
 	}
-	m := st[tableName]
-	if m == nil {
-		m = make(map[string]Row, len(rows))
-		st[tableName] = m
+	dst := p.stageSchemaFor(batch.Table, batch.Schema)
+	st := stb[batch.Table]
+	if st == nil {
+		st = newBucketRows()
+		stb[batch.Table] = st
 	}
-	for _, r := range rows {
-		m[r.Key] = r
+	for _, tuple := range batch.Tuples {
+		p.stagePut(st, batch.Schema, dst, tuple)
 	}
 	return nil
 }
 
 // StageDelta overlays captured writes, in capture order, on the staged
-// rows. After the final delta is staged the staging area equals the
+// tuples. After the final delta is staged the staging area equals the
 // bucket's live contents at detach time.
 func (p *Partition) StageDelta(bucket int, ops []DeltaOp) error {
-	st, err := p.stagingFor(bucket)
+	stb, err := p.stagingFor(bucket)
 	if err != nil {
 		return err
 	}
 	for _, op := range ops {
-		m := st[op.Table]
-		if m == nil {
+		st := stb[op.Table]
+		if st == nil {
 			if op.Delete {
 				continue
 			}
-			m = make(map[string]Row)
-			st[op.Table] = m
+			st = newBucketRows()
+			stb[op.Table] = st
 		}
 		if op.Delete {
-			delete(m, op.Key)
-		} else {
-			m[op.Key] = op.Row
+			st.delete(op.Key)
+			continue
 		}
+		dst := p.stageSchemaFor(op.Table, op.Schema)
+		p.stagePut(st, op.Schema, dst, op.Tuple)
 	}
 	return nil
 }
 
-func (p *Partition) stagingFor(bucket int) (map[string]map[string]Row, error) {
+func (p *Partition) stagingFor(bucket int) (map[string]*bucketRows, error) {
 	if p.owned[bucket] {
 		return nil, fmt.Errorf("storage: partition %d already owns bucket %d", p.id, bucket)
 	}
 	if p.staged == nil {
-		p.staged = make(map[int]map[string]map[string]Row)
+		p.staged = make(map[int]map[string]*bucketRows)
 	}
 	st := p.staged[bucket]
 	if st == nil {
-		st = make(map[string]map[string]Row)
+		st = make(map[string]*bucketRows)
 		p.staged[bucket] = st
 	}
 	return st, nil
@@ -297,21 +370,25 @@ func (p *Partition) stagingFor(bucket int) (map[string]map[string]Row, error) {
 func (p *Partition) StagedRowCount(bucket int) int {
 	n := 0
 	for _, rows := range p.staged[bucket] {
-		n += len(rows)
+		n += rows.len()
 	}
 	return n
 }
 
-// StagedData snapshots the staged bucket as BucketData with rows in sorted
-// key order — the deterministic encoding the durability handoff record
-// wants. The rows are shared, not cloned: the caller must only serialize
-// them (LogBucketIn) before CommitStaged installs the same maps.
+// StagedData materializes the staged bucket as BucketData with rows in
+// sorted key order — the deterministic encoding the durability handoff
+// record wants. Staged tuples are encoded against the live tables' schemas
+// (stageSchemaFor guarantees the table exists), which CommitStaged then
+// installs by reference.
 func (p *Partition) StagedData(bucket int) *BucketData {
 	data := &BucketData{Bucket: bucket, Tables: make(map[string][]Row)}
+	//pstore:ignore determinism — rows are sorted by key below before encoding
 	for name, rows := range p.staged[bucket] {
-		out := make([]Row, 0, len(rows))
-		for _, r := range rows {
-			out = append(out, r)
+		schema := p.tables[name].schema
+		out := make([]Row, 0, rows.len())
+		//pstore:ignore determinism — index iteration lands in out, which is sorted below
+		for _, tuple := range rows.index {
+			out = append(out, TupleView{b: tuple, schema: schema}.Row())
 		}
 		sortRowsByKey(out)
 		data.Tables[name] = out
@@ -319,7 +396,7 @@ func (p *Partition) StagedData(bucket int) *BucketData {
 	return data
 }
 
-// CommitStaged installs the staged maps as the bucket's live contents (by
+// CommitStaged installs the staged arenas as the bucket's live contents (by
 // reference — O(tables)) and takes ownership, reporting the number of rows
 // that landed. Committing a bucket the partition already owns is an error.
 // A bucket with nothing staged commits empty, matching ApplyBucket of an
@@ -330,12 +407,12 @@ func (p *Partition) CommitStaged(bucket int) (int, error) {
 	}
 	n := 0
 	for name, rows := range p.staged[bucket] {
-		if len(rows) == 0 {
+		if rows.len() == 0 {
 			continue
 		}
 		p.CreateTable(name)
 		p.tables[name].buckets[bucket] = rows
-		n += len(rows)
+		n += rows.len()
 	}
 	delete(p.staged, bucket)
 	p.owned[bucket] = true
@@ -347,7 +424,7 @@ func (p *Partition) CommitStaged(bucket int) (int, error) {
 func (p *Partition) DiscardStaged(bucket int) { delete(p.staged, bucket) }
 
 // sortRowsByKey orders rows deterministically for snapshot and handoff
-// encoding. Live-path extraction no longer sorts (see ExtractBucket); only
+// encoding. Live-path extraction does not sort (see ExtractBucket); only
 // the durable encoders pay for determinism.
 func sortRowsByKey(rows []Row) {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })

@@ -78,16 +78,16 @@ func TestPreCopyLifecycle(t *testing.T) {
 	// delta); the updated key may carry either value — the delta rewrites it.
 	dst := NewPartition(2, 64, nil)
 	for _, s := range slices {
-		rows, err := src.CopyRows(bucket, s)
+		batch, err := src.CopyRows(bucket, s)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, r := range rows {
-			if r.Key == deleted {
+		for i := 0; i < batch.Len(); i++ {
+			if batch.View(i).Key() == deleted {
 				t.Error("deleted key should be skipped by CopyRows")
 			}
 		}
-		if err := dst.StageRows(bucket, s.Table, rows); err != nil {
+		if err := dst.StageRows(bucket, batch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -274,7 +274,7 @@ func TestStagingInvisibleUntilCommit(t *testing.T) {
 	p := NewPartition(4, 64, nil)
 	const bucket = 2
 	rows := []Row{{Key: "a", Cols: map[string]string{"v": "1"}}}
-	if err := p.StageRows(bucket, "T", rows); err != nil {
+	if err := p.StageRows(bucket, NewTupleBatch("T", rows)); err != nil {
 		t.Fatal(err)
 	}
 	if p.StagedRowCount(bucket) != 1 {
@@ -295,7 +295,7 @@ func TestStagingInvisibleUntilCommit(t *testing.T) {
 		t.Error("empty commit must still claim the bucket")
 	}
 	// Staging or committing a bucket the partition owns is an error.
-	if err := p.StageRows(bucket, "T", rows); err == nil {
+	if err := p.StageRows(bucket, NewTupleBatch("T", rows)); err == nil {
 		t.Error("staging an owned bucket should fail")
 	}
 	if _, err := p.CommitStaged(bucket); err == nil {

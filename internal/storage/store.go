@@ -3,6 +3,13 @@
 // the granularity at which the Squall-style migrator relocates data — and
 // each partition owns a disjoint set of buckets.
 //
+// Rows are stored as compact byte-encoded tuples in per-bucket arenas (see
+// tuple.go, arena.go): column names intern into a per-table Schema, tuples
+// carry field IDs, and stored procedures read through zero-copy TupleViews.
+// Row and BucketData remain the materialized interchange types for
+// snapshots, replication shipping and tests — the durable formats are
+// unchanged.
+//
 // A Partition is NOT safe for concurrent use: exactly one engine executor
 // goroutine owns it, mirroring H-Store's serial per-partition execution
 // model.
@@ -15,10 +22,11 @@ import (
 	"pstore/internal/hashing"
 )
 
-// Row is a stored record: a primary key plus named string columns.
+// Row is a materialized record: a primary key plus named string columns.
 // Structured values (e.g. a shopping cart's line items) are stored as
 // encoded documents inside a column, as in the document-oriented store the
-// B2W benchmark models.
+// B2W benchmark models. Inside the store rows live as encoded tuples; Row
+// is the owned, GC-managed form handed across API boundaries.
 type Row struct {
 	Key  string
 	Cols map[string]string
@@ -33,11 +41,23 @@ func (r Row) Clone() Row {
 	return Row{Key: r.Key, Cols: cols}
 }
 
-// SizeBytes estimates the row's in-memory footprint.
+// Go runtime overhead constants for Row's footprint: string headers are
+// 16 bytes, and a map entry costs roughly 48 bytes of bucket and header
+// machinery beyond its key and value payloads.
+const (
+	stringHeaderBytes = 16
+	mapEntryOverhead  = 48
+	mapHeaderBytes    = 48
+)
+
+// SizeBytes estimates the row's in-memory footprint as a boxed Go value,
+// including string headers and map bucket overhead — the costs the previous
+// payload-only estimate omitted (~48B+ per column), which made the
+// planner's memory estimates drift low on small-row tables.
 func (r Row) SizeBytes() int {
-	n := len(r.Key)
+	n := stringHeaderBytes + len(r.Key) + mapHeaderBytes
 	for k, v := range r.Cols {
-		n += len(k) + len(v)
+		n += mapEntryOverhead + 2*stringHeaderBytes + len(k) + len(v)
 	}
 	return n
 }
@@ -58,10 +78,14 @@ type Partition struct {
 
 	// capture holds per-bucket write-capture state while a pre-copy
 	// migration is streaming the bucket out (see precopy.go); staged holds
-	// rows arriving for buckets this partition does not own yet
-	// (bucket → table → key → row). Both are nil when no move is in flight.
+	// tuples arriving for buckets this partition does not own yet
+	// (bucket → table → bucketRows). Both are nil when no move is in flight.
 	capture map[int]*bucketCapture
-	staged  map[int]map[string]map[string]Row
+	staged  map[int]map[string]*bucketRows
+
+	// enc is the partition's tuple-encode scratch buffer, reused across
+	// Puts (the encoded bytes are copied into the bucket arena immediately).
+	enc []byte
 
 	// readOnly rejects Put/Delete — set by a replica around read-only
 	// transactions so a mistakenly routed writing procedure fails loudly
@@ -79,7 +103,18 @@ func (p *Partition) SetReadOnly(ro bool) { p.readOnly = ro }
 
 type table struct {
 	name    string
-	buckets map[int]map[string]Row
+	schema  *Schema
+	buckets map[int]*bucketRows
+}
+
+// bucketFor returns the table's rows for bucket, creating them if asked.
+func (t *table) bucketFor(bucket int, create bool) *bucketRows {
+	b := t.buckets[bucket]
+	if b == nil && create {
+		b = newBucketRows()
+		t.buckets[bucket] = b
+	}
+	return b
 }
 
 // NewPartition creates an empty partition. nBuckets is the global bucket
@@ -125,7 +160,7 @@ func (p *Partition) OwnedBuckets() []int {
 // CreateTable ensures a table exists.
 func (p *Partition) CreateTable(name string) {
 	if _, ok := p.tables[name]; !ok {
-		p.tables[name] = &table{name: name, buckets: make(map[int]map[string]Row)}
+		p.tables[name] = &table{name: name, schema: newSchema(), buckets: make(map[int]*bucketRows)}
 	}
 }
 
@@ -141,6 +176,24 @@ func (e *ErrNotOwned) Error() string {
 	return fmt.Sprintf("storage: partition %d does not own bucket %d (key %q)", e.Partition, e.Bucket, e.Key)
 }
 
+// IsNotOwned reports whether err is (or wraps) an ErrNotOwned. Unlike
+// errors.As with a local target, this never allocates — it sits on the
+// transaction hot path, where every routing decision passes through it.
+func IsNotOwned(err error) bool {
+	for err != nil {
+		if _, ok := err.(*ErrNotOwned); ok {
+			return true
+		}
+		switch x := err.(type) {
+		case interface{ Unwrap() error }:
+			err = x.Unwrap()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
 func (p *Partition) checkOwned(key string) (int, error) {
 	b := BucketOf(key, p.nBuckets)
 	if !p.owned[b] {
@@ -149,28 +202,42 @@ func (p *Partition) checkOwned(key string) (int, error) {
 	return b, nil
 }
 
-// Get returns the row with the key from the table.
+// Get returns the row with the key from the table, materialized as an owned
+// Row. Hot paths that only read should prefer GetView.
 func (p *Partition) Get(tableName, key string) (Row, bool, error) {
+	v, ok, err := p.GetView(tableName, key)
+	if err != nil || !ok {
+		return Row{}, ok, err
+	}
+	return v.Row(), true, nil
+}
+
+// GetView returns a zero-copy view of the row with the key. The view
+// borrows the bucket's arena bytes: valid for the duration of the
+// transaction that requested it, never to be retained past txn return (the
+// tupleescape vet check enforces this for stored procedures).
+func (p *Partition) GetView(tableName, key string) (TupleView, bool, error) {
 	b, err := p.checkOwned(key)
 	if err != nil {
-		return Row{}, false, err
+		return TupleView{}, false, err
 	}
 	t, ok := p.tables[tableName]
 	if !ok {
-		return Row{}, false, fmt.Errorf("storage: unknown table %q", tableName)
+		return TupleView{}, false, fmt.Errorf("storage: unknown table %q", tableName)
 	}
-	rows, ok := t.buckets[b]
-	if !ok {
-		return Row{}, false, nil
+	rows := t.buckets[b]
+	if rows == nil {
+		return TupleView{}, false, nil
 	}
-	r, ok := rows[key]
-	if !ok {
-		return Row{}, false, nil
+	tuple := rows.get(key)
+	if tuple == nil {
+		return TupleView{}, false, nil
 	}
-	return r.Clone(), true, nil
+	return TupleView{b: tuple, schema: t.schema}, true, nil
 }
 
-// Put inserts or replaces the row with the key in the table.
+// Put inserts or replaces the row with the key in the table. cols is
+// encoded immediately and never retained — callers may reuse the map.
 func (p *Partition) Put(tableName, key string, cols map[string]string) error {
 	if p.readOnly {
 		return ErrReadOnly
@@ -183,17 +250,14 @@ func (p *Partition) Put(tableName, key string, cols map[string]string) error {
 	if !ok {
 		return fmt.Errorf("storage: unknown table %q", tableName)
 	}
-	rows, ok := t.buckets[b]
-	if !ok {
-		rows = make(map[string]Row)
-		t.buckets[b] = rows
-	}
-	r := Row{Key: key, Cols: cols}.Clone()
-	rows[key] = r
+	p.enc = appendTuple(p.enc[:0], t.schema, key, cols)
+	rows := t.bucketFor(b, true)
+	rows.putTuple(p.enc)
 	if p.capture != nil {
-		// Stored rows are replaced whole, never mutated in place, so the
-		// delta can share the clone with the live table.
-		p.captureWrite(b, DeltaOp{Table: tableName, Key: key, Row: r})
+		// The arena alias is stable (pages are append-only), so the delta
+		// can share bytes with the live table instead of cloning the row.
+		p.captureWrite(b, DeltaOp{Table: tableName, Key: key,
+			Tuple: rows.get(key), Schema: t.schema})
 	}
 	return nil
 }
@@ -212,14 +276,10 @@ func (p *Partition) Delete(tableName, key string) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("storage: unknown table %q", tableName)
 	}
-	rows, ok := t.buckets[b]
-	if !ok {
+	rows := t.buckets[b]
+	if rows == nil || !rows.delete(key) {
 		return false, nil
 	}
-	if _, ok := rows[key]; !ok {
-		return false, nil
-	}
-	delete(rows, key)
 	if p.capture != nil {
 		p.captureWrite(b, DeltaOp{Table: tableName, Key: key, Delete: true})
 	}
@@ -228,17 +288,25 @@ func (p *Partition) Delete(tableName, key string) (bool, error) {
 
 // Scan iterates over every row of a table in unspecified order, calling fn
 // with each row; fn returning false stops the scan early. The row passed to
-// fn is a copy, safe to retain. Scan reports the number of rows visited.
+// fn is an owned copy, safe to retain. Scan reports the number of rows
+// visited. Hot read paths should prefer ScanViews.
 func (p *Partition) Scan(tableName string, fn func(Row) bool) (int, error) {
+	return p.ScanViews(tableName, func(v TupleView) bool { return fn(v.Row()) })
+}
+
+// ScanViews iterates over every row of a table as zero-copy views, in
+// unspecified order; fn returning false stops early. Views are valid only
+// within the callback.
+func (p *Partition) ScanViews(tableName string, fn func(TupleView) bool) (int, error) {
 	t, ok := p.tables[tableName]
 	if !ok {
 		return 0, fmt.Errorf("storage: unknown table %q", tableName)
 	}
 	visited := 0
 	for _, rows := range t.buckets {
-		for _, r := range rows {
+		for _, tuple := range rows.index {
 			visited++
-			if !fn(r.Clone()) {
+			if !fn(TupleView{b: tuple, schema: t.schema}) {
 				return visited, nil
 			}
 		}
@@ -251,7 +319,7 @@ func (p *Partition) RowCount() int {
 	n := 0
 	for _, t := range p.tables {
 		for _, rows := range t.buckets {
-			n += len(rows)
+			n += rows.len()
 		}
 	}
 	return n
@@ -262,26 +330,44 @@ func (p *Partition) RowCount() int {
 func (p *Partition) BucketRowCount(bucket int) int {
 	n := 0
 	for _, t := range p.tables {
-		n += len(t.buckets[bucket])
-	}
-	return n
-}
-
-// SizeBytes estimates the partition's data footprint.
-func (p *Partition) SizeBytes() int {
-	n := 0
-	for _, t := range p.tables {
-		for _, rows := range t.buckets {
-			for _, r := range rows {
-				n += r.SizeBytes()
-			}
+		if rows := t.buckets[bucket]; rows != nil {
+			n += rows.len()
 		}
 	}
 	return n
 }
 
-// BucketData is the serializable contents of one bucket, the unit moved by
-// the migrator.
+// SizeBytes returns the partition's exact retained data footprint: arena
+// pages plus index overhead, summed across tables and buckets. Unlike the
+// old per-row estimate this is the memory actually held, so the planner's
+// load accounting no longer drifts.
+func (p *Partition) SizeBytes() int {
+	n := 0
+	for _, t := range p.tables {
+		for _, rows := range t.buckets {
+			n += rows.sizeBytes()
+		}
+	}
+	return n
+}
+
+// BucketSizeBytes returns the bucket's exact retained footprint across all
+// tables — the per-bucket load number the migration planner weighs.
+func (p *Partition) BucketSizeBytes(bucket int) int {
+	n := 0
+	for _, t := range p.tables {
+		if rows := t.buckets[bucket]; rows != nil {
+			n += rows.sizeBytes()
+		}
+	}
+	return n
+}
+
+// BucketData is the materialized contents of one bucket — the serializable
+// interchange form used by snapshots, handoff records and replication
+// shipping. Its JSON shape is part of the durable format and predates the
+// tuple layout; materializing it costs a decode, so live movement paths use
+// BucketPages instead.
 type BucketData struct {
 	Bucket int
 	Tables map[string][]Row
@@ -296,51 +382,166 @@ func (d *BucketData) RowCount() int {
 	return n
 }
 
-// ExtractBucket removes the bucket's rows from the partition and revokes
-// ownership, returning the extracted data. Extracting a bucket the
-// partition does not own is an error. Rows come back in unspecified order —
-// extraction is a live-move hot path, so it does not pay for sorting;
-// encoders that need determinism (snapshots, handoff records) sort
-// themselves. Any in-flight capture state for the bucket is discarded.
-func (p *Partition) ExtractBucket(bucket int) (*BucketData, error) {
+// BucketPages is one bucket's encoded pages unhooked from (or bound for) a
+// partition: per-table arenas handed off by reference, with each source
+// table's schema riding along to decode them. Moving a bucket this way is
+// O(tables) pointer moves — no per-row cloning — and the receiving
+// partition re-encodes only if its schema assigns different field IDs.
+type BucketPages struct {
+	Bucket int
+	tables map[string]*bucketPage
+	rows   int
+}
+
+type bucketPage struct {
+	schema *Schema
+	rows   *bucketRows
+}
+
+// RowCount returns the number of rows carried by the pages.
+func (bp *BucketPages) RowCount() int { return bp.rows }
+
+// Data materializes the pages as sorted BucketData — the deterministic
+// interchange form the durable handoff record encodes. Cost is O(rows);
+// only paths that must serialize pay it.
+func (bp *BucketPages) Data() *BucketData {
+	data := &BucketData{Bucket: bp.Bucket, Tables: make(map[string][]Row, len(bp.tables))}
+	//pstore:ignore determinism — rows are sorted by key below before encoding
+	for name, pg := range bp.tables {
+		out := make([]Row, 0, pg.rows.len())
+		//pstore:ignore determinism — index iteration lands in out, which is sorted below
+		for _, tuple := range pg.rows.index {
+			out = append(out, TupleView{b: tuple, schema: pg.schema}.Row())
+		}
+		sortRowsByKey(out)
+		data.Tables[name] = out
+	}
+	return data
+}
+
+// ExtractBucketPages removes the bucket's encoded pages from the partition
+// and revokes ownership — the zero-copy form of ExtractBucket: O(tables)
+// pointer moves regardless of row count. Any in-flight capture state for
+// the bucket is discarded.
+func (p *Partition) ExtractBucketPages(bucket int) (*BucketPages, error) {
 	if !p.owned[bucket] {
 		return nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
 	}
-	data := &BucketData{Bucket: bucket, Tables: make(map[string][]Row)}
+	bp := &BucketPages{Bucket: bucket, tables: make(map[string]*bucketPage)}
 	for name, t := range p.tables {
 		rows, ok := t.buckets[bucket]
 		if !ok {
 			continue
 		}
-		out := make([]Row, 0, len(rows))
-		for _, r := range rows {
-			out = append(out, r)
-		}
-		data.Tables[name] = out
+		bp.tables[name] = &bucketPage{schema: t.schema, rows: rows}
+		bp.rows += rows.len()
 		delete(t.buckets, bucket)
 	}
 	delete(p.owned, bucket)
 	delete(p.capture, bucket)
+	return bp, nil
+}
+
+// adoptRows installs src-encoded rows into the table's bucket. When the
+// table's schema assigns the same field IDs as the source (always true for
+// a fresh table, which adopts the source's field order) the bucketRows
+// transfer by reference; otherwise every tuple is re-encoded against the
+// table's schema — O(rows) but still no per-row map allocation.
+func (t *table) adoptRows(bucket int, src *Schema, rows *bucketRows) {
+	if t.schema.NumFields() == 0 {
+		for _, name := range src.fieldNames() {
+			t.schema.intern(name)
+		}
+	}
+	if sameFields(src, t.schema) && t.buckets[bucket] == nil {
+		t.buckets[bucket] = rows
+		return
+	}
+	dst := t.bucketFor(bucket, true)
+	var buf []byte
+	for _, tuple := range rows.index {
+		if sameFields(src, t.schema) {
+			dst.putTuple(tuple)
+			continue
+		}
+		buf = remapTuple(buf[:0], src, t.schema, tuple)
+		dst.putTuple(buf)
+	}
+}
+
+// ApplyBucketPages installs extracted pages and takes ownership. Applying a
+// bucket the partition already owns is an error (it would clobber data).
+func (p *Partition) ApplyBucketPages(bp *BucketPages) error {
+	if p.owned[bp.Bucket] {
+		return fmt.Errorf("storage: partition %d already owns bucket %d", p.id, bp.Bucket)
+	}
+	for name, pg := range bp.tables {
+		p.CreateTable(name)
+		p.tables[name].adoptRows(bp.Bucket, pg.schema, pg.rows)
+	}
+	p.owned[bp.Bucket] = true
+	return nil
+}
+
+// DropBucket discards the bucket's rows and revokes ownership without
+// materializing anything — for callers that extract only to throw away
+// (recovery discarding a re-inherited bucket, a replica resyncing). Any
+// in-flight capture state is discarded too.
+func (p *Partition) DropBucket(bucket int) error {
+	if !p.owned[bucket] {
+		return &ErrNotOwned{Partition: p.id, Bucket: bucket}
+	}
+	for _, t := range p.tables {
+		delete(t.buckets, bucket)
+	}
+	delete(p.owned, bucket)
+	delete(p.capture, bucket)
+	return nil
+}
+
+// ExtractBucket removes the bucket's rows from the partition and revokes
+// ownership, returning the materialized data. Extracting a bucket the
+// partition does not own is an error. Rows come back in unspecified order —
+// encoders that need determinism (snapshots, handoff records) sort
+// themselves. Live movement should prefer ExtractBucketPages, which skips
+// the materialization; discard paths should use DropBucket.
+func (p *Partition) ExtractBucket(bucket int) (*BucketData, error) {
+	bp, err := p.ExtractBucketPages(bucket)
+	if err != nil {
+		return nil, err
+	}
+	data := &BucketData{Bucket: bucket, Tables: make(map[string][]Row, len(bp.tables))}
+	//pstore:ignore determinism — documented unspecified order; durable encoders sort (BucketPages.Data, CopyBucket)
+	for name, pg := range bp.tables {
+		out := make([]Row, 0, pg.rows.len())
+		//pstore:ignore determinism — same: materialization order is unspecified by contract
+		for _, tuple := range pg.rows.index {
+			out = append(out, TupleView{b: tuple, schema: pg.schema}.Row())
+		}
+		data.Tables[name] = out
+	}
 	return data, nil
 }
 
-// CopyBucket returns a deep copy of the bucket's rows without disturbing
-// the partition — the non-destructive sibling of ExtractBucket, used by the
-// durability snapshot encoder. Copying a bucket the partition does not own
-// is an error.
+// CopyBucket returns the bucket's rows materialized in sorted key order
+// without disturbing the partition — the non-destructive sibling of
+// ExtractBucket, used by the durability snapshot encoder. Copying a bucket
+// the partition does not own is an error.
 func (p *Partition) CopyBucket(bucket int) (*BucketData, error) {
 	if !p.owned[bucket] {
 		return nil, &ErrNotOwned{Partition: p.id, Bucket: bucket}
 	}
 	data := &BucketData{Bucket: bucket, Tables: make(map[string][]Row)}
+	//pstore:ignore determinism — rows are sorted by key below before encoding
 	for name, t := range p.tables {
 		rows, ok := t.buckets[bucket]
 		if !ok {
 			continue
 		}
-		out := make([]Row, 0, len(rows))
-		for _, r := range rows {
-			out = append(out, r.Clone())
+		out := make([]Row, 0, rows.len())
+		//pstore:ignore determinism — index iteration lands in out, which is sorted below
+		for _, tuple := range rows.index {
+			out = append(out, TupleView{b: tuple, schema: t.schema}.Row())
 		}
 		sortRowsByKey(out)
 		data.Tables[name] = out
@@ -354,16 +555,14 @@ func (p *Partition) ApplyBucket(data *BucketData) error {
 	if p.owned[data.Bucket] {
 		return fmt.Errorf("storage: partition %d already owns bucket %d", p.id, data.Bucket)
 	}
+	//pstore:ignore determinism — interning order affects only in-memory field IDs; tuple bytes never reach a durable encoding unsorted
 	for name, rows := range data.Tables {
 		p.CreateTable(name)
 		t := p.tables[name]
-		dst, ok := t.buckets[data.Bucket]
-		if !ok {
-			dst = make(map[string]Row, len(rows))
-			t.buckets[data.Bucket] = dst
-		}
+		dst := t.bucketFor(data.Bucket, true)
 		for _, r := range rows {
-			dst[r.Key] = r
+			p.enc = appendTuple(p.enc[:0], t.schema, r.Key, r.Cols)
+			dst.putTuple(p.enc)
 		}
 	}
 	p.owned[data.Bucket] = true

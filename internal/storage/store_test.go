@@ -339,9 +339,32 @@ func TestSizeBytes(t *testing.T) {
 	if err := p.Put("CART", "k", map[string]string{"a": "xy"}); err != nil {
 		t.Fatal(err)
 	}
-	// key(1) + col name(1) + value(2) = 4
-	if got := p.SizeBytes(); got != 4 {
-		t.Errorf("SizeBytes = %d, want 4", got)
+	// Accounting is exact retained memory: the first row opens one arena
+	// page and adds one index entry.
+	want := arenaPageSize + indexEntryOverhead
+	if got := p.SizeBytes(); got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+	b := BucketOf("k", p.NBuckets())
+	if got := p.BucketSizeBytes(b); got != want {
+		t.Errorf("BucketSizeBytes(%d) = %d, want %d", b, got, want)
+	}
+	if got := p.BucketSizeBytes(b + 1); got != 0 {
+		t.Errorf("BucketSizeBytes(empty) = %d, want 0", got)
+	}
+}
+
+func TestRowSizeBytesCountsOverhead(t *testing.T) {
+	r := Row{Key: "k", Cols: map[string]string{"a": "xy"}}
+	// Payload is 4 bytes; the boxed form must also charge string headers
+	// and map machinery, so the estimate is strictly larger.
+	if got := r.SizeBytes(); got < 4+mapHeaderBytes+mapEntryOverhead {
+		t.Errorf("Row.SizeBytes = %d, want at least %d", got, 4+mapHeaderBytes+mapEntryOverhead)
+	}
+	// And it must grow with payload.
+	big := Row{Key: "k", Cols: map[string]string{"a": "xy", "b": string(make([]byte, 100))}}
+	if big.SizeBytes() <= r.SizeBytes()+100 {
+		t.Errorf("Row.SizeBytes not payload-sensitive: %d vs %d", big.SizeBytes(), r.SizeBytes())
 	}
 }
 

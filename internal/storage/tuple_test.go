@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestTupleEncodeByteStable is the storage-side sibling of the wire codec's
+// TestEncodeByteStable: encoding the same logical row against the same
+// schema must produce identical bytes regardless of map iteration order,
+// and decode → re-encode must reproduce the input exactly.
+func TestTupleEncodeByteStable(t *testing.T) {
+	s := newSchema()
+	cols := map[string]string{"qty": "2", "sku": "A-7", "price": "19.90", "note": ""}
+	first := appendTuple(nil, s, "cart-1", cols)
+	for i := 0; i < 32; i++ {
+		// Rebuild the map each round so Go's randomized iteration order gets
+		// a chance to differ.
+		again := map[string]string{}
+		for k, v := range cols {
+			again[k] = v
+		}
+		enc := appendTuple(nil, s, "cart-1", again)
+		if string(enc) != string(first) {
+			t.Fatalf("encode not byte-stable on round %d", i)
+		}
+	}
+	row, err := decodeTupleChecked(s, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Key != "cart-1" || !reflect.DeepEqual(row.Cols, cols) {
+		t.Fatalf("decode = %+v", row)
+	}
+	re := appendTuple(nil, s, row.Key, row.Cols)
+	if string(re) != string(first) {
+		t.Fatal("decode → re-encode not byte-identical")
+	}
+}
+
+// TestSchemaInternDeterministic pins that field-ID assignment is a function
+// of the column set, not of map iteration order: two fresh schemas fed the
+// same rows assign identical IDs, so the tuples are byte-identical.
+func TestSchemaInternDeterministic(t *testing.T) {
+	cols := map[string]string{}
+	for i := 0; i < 20; i++ {
+		cols[fmt.Sprintf("col-%02d", i)] = fmt.Sprint(i)
+	}
+	a, b := newSchema(), newSchema()
+	ta := appendTuple(nil, a, "k", cols)
+	tb := appendTuple(nil, b, "k", cols)
+	if string(ta) != string(tb) {
+		t.Fatal("independent schemas fed the same row diverged")
+	}
+	if !sameFields(a, b) {
+		t.Fatal("schemas interned different field tables")
+	}
+}
+
+func TestTupleRoundTripQuick(t *testing.T) {
+	f := func(key string, names []string, vals []string) bool {
+		cols := map[string]string{}
+		for i, n := range names {
+			v := ""
+			if i < len(vals) {
+				v = vals[i]
+			}
+			cols[n] = v
+		}
+		s := newSchema()
+		enc := appendTuple(nil, s, key, cols)
+		row, err := decodeTupleChecked(s, enc)
+		if err != nil {
+			return false
+		}
+		if row.Key != key || !reflect.DeepEqual(row.Cols, cols) {
+			return false
+		}
+		return string(appendTuple(nil, s, row.Key, row.Cols)) == string(enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzTupleRoundTrip drives encode → decode → re-encode with fuzzed keys
+// and columns: re-encoding must be byte-stable and decoding must never
+// mis-read a value.
+func FuzzTupleRoundTrip(f *testing.F) {
+	f.Add("k", "a", "1", "b", "2")
+	f.Add("", "", "", "", "")
+	f.Add("cart-9", "lines", "sku\x1f1\x1e", "status", "PENDING")
+	f.Fuzz(func(t *testing.T, key, n1, v1, n2, v2 string) {
+		cols := map[string]string{n1: v1, n2: v2}
+		s := newSchema()
+		enc := appendTuple(nil, s, key, cols)
+		row, err := decodeTupleChecked(s, enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if row.Key != key || !reflect.DeepEqual(row.Cols, cols) {
+			t.Fatalf("round trip mutated row: %+v vs key=%q cols=%v", row, key, cols)
+		}
+		re := appendTuple(nil, s, row.Key, row.Cols)
+		if string(re) != string(enc) {
+			t.Fatal("re-encode not byte-identical")
+		}
+	})
+}
+
+func TestTupleViewAccessors(t *testing.T) {
+	p := newTestPartition()
+	cols := map[string]string{"sku": "A", "qty": "3"}
+	if err := p.Put("CART", "k", cols); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := p.GetView("CART", "k")
+	if err != nil || !ok {
+		t.Fatalf("GetView: ok=%v err=%v", ok, err)
+	}
+	if v.Key() != "k" || v.NumCols() != 2 {
+		t.Fatalf("Key=%q NumCols=%d", v.Key(), v.NumCols())
+	}
+	if got, ok := v.Col("qty"); !ok || got != "3" {
+		t.Errorf("Col(qty) = %q, %v", got, ok)
+	}
+	if _, ok := v.Col("absent"); ok {
+		t.Error("Col(absent) should report missing")
+	}
+	seen := map[string]string{}
+	v.Range(func(name, val string) bool {
+		seen[name] = val
+		return true
+	})
+	if !reflect.DeepEqual(seen, cols) {
+		t.Errorf("Range visited %v", seen)
+	}
+	if got := v.CopyCols(nil); !reflect.DeepEqual(got, cols) {
+		t.Errorf("CopyCols = %v", got)
+	}
+	if got := v.Row(); got.Key != "k" || !reflect.DeepEqual(got.Cols, cols) {
+		t.Errorf("Row = %+v", got)
+	}
+	if (TupleView{}).Valid() {
+		t.Error("zero view must be invalid")
+	}
+}
+
+// TestRemapTuple crosses a tuple between schemas that assign different IDs
+// to the same names — the migration staging path.
+func TestRemapTuple(t *testing.T) {
+	src, dst := newSchema(), newSchema()
+	src.intern("a")
+	src.intern("b")
+	dst.intern("b") // reversed assignment order
+	dst.intern("a")
+	enc := appendTuple(nil, src, "k", map[string]string{"a": "1", "b": "2"})
+	re := remapTuple(nil, src, dst, enc)
+	row, err := decodeTupleChecked(dst, re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Key != "k" || row.Cols["a"] != "1" || row.Cols["b"] != "2" {
+		t.Fatalf("remapped row = %+v", row)
+	}
+	if sameFields(src, dst) {
+		t.Fatal("schemas should differ")
+	}
+}
+
+// TestArenaReclaim pins the reclamation bound: a delete-heavy workload that
+// holds the live set constant must not grow retained memory without bound —
+// compaction keeps retained bytes within a small multiple of the live set.
+func TestArenaReclaim(t *testing.T) {
+	p := NewPartition(0, 4, []int{0, 1, 2, 3})
+	p.CreateTable("T")
+	val := string(make([]byte, 256))
+	const live = 200
+	put := func(gen, i int) {
+		if err := p.Put("T", fmt.Sprintf("key-%d", i), map[string]string{"v": val, "g": fmt.Sprint(gen)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < live; i++ {
+		put(0, i)
+	}
+	// Churn: rewrite the same keys many times over; dead bytes accumulate
+	// ~50× the live set if nothing reclaims.
+	for gen := 1; gen <= 50; gen++ {
+		for i := 0; i < live; i++ {
+			put(gen, i)
+		}
+	}
+	if p.RowCount() != live {
+		t.Fatalf("RowCount = %d, want %d", p.RowCount(), live)
+	}
+	liveBytes := live * (256 + 64) // rough payload upper bound per row
+	if got := p.SizeBytes(); got > 8*liveBytes+8*arenaPageSize {
+		t.Fatalf("retained %d bytes after churn, live set is ~%d — arena not reclaiming", got, liveBytes)
+	}
+	// Delete everything: retained memory must collapse to near zero.
+	for i := 0; i < live; i++ {
+		if ok, err := p.Delete("T", fmt.Sprintf("key-%d", i)); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if got := p.SizeBytes(); got > 8*arenaPageSize {
+		t.Fatalf("retained %d bytes after deleting all rows", got)
+	}
+}
+
+// TestJumboTuple exercises the dedicated-page path for tuples larger than a
+// quarter slab.
+func TestJumboTuple(t *testing.T) {
+	p := newTestPartition()
+	big := string(make([]byte, arenaPageSize))
+	if err := p.Put("CART", "jumbo", map[string]string{"doc": big}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put("CART", "small", map[string]string{"v": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := p.Get("CART", "jumbo")
+	if err != nil || !ok || r.Cols["doc"] != big {
+		t.Fatalf("jumbo row damaged: ok=%v err=%v len=%d", ok, err, len(r.Cols["doc"]))
+	}
+	if r, ok, _ := p.Get("CART", "small"); !ok || r.Cols["v"] != "x" {
+		t.Fatalf("small row after jumbo = %+v", r)
+	}
+}
+
+// TestViewSurvivesOverwrite pins the append-only guarantee borrowed views
+// rely on: a view taken before an overwrite still reads the old bytes (it
+// is stale, never torn).
+func TestViewSurvivesOverwrite(t *testing.T) {
+	p := newTestPartition()
+	if err := p.Put("CART", "k", map[string]string{"v": "old"}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := p.GetView("CART", "k")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(500))
+		if err := p.Put("CART", key, map[string]string{"v": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := v.Col("v"); !ok || got != "old" {
+		t.Fatalf("stale view corrupted: %q %v", got, ok)
+	}
+}

@@ -10,9 +10,14 @@
 # deadline+retry machinery absorbing the loss. BENCH_migration.json records
 # BenchmarkMigrationStall: the p99 foreground stall a live bucket move
 # inflicts, stop-and-copy vs pre-copy (the pre-copy work is judged by
-# p99_stall_ns ≥5× lower at move_ns ≤1.5×).
+# p99_stall_ns ≥5× lower at move_ns ≤1.5×). BenchmarkLargeTable records the
+# GC story the arena layout is judged by — max-gc-pause-ns and heap-objects
+# at 1M and 10M resident rows — into BENCH_hotpath.json alongside the
+# hot-path numbers. A regression gate then re-measures BenchmarkServerCall
+# at a fixed iteration count and fails the script if it came out >25%
+# slower than the number recorded in the checked-in BENCH_hotpath.json.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 2s; CI smoke uses 100x)
+# Usage: scripts/bench.sh [benchtime]   (default 2s; CI smoke uses 1x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,14 +33,16 @@ bench_to_json() {
     /^Benchmark/ {
       name = $1; iters = $2; ns = $3
       bytes = "null"; allocs = "null"; retries = "null"; drops = "null"
-      p99stall = "null"; movens = "null"
+      p99stall = "null"; movens = "null"; gcpause = "null"; heapobjs = "null"
       for (i = 4; i <= NF; i++) {
-        if ($i == "B/op")        bytes    = $(i-1)
-        if ($i == "allocs/op")   allocs   = $(i-1)
-        if ($i == "retries")     retries  = $(i-1)
-        if ($i == "drops")       drops    = $(i-1)
-        if ($i == "p99stall_ns") p99stall = $(i-1)
-        if ($i == "move_ns")     movens   = $(i-1)
+        if ($i == "B/op")            bytes    = $(i-1)
+        if ($i == "allocs/op")       allocs   = $(i-1)
+        if ($i == "retries")         retries  = $(i-1)
+        if ($i == "drops")           drops    = $(i-1)
+        if ($i == "p99stall_ns")     p99stall = $(i-1)
+        if ($i == "move_ns")         movens   = $(i-1)
+        if ($i == "max-gc-pause-ns") gcpause  = $(i-1)
+        if ($i == "heap-objects")    heapobjs = $(i-1)
       }
       if (!first) print ","
       first = 0
@@ -43,16 +50,40 @@ bench_to_json() {
       if (retries != "null") printf ", \"retries\": %s, \"drops\": %s", retries, drops
       if (p99stall != "null") printf ", \"p99_stall_ns\": %s", p99stall
       if (movens != "null") printf ", \"move_ns\": %s", movens
+      if (gcpause != "null") printf ", \"max_gc_pause_ns\": %s", gcpause
+      if (heapobjs != "null") printf ", \"heap_objects\": %s", heapobjs
       printf "}"
     }
     END { print "\n]" }
   '
 }
 
-go test ./internal/server/ ./internal/hashing/ ./internal/durability/ \
-  -run 'xxx' -bench 'BenchmarkServerCall$|BenchmarkServerPing|BenchmarkMurmur2|BenchmarkDurabilityOverhead' \
+# Regression gate: remember the checked-in BenchmarkServerCall number before
+# this run overwrites it. The gate re-measures at a fixed iteration count
+# (stable even when the smoke run passes "1x") and fails the script if the
+# hot path got more than 25% slower than the recorded baseline.
+OLD_CALL_NS=""
+if [ -f BENCH_hotpath.json ]; then
+  OLD_CALL_NS="$(sed -n 's/.*"name": "BenchmarkServerCall[-0-9]*".*"ns_per_op": \([0-9.]*\).*/\1/p' BENCH_hotpath.json | head -1)"
+fi
+
+go test ./internal/server/ ./internal/hashing/ ./internal/durability/ ./internal/storage/ \
+  -run 'xxx' -bench 'BenchmarkServerCall$|BenchmarkServerPing|BenchmarkMurmur2|BenchmarkDurabilityOverhead|BenchmarkLargeTable' \
   -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
 bench_to_json < "$TMP" > BENCH_hotpath.json
+
+if [ -n "$OLD_CALL_NS" ]; then
+  go test ./internal/server/ -run 'xxx' -bench 'BenchmarkServerCall$' \
+    -benchtime 5000x -count 1 | tee "$TMP"
+  NEW_CALL_NS="$(awk '$1 ~ /^BenchmarkServerCall(-[0-9]+)?$/ { print $3; exit }' "$TMP")"
+  awk -v old="$OLD_CALL_NS" -v new="$NEW_CALL_NS" 'BEGIN {
+    if (old + 0 > 0 && new + 0 > old * 1.25) {
+      printf "bench gate: BenchmarkServerCall regressed: %s ns/op vs recorded %s ns/op (limit +25%%)\n", new, old
+      exit 1
+    }
+    printf "bench gate: BenchmarkServerCall %s ns/op vs recorded %s ns/op (limit +25%%): ok\n", new, old
+  }'
+fi
 
 go test ./internal/server/ \
   -run 'xxx' -bench 'BenchmarkServerCallChaos' \
