@@ -65,6 +65,9 @@ func main() {
 				st.ReplFailovers, st.ReplPromotions, st.ReplResyncs)
 			fmt.Printf("reads: replica=%d fallback=%d stale-waits=%d dead-nodes=%d\n",
 				st.ReplReplicaReads, st.ReplFallbackReads, st.ReplStaleWaits, st.DeadNodes)
+			fmt.Printf("fencing: fenced-writes=%d quorum-losses=%d quorum-shed=%d promotions-blocked=%d stale-demotions=%d\n",
+				st.ReplFencedWrites, st.ReplQuorumLosses, st.ReplQuorumLostWrites,
+				st.ReplPromotionsBlocked, st.ReplStaleDemotions)
 		}
 	case "scale":
 		if len(args) != 2 {

@@ -20,14 +20,18 @@
 //
 // With -chaos set the server runs under seeded fault injection for
 // resilience testing: accepted connections drop/delay/duplicate/sever
-// writes, random executors freeze briefly, and migration bucket moves fail
-// transiently — all on a reproducible schedule (see internal/faultinject).
+// writes, random executors freeze briefly, migration bucket moves fail
+// transiently, and — with the partition keys — a seeded schedule cuts and
+// heals directed network links between nodes and the failover monitor,
+// exercising split-brain fencing end to end. All of it runs on a
+// reproducible schedule (see internal/faultinject).
 //
 // Usage:
 //
 //	pstore-server -addr 127.0.0.1:7070 -nodes 2 -partitions 2 -preload 1000 \
 //	    -data-dir /var/lib/pstore
 //	pstore-server -chaos 'seed=42,drop=0.01,sever=0.001,freeze=0.1,movefail=0.05'
+//	pstore-server -replicas 1 -chaos 'seed=7,partition=0.2,partitionfor=500ms,partitionevery=250ms'
 package main
 
 import (
@@ -63,7 +67,7 @@ func main() {
 		fsyncEvery   = flag.Bool("fsync-every-txn", false, "fsync per transaction instead of group commit")
 		groupCommit  = flag.Duration("group-commit", 2*time.Millisecond, "group-commit fsync interval")
 		snapInterval = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot/log-truncation interval")
-		chaosSpec    = flag.String("chaos", "", "fault-injection spec, e.g. 'seed=42,drop=0.01,sever=0.001,freeze=0.1,movefail=0.05' (empty = no chaos)")
+		chaosSpec    = flag.String("chaos", "", "fault-injection spec, e.g. 'seed=42,drop=0.01,sever=0.001,freeze=0.1,movefail=0.05,partition=0.2' (empty = no chaos)")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on graceful shutdown)")
 		memProf      = flag.String("memprofile", "", "write an allocation profile to this file on graceful shutdown")
 		blockProf    = flag.String("blockprofile", "", "write a blocking profile to this file on graceful shutdown")
@@ -76,9 +80,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Chaos mode: one seeded injector drives connection faults, executor
+	// freezes, migration move failures, and network partitions on a
+	// reproducible schedule. Built before the cluster because the partition
+	// matrix must be wired into the cluster config (link-aware monitor
+	// probes, matrix-gated replication conns).
+	var inj *faultinject.Injector
+	var chaosOpts faultinject.Options
+	if *chaosSpec != "" {
+		opts, err := faultinject.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
+			os.Exit(1)
+		}
+		chaosOpts = opts
+		inj = faultinject.New(opts)
+	}
+
 	reg := engine.NewRegistry()
 	b2w.Register(reg)
-	c, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		InitialNodes:      *nodes,
 		PartitionsPerNode: *partitions,
 		NBuckets:          *nBuckets,
@@ -95,7 +116,13 @@ func main() {
 			GroupCommitInterval: *groupCommit,
 			SnapshotInterval:    *snapInterval,
 		},
-	})
+	}
+	if inj != nil && chaosOpts.PartitionProb > 0 {
+		m := inj.Matrix()
+		cfg.Links = m
+		cfg.LinkConnWrap = m.WrapConn
+	}
+	c, err := cluster.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
 		os.Exit(1)
@@ -124,23 +151,26 @@ func main() {
 
 	mig := migration.Options{BucketsPerChunk: 2, ChunkInterval: 5 * time.Millisecond}
 
-	// Chaos mode: one seeded injector drives connection faults, executor
-	// freezes, and migration move failures on a reproducible schedule.
-	var inj *faultinject.Injector
-	var freezeStop chan struct{}
-	var freezeDone <-chan struct{}
-	if *chaosSpec != "" {
-		opts, err := faultinject.ParseSpec(*chaosSpec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pstore-server: %v\n", err)
-			c.Stop()
-			os.Exit(1)
-		}
-		inj = faultinject.New(opts)
+	var chaosStop chan struct{}
+	var freezeDone, partDone <-chan struct{}
+	if inj != nil {
 		mig.FaultHook = inj.MoveFault
 		mig.MoveRetries = 10
-		freezeStop = make(chan struct{})
-		freezeDone = inj.FreezeLoop(c.Executors, freezeStop)
+		chaosStop = make(chan struct{})
+		freezeDone = inj.FreezeLoop(c.Executors, chaosStop)
+		if chaosOpts.PartitionProb > 0 {
+			// Cut/heal directed links between live nodes and the failover
+			// monitor on the injector's seeded schedule. Matrix transitions
+			// also land in the cluster's metrics registry.
+			inj.Matrix().SetEvents(c.Events())
+			partDone = inj.PartitionLoop(func() []int {
+				eps := []int{faultinject.MonitorEndpoint}
+				for _, n := range c.Nodes() {
+					eps = append(eps, n.ID)
+				}
+				return eps
+			}, chaosStop)
+		}
 		log.Printf("pstore-server: CHAOS MODE enabled (%s)", *chaosSpec)
 	}
 
@@ -174,11 +204,14 @@ func main() {
 		log.Printf("pstore-server: closing listener: %v", err)
 	}
 	if inj != nil {
-		close(freezeStop)
+		close(chaosStop)
 		<-freezeDone
+		if partDone != nil {
+			<-partDone
+		}
 		fc := inj.Counters()
-		log.Printf("pstore-server: chaos totals: drops=%d delays=%d dups=%d severs=%d movefaults=%d freezes=%d",
-			fc.Drops, fc.Delays, fc.Dups, fc.Severs, fc.MoveFaults, fc.Freezes)
+		log.Printf("pstore-server: chaos totals: drops=%d delays=%d dups=%d severs=%d movefaults=%d freezes=%d cuts=%d heals=%d blackholes=%d",
+			fc.Drops, fc.Delays, fc.Dups, fc.Severs, fc.MoveFaults, fc.Freezes, fc.Cuts, fc.Heals, fc.Blackholes)
 	}
 	c.Stop()
 	stopProf()

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,7 +76,29 @@ type Config struct {
 	// ReplicationConnWrap, when set, wraps every log-shipping connection
 	// (both hub-accepted and tail-dialed) — the fault injection hook.
 	ReplicationConnWrap func(net.Conn) net.Conn
+	// Links, when set, is the network-partition matrix the cluster consults
+	// for its in-process control paths: the failover monitor's probes and
+	// its quorum vote honor blocked monitor↔node links instead of cheating
+	// through shared memory.
+	Links Links
+	// LinkConnWrap, when set, wraps each standby tail connection with
+	// directed link-matrix awareness: (conn, local endpoint, remote endpoint
+	// resolver). The resolver is consulted per I/O so a tail tracks the
+	// primary across failovers.
+	LinkConnWrap func(conn net.Conn, local int, remote func() int) net.Conn
 }
+
+// Links is the cluster's view of a fault-injection partition matrix.
+// Blocked(from, to) reports whether directed traffic from one endpoint to
+// another is currently black-holed; the matrix is asymmetric by design.
+type Links interface {
+	Blocked(from, to int) bool
+}
+
+// MonitorNode is the link-matrix endpoint of the failover monitor, distinct
+// from every node ID so chaos schedules can isolate the monitor's view of a
+// node while clients still reach it (the classic split-brain inducement).
+const MonitorNode = -1
 
 func (c Config) retryInterval() time.Duration {
 	if c.RetryInterval <= 0 {
@@ -123,7 +146,8 @@ type Cluster struct {
 	nodes     []*Node                  // sorted by ID
 	execs     map[int]*engine.Executor // partition → executor (master copy)
 	durs      map[int]*durability.Manager
-	owner     []int // bucket → partition (master copy)
+	homes     map[int]string // partition → durable log dir (failover can move it off the default)
+	owner     []int          // bucket → partition (master copy)
 	nextNode  int
 	nextPart  int
 	stopped   bool
@@ -145,6 +169,15 @@ type Cluster struct {
 	monStop    chan struct{}
 	monDone    chan struct{}
 	failoverMu sync.Mutex
+
+	// stale holds deposed-but-unreachable primaries: the quorum vote deposed
+	// them while a partition hid them from the monitor, so their executors
+	// could not be stopped in place. The monitor sweeps them once the links
+	// heal; hub-side epoch fencing keeps them harmless in between.
+	stale []*stalePrimary
+	// respawnPaused suspends standby respawning — a test hook for staging
+	// double faults deterministically.
+	respawnPaused bool
 
 	latencies  *metrics.ShardedRecorder
 	offered    *metrics.Counter
@@ -188,6 +221,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:        cfg,
 		execs:      make(map[int]*engine.Executor),
 		durs:       make(map[int]*durability.Manager),
+		homes:      make(map[int]string),
 		owner:      make([]int, cfg.NBuckets),
 		latencies:  metrics.NewShardedRecorder(window),
 		offered:    metrics.NewCounter(time.Second),
@@ -259,6 +293,7 @@ func New(cfg Config) (*Cluster, error) {
 type routing struct {
 	owner []int                    // bucket → partition
 	execs map[int]*engine.Executor // partition → executor
+	feeds map[int]*replication.Feed
 }
 
 // publishRoutingLocked rebuilds and swaps the routing snapshot from the
@@ -272,7 +307,19 @@ func (c *Cluster) publishRoutingLocked() {
 	for pid, e := range c.execs {
 		rt.execs[pid] = e
 	}
+	if len(c.feeds) > 0 {
+		rt.feeds = make(map[int]*replication.Feed, len(c.feeds))
+		for pid, f := range c.feeds {
+			rt.feeds[pid] = f
+		}
+	}
 	c.route.Store(rt)
+}
+
+// linkBlocked consults the configured partition matrix; with no matrix, no
+// link is ever blocked.
+func (c *Cluster) linkBlocked(from, to int) bool {
+	return c.cfg.Links != nil && c.cfg.Links.Blocked(from, to)
 }
 
 // startPartition opens the partition's durability manager (when enabled),
@@ -295,6 +342,7 @@ func (c *Cluster) startPartition(pid int, part *storage.Partition, initialSnapsh
 		}
 		mgr = m
 		c.durs[pid] = mgr
+		c.homes[pid] = c.partitionDir(pid)
 		ecfg.Log = mgr
 	}
 	if c.replicationEnabled() {
@@ -310,6 +358,13 @@ func (c *Cluster) partitionDir(pid int) string {
 	return filepath.Join(c.cfg.DataDir, fmt.Sprintf("partition-%05d", pid))
 }
 
+// replicaDir is where a durable standby of the partition keeps its own
+// command log when hosted on the given node. Promotion turns this directory
+// into the partition's durable home.
+func (c *Cluster) replicaDir(pid, nid int) string {
+	return filepath.Join(c.cfg.DataDir, fmt.Sprintf("replica-p%05d-n%03d", pid, nid))
+}
+
 // manifest is the durable cluster layout: which nodes exist and which
 // partitions they host. Bucket ownership is NOT here — each partition's own
 // snapshot+log is the authority, so the manifest never races with
@@ -320,6 +375,15 @@ type manifest struct {
 	NextNode          int            `json:"next_node"`
 	NextPart          int            `json:"next_part"`
 	Nodes             []manifestNode `json:"nodes"`
+	// Homes records, per partition, the durable log directory — after a
+	// failover promotes a durable standby, the partition's authoritative log
+	// is the standby's, not the default partition-NNNNN directory. Recovery
+	// must replay the recorded home or it resurrects deposed history.
+	Homes map[string]string `json:"homes,omitempty"`
+	// Epochs records each partition's replication epoch. Written before the
+	// promoted primary is routable, this is the durable fencing record: a
+	// recovering cluster resumes above every epoch that ever acked a write.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
 }
 
 type manifestNode struct {
@@ -338,6 +402,18 @@ func (c *Cluster) writeManifestLocked() error {
 	}
 	for _, n := range c.nodes {
 		m.Nodes = append(m.Nodes, manifestNode{ID: n.ID, Partitions: append([]int(nil), n.Partitions...)})
+	}
+	if len(c.homes) > 0 {
+		m.Homes = make(map[string]string, len(c.homes))
+		for pid, dir := range c.homes {
+			m.Homes[strconv.Itoa(pid)] = dir
+		}
+	}
+	if len(c.epochs) > 0 {
+		m.Epochs = make(map[string]uint64, len(c.epochs))
+		for pid, e := range c.epochs {
+			m.Epochs[strconv.Itoa(pid)] = e
+		}
 	}
 	raw, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
@@ -372,6 +448,23 @@ func (c *Cluster) recover() error {
 	c.nextNode = m.NextNode
 	c.nextPart = m.NextPart
 	c.recovered = true
+	for k, e := range m.Epochs {
+		pid, perr := strconv.Atoi(k)
+		if perr != nil {
+			return fmt.Errorf("cluster: manifest epoch key %q: %w", k, perr)
+		}
+		if c.epochs != nil {
+			c.epochs[pid] = e
+		}
+	}
+	homes := make(map[int]string, len(m.Homes))
+	for k, dir := range m.Homes {
+		pid, perr := strconv.Atoi(k)
+		if perr != nil {
+			return fmt.Errorf("cluster: manifest home key %q: %w", k, perr)
+		}
+		homes[pid] = dir
+	}
 
 	type recovered struct {
 		part  *storage.Partition
@@ -388,7 +481,12 @@ func (c *Cluster) recover() error {
 			for _, t := range c.cfg.Tables {
 				part.CreateTable(t)
 			}
-			mgr, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
+			dir, ok := homes[pid]
+			if !ok {
+				dir = c.partitionDir(pid)
+			}
+			c.homes[pid] = dir
+			mgr, err := durability.Open(dir, pid, c.cfg.Durability)
 			if err != nil {
 				return fmt.Errorf("cluster: partition %d durability: %w", pid, err)
 			}
@@ -571,11 +669,16 @@ func (c *Cluster) Stop() {
 	for _, hs := range c.replicas { //pstore:ignore determinism — shutdown kill-list; every handle is stopped, order across partitions is unobservable
 		handles = append(handles, hs...)
 	}
+	stale := c.stale
+	c.stale = nil
 	hub := c.hub
 	c.mu.Unlock()
 	for _, h := range handles {
 		h.rep.Kill()
 		h.tail.Stop()
+	}
+	for _, s := range stale {
+		s.teardown()
 	}
 	if hub != nil {
 		hub.Close()
@@ -619,11 +722,16 @@ func (c *Cluster) Crash() {
 	for _, hs := range c.replicas { //pstore:ignore determinism — shutdown kill-list; every handle is stopped, order across partitions is unobservable
 		handles = append(handles, hs...)
 	}
+	stale := c.stale
+	c.stale = nil
 	hub := c.hub
 	c.mu.Unlock()
 	for _, h := range handles {
 		h.rep.Kill()
 		h.tail.Stop()
+	}
+	for _, s := range stale {
+		s.teardown()
 	}
 	if hub != nil {
 		hub.Close()
@@ -727,7 +835,12 @@ func (c *Cluster) RemoveNode(id int) error {
 			// The partitions own nothing: their durable state is obsolete.
 			mgr.Close()
 			delete(c.durs, pid)
-			if err := os.RemoveAll(c.partitionDir(pid)); err != nil {
+			dir := c.homes[pid]
+			if dir == "" {
+				dir = c.partitionDir(pid)
+			}
+			delete(c.homes, pid)
+			if err := os.RemoveAll(dir); err != nil {
 				c.mu.Unlock()
 				return fmt.Errorf("cluster: removing partition %d data: %w", pid, err)
 			}
@@ -890,6 +1003,8 @@ func (c *Cluster) callSync(txn *engine.Txn, start time.Time) engine.Result {
 		exec, ok := rt.execs[pid]
 		if !ok {
 			res = engine.Result{Err: fmt.Errorf("cluster: no executor for partition %d", pid)}
+		} else if gerr := c.quorumGate(rt, pid); gerr != nil {
+			res = engine.Result{Err: gerr, Partition: pid}
 		} else {
 			res = exec.Call(txn)
 		}
@@ -908,14 +1023,35 @@ func (c *Cluster) callSync(txn *engine.Txn, start time.Time) engine.Result {
 	return res
 }
 
+// quorumGate sheds a transaction before execution when the partition's
+// primary cannot currently acknowledge writes: it has lost its subscriber
+// quorum (self-fencing) or holds a fenced/closed feed (stale routing
+// mid-failover). Shedding pre-execution is what keeps the error safely
+// retryable — a write refused only after running would already have mutated
+// the primary, and a client retry would double-apply it. Reads routed via
+// CallReadOnly are never gated: a quorum-degraded primary still serves them.
+func (c *Cluster) quorumGate(rt *routing, pid int) error {
+	f := rt.feeds[pid]
+	if f == nil {
+		return nil
+	}
+	err := f.Available()
+	if err != nil && errors.Is(err, replication.ErrQuorumLost) {
+		c.events.Add(metrics.EventReplQuorumLostWrites, 1)
+	}
+	return err
+}
+
 // retriable reports whether err means the transaction never ran (bucket in
-// flight, executor stopped or fenced mid-route) and may safely be requeued.
-// routed is false when the routing table had no executor for the owner.
+// flight, executor stopped or fenced mid-route, primary below its write
+// quorum) and may safely be requeued. routed is false when the routing table
+// had no executor for the owner.
 func (c *Cluster) retriable(err error, routed bool) bool {
 	return storage.IsNotOwned(err) ||
 		errors.Is(err, engine.ErrStopped) ||
 		errors.Is(err, replication.ErrFenced) ||
 		errors.Is(err, replication.ErrClosed) ||
+		errors.Is(err, replication.ErrQuorumLost) ||
 		(err != nil && !routed)
 }
 
@@ -975,6 +1111,12 @@ func (c *Cluster) CallAsync(txn *engine.Txn, comp engine.Completion) {
 		go func() { comp.Complete(c.callSync(txn, start)) }()
 		return
 	}
+	if c.quorumGate(rt, pid) != nil {
+		// Primary below its write quorum: the synchronous loop retries until
+		// the monitor restores quorum or the budget runs out.
+		go func() { comp.Complete(c.callSync(txn, start)) }()
+		return
+	}
 	a := asyncCallPool.Get().(*asyncCall)
 	a.c, a.txn, a.comp, a.start = c, txn, comp, start
 	exec.CallAsync(txn, a)
@@ -1007,7 +1149,8 @@ func (c *Cluster) LoadRow(table, key string, cols map[string]string) error {
 		if storage.IsNotOwned(err) ||
 			errors.Is(err, engine.ErrStopped) ||
 			errors.Is(err, replication.ErrFenced) ||
-			errors.Is(err, replication.ErrClosed) {
+			errors.Is(err, replication.ErrClosed) ||
+			errors.Is(err, replication.ErrQuorumLost) {
 			time.Sleep(c.cfg.retryInterval())
 			continue
 		}
@@ -1102,6 +1245,18 @@ func (c *Cluster) ShedRetryAfter() time.Duration {
 		hint = 2 * time.Second
 	}
 	return hint
+}
+
+// FenceRetryAfter is the backoff hint attached to writes shed while their
+// primary is fenced or below its write quorum: two monitor health intervals,
+// since the monitor needs at least one probe-and-respawn round to restore
+// the quorum or promote a successor.
+func (c *Cluster) FenceRetryAfter() time.Duration {
+	d := 2 * c.replOpts().HealthInterval
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
 }
 
 // ContentChecksum returns an order-independent FNV-1a checksum over every

@@ -9,6 +9,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"time"
@@ -26,6 +27,30 @@ type replicaHandle struct {
 	rep  *replication.Replica
 	tail *replication.Tail
 	node int
+}
+
+// stalePrimary is a deposed primary the monitor could not reach to fence:
+// the quorum vote authorized the failover, but a network partition hides the
+// old primary, so its executor keeps running against a feed the hub has
+// epoch-fenced. The monitor demotes it in place once its links heal.
+type stalePrimary struct {
+	pid  int
+	node int
+	exec *engine.Executor
+	feed *replication.Feed
+	mgr  *durability.Manager
+}
+
+// teardown stops the stale primary in place: fence first so nothing it
+// finishes can ever be acked, then stop the executor and crash its log.
+func (s *stalePrimary) teardown() {
+	s.feed.Fence()
+	if !s.exec.Stopped() {
+		go s.exec.Stop()
+	}
+	if s.mgr != nil {
+		s.mgr.Crash()
+	}
 }
 
 // HandoffLog is the destination of migration bucket handoff records: the
@@ -52,7 +77,16 @@ func (c *Cluster) HandoffOf(partition int) HandoffLog {
 
 func (c *Cluster) replicationEnabled() bool { return c.cfg.ReplicationFactor > 0 }
 
-func (c *Cluster) replOpts() replication.Options { return c.cfg.Replication.Normalized() }
+// replOpts is the shipping configuration with the self-fencing quorum wired
+// in: unless overridden, a primary arms once all k standbys are live and
+// stops acknowledging writes whenever the live set drops below k.
+func (c *Cluster) replOpts() replication.Options {
+	o := c.cfg.Replication
+	if o.RequiredSubscribers == 0 {
+		o.RequiredSubscribers = c.cfg.ReplicationFactor
+	}
+	return o.Normalized()
+}
 
 // initReplication creates the hub and shipping state. Called from New
 // before any partition starts, so feeds can register as they are created.
@@ -83,7 +117,12 @@ func (c *Cluster) installFeedLocked(pid int, mgr *durability.Manager) *replicati
 	feed.SetSnapshotFunc(c.partitionSnapshotFunc(pid))
 	c.feeds[pid] = feed
 	c.epochs[pid] = feed.Epoch()
-	c.hub.Register(pid, feed)
+	if err := c.hub.Register(pid, feed); err != nil {
+		// Registration is refused only below the hub's fencing floor, and a
+		// startup feed precedes every fence — a refusal here is a programming
+		// error, surfaced loudly like other New-time invariants.
+		panic(fmt.Sprintf("cluster: registering partition %d feed: %v", pid, err))
+	}
 	return feed
 }
 
@@ -167,7 +206,7 @@ func (c *Cluster) nodeOfPartitionLocked(pid int) int {
 // existing replica (falling back to any alive node when the cluster is too
 // small for strict anti-affinity). Caller holds c.mu.
 func (c *Cluster) spawnReplicasLocked(pid int) {
-	if c.stopped {
+	if c.stopped || c.respawnPaused {
 		return
 	}
 	used := map[int]bool{c.nodeOfPartitionLocked(pid): true}
@@ -200,17 +239,74 @@ func (c *Cluster) spawnReplicasLocked(pid int) {
 			nid = alive[(pid+serving)%len(alive)] // anti-affinity impossible; redundancy still counts
 		}
 		used[nid] = true
-		rep := replication.NewReplica(pid, c.cfg.NBuckets, fmt.Sprintf("node-%d", nid), c.cfg.Registry, c.replOpts(), c.events)
-		tail := replication.StartTail(c.hub.Addr(), rep, c.cfg.ReplicationConnWrap, c.replOpts(), c.events)
+		rep := c.newStandbyLocked(pid, nid)
+		tail := replication.StartTail(c.hub.Addr(), rep, c.tailConnWrap(pid, nid), c.replOpts(), c.events)
 		c.replicas[pid] = append(c.replicas[pid], &replicaHandle{rep: rep, tail: tail, node: nid})
 		serving++
 	}
 }
 
+// newStandbyLocked builds one standby replica for the partition on the given
+// node. With durability on it opens the standby's own command log (replaying
+// any previous incarnation's fsynced state before wire catch-up) — unless
+// that directory is the partition's current durable home, i.e. a previously
+// promoted standby's log now owned by the primary. Caller holds c.mu.
+func (c *Cluster) newStandbyLocked(pid, nid int) *replication.Replica {
+	node := fmt.Sprintf("node-%d", nid)
+	if c.cfg.DataDir != "" {
+		dir := c.replicaDir(pid, nid)
+		if dir != c.homes[pid] {
+			rep, err := replication.OpenReplica(pid, c.cfg.NBuckets, node, c.cfg.Registry, dir, c.cfg.Durability, c.replOpts(), c.events)
+			if err != nil {
+				// A corrupt or half-written directory must not wedge respawn
+				// forever: start the standby over from a clean slate.
+				os.RemoveAll(dir)
+				rep, err = replication.OpenReplica(pid, c.cfg.NBuckets, node, c.cfg.Registry, dir, c.cfg.Durability, c.replOpts(), c.events)
+			}
+			if err == nil {
+				return rep
+			}
+		}
+	}
+	return replication.NewReplica(pid, c.cfg.NBuckets, node, c.cfg.Registry, c.replOpts(), c.events)
+}
+
+// tailConnWrap composes the fault-injection connection wrapper with the
+// directed link matrix for a standby on node nid: the remote endpoint is
+// resolved per I/O operation, so the wrapped link follows the partition's
+// primary across failovers.
+func (c *Cluster) tailConnWrap(pid, nid int) func(net.Conn) net.Conn {
+	inner := c.cfg.ReplicationConnWrap
+	if c.cfg.LinkConnWrap == nil {
+		return inner
+	}
+	remote := func() int {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.nodeOfPartitionLocked(pid)
+	}
+	return func(conn net.Conn) net.Conn {
+		if inner != nil {
+			conn = inner(conn)
+		}
+		return c.cfg.LinkConnWrap(conn, nid, remote)
+	}
+}
+
+// SetRespawnPaused suspends (or resumes) the monitor's standby respawning —
+// a chaos-test hook for staging double faults: with respawn paused, killing
+// the promoted standby's primary leaves disk recovery as the only path.
+func (c *Cluster) SetRespawnPaused(v bool) {
+	c.mu.Lock()
+	c.respawnPaused = v
+	c.mu.Unlock()
+}
+
 // monitorLoop is the failover monitor: every HealthInterval it probes each
-// primary executor (a stopped one fails over immediately; a wedged one is
-// deposed after ProbeStrikes consecutive probe timeouts) and respawns
-// standbys for partitions below k.
+// primary executor (a stopped one fails over immediately; a wedged or
+// unreachable one is deposed after ProbeStrikes consecutive probe failures,
+// subject to the quorum vote), sweeps deposed-but-unreachable primaries
+// whose links have healed, and respawns standbys for partitions below k.
 func (c *Cluster) monitorLoop(stop, done chan struct{}) {
 	defer close(done)
 	opts := c.replOpts()
@@ -224,6 +320,7 @@ func (c *Cluster) monitorLoop(stop, done chan struct{}) {
 		case <-ticker.C:
 		}
 		c.probePrimaries(stop, strikes, opts)
+		c.sweepStalePrimaries()
 		c.restoreReplicas()
 	}
 }
@@ -236,11 +333,12 @@ func (c *Cluster) probePrimaries(stop chan struct{}, strikes map[int]int, opts r
 	}
 	type probe struct {
 		pid  int
+		node int
 		exec *engine.Executor
 	}
 	probes := make([]probe, 0, len(c.execs))
 	for pid, e := range c.execs {
-		probes = append(probes, probe{pid, e})
+		probes = append(probes, probe{pid, c.nodeOfPartitionLocked(pid), e})
 	}
 	c.mu.RUnlock()
 	sort.Slice(probes, func(i, j int) bool { return probes[i].pid < probes[j].pid })
@@ -250,11 +348,16 @@ func (c *Cluster) probePrimaries(stop chan struct{}, strikes map[int]int, opts r
 			return
 		default:
 		}
+		// A blocked monitor↔node link means the probe cannot observe the
+		// primary at all — not even to see that it stopped. That is a probe
+		// failure, never an immediate failover: the quorum vote decides
+		// whether "I can't see it" means "it is gone".
+		blocked := c.linkBlocked(MonitorNode, pr.node) || c.linkBlocked(pr.node, MonitorNode)
 		switch {
-		case pr.exec.Stopped():
+		case !blocked && pr.exec.Stopped():
 			delete(strikes, pr.pid)
 			c.failoverPartition(pr.pid, pr.exec)
-		case !pr.exec.Healthy(opts.ProbeTimeout):
+		case blocked || !pr.exec.Healthy(opts.ProbeTimeout):
 			strikes[pr.pid]++
 			if strikes[pr.pid] >= opts.ProbeStrikes {
 				delete(strikes, pr.pid)
@@ -266,16 +369,41 @@ func (c *Cluster) probePrimaries(stop chan struct{}, strikes map[int]int, opts r
 	}
 }
 
+// sweepStalePrimaries demotes deposed primaries whose links to the monitor
+// have healed: fence, stop, crash — the rejoin path for a primary that kept
+// running through its own deposition. Its node then hosts a fresh resyncing
+// standby via the normal respawn pass.
+func (c *Cluster) sweepStalePrimaries() {
+	c.mu.Lock()
+	var demote []*stalePrimary
+	keep := c.stale[:0]
+	for _, s := range c.stale {
+		if !c.linkBlocked(MonitorNode, s.node) && !c.linkBlocked(s.node, MonitorNode) {
+			demote = append(demote, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	c.stale = keep
+	c.mu.Unlock()
+	for _, s := range demote {
+		s.teardown()
+		c.events.Add(metrics.EventReplStaleDemotions, 1)
+	}
+}
+
 // restoreReplicas prunes dead standbys and spawns replacements so every
-// partition converges back to k.
+// partition converges back to k. Pruned standbys are killed BEFORE the
+// respawn pass: a durable replacement on the same node reopens the dead
+// incarnation's log directory, which must not still be held open.
 func (c *Cluster) restoreReplicas() {
 	var doomed []*replicaHandle
+	var pids []int
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()
 		return
 	}
-	pids := make([]int, 0, len(c.execs))
 	for pid := range c.execs {
 		pids = append(pids, pid)
 	}
@@ -290,21 +418,60 @@ func (c *Cluster) restoreReplicas() {
 			}
 		}
 		c.replicas[pid] = keep
-		c.spawnReplicasLocked(pid)
 	}
 	c.mu.Unlock()
 	for _, h := range doomed {
 		h.rep.Kill()
 		go h.tail.Stop()
 	}
+	c.mu.Lock()
+	if !c.stopped {
+		for _, pid := range pids {
+			c.spawnReplicasLocked(pid)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// deposeQuorum is the promotion vote: the monitor may depose a primary only
+// with a majority of the partition's cohort — the monitor itself (an
+// always-yes witness), the primary's node, and each serving standby's node.
+// The primary's node assents only when the monitor's view of it is clean
+// both ways (so the failed probes were real observations, not a partition);
+// a standby assents only when the monitor can reach it AND it demonstrably
+// cannot hear the primary (link blocked either way, or the primary is
+// already stopped or fenced). The asymmetric split-brain case — monitor
+// blind to a primary that standbys and clients still reach — musters only
+// the monitor's own vote and is blocked, which is what guarantees at most
+// one primary per epoch can ever commit.
+func (c *Cluster) deposeQuorum(primaryNode int, oldExec *engine.Executor, oldFeed *replication.Feed, standbys []*replicaHandle) bool {
+	cohort, yes := 1, 1 // the monitor itself
+	if primaryNode >= 0 {
+		cohort++
+		if !c.linkBlocked(MonitorNode, primaryNode) && !c.linkBlocked(primaryNode, MonitorNode) {
+			yes++
+		}
+	}
+	primaryDead := oldExec.Stopped() || oldFeed.Unusable() != nil
+	for _, h := range standbys {
+		cohort++
+		reachable := !c.linkBlocked(MonitorNode, h.node) && !c.linkBlocked(h.node, MonitorNode)
+		cannotHear := primaryDead ||
+			c.linkBlocked(primaryNode, h.node) || c.linkBlocked(h.node, primaryNode)
+		if reachable && cannotHear {
+			yes++
+		}
+	}
+	return yes*2 > cohort
 }
 
 // failoverPartition deposes the partition's primary and promotes its most
-// caught-up serving replica: fence the old feed (nothing it holds may ever
-// be acked), lift the replica's in-memory partition into a new executor at
-// epoch+1, lay down a fresh durable snapshot, and republish routing. The
-// whole path touches no log replay — the replica is already at the
-// replicated horizon, which is what makes failover a seconds-scale event.
+// caught-up serving replica: win the quorum vote, fence the old feed and its
+// epoch at the hub (nothing it holds may ever be acked), lift the replica's
+// in-memory partition into a new executor at epoch+1 — durably recording the
+// new epoch before it serves — and republish routing. The whole path touches
+// no log replay — the replica is already at the replicated horizon, which is
+// what makes failover a seconds-scale event.
 func (c *Cluster) failoverPartition(pid int, oldExec *engine.Executor) {
 	c.failoverMu.Lock()
 	defer c.failoverMu.Unlock()
@@ -316,19 +483,83 @@ func (c *Cluster) failoverPartition(pid int, oldExec *engine.Executor) {
 	}
 	oldFeed := c.feeds[pid]
 	oldMgr := c.durs[pid]
+	primaryNode := c.nodeOfPartitionLocked(pid)
+	var cohort []*replicaHandle
+	for _, h := range c.replicas[pid] {
+		if h.rep.Serving() && !c.deadNodes[h.node] {
+			cohort = append(cohort, h)
+		}
+	}
 	c.mu.Unlock()
 	if oldFeed == nil {
 		return
 	}
-	c.events.Add(metrics.EventReplFailovers, 1)
-	oldFeed.Fence()
-	if !oldExec.Stopped() {
-		// Wedged, not dead: drain it in the background. Its appends hit the
-		// fenced feed, so nothing it finishes can be acked or shipped.
-		go oldExec.Stop()
+
+	if !c.deposeQuorum(primaryNode, oldExec, oldFeed, cohort) {
+		c.events.Add(metrics.EventReplPromotionsBlocked, 1)
+		return
 	}
-	if oldMgr != nil {
-		oldMgr.Crash()
+
+	primaryReachable := primaryNode < 0 ||
+		(!c.linkBlocked(MonitorNode, primaryNode) && !c.linkBlocked(primaryNode, MonitorNode))
+
+	// Coverage fence. An armed feed never acks past its standbys, so any
+	// caught-up standby (or the seeding snapshot for the pre-arm prefix)
+	// carries every acked write. A feed that never armed — typical for a
+	// freshly promoted primary whose respawned standby hasn't attached yet —
+	// acks on local durability alone, and its head may run past everything
+	// the standbys hold. Promoting a lagging standby there would silently
+	// drop acked writes, so:
+	//   - unreachable primary: refuse the failover entirely. The partition
+	//     waits out the cut; post-heal the still-subscribed tail catches up
+	//     and the stalled pipeline resumes with nothing lost.
+	//   - reachable primary, durable cluster: skip standby promotion and
+	//     recover from the dead primary's own command log, which holds the
+	//     full acked history.
+	//   - reachable primary, in-memory cluster: promote the laggard anyway —
+	//     with no disk there is nowhere the head could have survived (§11.1).
+	forceDisk := false
+	if c.replOpts().RequiredSubscribers > 0 && !oldFeed.Armed() {
+		head := oldFeed.LSN()
+		covered := false
+		c.mu.RLock()
+		for _, h := range c.replicas[pid] {
+			if h.rep.Serving() && h.rep.Seeded() && !c.deadNodes[h.node] && h.rep.Applied() >= head {
+				covered = true
+				break
+			}
+		}
+		c.mu.RUnlock()
+		if !covered {
+			if !primaryReachable {
+				c.events.Add(metrics.EventReplPromotionsBlocked, 1)
+				return
+			}
+			if c.cfg.DataDir != "" {
+				forceDisk = true
+			}
+		}
+	}
+
+	c.events.Add(metrics.EventReplFailovers, 1)
+	if primaryReachable {
+		oldFeed.Fence()
+		if !oldExec.Stopped() {
+			// Wedged, not dead: drain it in the background. Its appends hit the
+			// fenced feed, so nothing it finishes can be acked or shipped.
+			go oldExec.Stop()
+		}
+		if oldMgr != nil {
+			oldMgr.Crash()
+		}
+	} else {
+		// The monitor cannot reach the deposed primary, so it cannot fence it
+		// in place (doing so through shared memory would cheat the partition).
+		// Hub-side epoch fencing below severs its subscribers, so it loses its
+		// ack quorum and self-fences; the sweep demotes it after the heal.
+		c.mu.Lock()
+		c.stale = append(c.stale, &stalePrimary{pid: pid, node: primaryNode, exec: oldExec, feed: oldFeed, mgr: oldMgr})
+		c.mu.Unlock()
 	}
 
 	c.mu.Lock()
@@ -336,8 +567,10 @@ func (c *Cluster) failoverPartition(pid int, oldExec *engine.Executor) {
 	bestIdx := -1
 	for i, h := range c.replicas[pid] {
 		// An unseeded standby (spawned but never snapshot-synced) holds
-		// nothing and must not be promoted over disk recovery.
-		if !h.rep.Serving() || !h.rep.Seeded() || c.deadNodes[h.node] {
+		// nothing and must not be promoted over disk recovery. forceDisk
+		// means every standby provably lags the locally-acked head, so the
+		// primary's own command log is the only complete copy.
+		if forceDisk || !h.rep.Serving() || !h.rep.Seeded() || c.deadNodes[h.node] {
 			continue
 		}
 		if best == nil || h.rep.Applied() > best.rep.Applied() {
@@ -350,11 +583,11 @@ func (c *Cluster) failoverPartition(pid int, oldExec *engine.Executor) {
 	c.mu.Unlock()
 
 	if best == nil {
-		c.restartFromDisk(pid, oldExec, oldFeed)
+		c.restartFromDisk(pid, oldExec, oldFeed, primaryReachable)
 		return
 	}
 
-	part, applied, repEpoch := best.rep.Promote()
+	part, applied, repEpoch, rmgr := best.rep.Promote()
 	best.tail.Stop()
 	for _, t := range c.cfg.Tables {
 		part.CreateTable(t)
@@ -365,10 +598,26 @@ func (c *Cluster) failoverPartition(pid int, oldExec *engine.Executor) {
 	}
 	newEpoch++
 
+	// Raise the hub's fencing floor before the new feed exists: stale ship
+	// frames and subscriber streams below newEpoch are refused from here on,
+	// even if this promotion is then abandoned by a concurrent Stop.
+	c.hub.FencePartition(pid, newEpoch)
+
 	var mgr *durability.Manager
-	if c.cfg.DataDir != "" {
-		// The old log is fenced history; the promoted state becomes the new
-		// durable baseline via a fresh snapshot at the applied LSN.
+	var home string
+	switch {
+	case rmgr != nil:
+		// The standby's own command log is already fsynced to the replicated
+		// horizon; it continues, unbroken, as the promoted primary's log — so
+		// a second fault before the next snapshot still recovers every acked
+		// write from this same directory.
+		rmgr.Flush()
+		mgr = rmgr
+		home = best.rep.Dir()
+	case c.cfg.DataDir != "":
+		// Non-durable standby: the old log is fenced history; the promoted
+		// state becomes the new durable baseline via a fresh snapshot at the
+		// applied LSN.
 		os.RemoveAll(c.partitionDir(pid))
 		m, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
 		if err == nil {
@@ -377,6 +626,7 @@ func (c *Cluster) failoverPartition(pid int, oldExec *engine.Executor) {
 				m.Close()
 			} else {
 				mgr = m
+				home = c.partitionDir(pid)
 			}
 		}
 	}
@@ -399,34 +649,50 @@ func (c *Cluster) failoverPartition(pid int, oldExec *engine.Executor) {
 	}
 	if mgr != nil {
 		c.durs[pid] = mgr
+		c.homes[pid] = home
 	} else {
 		delete(c.durs, pid)
+		delete(c.homes, pid)
 	}
 	c.feeds[pid] = feed
 	c.execs[pid] = exec
 	c.epochs[pid] = newEpoch
 	c.movePartitionLocked(pid, best.node)
 	if c.cfg.DataDir != "" {
+		// The durable fencing record: the new epoch and home hit the manifest
+		// before the promoted primary becomes routable.
 		c.writeManifestLocked()
 	}
 	c.publishRoutingLocked()
 	c.mu.Unlock()
-	c.hub.Register(pid, feed)
+	if err := c.hub.Register(pid, feed); err != nil {
+		panic(fmt.Sprintf("cluster: registering promoted partition %d feed: %v", pid, err))
+	}
 	c.events.Add(metrics.EventReplPromotions, 1)
 }
 
-// restartFromDisk is the slow-path failover when no serving replica exists:
-// recover the partition from its own durable log (the availability floor
-// replication is meant to avoid).
-func (c *Cluster) restartFromDisk(pid int, oldExec *engine.Executor, oldFeed *replication.Feed) {
-	if c.cfg.DataDir == "" {
-		return // nothing to recover from; the partition stays down
+// restartFromDisk is the slow-path failover when no promotable replica
+// exists: recover the partition from its recorded durable home — after a
+// promoted durable standby dies, that is the standby's own command log, so
+// even the double fault (primary, then its successor before any snapshot)
+// loses no acked write. A primary the monitor cannot reach is never
+// restarted over: its log may still be live on the far side of the
+// partition, so the pid stays down until the sweep demotes it post-heal.
+func (c *Cluster) restartFromDisk(pid int, oldExec *engine.Executor, oldFeed *replication.Feed, primaryReachable bool) {
+	if c.cfg.DataDir == "" || !primaryReachable {
+		return // nothing safe to recover from; the partition stays down
+	}
+	c.mu.RLock()
+	home, ok := c.homes[pid]
+	c.mu.RUnlock()
+	if !ok {
+		home = c.partitionDir(pid)
 	}
 	part := storage.NewPartition(pid, c.cfg.NBuckets, nil)
 	for _, t := range c.cfg.Tables {
 		part.CreateTable(t)
 	}
-	mgr, err := durability.Open(c.partitionDir(pid), pid, c.cfg.Durability)
+	mgr, err := durability.Open(home, pid, c.cfg.Durability)
 	if err != nil {
 		return
 	}
@@ -435,6 +701,7 @@ func (c *Cluster) restartFromDisk(pid int, oldExec *engine.Executor, oldFeed *re
 		return
 	}
 	newEpoch := oldFeed.Epoch() + 1
+	c.hub.FencePartition(pid, newEpoch)
 	ecfg := c.cfg.Engine
 	feed := replication.NewFeed(pid, mgr, newEpoch, mgr.Seq(), c.replOpts(), c.events)
 	feed.SetSnapshotFunc(c.partitionSnapshotFunc(pid))
@@ -449,12 +716,16 @@ func (c *Cluster) restartFromDisk(pid int, oldExec *engine.Executor, oldFeed *re
 		return
 	}
 	c.durs[pid] = mgr
+	c.homes[pid] = home
 	c.feeds[pid] = feed
 	c.execs[pid] = exec
 	c.epochs[pid] = newEpoch
+	c.writeManifestLocked()
 	c.publishRoutingLocked()
 	c.mu.Unlock()
-	c.hub.Register(pid, feed)
+	if err := c.hub.Register(pid, feed); err != nil {
+		panic(fmt.Sprintf("cluster: registering recovered partition %d feed: %v", pid, err))
+	}
 	c.events.Add(metrics.EventReplPromotions, 1)
 }
 
@@ -773,29 +1044,39 @@ func (c *Cluster) VerifyReplicas() error {
 
 // ReplicationStats is a point-in-time summary of the shipping subsystem.
 type ReplicationStats struct {
-	Factor        int    // configured k
-	Replicas      int    // serving standbys across all partitions
-	MaxLagRecords uint64 // worst feed-head minus replica-applied gap
-	Records       int64  // records shipped
-	Failovers     int64
-	Promotions    int64
-	Resyncs       int64
-	StaleWaits    int64 // session reads that had to wait for the horizon
-	ReplicaReads  int64
-	FallbackReads int64
+	Factor            int    // configured k
+	Replicas          int    // serving standbys across all partitions
+	MaxLagRecords     uint64 // worst feed-head minus replica-applied gap
+	Records           int64  // records shipped
+	Failovers         int64
+	Promotions        int64
+	Resyncs           int64
+	StaleWaits        int64 // session reads that had to wait for the horizon
+	ReplicaReads      int64
+	FallbackReads     int64
+	FencedWrites      int64 // appends refused by a fenced/closed feed
+	QuorumLosses      int64 // armed primaries that dropped below quorum
+	QuorumLostWrites  int64 // writes shed pre-execution during quorum loss
+	PromotionsBlocked int64 // failover attempts the quorum vote refused
+	StaleDemotions    int64 // deposed primaries demoted in place after heal
 }
 
 // ReplicationStats reports the current shipping state and counters.
 func (c *Cluster) ReplicationStats() ReplicationStats {
 	s := ReplicationStats{
-		Factor:        c.cfg.ReplicationFactor,
-		Records:       c.events.Get(metrics.EventReplRecords),
-		Failovers:     c.events.Get(metrics.EventReplFailovers),
-		Promotions:    c.events.Get(metrics.EventReplPromotions),
-		Resyncs:       c.events.Get(metrics.EventReplResyncs),
-		StaleWaits:    c.events.Get(metrics.EventReplStaleWaits),
-		ReplicaReads:  c.events.Get(metrics.EventReplicaReads),
-		FallbackReads: c.events.Get(metrics.EventReplFallbackReads),
+		Factor:            c.cfg.ReplicationFactor,
+		Records:           c.events.Get(metrics.EventReplRecords),
+		Failovers:         c.events.Get(metrics.EventReplFailovers),
+		Promotions:        c.events.Get(metrics.EventReplPromotions),
+		Resyncs:           c.events.Get(metrics.EventReplResyncs),
+		StaleWaits:        c.events.Get(metrics.EventReplStaleWaits),
+		ReplicaReads:      c.events.Get(metrics.EventReplicaReads),
+		FallbackReads:     c.events.Get(metrics.EventReplFallbackReads),
+		FencedWrites:      c.events.Get(metrics.EventReplFencedWrites),
+		QuorumLosses:      c.events.Get(metrics.EventReplQuorumLost),
+		QuorumLostWrites:  c.events.Get(metrics.EventReplQuorumLostWrites),
+		PromotionsBlocked: c.events.Get(metrics.EventReplPromotionsBlocked),
+		StaleDemotions:    c.events.Get(metrics.EventReplStaleDemotions),
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -68,6 +68,15 @@ type Options struct {
 	FreezeFor time.Duration
 	// FreezeEvery is the freeze loop's tick interval. Defaults 50ms.
 	FreezeEvery time.Duration
+
+	// PartitionProb is the per-tick chance the partition schedule cuts one
+	// random directed link between two endpoints, checked every
+	// PartitionEvery by PartitionLoop.
+	PartitionProb float64
+	// PartitionFor is how long a cut link stays blocked. Defaults 150ms.
+	PartitionFor time.Duration
+	// PartitionEvery is the partition loop's tick interval. Defaults 100ms.
+	PartitionEvery time.Duration
 }
 
 func (o Options) normalized() Options {
@@ -80,6 +89,12 @@ func (o Options) normalized() Options {
 	if o.FreezeEvery <= 0 {
 		o.FreezeEvery = 50 * time.Millisecond
 	}
+	if o.PartitionFor <= 0 {
+		o.PartitionFor = 150 * time.Millisecond
+	}
+	if o.PartitionEvery <= 0 {
+		o.PartitionEvery = 100 * time.Millisecond
+	}
 	return o
 }
 
@@ -91,6 +106,11 @@ type Counters struct {
 	Severs     int64
 	MoveFaults int64
 	Freezes    int64
+	// Cuts/Heals count directed partition-matrix link transitions;
+	// Blackholes counts writes swallowed by a blocked link.
+	Cuts       int64
+	Heals      int64
+	Blackholes int64
 }
 
 // Injector decides and accounts faults. Safe for concurrent use; every
@@ -99,8 +119,9 @@ type Counters struct {
 type Injector struct {
 	opts Options
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu     sync.Mutex
+	rng    *rand.Rand
+	matrix *Matrix // lazily created by Matrix()
 
 	drops      atomic.Int64
 	delays     atomic.Int64
@@ -116,9 +137,10 @@ func New(opts Options) *Injector {
 	return &Injector{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
 }
 
-// Counters returns a snapshot of the fault counts so far.
+// Counters returns a snapshot of the fault counts so far, including the
+// partition matrix's if one was created.
 func (in *Injector) Counters() Counters {
-	return Counters{
+	c := Counters{
 		Drops:      in.drops.Load(),
 		Delays:     in.delays.Load(),
 		Dups:       in.dups.Load(),
@@ -126,6 +148,14 @@ func (in *Injector) Counters() Counters {
 		MoveFaults: in.moveFaults.Load(),
 		Freezes:    in.freezes.Load(),
 	}
+	in.mu.Lock()
+	m := in.matrix
+	in.mu.Unlock()
+	if m != nil {
+		mc := m.Counters()
+		c.Cuts, c.Heals, c.Blackholes = mc.Cuts, mc.Heals, mc.Blackholes
+	}
+	return c
 }
 
 // roll draws one uniform [0,1) variate.
@@ -263,7 +293,7 @@ func (in *Injector) FreezeLoop(execs func() []*engine.Executor, stop <-chan stru
 // ParseSpec parses the `pstore-server -chaos` flag: a comma-separated list
 // of key=value pairs, e.g.
 //
-//	seed=42,drop=0.01,delay=0.02,maxdelay=2ms,dup=0.005,sever=0.001,movefail=0.05,freeze=0.1,freezefor=50ms,freezeevery=200ms
+//	seed=42,drop=0.01,delay=0.02,maxdelay=2ms,dup=0.005,sever=0.001,movefail=0.05,freeze=0.1,freezefor=50ms,freezeevery=200ms,partition=0.05,partitionfor=300ms,partitionevery=250ms
 //
 // Unknown keys are rejected so typos fail loudly.
 func ParseSpec(spec string) (Options, error) {
@@ -298,6 +328,12 @@ func ParseSpec(spec string) (Options, error) {
 			o.FreezeFor, err = time.ParseDuration(v)
 		case "freezeevery":
 			o.FreezeEvery, err = time.ParseDuration(v)
+		case "partition":
+			o.PartitionProb, err = strconv.ParseFloat(v, 64)
+		case "partitionfor":
+			o.PartitionFor, err = time.ParseDuration(v)
+		case "partitionevery":
+			o.PartitionEvery, err = time.ParseDuration(v)
 		default:
 			return o, fmt.Errorf("faultinject: unknown chaos key %q", k)
 		}

@@ -1,0 +1,281 @@
+// Network-partition matrix: directed per-link block/heal state for
+// chaos-testing split-brain scenarios. A Matrix models the reachability
+// graph between cluster endpoints (nodes, plus the failover monitor as a
+// virtual endpoint): each directed link is either clear or blocked, and
+// blocks are asymmetric by design — "the monitor cannot see the primary
+// but clients can" is a first-class, reproducible state.
+//
+// Two consumers read the matrix:
+//
+//   - Connections. WrapConn gates a replication tail's conn on the link
+//     between its host node and the partition's current primary node.
+//     Writes into a blocked direction are blackholed (they report success
+//     and vanish — packet loss, not a connection reset, so the sender
+//     learns nothing); reads poll-wait while the inbound direction is
+//     blocked, honoring read deadlines, so silence is indistinguishable
+//     from a dead peer and deadline-based liveness (ack deadlines,
+//     heartbeats) fires exactly as it would across a real partition.
+//
+//   - The failover monitor. cluster's monitor consults Blocked directly
+//     (its probes are in-process function calls, not packets) to decide
+//     whether it can "reach" a node, and feeds the same answer into its
+//     promotion quorum votes.
+package faultinject
+
+import (
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/metrics"
+)
+
+// MonitorEndpoint is the virtual endpoint ID the failover monitor uses in
+// the partition matrix. Node endpoints are their non-negative node IDs.
+const MonitorEndpoint = -1
+
+// Link is one directed edge in the partition matrix.
+type Link struct {
+	From, To int
+}
+
+// Matrix is the blocked-link set. Safe for concurrent use. Zero links are
+// blocked initially; tests and the seeded partition schedule cut and heal
+// links at runtime.
+type Matrix struct {
+	mu      sync.Mutex
+	blocked map[Link]struct{}
+	events  *metrics.Events
+
+	cuts       atomic.Int64
+	heals      atomic.Int64
+	blackholes atomic.Int64
+}
+
+// NewMatrix returns an empty matrix (all links clear).
+func NewMatrix() *Matrix {
+	return &Matrix{blocked: make(map[Link]struct{})}
+}
+
+// SetEvents routes cut/heal transitions into a metrics registry (in
+// addition to the matrix's own counters). Call before injecting faults.
+func (m *Matrix) SetEvents(ev *metrics.Events) {
+	m.mu.Lock()
+	m.events = ev
+	m.mu.Unlock()
+}
+
+// Block cuts the directed link from→to. Blocking an already-blocked link
+// is a no-op (not recounted).
+func (m *Matrix) Block(from, to int) {
+	m.mu.Lock()
+	l := Link{From: from, To: to}
+	if _, ok := m.blocked[l]; !ok {
+		m.blocked[l] = struct{}{}
+		m.cuts.Add(1)
+		m.events.Add(metrics.EventNetPartitionCuts, 1)
+	}
+	m.mu.Unlock()
+}
+
+// BlockPair cuts both directions between a and b — a full bidirectional
+// partition of that pair.
+func (m *Matrix) BlockPair(a, b int) {
+	m.Block(a, b)
+	m.Block(b, a)
+}
+
+// Heal clears the directed link from→to. Healing a clear link is a no-op.
+func (m *Matrix) Heal(from, to int) {
+	m.mu.Lock()
+	l := Link{From: from, To: to}
+	if _, ok := m.blocked[l]; ok {
+		delete(m.blocked, l)
+		m.heals.Add(1)
+		m.events.Add(metrics.EventNetPartitionHeals, 1)
+	}
+	m.mu.Unlock()
+}
+
+// HealPair clears both directions between a and b.
+func (m *Matrix) HealPair(a, b int) {
+	m.Heal(a, b)
+	m.Heal(b, a)
+}
+
+// HealAll clears every blocked link.
+func (m *Matrix) HealAll() {
+	m.mu.Lock()
+	n := len(m.blocked)
+	for l := range m.blocked {
+		delete(m.blocked, l)
+	}
+	m.heals.Add(int64(n))
+	m.events.Add(metrics.EventNetPartitionHeals, int64(n))
+	m.mu.Unlock()
+}
+
+// Blocked reports whether the directed link from→to is cut. Implements
+// cluster's Links interface.
+func (m *Matrix) Blocked(from, to int) bool {
+	m.mu.Lock()
+	_, ok := m.blocked[Link{From: from, To: to}]
+	m.mu.Unlock()
+	return ok
+}
+
+// Counters returns the matrix's transition and blackhole counts (only the
+// partition fields are populated).
+func (m *Matrix) Counters() Counters {
+	return Counters{
+		Cuts:       m.cuts.Load(),
+		Heals:      m.heals.Load(),
+		Blackholes: m.blackholes.Load(),
+	}
+}
+
+// WrapConn gates conn on the matrix link between the local endpoint and
+// the peer endpoint. remote is resolved per I/O operation so a conn whose
+// logical peer moves (a tail following a partition's primary) tracks the
+// current link. Writes into a blocked link are blackholed; reads from a
+// blocked link stall until heal, deadline, or close.
+func (m *Matrix) WrapConn(conn net.Conn, local int, remote func() int) net.Conn {
+	return &matrixConn{Conn: conn, m: m, local: local, remote: remote}
+}
+
+type matrixConn struct {
+	net.Conn
+	m      *Matrix
+	local  int
+	remote func() int
+
+	mu           sync.Mutex
+	readDeadline time.Time
+	closed       bool
+}
+
+func (c *matrixConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *matrixConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *matrixConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// Write blackholes frames sent into a blocked link: it reports success and
+// discards the bytes, exactly what a partitioned network does to packets.
+// The peer sees silence, not an error, so only deadline/heartbeat liveness
+// can detect the cut.
+func (c *matrixConn) Write(b []byte) (int, error) {
+	if c.m.Blocked(c.local, c.remote()) {
+		c.m.blackholes.Add(1)
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}
+
+// Read stalls while the inbound direction is blocked. Data already in
+// flight is delivered after heal (TCP retransmits across a partition), or
+// discarded with the conn if the session dies first. The poll honors the
+// conn's read deadline so blocked readers time out exactly like readers of
+// a silent peer.
+func (c *matrixConn) Read(b []byte) (int, error) {
+	for c.m.Blocked(c.remote(), c.local) {
+		c.mu.Lock()
+		dl, closed := c.readDeadline, c.closed
+		c.mu.Unlock()
+		if closed {
+			return 0, net.ErrClosed
+		}
+		//pstore:ignore seeddiscipline — deadline bookkeeping and poll pacing for an injected partition stall; the cut itself comes from the seeded schedule
+		if !dl.IsZero() && time.Now().After(dl) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		//pstore:ignore seeddiscipline — the stall IS the injected fault (blocked link); poll interval is fixed, not drawn
+		time.Sleep(time.Millisecond)
+	}
+	return c.Conn.Read(b)
+}
+
+// Matrix returns the injector's partition matrix, creating it on first
+// use. The same matrix is shared by conn wrappers, the monitor's
+// reachability checks, and PartitionLoop's seeded schedule.
+func (in *Injector) Matrix() *Matrix {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.matrix == nil {
+		in.matrix = NewMatrix()
+	}
+	return in.matrix
+}
+
+// PartitionLoop runs the seeded partition schedule: every PartitionEvery
+// tick, with probability PartitionProb, it cuts one random directed link
+// between two distinct endpoints and heals it after PartitionFor. Cuts are
+// directed draws, so asymmetric partitions (A can talk to B but not hear
+// it) arise naturally. endpoints is re-evaluated every tick so the
+// schedule tracks topology changes; include MonitorEndpoint to let the
+// schedule blind the failover monitor. The loop exits when stop is
+// closed; drain the returned done channel to wait for in-flight heals.
+func (in *Injector) PartitionLoop(endpoints func() []int, stop <-chan struct{}) <-chan struct{} {
+	m := in.Matrix()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		defer wg.Wait()
+		ticker := time.NewTicker(in.opts.PartitionEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			if in.opts.PartitionProb <= 0 || in.roll() >= in.opts.PartitionProb {
+				continue
+			}
+			eps := endpoints()
+			if len(eps) < 2 {
+				continue
+			}
+			in.mu.Lock()
+			i := in.rng.Intn(len(eps))
+			j := in.rng.Intn(len(eps) - 1)
+			in.mu.Unlock()
+			if j >= i {
+				j++
+			}
+			from, to := eps[i], eps[j]
+			m.Block(from, to)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				//pstore:ignore seeddiscipline — the outage window IS the injected fault; duration is configured, not drawn
+				timer := time.NewTimer(in.opts.PartitionFor)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+				case <-stop:
+				}
+				m.Heal(from, to)
+			}()
+		}
+	}()
+	return done
+}

@@ -61,6 +61,24 @@ const (
 	// EventReplFencedWrites counts writes rejected because the partition's
 	// feed was fenced by a newer epoch (deposed primary).
 	EventReplFencedWrites = "repl_fenced_writes"
+	// EventReplQuorumLost counts armed feeds dropping below their required
+	// subscriber quorum (a primary entering self-fenced, read-only mode).
+	EventReplQuorumLost = "repl_quorum_losses"
+	// EventReplQuorumLostWrites counts writes shed because the partition's
+	// primary had lost its subscriber quorum (degraded read-only mode).
+	EventReplQuorumLostWrites = "repl_quorum_lost_writes"
+	// EventReplPromotionsBlocked counts failover attempts vetoed by the
+	// promotion quorum — typically the monitor was partitioned from a live
+	// primary and a redundant promotion would have split the brain.
+	EventReplPromotionsBlocked = "repl_promotions_blocked"
+	// EventReplStaleDemotions counts deposed-but-alive primaries detected
+	// after a heal and demoted (executor stopped, feed fenced) by the
+	// monitor's stale-primary sweep.
+	EventReplStaleDemotions = "repl_stale_primary_demotions"
+	// EventNetPartitionCuts counts directed links cut in the chaos
+	// partition matrix; EventNetPartitionHeals counts links healed.
+	EventNetPartitionCuts  = "net_partition_cuts"
+	EventNetPartitionHeals = "net_partition_heals"
 )
 
 // Events is a registry of named monotonic counters for rare-path

@@ -329,6 +329,18 @@ func Start(c *cluster.Cluster, targetNodes int, opts Options) (*Migration, error
 	// machines, s+1..l the appearing (scale-out) or retiring (scale-in)
 	// ones.
 	nodes := c.Nodes()
+	// Failover promotion rehomes a partition onto its standby's node, which
+	// can leave the layout jagged — a node owning more or fewer slots than
+	// PartitionsPerNode. The slot-indexed schedule below assumes a
+	// rectangular layout, so refuse up front, before AddNode provisions
+	// anything durable: the old behavior was an index panic *after* the new
+	// node hit the manifest, stranding a half-scaled cluster on disk.
+	for _, n := range nodes {
+		if got, want := len(n.Partitions), c.PartitionsPerNode(); got != want {
+			c.EndReconfiguration()
+			return nil, fmt.Errorf("migration: node %d owns %d partitions, want %d (layout skewed by failovers); reconfiguration requires a rectangular layout", n.ID, got, want)
+		}
+	}
 	var machines []cluster.Node // index i ↔ schedule machine i+1
 	var retired []int
 	if targetNodes > from {

@@ -32,7 +32,11 @@ type SnapshotFunc func() (*Snapshot, error)
 // durable AND every live subscriber has acked its LSN — synchronous
 // k-safety. With zero live subscribers the feed degrades to local
 // durability alone (availability over redundancy; the failover monitor
-// restores k in the background).
+// restores k in the background) — but only until the quorum first arms:
+// once RequiredSubscribers live subscribers have been seen, losing them
+// self-fences the feed instead (see Available), because a primary that
+// silently drops to local-only acks while partitioned from its standbys is
+// exactly how split-brain loses acked writes.
 //
 // Lock order: appendMu > mu > inner's locks. appendMu serializes LSN
 // assignment with the inner manager's sequence counter so LSN == seq always
@@ -52,6 +56,10 @@ type Feed struct {
 	fenced  bool
 	closed  bool
 	durable uint64 // highest locally durable LSN
+
+	required   int  // ack-quorum size; 0 disables self-fencing
+	armed      bool // quorum seen at full strength at least once
+	quorumLost bool // armed and currently below required (self-fenced)
 
 	buf      [][]byte // encoded frames for LSNs [bufStart, bufStart+len)
 	bufStart uint64
@@ -82,15 +90,17 @@ func NewFeed(part int, inner *durability.Manager, epoch, startLSN uint64, opts O
 	if epoch == 0 {
 		epoch = 1
 	}
+	opts = opts.Normalized()
 	return &Feed{
 		part:     part,
 		inner:    inner,
-		opts:     opts.Normalized(),
+		opts:     opts,
 		events:   events,
 		lsn:      startLSN,
 		epoch:    epoch,
 		bufStart: startLSN + 1,
 		subs:     make(map[*Subscriber]struct{}),
+		required: opts.RequiredSubscribers,
 	}
 }
 
@@ -270,6 +280,82 @@ func (f *Feed) unusableLocked() error {
 	return nil
 }
 
+// liveCountLocked counts subscribers currently in the ack quorum.
+func (f *Feed) liveCountLocked() int {
+	n := 0
+	for s := range f.subs {
+		if s.live {
+			n++
+		}
+	}
+	return n
+}
+
+// quorumLostLocked reports whether the armed feed is below its required
+// quorum, maintaining the lost/regained transition accounting as a side
+// effect. Call whenever the live set changes.
+func (f *Feed) quorumLostLocked() bool {
+	if f.required <= 0 || f.fenced || f.closed {
+		return false
+	}
+	live := f.liveCountLocked()
+	if !f.armed {
+		if live >= f.required {
+			f.armed = true
+		}
+		return false
+	}
+	if live >= f.required {
+		f.quorumLost = false
+		return false
+	}
+	if !f.quorumLost {
+		f.quorumLost = true
+		f.events.Add(metrics.EventReplQuorumLost, 1)
+	}
+	return true
+}
+
+// Available reports whether the feed can currently accept and acknowledge
+// a write: nil, or ErrClosed/ErrFenced/ErrQuorumLost. The cluster's
+// routing layer sheds writes on a non-nil answer BEFORE executing the
+// transaction — the self-fencing check must run pre-execution, because a
+// write rejected after mutating partition state could double-apply when
+// the client retries against the same (still authoritative) primary.
+func (f *Feed) Available() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.unusableLocked(); err != nil {
+		return err
+	}
+	if f.quorumLostLocked() {
+		return ErrQuorumLost
+	}
+	return nil
+}
+
+// Unusable reports the feed's terminal state — ErrFenced or ErrClosed, nil
+// while the feed can still ship. Unlike Available it never consults or
+// advances the quorum latch, so the failover monitor can use it as a pure
+// observation when tallying its depose vote.
+func (f *Feed) Unusable() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.unusableLocked()
+}
+
+// Armed reports whether the feed has ever seen its full required standby
+// complement. Before arming, writes acknowledge on local durability alone,
+// so the head may run past anything a standby holds; from the moment of
+// arming onward every acked LSN is covered by standby acks (and the
+// pre-arm prefix by the joining snapshot), which is what makes promoting a
+// caught-up standby loss-free. Pure observation: never advances the latch.
+func (f *Feed) Armed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.armed
+}
+
 // publishLocked adds the encoded frame to the retained tail and every
 // subscriber queue. A subscriber whose queue is full cannot keep up within
 // the retained window and is deposed — it will resync.
@@ -336,6 +422,15 @@ func (f *Feed) completableLocked() []completion {
 }
 
 func (f *Feed) ackedCoverLocked(lsn uint64) bool {
+	// An armed feed below quorum must not complete writes on local
+	// durability alone: the waiter stalls until a subscriber re-acks past
+	// its LSN (quorum healed — the record is then replicated) or the feed
+	// is fenced by a failover (the waiter fails, and the state it mutated
+	// is discarded with the deposed primary). Either way no write is ever
+	// acked in a state that a promotion could lose.
+	if f.quorumLostLocked() {
+		return false
+	}
 	for s := range f.subs {
 		if s.live && s.acked < lsn {
 			return false

@@ -19,26 +19,85 @@ type Hub struct {
 	opts   Options
 	events *metrics.Events
 
-	mu     sync.Mutex
-	feeds  map[int]*Feed
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	wrap   func(net.Conn) net.Conn
-	closed bool
+	mu        sync.Mutex
+	feeds     map[int]*Feed
+	minEpochs map[int]uint64 // fencing floor per partition; stale feeds/streams are refused
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+	subs      map[net.Conn]connSub // active subscriptions, for targeted fencing severs
+	wrap      func(net.Conn) net.Conn
+	closed    bool
 
 	wg sync.WaitGroup
 }
 
+// connSub records which (partition, epoch) a subscriber connection is
+// streaming, so FencePartition can sever exactly the stale streams.
+type connSub struct {
+	part  int
+	epoch uint64
+}
+
 // NewHub creates a hub with no feeds registered.
 func NewHub(opts Options, events *metrics.Events) *Hub {
-	return &Hub{opts: opts.Normalized(), events: events, feeds: make(map[int]*Feed), conns: make(map[net.Conn]struct{})}
+	return &Hub{
+		opts:      opts.Normalized(),
+		events:    events,
+		feeds:     make(map[int]*Feed),
+		minEpochs: make(map[int]uint64),
+		conns:     make(map[net.Conn]struct{}),
+		subs:      make(map[net.Conn]connSub),
+	}
 }
 
 // Register installs (or replaces, after a failover) the partition's feed.
-func (h *Hub) Register(part int, f *Feed) {
+// A feed below the partition's fencing floor is refused: a deposed primary
+// rejoining after a network heal must not regain subscribers — it resyncs
+// as a standby instead.
+func (h *Hub) Register(part int, f *Feed) error {
 	h.mu.Lock()
+	defer h.mu.Unlock()
+	if min := h.minEpochs[part]; f.Epoch() < min {
+		return fmt.Errorf("%w: feed epoch %d below fencing floor %d for partition %d", ErrFenced, f.Epoch(), min, part)
+	}
 	h.feeds[part] = f
+	return nil
+}
+
+// FencePartition raises the partition's epoch floor. Stale-epoch state is
+// cut off at the hub: a registered feed below the floor is deregistered,
+// and every subscriber stream fed from a stale epoch is severed so the
+// replicas resubscribe to the new primary. The monitor calls this BEFORE a
+// promoted replica serves — the old primary may be unreachable, but its
+// subscribers are not, and taking them away is what forces it to
+// self-fence (an armed feed below quorum stops acking).
+func (h *Hub) FencePartition(part int, minEpoch uint64) {
+	h.mu.Lock()
+	if minEpoch <= h.minEpochs[part] {
+		h.mu.Unlock()
+		return
+	}
+	h.minEpochs[part] = minEpoch
+	if f, ok := h.feeds[part]; ok && f.Epoch() < minEpoch {
+		delete(h.feeds, part)
+	}
+	var sever []net.Conn
+	for c, s := range h.subs { //pstore:ignore determinism — fencing sever-list; every stale stream is severed, order is unobservable
+		if s.part == part && s.epoch < minEpoch {
+			sever = append(sever, c)
+		}
+	}
 	h.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// MinEpoch returns the partition's fencing floor (zero if never fenced).
+func (h *Hub) MinEpoch(part int) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.minEpochs[part]
 }
 
 // Deregister removes the partition's feed; new subscribers are refused.
@@ -159,9 +218,16 @@ func (h *Hub) serveConn(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	h.mu.Lock()
 	feed, ok := h.feeds[part]
+	minEpoch := h.minEpochs[part]
 	h.mu.Unlock()
 	if !ok {
 		writeErrorFrame(conn, bw, fmt.Sprintf("no feed for partition %d", part), h.opts.AckTimeout)
+		return
+	}
+	if feed.Epoch() < minEpoch {
+		// The feed was fenced between lookup and here; refuse rather than
+		// stream a deposed primary's records.
+		writeErrorFrame(conn, bw, fmt.Sprintf("partition %d fenced at epoch %d", part, minEpoch), h.opts.AckTimeout)
 		return
 	}
 	att, err := feed.Attach(fromLSN, fromEpoch)
@@ -170,6 +236,22 @@ func (h *Hub) serveConn(conn net.Conn) {
 		return
 	}
 	defer att.Sub.Close()
+
+	h.mu.Lock()
+	fenced := att.Epoch < h.minEpochs[part]
+	if !fenced {
+		h.subs[conn] = connSub{part: part, epoch: att.Epoch}
+	}
+	h.mu.Unlock()
+	if fenced {
+		writeErrorFrame(conn, bw, fmt.Sprintf("partition %d fenced at epoch %d", part, h.MinEpoch(part)), h.opts.AckTimeout)
+		return
+	}
+	defer func() {
+		h.mu.Lock()
+		delete(h.subs, conn)
+		h.mu.Unlock()
+	}()
 
 	// Acks ride the same conn: a reader goroutine forwards them to the
 	// subscriber. Its read deadline doubles as the liveness check — the
@@ -227,14 +309,28 @@ func (h *Hub) writeSeeding(conn net.Conn, bw *bufio.Writer, att *Attachment) boo
 
 // streamLive forwards the subscriber's live queue until the connection or
 // the subscription dies. Flushes at queue-drain boundaries so a burst of
-// records pays one syscall.
+// records pays one syscall. An idle stream carries heartbeats: the tail
+// arms a read deadline on the live stream, so hub-side silence longer than
+// AckTimeout — a partitioned or dead primary — kills the session instead
+// of leaving a subscriber live at a stale ack watermark forever.
 func (h *Hub) streamLive(conn net.Conn, bw *bufio.Writer, att *Attachment) {
 	frames := att.Sub.Frames()
 	gone := att.Sub.Gone()
+	beat := time.NewTicker(h.opts.AckTimeout / 3)
+	defer beat.Stop()
 	for {
 		var frame []byte
 		select {
 		case frame = <-frames:
+		case <-beat.C:
+			armWriteDeadline(conn, h.opts.AckTimeout)
+			if _, err := bw.Write(encodeHeartbeat()); err != nil {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
+			continue
 		case <-gone:
 			return
 		}
@@ -414,6 +510,16 @@ func encodeAck(lsn uint64) []byte {
 	p := []byte{msgAck}
 	p = appendUvarint(p, lsn)
 	return frame(p)
+}
+
+func encodeHeartbeat() []byte {
+	return frame([]byte{msgHeartbeat})
+}
+
+// isHeartbeat reports whether a stream payload is a liveness beacon (the
+// tail skips them; their arrival alone resets its read deadline).
+func isHeartbeat(payload []byte) bool {
+	return len(payload) == 1 && payload[0] == msgHeartbeat
 }
 
 func decodeAck(payload []byte) (uint64, error) {

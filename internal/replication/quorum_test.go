@@ -1,0 +1,244 @@
+package replication
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pstore/internal/metrics"
+)
+
+func quorumFeed(required int) (*Feed, *metrics.Events) {
+	ev := metrics.NewEvents()
+	return NewFeed(0, nil, 1, 0, Options{Seed: 1, RequiredSubscribers: required}, ev), ev
+}
+
+// TestFeedQuorumArmsThenSheds: a fresh feed degrades to local durability
+// (availability over redundancy) until it has seen its full quorum once;
+// after arming, losing a subscriber self-fences the primary.
+func TestFeedQuorumArmsThenSheds(t *testing.T) {
+	f, ev := quorumFeed(1)
+	defer f.Close()
+
+	// Unarmed: no subscriber has ever attached, writes flow.
+	if f.Armed() {
+		t.Fatal("fresh feed reports Armed")
+	}
+	if err := f.Available(); err != nil {
+		t.Fatalf("unarmed feed Available = %v, want nil", err)
+	}
+	// Armed is a pure observation: probing Available must not arm the latch.
+	if f.Armed() {
+		t.Fatal("feed armed with zero subscribers after Available probe")
+	}
+	if err := <-appendWait(f, "pre"); err != nil {
+		t.Fatalf("unarmed append: %v", err)
+	}
+
+	att, err := f.Attach(f.LSN(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Available(); err != nil {
+		t.Fatalf("armed full-quorum feed Available = %v, want nil", err)
+	}
+	if !f.Armed() {
+		t.Fatal("feed not Armed after full subscriber complement attached")
+	}
+
+	att.Sub.Close()
+	if err := f.Available(); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("post-loss Available = %v, want ErrQuorumLost", err)
+	}
+	if got := ev.Get(metrics.EventReplQuorumLost); got != 1 {
+		t.Errorf("quorum-loss events = %d, want 1", got)
+	}
+	// The latch reports the same loss once, not per probe.
+	f.Available()
+	f.Available()
+	if got := ev.Get(metrics.EventReplQuorumLost); got != 1 {
+		t.Errorf("quorum-loss events after repeated probes = %d, want 1", got)
+	}
+}
+
+// TestFeedQuorumLossStallsInFlight: a write already executing when the
+// quorum drops must stall — never fail — because its mutation is already in
+// the partition and a post-execution failure plus a client retry would
+// double-apply. It completes when a new subscriber acks past its LSN.
+func TestFeedQuorumLossStallsInFlight(t *testing.T) {
+	f, _ := quorumFeed(1)
+	defer f.Close()
+	att, err := f.Attach(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := appendWait(f, "inflight") // LSN 1, waiting on the subscriber's ack
+	att.Sub.Close()                   // quorum lost with the write in flight
+
+	select {
+	case err := <-done:
+		t.Fatalf("in-flight write resolved during quorum loss (err=%v); must stall", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Quorum heals: a replacement subscriber catches up and acks.
+	att2, err := f.Attach(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(att2.Catchup) != 1 {
+		t.Fatalf("replacement catchup = %d frames, want 1", len(att2.Catchup))
+	}
+	att2.Sub.Ack(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after quorum heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write never completed after quorum heal")
+	}
+	if err := f.Available(); err != nil {
+		t.Fatalf("healed feed Available = %v, want nil", err)
+	}
+}
+
+// TestFeedQuorumFenceReleasesStalledWrite: the other exit from a quorum
+// stall — a failover fences the feed, and the stalled waiter fails with
+// ErrFenced (its state dies with the deposed primary, so no ack escapes).
+func TestFeedQuorumFenceReleasesStalledWrite(t *testing.T) {
+	f, _ := quorumFeed(1)
+	att, err := f.Attach(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := appendWait(f, "doomed")
+	att.Sub.Close()
+	f.Fence()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFenced) {
+			t.Fatalf("stalled write after fence: %v, want ErrFenced", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled write never released by fence")
+	}
+	if err := f.Available(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced feed Available = %v, want ErrFenced (terminal state wins over quorum)", err)
+	}
+}
+
+// TestFeedUnusableIsPureObservation: Unusable never arms or trips the
+// quorum latch — the monitor's vote tally must not change feed state.
+func TestFeedUnusableIsPureObservation(t *testing.T) {
+	f, ev := quorumFeed(1)
+	defer f.Close()
+	att, err := f.Attach(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unusable(); err != nil {
+		t.Fatalf("healthy Unusable = %v, want nil", err)
+	}
+	att.Sub.Close()
+	// Unusable stays nil across a quorum loss and must not record it.
+	if err := f.Unusable(); err != nil {
+		t.Fatalf("quorum-lost Unusable = %v, want nil (not a terminal state)", err)
+	}
+	if got := ev.Get(metrics.EventReplQuorumLost); got != 0 {
+		t.Errorf("Unusable advanced the quorum latch: %d loss events", got)
+	}
+	f.Fence()
+	if err := f.Unusable(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced Unusable = %v, want ErrFenced", err)
+	}
+}
+
+// TestFeedQuorumDisabled: RequiredSubscribers=0 never self-fences, matching
+// the pre-quorum behavior (local durability alone acks writes).
+func TestFeedQuorumDisabled(t *testing.T) {
+	f := memFeed()
+	defer f.Close()
+	att, err := f.Attach(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att.Sub.Close()
+	if err := f.Available(); err != nil {
+		t.Fatalf("quorum-disabled Available after subscriber loss = %v, want nil", err)
+	}
+	if err := <-appendWait(f, "k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHubFencePartitionRaisesFloor: fencing deregisters the stale feed,
+// refuses re-registration below the floor, and accepts a successor at or
+// above it.
+func TestHubFencePartitionRaisesFloor(t *testing.T) {
+	ev := newTestEvents()
+	hub := NewHub(Options{Seed: 1}, ev)
+	defer hub.Close()
+	old := NewFeed(0, nil, 1, 0, Options{Seed: 1}, ev)
+	defer old.Close()
+	if err := hub.Register(0, old); err != nil {
+		t.Fatal(err)
+	}
+
+	hub.FencePartition(0, 3)
+	if got := hub.MinEpoch(0); got != 3 {
+		t.Fatalf("MinEpoch = %d, want 3", got)
+	}
+	// The deposed primary rejoining with its stale feed must be refused.
+	if err := hub.Register(0, old); err == nil {
+		t.Fatal("hub accepted a feed below the fencing floor")
+	}
+	promoted := NewFeed(0, nil, 3, 0, Options{Seed: 1}, ev)
+	defer promoted.Close()
+	if err := hub.Register(0, promoted); err != nil {
+		t.Fatalf("hub refused the promoted feed at the floor: %v", err)
+	}
+	// The floor is monotonic: fencing lower never lowers it.
+	hub.FencePartition(0, 2)
+	if got := hub.MinEpoch(0); got != 3 {
+		t.Fatalf("MinEpoch after lower fence = %d, want 3", got)
+	}
+}
+
+// TestHubFenceSeversStaleSubscribers: an attached replica streaming from a
+// stale epoch's feed is cut when the partition is fenced — that is what
+// collapses an unreachable deposed primary's ack quorum so it self-fences.
+func TestHubFenceSeversStaleSubscribers(t *testing.T) {
+	rig := newShipRig(t, Options{Seed: 1})
+	rig.write("seed")
+	rep, _ := startReplica(t, rig, nil)
+	if err := rep.WaitApplied(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if live, _ := rig.feed.Subscribers(); live == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never joined the ack quorum")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	rig.hub.FencePartition(0, rig.feed.Epoch()+1)
+
+	// The hub severs the stale session; the feed loses its subscriber, and
+	// the tail's resubscription is refused (no feed at or above the floor),
+	// so the subscriber count stays down.
+	for {
+		if _, total := rig.feed.Subscribers(); total == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stale subscriber survived the fence")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

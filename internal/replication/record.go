@@ -35,6 +35,7 @@ const (
 	msgError     byte = 102 // hub → replica: refusal with reason
 	msgBucket    byte = 103 // hub → replica: one snapshot bucket
 	msgAck       byte = 104 // replica → hub: applied LSN
+	msgHeartbeat byte = 105 // hub → replica: idle-stream liveness beacon
 )
 
 // Record is one shipped command-log entry. A replica applying records in

@@ -2,9 +2,14 @@ package replication
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"pstore/internal/durability"
 	"pstore/internal/engine"
 	"pstore/internal/metrics"
 	"pstore/internal/storage"
@@ -14,6 +19,14 @@ import (
 // from a Tail and are applied deterministically; session-consistent reads
 // wait until the applied horizon covers the caller's last written LSN.
 // All state is guarded by mu — the replica's serial "executor".
+//
+// A durable replica (OpenReplica) additionally writes every applied record
+// to its own command log, so a promoted standby that dies before taking a
+// snapshot recovers to its replicated horizon instead of losing acked
+// writes, and a respawned standby replays its local log before any wire
+// catch-up. Its acks advance only to the locally durable horizon — what
+// the primary counts as replicated is exactly what a double fault cannot
+// lose.
 type Replica struct {
 	part     int
 	nBuckets int
@@ -29,6 +42,11 @@ type Replica struct {
 	serving bool
 	seeded  bool
 	notify  chan struct{} // closed and replaced on every apply
+
+	mgr            *durability.Manager // optional: the replica's own command log
+	dir            string
+	durable        uint64 // highest LSN known fsynced in the local log
+	persistedEpoch uint64 // epoch recorded in the dir's sidecar file
 }
 
 // NewReplica creates an empty standby for the partition, hosted on the
@@ -48,6 +66,73 @@ func NewReplica(part, nBuckets int, node string, reg *engine.Registry, opts Opti
 	}
 }
 
+// OpenReplica creates a durable standby backed by its own command log
+// under dir. If the directory holds prior state (the standby is respawning
+// after a kill), it is recovered first — snapshot plus local log replay —
+// so the replica resubscribes from its durable horizon and the wire only
+// carries what the local log does not already hold.
+func OpenReplica(part, nBuckets int, node string, reg *engine.Registry, dir string, dopts durability.Options, opts Options, events *metrics.Events) (*Replica, error) {
+	mgr, err := durability.Open(dir, part, dopts)
+	if err != nil {
+		return nil, err
+	}
+	p := storage.NewPartition(part, nBuckets, nil)
+	stats, err := mgr.Recover(p, reg)
+	if err != nil {
+		mgr.Crash()
+		return nil, err
+	}
+	applied := mgr.Seq()
+	epoch, err := readEpochFile(dir)
+	if err != nil {
+		mgr.Crash()
+		return nil, err
+	}
+	return &Replica{
+		part:           part,
+		nBuckets:       nBuckets,
+		node:           node,
+		reg:            reg,
+		opts:           opts.Normalized(),
+		events:         events,
+		p:              p,
+		applied:        applied,
+		epoch:          epoch,
+		serving:        true,
+		seeded:         applied > 0 || stats.SnapshotLoaded,
+		notify:         make(chan struct{}),
+		mgr:            mgr,
+		dir:            dir,
+		durable:        applied,
+		persistedEpoch: epoch,
+	}, nil
+}
+
+// epochFile is the sidecar recording the highest epoch the replica has
+// seen — the durability log's records carry no epochs, but resubscribing
+// after a local-log recovery needs the exact epoch or the feed forces a
+// full snapshot resync.
+const epochFile = "epoch"
+
+func readEpochFile(dir string) (uint64, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+}
+
+func writeEpochFile(dir string, epoch uint64) error {
+	tmp := filepath.Join(dir, epochFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(epoch, 10)), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, epochFile))
+}
+
 // Partition returns the replica's partition ID.
 func (r *Replica) Partition() int { return r.part }
 
@@ -60,6 +145,28 @@ func (r *Replica) Applied() uint64 {
 	defer r.mu.Unlock()
 	return r.applied
 }
+
+// AckLSN returns the horizon the replica may acknowledge to its primary:
+// the locally durable LSN for a durable replica (an ack is a promise the
+// record survives this replica's crash), the applied LSN otherwise.
+func (r *Replica) AckLSN() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mgr == nil {
+		return r.applied
+	}
+	return r.durable
+}
+
+// Durable reports whether the replica keeps its own command log.
+func (r *Replica) Durable() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mgr != nil
+}
+
+// Dir returns the durable replica's log directory ("" when in-memory).
+func (r *Replica) Dir() string { return r.dir }
 
 // Epoch returns the highest primary epoch the replica has seen.
 func (r *Replica) Epoch() uint64 {
@@ -108,6 +215,22 @@ func (r *Replica) InstallSnapshot(snap *Snapshot) error {
 	}
 	r.seeded = true
 	r.wakeLocked()
+	if r.mgr != nil {
+		// Re-baseline the local log at the snapshot cut: everything before
+		// it is superseded (and may belong to a stale epoch's history).
+		// Runs on the tail's seeding path, never the apply hot path.
+		r.mgr.SetBaseSeq(snap.LSN)
+		if err := r.mgr.Snapshot(r.p); err != nil {
+			return err
+		}
+		r.durable = snap.LSN
+		if r.epoch > r.persistedEpoch {
+			if err := writeEpochFile(r.dir, r.epoch); err != nil {
+				return err
+			}
+			r.persistedEpoch = r.epoch
+		}
+	}
 	return nil
 }
 
@@ -185,6 +308,95 @@ func (r *Replica) wakeLocked() {
 	r.notify = make(chan struct{})
 }
 
+// LogRecord appends one freshly applied record to the replica's own
+// command log. The tail calls it after a successful, advancing Apply
+// (never for duplicate-skips, which are already in the log) — keeping the
+// blocking bucket-record fsyncs off the Apply path, which pstore-vet holds
+// to the executor never-block rule. Log seq stays aligned with the
+// replica's applied LSN; bucket records fsync synchronously exactly as
+// they do on a primary.
+func (r *Replica) LogRecord(rec *Record) error {
+	r.mu.Lock()
+	mgr := r.mgr
+	r.mu.Unlock()
+	if mgr == nil {
+		return nil
+	}
+	var err error
+	switch rec.Kind {
+	case RecTxn:
+		mgr.Append(rec.Proc, rec.Key, rec.Args, func(lsn uint64, aerr error) {
+			if aerr == nil {
+				r.advanceDurable(lsn)
+			}
+		})
+	case RecPut:
+		_, err = mgr.AppendPut(rec.Tab, rec.Key, rec.Args)
+	case RecBucketOut:
+		if err = mgr.LogBucketOut(rec.Bucket); err == nil {
+			r.advanceDurable(rec.LSN)
+		}
+	case RecBucketIn:
+		if err = mgr.LogBucketIn(rec.Data); err == nil {
+			r.advanceDurable(rec.LSN)
+		}
+	default:
+		err = fmt.Errorf("replication: unknown record kind %d", rec.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	if rec.Epoch > r.persistedEpochSnapshot() {
+		r.mu.Lock()
+		dir, epoch := r.dir, rec.Epoch
+		r.mu.Unlock()
+		if werr := writeEpochFile(dir, epoch); werr != nil {
+			return werr
+		}
+		r.mu.Lock()
+		if epoch > r.persistedEpoch {
+			r.persistedEpoch = epoch
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+func (r *Replica) persistedEpochSnapshot() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.persistedEpoch
+}
+
+func (r *Replica) advanceDurable(lsn uint64) {
+	r.mu.Lock()
+	if lsn > r.durable {
+		r.durable = lsn
+	}
+	r.mu.Unlock()
+}
+
+// Sync flushes the replica's log and advances the durable (ackable)
+// horizon to the applied LSN as of the flush. The tail calls it at
+// queue-drain boundaries before acking, so acks cost one fsync per batch
+// rather than waiting out the group-commit timer. No-op for in-memory
+// replicas.
+func (r *Replica) Sync() error {
+	r.mu.Lock()
+	mgr, applied := r.mgr, r.applied
+	r.mu.Unlock()
+	if mgr == nil {
+		return nil
+	}
+	// Everything applied was also appended to the log (LogRecord runs on
+	// the same goroutine as Apply), so the flush covers `applied`.
+	if err := mgr.Flush(); err != nil {
+		return err
+	}
+	r.advanceDurable(applied)
+	return nil
+}
+
 // WaitApplied blocks until the replica's applied LSN reaches min, the
 // timeout passes (ErrStaleRead) or the replica stops serving.
 func (r *Replica) WaitApplied(min uint64, timeout time.Duration) error {
@@ -239,24 +451,34 @@ func (r *Replica) SessionRead(proc, key string, args map[string]string, minLSN u
 // Promote takes the replica out of standby duty and hands its partition to
 // the caller, which builds a primary from it: the fast failover path — no
 // disk replay, the in-memory state is already at the applied horizon.
-// Returns the partition, the applied LSN and the epoch the replica had
-// seen.
-func (r *Replica) Promote() (*storage.Partition, uint64, uint64) {
+// Returns the partition, the applied LSN, the epoch the replica had seen,
+// and — for a durable replica — its command-log manager, whose ownership
+// transfers to the caller: the promoted primary continues the same log in
+// the same directory, which is what makes an immediate second fault
+// recoverable.
+func (r *Replica) Promote() (*storage.Partition, uint64, uint64, *durability.Manager) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.serving = false
 	r.wakeLocked()
 	p := r.p
 	r.p = storage.NewPartition(r.part, r.nBuckets, nil)
-	return p, r.applied, r.epoch
+	mgr := r.mgr
+	r.mgr = nil
+	return p, r.applied, r.epoch, mgr
 }
 
 // Kill stops the replica serving (its host node died). Waiters unblock
-// with ErrReplicaGone.
+// with ErrReplicaGone. A durable replica's log is crash-abandoned —
+// fsynced state stays on disk for a future respawn to recover.
 func (r *Replica) Kill() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.serving = false
+	if r.mgr != nil {
+		r.mgr.Crash()
+		r.mgr = nil
+	}
 	r.wakeLocked()
 }
 

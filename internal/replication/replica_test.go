@@ -156,9 +156,12 @@ func TestReplicaPromoteHandsOffState(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	part, applied, epoch := r.Promote()
+	part, applied, epoch, mgr := r.Promote()
 	if applied != 3 || epoch != 2 {
 		t.Fatalf("promote = (lsn %d, epoch %d), want (3, 2)", applied, epoch)
+	}
+	if mgr != nil {
+		t.Fatal("non-durable replica handed off a durability manager")
 	}
 	if _, ok, _ := part.Get("T", "k"); !ok {
 		t.Fatal("promoted partition missing applied row")

@@ -49,6 +49,13 @@ var (
 	ErrFenced = errors.New("replication: primary fenced by a newer epoch")
 	// ErrClosed is returned by operations on a closed feed or hub.
 	ErrClosed = errors.New("replication: closed")
+	// ErrQuorumLost marks writes shed because the primary lost contact with
+	// its required subscriber quorum: rather than silently degrade to
+	// local-only durability (and diverge if a standby is promoted around
+	// it), the primary self-fences into read-only mode until the quorum
+	// heals or a failover deposes it. Retryable — the monitor restores the
+	// quorum (respawn or promotion) in the background.
+	ErrQuorumLost = errors.New("replication: primary lost subscriber quorum")
 	// ErrStaleRead marks a session read that timed out waiting for the
 	// replica's horizon to cover the client's last written LSN.
 	ErrStaleRead = errors.New("replication: replica horizon behind session")
@@ -92,6 +99,15 @@ type Options struct {
 	// ProbeStrikes is how many consecutive probe timeouts depose a hung
 	// (but not stopped) primary. Default 3.
 	ProbeStrikes int
+	// RequiredSubscribers is the feed's ack-quorum size (the cluster wires
+	// it to the replication factor k). Once a feed has seen this many live
+	// subscribers simultaneously — the quorum is "armed" — dropping below
+	// it self-fences the primary: new writes shed with ErrQuorumLost and
+	// in-flight writes stall until the quorum heals or a failover fences
+	// the feed. Before arming (fresh cluster, freshly promoted primary) the
+	// feed degrades to local durability alone, availability over
+	// redundancy. Zero disables self-fencing.
+	RequiredSubscribers int
 }
 
 // Normalized fills defaults.

@@ -164,20 +164,31 @@ func (t *Tail) session() error {
 			return err
 		}
 	}
-	conn.SetReadDeadline(time.Time{})
-	if err := sendFrame(encodeAck(t.rep.Applied())); err != nil {
+	if err := t.rep.Sync(); err != nil {
+		return err
+	}
+	if err := sendFrame(encodeAck(t.rep.AckLSN())); err != nil {
 		return err
 	}
 
 	// Keepalive acks: the hub deposes silent subscribers after AckTimeout,
-	// so re-ack the applied horizon well inside it even when the stream is
+	// so re-ack the durable horizon well inside it even when the stream is
 	// idle.
 	t.startKeepalive(sessionDone, sendFrame)
 
 	for {
+		// The hub heartbeats idle streams at AckTimeout/3, so a read
+		// deadline on the live stream is a liveness check: silence means
+		// the primary is dead or the link is partitioned, and the session
+		// dies instead of leaving this subscriber live at a stale ack
+		// watermark (which would stall the primary's writes forever).
+		conn.SetReadDeadline(time.Now().Add(t.opts.AckTimeout)) //pstore:ignore seeddiscipline — I/O deadline arming, not a decision path
 		payload, err := readShipFrame(br, &rbuf)
 		if err != nil {
 			return err
+		}
+		if isHeartbeat(payload) {
+			continue
 		}
 		if len(payload) > 0 && payload[0] >= msgSubscribe {
 			if payload[0] == msgError {
@@ -191,16 +202,28 @@ func (t *Tail) session() error {
 		if err != nil {
 			return err
 		}
+		applied := t.rep.Applied()
 		if err := t.rep.Apply(rec); err != nil {
 			if errors.Is(err, ErrReplicaGone) {
 				return errTailRetired
 			}
 			return err
 		}
+		if rec.LSN > applied {
+			// Freshly applied (not a duplicate-skip): append to the
+			// replica's own command log so a respawn replays locally.
+			if err := t.rep.LogRecord(rec); err != nil {
+				return err
+			}
+		}
 		// Ack at batch boundaries: one ack per drained read buffer keeps
-		// the ack rate proportional to bursts, not records.
+		// the ack rate proportional to bursts, not records. A durable
+		// replica flushes its log first — its ack is a durability promise.
 		if br.Buffered() == 0 {
-			if err := sendFrame(encodeAck(t.rep.Applied())); err != nil {
+			if err := t.rep.Sync(); err != nil {
+				return err
+			}
+			if err := sendFrame(encodeAck(t.rep.AckLSN())); err != nil {
 				return err
 			}
 		}
@@ -220,7 +243,7 @@ func (t *Tail) startKeepalive(sessionDone chan struct{}, sendFrame func([]byte) 
 				return
 			case <-timer.C:
 			}
-			if sendFrame(encodeAck(t.rep.Applied())) != nil {
+			if sendFrame(encodeAck(t.rep.AckLSN())) != nil {
 				return
 			}
 			timer.Reset(interval)

@@ -308,6 +308,11 @@ func appendResponse(buf []byte, resp *Response) []byte {
 		buf = appendUvarint(buf, uint64(st.ReplReplicaReads))
 		buf = appendUvarint(buf, uint64(st.ReplFallbackReads))
 		buf = appendUvarint(buf, uint64(st.DeadNodes))
+		buf = appendUvarint(buf, uint64(st.ReplFencedWrites))
+		buf = appendUvarint(buf, uint64(st.ReplQuorumLosses))
+		buf = appendUvarint(buf, uint64(st.ReplQuorumLostWrites))
+		buf = appendUvarint(buf, uint64(st.ReplPromotionsBlocked))
+		buf = appendUvarint(buf, uint64(st.ReplStaleDemotions))
 	}
 	return patchFrameLen(buf, body, lenAt)
 }
@@ -456,7 +461,9 @@ func decodeResponse(data []byte, resp *Response) error {
 		}
 		repl = []*int{&st.ReplRecords, &st.ReplFailovers, &st.ReplPromotions,
 			&st.ReplResyncs, &st.ReplStaleWaits, &st.ReplReplicaReads,
-			&st.ReplFallbackReads, &st.DeadNodes}
+			&st.ReplFallbackReads, &st.DeadNodes,
+			&st.ReplFencedWrites, &st.ReplQuorumLosses, &st.ReplQuorumLostWrites,
+			&st.ReplPromotionsBlocked, &st.ReplStaleDemotions}
 		for _, p := range repl {
 			v, err := r.uvarint()
 			if err != nil {

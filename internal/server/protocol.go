@@ -116,4 +116,11 @@ type Stats struct {
 	ReplReplicaReads  int
 	ReplFallbackReads int // reads bounced from a replica to the primary
 	DeadNodes         int
+
+	// Fencing and split-brain counters; all zero without partition chaos.
+	ReplFencedWrites      int // appends refused by a fenced/closed feed
+	ReplQuorumLosses      int // armed primaries that dropped below quorum
+	ReplQuorumLostWrites  int // writes shed pre-execution during quorum loss
+	ReplPromotionsBlocked int // failovers the quorum vote refused
+	ReplStaleDemotions    int // deposed primaries demoted in place after heal
 }

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"fmt"
 	"testing"
 	"time"
 
@@ -11,10 +10,14 @@ import (
 
 // startReplBenchServer builds a networked cluster with replication factor k
 // and zero synthetic service time, so the benchmark isolates the cost the
-// replication layer adds to the request path.
-func startReplBenchServer(b *testing.B, k int) (*Client, func() error) {
+// replication layer adds to the request path. A non-empty dataDir makes the
+// whole cluster durable: primaries group-commit to command logs, and each
+// standby keeps its own log (the failover-without-data-loss configuration).
+func startReplBenchServer(b *testing.B, k int, dataDir string) (*Client, func() error) {
 	b.Helper()
-	c, err := cluster.New(replClusterConfig(k, 1))
+	cfg := replClusterConfig(k, 1)
+	cfg.DataDir = dataDir
+	c, err := cluster.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -38,12 +41,29 @@ func startReplBenchServer(b *testing.B, k int) (*Client, func() error) {
 // standby per partition (k=1). The k=1 number includes shipping each command
 // over TCP and waiting for the standby's ack before the client sees its
 // response — the paper's claim is that command-log shipping makes this
-// nearly free relative to the protocol round trip. scripts/bench.sh records
-// both as BENCH_replication.json.
+// nearly free relative to the protocol round trip. The k=1/durable variant
+// additionally group-commits every command to disk on both the primary and
+// the standby before the ack — the configuration that survives a double
+// fault (internal/cluster TestDoubleFaultDurableStandbyRecovery) — pricing
+// the fsync pipeline on top of the ship. scripts/bench.sh records all three
+// as BENCH_replication.json.
 func BenchmarkReplicatedCall(b *testing.B) {
-	for _, k := range []int{0, 1} {
-		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			cl, _ := startReplBenchServer(b, k)
+	variants := []struct {
+		name    string
+		k       int
+		durable bool
+	}{
+		{"k=0", 0, false},
+		{"k=1", 1, false},
+		{"k=1/durable", 1, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			dir := ""
+			if v.durable {
+				dir = b.TempDir()
+			}
+			cl, _ := startReplBenchServer(b, v.k, dir)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0
@@ -65,7 +85,7 @@ func BenchmarkReplicatedCall(b *testing.B) {
 // parallel KindRead requests (carrying the client's session vector) hit the
 // replica path instead of the primary executors.
 func BenchmarkReplicaRead(b *testing.B) {
-	cl, quiesce := startReplBenchServer(b, 1)
+	cl, quiesce := startReplBenchServer(b, 1, "")
 	for _, key := range benchKeys {
 		if _, err := cl.Call("Put", key, map[string]string{"v": key}); err != nil {
 			b.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"pstore/internal/engine"
 	"pstore/internal/metrics"
 	"pstore/internal/migration"
+	"pstore/internal/replication"
 )
 
 // Server serves a cluster over TCP.
@@ -237,6 +238,11 @@ func (cc *callCompletion) Complete(res engine.Result) {
 		if errors.Is(res.Err, engine.ErrOverloaded) {
 			resp.Busy = true
 			resp.RetryAfter = s.c.ShedRetryAfter()
+		} else if errors.Is(res.Err, replication.ErrQuorumLost) || errors.Is(res.Err, replication.ErrFenced) {
+			// Shed pre-execution by the primary's self-fencing gate: safe to
+			// retry once the monitor restores quorum or promotes a successor.
+			resp.Busy = true
+			resp.RetryAfter = s.c.FenceRetryAfter()
 		}
 	}
 	w.reply(&resp) // encodes Out before the txn (which owns it) is released
@@ -266,6 +272,10 @@ func (s *Server) handleCall(req *Request, w *replyWriter) {
 			// and when.
 			resp.Busy = true
 			resp.RetryAfter = s.c.ShedRetryAfter()
+		} else if errors.Is(res.Err, replication.ErrQuorumLost) || errors.Is(res.Err, replication.ErrFenced) {
+			// Fenced or quorum-degraded primary, also shed pre-execution.
+			resp.Busy = true
+			resp.RetryAfter = s.c.FenceRetryAfter()
 		}
 	}
 	w.reply(&resp) // encodes Out before the txn (which owns it) is reused
@@ -347,6 +357,11 @@ func (s *Server) stats() *Stats {
 	st.ReplReplicaReads = int(rs.ReplicaReads)
 	st.ReplFallbackReads = int(rs.FallbackReads)
 	st.DeadNodes = len(s.c.DeadNodes())
+	st.ReplFencedWrites = int(rs.FencedWrites)
+	st.ReplQuorumLosses = int(rs.QuorumLosses)
+	st.ReplQuorumLostWrites = int(rs.QuorumLostWrites)
+	st.ReplPromotionsBlocked = int(rs.PromotionsBlocked)
+	st.ReplStaleDemotions = int(rs.StaleDemotions)
 	return st
 }
 
