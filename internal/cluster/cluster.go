@@ -1044,14 +1044,15 @@ func (c *Cluster) quorumGate(rt *routing, pid int) error {
 
 // retriable reports whether err means the transaction never ran (bucket in
 // flight, executor stopped or fenced mid-route, primary below its write
-// quorum) and may safely be requeued. routed is false when the routing table
-// had no executor for the owner.
+// quorum, replication ack window full) and may safely be requeued. routed
+// is false when the routing table had no executor for the owner.
 func (c *Cluster) retriable(err error, routed bool) bool {
 	return storage.IsNotOwned(err) ||
 		errors.Is(err, engine.ErrStopped) ||
 		errors.Is(err, replication.ErrFenced) ||
 		errors.Is(err, replication.ErrClosed) ||
 		errors.Is(err, replication.ErrQuorumLost) ||
+		errors.Is(err, replication.ErrWindowFull) ||
 		(err != nil && !routed)
 }
 

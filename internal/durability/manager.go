@@ -282,6 +282,13 @@ func isNotOwnedErr(err error) bool {
 // Flush forces pending appends to stable storage.
 func (m *Manager) Flush() error { return m.log.sync() }
 
+// FlushAsync registers cb to run once everything appended so far is on
+// stable storage, riding the group-commit machinery instead of blocking on
+// an fsync of its own — the hook replica tails use to pipeline standby
+// group commits. cb runs on the WAL's committer goroutine (or inline, with
+// ErrClosed, if the log is closed).
+func (m *Manager) FlushAsync(cb func(error)) { m.log.requestSync(cb) }
+
 // Close flushes and closes the log.
 func (m *Manager) Close() error { return m.log.close() }
 

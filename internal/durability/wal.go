@@ -90,11 +90,19 @@ type wal struct {
 	mu      sync.Mutex
 	file    *os.File
 	w       *bufio.Writer
-	seg     int   // current segment number
-	segSize int64 // bytes written to the current segment
+	seg     int    // current segment number
+	segSize int64  // bytes written to the current segment
+	fileGen uint64 // bumped whenever file changes; written under mu AND syncMu
 	pending []func(error)
 	closed  bool
 	crashed bool
+
+	// syncMu serializes fsyncs that run outside mu (the pipelined half of
+	// group commit, see flushDetachLocked/fsyncDetached) against segment
+	// rotation and close, which retire the file handle. Lock order:
+	// mu > syncMu — syncMu may be taken under mu, never the reverse.
+	syncMu sync.Mutex
+	genErr error // outcome of the sync that retired the last fileGen; guarded by syncMu
 
 	wake chan struct{} // nudges the committer when a batch fills
 	stop chan struct{}
@@ -189,10 +197,19 @@ func (l *wal) openSegmentLocked(n int) error {
 				return err
 			}
 		}
-		if err := l.file.Sync(); err != nil {
-			return err
+		// Retiring the handle must be fenced against a pipelined fsync in
+		// flight outside mu: sync-mark-close under syncMu, so a detached
+		// fsync either beat the rotation or sees the generation bump and
+		// skips the closed handle (this sync already covered its bytes).
+		l.syncMu.Lock()
+		err := l.file.Sync()
+		if cerr := l.file.Close(); err == nil {
+			err = cerr
 		}
-		if err := l.file.Close(); err != nil {
+		l.fileGen++
+		l.genErr = err
+		l.syncMu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
@@ -255,6 +272,13 @@ func (l *wal) append(rec *Record, onDurable func(error)) error {
 			return err
 		}
 	}
+	// Eager wake: the first callback of a batch starts a group commit
+	// immediately instead of waiting out the sync-interval tick. Everything
+	// appended while that commit's fsync is in flight (the committer holds
+	// syncMu, not mu) accumulates into the next batch, so the batch size
+	// self-tunes to the fsync latency and the timer only matters when the
+	// log is idle.
+	eager := onDurable != nil && len(l.pending) == 0
 	if onDurable != nil {
 		l.pending = append(l.pending, onDurable)
 	}
@@ -266,7 +290,7 @@ func (l *wal) append(rec *Record, onDurable func(error)) error {
 	}
 	full := len(l.pending) >= l.opts.batchSize
 	l.mu.Unlock()
-	if full {
+	if eager || full {
 		select {
 		case l.wake <- struct{}{}:
 		default:
@@ -275,15 +299,67 @@ func (l *wal) append(rec *Record, onDurable func(error)) error {
 	return nil
 }
 
+// requestSync registers cb to run after the next fsync covering everything
+// appended so far and nudges the committer — the exported group-commit hook
+// behind Manager.FlushAsync. Unlike sync it never waits for the fsync: a
+// flush request means "tell me when everything to date is durable", which
+// is exactly the coverage the pending-callback list already provides.
+func (l *wal) requestSync(cb func(error)) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		cb(ErrClosed)
+		return
+	}
+	l.pending = append(l.pending, cb)
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
 // sync forces buffered records to stable storage, acking their callbacks.
+// The fsync runs outside mu, so appends proceed while it is in flight.
 func (l *wal) sync() error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return ErrClosed
 	}
-	cbs, err := l.syncLocked()
+	cbs, f, gen, err := l.flushDetachLocked()
 	l.mu.Unlock()
+	return l.fsyncDetached(cbs, f, gen, err)
+}
+
+// flushDetachLocked pushes buffered records to the OS and detaches the
+// pending callbacks plus the file handle and generation they need fsynced,
+// for the caller to complete OUTSIDE mu via fsyncDetached. Splitting flush
+// from fsync is what pipelines group commit: appenders retake mu while the
+// fsync — the slow half — runs, so batch N+1 accumulates during batch N's
+// fsync instead of queueing behind it.
+func (l *wal) flushDetachLocked() (cbs []func(error), f *os.File, gen uint64, err error) {
+	err = l.w.Flush()
+	cbs = l.pending
+	l.pending = nil
+	return cbs, l.file, l.fileGen, err
+}
+
+// fsyncDetached completes a detached flush: fsync outside mu, then deliver
+// the outcome to the callbacks. If the handle was retired since the flush
+// (generation mismatch — rotation, close or crash), its retiring sync
+// already decided the fate of the flushed bytes, so the outcome of THAT
+// sync is delivered instead of fsyncing a closed handle.
+func (l *wal) fsyncDetached(cbs []func(error), f *os.File, gen uint64, err error) error {
+	l.syncMu.Lock()
+	if err == nil {
+		if gen == l.fileGen {
+			err = f.Sync()
+		} else {
+			err = l.genErr
+		}
+	}
+	l.syncMu.Unlock()
 	runDurableCbs(cbs, err)
 	return err
 }
@@ -333,13 +409,13 @@ func (l *wal) committer() {
 			l.mu.Unlock()
 			return
 		}
-		var cbs []func(error)
-		var err error
-		if len(l.pending) > 0 || l.w.Buffered() > 0 {
-			cbs, err = l.syncLocked()
+		if len(l.pending) == 0 && l.w.Buffered() == 0 {
+			l.mu.Unlock()
+			continue
 		}
+		cbs, f, gen, err := l.flushDetachLocked()
 		l.mu.Unlock()
-		runDurableCbs(cbs, err)
+		l.fsyncDetached(cbs, f, gen, err)
 	}
 }
 
@@ -394,9 +470,13 @@ func (l *wal) close() error {
 	var cbs []func(error)
 	if !l.crashed {
 		cbs, err = l.syncLocked()
+		l.syncMu.Lock()
 		if cerr := l.file.Close(); err == nil {
 			err = cerr
 		}
+		l.fileGen++
+		l.genErr = err
+		l.syncMu.Unlock()
 	}
 	l.mu.Unlock()
 	runDurableCbs(cbs, err)
@@ -419,7 +499,11 @@ func (l *wal) crash() {
 	l.crashed = true
 	cbs := l.pending
 	l.pending = nil
+	l.syncMu.Lock()
 	l.file.Close() // drop the bufio buffer on the floor
+	l.fileGen++
+	l.genErr = ErrClosed // un-fsynced flushed bytes are lost, like the buffer
+	l.syncMu.Unlock()
 	l.mu.Unlock()
 	for _, cb := range cbs {
 		cb(ErrClosed)

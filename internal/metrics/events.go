@@ -79,20 +79,49 @@ const (
 	// partition matrix; EventNetPartitionHeals counts links healed.
 	EventNetPartitionCuts  = "net_partition_cuts"
 	EventNetPartitionHeals = "net_partition_heals"
+	// EventReplWindowStalls counts writes pushed back pre-execution because
+	// the partition feed's unacked-LSN window was full (the replication
+	// pipeline is saturated; the router retries after a short backoff).
+	EventReplWindowStalls = "repl_ack_window_stalls"
+)
+
+// Canonical histogram names for the replication pipeline (see Observe).
+const (
+	// HistReplBatchRecords is records per shipped frame (1 for a bare
+	// record frame, >1 for a batch envelope).
+	HistReplBatchRecords = "repl_ship_batch_records"
+	// HistReplBatchBytes is wire bytes per shipped frame, envelope included.
+	HistReplBatchBytes = "repl_ship_batch_bytes"
+	// HistReplAckWindow is the feed's unacked-transaction window occupancy,
+	// sampled at each append.
+	HistReplAckWindow = "repl_ack_window_occupancy"
+	// HistReplStandbyFsyncBatch is records covered by one standby group
+	// fsync (the batch the tail accumulated between durable acks).
+	HistReplStandbyFsyncBatch = "repl_standby_fsync_batch"
+	// HistReplAckLatencyUS is microseconds from a record's append to its
+	// cumulative-ack completion (locally durable and replica-acked).
+	HistReplAckLatencyUS = "repl_ack_latency_us"
 )
 
 // Events is a registry of named monotonic counters for rare-path
 // accounting: load sheds, migration retries, injected faults. Counters are
 // created on first use; Add is lock-free after that, so counting an event
 // on a hot path costs one atomic increment plus a read-locked map lookup.
+// It doubles as the registry for named value histograms (Observe), so
+// distribution-shaped pipeline metrics — ship-batch sizes, ack-window
+// occupancy — ride the same plumbing as the counters.
 type Events struct {
 	mu       sync.RWMutex
 	counters map[string]*atomic.Int64
+	hists    map[string]*Hist
 }
 
 // NewEvents returns an empty event-counter registry.
 func NewEvents() *Events {
-	return &Events{counters: make(map[string]*atomic.Int64)}
+	return &Events{
+		counters: make(map[string]*atomic.Int64),
+		hists:    make(map[string]*Hist),
+	}
 }
 
 func (e *Events) counter(name string) *atomic.Int64 {
@@ -144,6 +173,54 @@ func (e *Events) Snapshot() map[string]int64 {
 	for name, c := range e.counters {
 		out[name] = c.Load()
 	}
+	return out
+}
+
+// Hist returns the named histogram, creating it on first use. Like
+// counters, lookups are read-locked and observation itself is lock-free,
+// so recording a sample on a hot path stays allocation-free.
+func (e *Events) Hist(name string) *Hist {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	h, ok := e.hists[name]
+	e.mu.RUnlock()
+	if ok {
+		return h
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.hists == nil {
+		e.hists = make(map[string]*Hist)
+	}
+	if h, ok = e.hists[name]; !ok {
+		h = NewHist()
+		e.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one sample into the named histogram.
+func (e *Events) Observe(name string, v int64) {
+	if e == nil {
+		return
+	}
+	e.Hist(name).Observe(v)
+}
+
+// HistNames returns the histogram names seen so far, sorted.
+func (e *Events) HistNames() []string {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.hists))
+	for name := range e.hists {
+		out = append(out, name)
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -3,6 +3,7 @@ package replication
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pstore/internal/durability"
 	"pstore/internal/metrics"
@@ -64,22 +65,69 @@ type Feed struct {
 	buf      [][]byte // encoded frames for LSNs [bufStart, bufStart+len)
 	bufStart uint64
 
-	subs    map[*Subscriber]struct{}
-	waiters []*waiter
-	snapFn  SnapshotFunc
+	subs   map[*Subscriber]struct{}
+	win    ackWindow // sliding window of unacked in-flight transactions
+	winErr bool      // a waiter failed locally out of prefix order (rare)
+	snapFn SnapshotFunc
 }
 
+// waiter is one in-flight transaction awaiting local durability plus the
+// cumulative replica ack. Stored by value inside the ack window's ring so
+// the steady-state append path allocates nothing per transaction.
 type waiter struct {
-	lsn       uint64
-	fn        func(uint64, error)
-	localDone bool
-	localErr  error
+	lsn   uint64
+	fn    func(uint64, error)
+	err   error     // local append failure, set on the (rare) error path
+	start time.Time // append time, for the cumulative-ack latency histogram
 }
 
 type completion struct {
-	fn  func(uint64, error)
-	lsn uint64
-	err error
+	fn    func(uint64, error)
+	lsn   uint64
+	err   error
+	start time.Time
+}
+
+// ackWindow is a FIFO ring of waiters in LSN order. Because acks are
+// cumulative and local durability advances as a watermark, completion is a
+// prefix pop — O(1) amortized per transaction — instead of the O(n) scan
+// per ack the waiter list used to cost, which is what lets thousands of
+// transactions ride the pipeline between ack round trips.
+type ackWindow struct {
+	buf  []waiter
+	head int
+	n    int
+}
+
+func (w *ackWindow) push(wt waiter) {
+	if w.n == len(w.buf) {
+		nb := make([]waiter, maxInt(16, 2*len(w.buf)))
+		for i := 0; i < w.n; i++ {
+			nb[i] = w.buf[(w.head+i)%len(w.buf)]
+		}
+		w.buf, w.head = nb, 0
+	}
+	w.buf[(w.head+w.n)%len(w.buf)] = wt
+	w.n++
+}
+
+func (w *ackWindow) front() *waiter { return &w.buf[w.head] }
+
+func (w *ackWindow) at(i int) *waiter { return &w.buf[(w.head+i)%len(w.buf)] }
+
+func (w *ackWindow) popFront() waiter {
+	wt := w.buf[w.head]
+	w.buf[w.head] = waiter{}
+	w.head = (w.head + 1) % len(w.buf)
+	w.n--
+	return wt
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // NewFeed creates a feed for the partition at the given epoch, continuing
@@ -175,10 +223,15 @@ func (f *Feed) Append(proc, key string, args map[string]string, onDurable func(u
 	lsn := f.lsn
 	// Encode immediately: args aliases a pooled map the engine reuses after
 	// the ack, so the feed must not retain it.
-	frame := appendRecord(nil, &Record{LSN: lsn, Epoch: f.epoch, Kind: RecTxn, Proc: proc, Key: key, Args: args})
+	frame := encodeFrame(&Record{LSN: lsn, Epoch: f.epoch, Kind: RecTxn, Proc: proc, Key: key, Args: args})
 	f.publishLocked(lsn, frame)
 	if onDurable != nil {
-		f.waiters = append(f.waiters, &waiter{lsn: lsn, fn: onDurable})
+		var start time.Time
+		if f.events != nil {
+			start = time.Now() //pstore:ignore seeddiscipline — ack-latency observability, not a decision path
+		}
+		f.win.push(waiter{lsn: lsn, fn: onDurable, start: start})
+		f.events.Observe(metrics.HistReplAckWindow, int64(f.win.n))
 	}
 	f.mu.Unlock()
 
@@ -205,7 +258,7 @@ func (f *Feed) LogPut(table, key string, cols map[string]string) error {
 	}
 	f.lsn++
 	lsn := f.lsn
-	frame := appendRecord(nil, &Record{LSN: lsn, Epoch: f.epoch, Kind: RecPut, Tab: table, Key: key, Args: cols})
+	frame := encodeFrame(&Record{LSN: lsn, Epoch: f.epoch, Kind: RecPut, Tab: table, Key: key, Args: cols})
 	f.publishLocked(lsn, frame)
 	f.mu.Unlock()
 	var err error
@@ -231,7 +284,7 @@ func (f *Feed) LogBucketIn(data *storage.BucketData) error {
 	}
 	f.lsn++
 	lsn := f.lsn
-	frame := appendRecord(nil, &Record{LSN: lsn, Epoch: f.epoch, Kind: RecBucketIn, Bucket: data.Bucket, Data: data})
+	frame := encodeFrame(&Record{LSN: lsn, Epoch: f.epoch, Kind: RecBucketIn, Bucket: data.Bucket, Data: data})
 	f.publishLocked(lsn, frame)
 	f.mu.Unlock()
 	var err error
@@ -256,7 +309,7 @@ func (f *Feed) LogBucketOut(bucket int) error {
 	}
 	f.lsn++
 	lsn := f.lsn
-	frame := appendRecord(nil, &Record{LSN: lsn, Epoch: f.epoch, Kind: RecBucketOut, Bucket: bucket})
+	frame := encodeFrame(&Record{LSN: lsn, Epoch: f.epoch, Kind: RecBucketOut, Bucket: bucket})
 	f.publishLocked(lsn, frame)
 	f.mu.Unlock()
 	var err error
@@ -331,6 +384,10 @@ func (f *Feed) Available() error {
 	if f.quorumLostLocked() {
 		return ErrQuorumLost
 	}
+	if f.opts.AckWindow > 0 && f.win.n >= f.opts.AckWindow {
+		f.events.Add(metrics.EventReplWindowStalls, 1)
+		return ErrWindowFull
+	}
 	return nil
 }
 
@@ -361,9 +418,18 @@ func (f *Feed) Armed() bool {
 // the retained window and is deposed — it will resync.
 func (f *Feed) publishLocked(lsn uint64, frame []byte) {
 	f.buf = append(f.buf, frame)
-	if len(f.buf) > f.opts.MaxBuffer {
+	if len(f.buf) >= 2*f.opts.MaxBuffer {
+		// Amortized trim: compacting on every append once the window is
+		// full costs an O(MaxBuffer) memmove per record (it was ~40% of
+		// k=1 CPU). Let the slice grow to 2× and cut back to MaxBuffer in
+		// one move, so each retained slot is copied at most once.
 		drop := len(f.buf) - f.opts.MaxBuffer
-		f.buf = append(f.buf[:0], f.buf[drop:]...)
+		n := copy(f.buf, f.buf[drop:])
+		tail := f.buf[n:]
+		for i := range tail {
+			tail[i] = nil // release dropped frames to the GC
+		}
+		f.buf = f.buf[:n]
 		f.bufStart += uint64(drop)
 	}
 	f.events.Add(metrics.EventReplRecords, 1)
@@ -379,17 +445,29 @@ func (f *Feed) publishLocked(lsn uint64, frame []byte) {
 
 // localDurable marks lsn locally durable and completes any waiters whose
 // replica acks are already in. Runs on the group-commit goroutine (or the
-// appender itself when there is no inner log).
+// appender itself when there is no inner log). Local durability advances
+// as a watermark — group commit delivers append callbacks in LSN order, so
+// the max observed success covers every waiter at or below it — which is
+// what makes completion a prefix pop instead of a per-LSN scan.
 func (f *Feed) localDurable(lsn uint64, err error) {
 	f.mu.Lock()
-	if err == nil && lsn > f.durable {
-		f.durable = lsn
-	}
-	for _, w := range f.waiters {
-		if w.lsn == lsn {
-			w.localDone = true
-			w.localErr = err
-			break
+	if err == nil {
+		if lsn > f.durable {
+			f.durable = lsn
+		}
+	} else {
+		// Rare path: a failed local append fails exactly its own waiter;
+		// the durable watermark does not move past it.
+		for i := 0; i < f.win.n; i++ {
+			w := f.win.at(i)
+			if w.lsn == lsn {
+				w.err = err
+				f.winErr = true
+				break
+			}
+			if w.lsn > lsn {
+				break
+			}
 		}
 	}
 	comps := f.completableLocked()
@@ -399,44 +477,77 @@ func (f *Feed) localDurable(lsn uint64, err error) {
 
 // completableLocked detaches every waiter that can complete now: locally
 // failed ones complete immediately with their error; locally durable ones
-// complete once every live subscriber has acked their LSN (trivially true
-// with no live subscribers).
+// complete once the cumulative subscriber ack covers their LSN (trivially
+// true with no live subscribers). Because acks are cumulative and local
+// durability is a watermark, completable waiters always form a prefix of
+// the window — the loop pops until the first waiter still in flight.
 func (f *Feed) completableLocked() []completion {
-	if len(f.waiters) == 0 {
+	if f.win.n == 0 {
 		return nil
 	}
+	cover := f.ackCoverLocked()
 	var out []completion
-	kept := f.waiters[:0]
-	for _, w := range f.waiters {
-		switch {
-		case w.localDone && w.localErr != nil:
-			out = append(out, completion{w.fn, w.lsn, w.localErr})
-		case w.localDone && f.ackedCoverLocked(w.lsn):
-			out = append(out, completion{w.fn, w.lsn, nil})
-		default:
-			kept = append(kept, w)
+	for f.win.n > 0 {
+		w := f.win.front()
+		if w.err != nil {
+			out = append(out, completion{w.fn, w.lsn, w.err, w.start})
+		} else if w.lsn <= f.durable && w.lsn <= cover {
+			out = append(out, completion{w.fn, w.lsn, nil, w.start})
+		} else {
+			break
+		}
+		f.win.popFront()
+	}
+	if f.winErr {
+		// Rare path: a locally failed waiter sits behind one still waiting
+		// for acks. It must not wait for coverage that may never come, so
+		// sweep it out of the middle of the window.
+		f.winErr = false
+		kept := 0
+		for i := 0; i < f.win.n; i++ {
+			w := *f.win.at(i)
+			if w.err != nil {
+				out = append(out, completion{w.fn, w.lsn, w.err, w.start})
+				continue
+			}
+			*f.win.at(kept) = w
+			kept++
+		}
+		for i := kept; i < f.win.n; i++ {
+			*f.win.at(i) = waiter{}
+		}
+		f.win.n = kept
+	}
+	if len(out) > 0 && f.events != nil {
+		now := time.Now() //pstore:ignore seeddiscipline — ack-latency observability, not a decision path
+		for i := range out {
+			if out[i].err == nil {
+				f.events.Observe(metrics.HistReplAckLatencyUS, now.Sub(out[i].start).Microseconds())
+			}
 		}
 	}
-	f.waiters = kept
 	return out
 }
 
-func (f *Feed) ackedCoverLocked(lsn uint64) bool {
-	// An armed feed below quorum must not complete writes on local
-	// durability alone: the waiter stalls until a subscriber re-acks past
-	// its LSN (quorum healed — the record is then replicated) or the feed
-	// is fenced by a failover (the waiter fails, and the state it mutated
-	// is discarded with the deposed primary). Either way no write is ever
-	// acked in a state that a promotion could lose.
+// ackCoverLocked returns the highest LSN the subscriber quorum covers: the
+// minimum live subscriber's cumulative ack, MaxUint64 with no live
+// subscribers (local durability alone completes), and 0 when an armed feed
+// is below its required quorum. In the quorum-lost case waiters stall
+// until a subscriber re-acks past their LSN (quorum healed — the record is
+// then replicated) or the feed is fenced by a failover (the waiter fails,
+// and the state it mutated is discarded with the deposed primary). Either
+// way no write is ever acked in a state that a promotion could lose.
+func (f *Feed) ackCoverLocked() uint64 {
 	if f.quorumLostLocked() {
-		return false
+		return 0
 	}
+	cover := ^uint64(0)
 	for s := range f.subs {
-		if s.live && s.acked < lsn {
-			return false
+		if s.live && s.acked < cover {
+			cover = s.acked
 		}
 	}
-	return true
+	return cover
 }
 
 func runCompletions(comps []completion) {
@@ -452,16 +563,24 @@ func runCompletions(comps []completion) {
 func (f *Feed) Fence() {
 	f.mu.Lock()
 	f.fenced = true
-	var comps []completion
-	for _, w := range f.waiters {
-		comps = append(comps, completion{w.fn, 0, ErrFenced})
-	}
-	f.waiters = nil
+	comps := f.drainWindowLocked(ErrFenced)
 	for s := range f.subs {
 		f.deposeLocked(s)
 	}
 	f.mu.Unlock()
 	runCompletions(comps)
+}
+
+// drainWindowLocked fails every in-flight waiter with err and empties the
+// window (feed fenced or closed — nothing pending may ever complete).
+func (f *Feed) drainWindowLocked(err error) []completion {
+	var comps []completion
+	for f.win.n > 0 {
+		w := f.win.popFront()
+		comps = append(comps, completion{w.fn, 0, err, w.start})
+	}
+	f.winErr = false
+	return comps
 }
 
 // Close shuts the feed down, failing in-flight waiters with ErrClosed and
@@ -473,11 +592,7 @@ func (f *Feed) Close() {
 		return
 	}
 	f.closed = true
-	var comps []completion
-	for _, w := range f.waiters {
-		comps = append(comps, completion{w.fn, 0, ErrClosed})
-	}
-	f.waiters = nil
+	comps := f.drainWindowLocked(ErrClosed)
 	for s := range f.subs {
 		f.deposeLocked(s)
 	}

@@ -308,20 +308,29 @@ func (h *Hub) writeSeeding(conn net.Conn, bw *bufio.Writer, att *Attachment) boo
 }
 
 // streamLive forwards the subscriber's live queue until the connection or
-// the subscription dies. Flushes at queue-drain boundaries so a burst of
-// records pays one syscall. An idle stream carries heartbeats: the tail
-// arms a read deadline on the live stream, so hub-side silence longer than
-// AckTimeout — a partitioned or dead primary — kills the session instead
-// of leaving a subscriber live at a stale ack watermark forever.
+// the subscription dies. Every record admitted to the queue while a send
+// was in flight is coalesced into one multi-record batch envelope — one
+// write, one standby fsync, one cumulative ack for the whole batch — capped
+// by MaxBatchRecords/MaxBatchBytes; a lone record ships as a bare frame, so
+// the idle-stream wire format is unchanged. Flushes at queue-drain
+// boundaries so a burst pays one syscall. An idle stream carries
+// heartbeats: the tail arms a read deadline on the live stream, so hub-side
+// silence longer than AckTimeout — a partitioned or dead primary — kills
+// the session instead of leaving a subscriber live at a stale ack
+// watermark forever.
 func (h *Hub) streamLive(conn net.Conn, bw *bufio.Writer, att *Attachment) {
 	frames := att.Sub.Frames()
 	gone := att.Sub.Gone()
 	beat := time.NewTicker(h.opts.AckTimeout / 3)
 	defer beat.Stop()
+	// Session-local gather and envelope buffers, reused across batches so
+	// the steady-state ship path allocates nothing per record.
+	batch := make([][]byte, 0, h.opts.MaxBatchRecords)
+	var env []byte
 	for {
-		var frame []byte
+		var first []byte
 		select {
-		case frame = <-frames:
+		case first = <-frames:
 		case <-beat.C:
 			armWriteDeadline(conn, h.opts.AckTimeout)
 			if _, err := bw.Write(encodeHeartbeat()); err != nil {
@@ -334,22 +343,48 @@ func (h *Hub) streamLive(conn net.Conn, bw *bufio.Writer, att *Attachment) {
 		case <-gone:
 			return
 		}
-		for {
+		for more := true; more; {
+			var nbytes int
+			batch, nbytes = gatherBatch(frames, batch[:0], first, h.opts.MaxBatchRecords, h.opts.MaxBatchBytes)
+			wire := batch[0]
+			if len(batch) > 1 {
+				env = appendBatchEnvelope(env[:0], batch, nbytes)
+				wire = env
+			}
 			armWriteDeadline(conn, h.opts.AckTimeout)
-			if _, err := bw.Write(frame); err != nil {
+			if _, err := bw.Write(wire); err != nil {
 				return
 			}
+			h.events.Observe(metrics.HistReplBatchRecords, int64(len(batch)))
+			h.events.Observe(metrics.HistReplBatchBytes, int64(len(wire)))
 			select {
-			case frame = <-frames:
-				continue
+			case first = <-frames:
 			default:
+				more = false
 			}
-			break
 		}
 		if bw.Flush() != nil {
 			return
 		}
 	}
+}
+
+// gatherBatch drains the subscriber queue without blocking, collecting
+// frames (starting with first, which is always taken) until the record or
+// byte cap. Returns the batch and its summed frame bytes.
+func gatherBatch(frames <-chan []byte, batch [][]byte, first []byte, maxRec, maxBytes int) ([][]byte, int) {
+	batch = append(batch, first)
+	nbytes := len(first)
+	for len(batch) < maxRec && nbytes < maxBytes {
+		select {
+		case f := <-frames:
+			batch = append(batch, f)
+			nbytes += len(f)
+		default:
+			return batch, nbytes
+		}
+	}
+	return batch, nbytes
 }
 
 func armWriteDeadline(conn net.Conn, d time.Duration) {

@@ -13,6 +13,7 @@ import (
 	"io"
 	"slices"
 	"sort"
+	"sync"
 
 	"pstore/internal/durability"
 	"pstore/internal/storage"
@@ -34,8 +35,9 @@ const (
 	msgHello     byte = 101 // hub → replica: epoch, startLSN, optional snapshot header
 	msgError     byte = 102 // hub → replica: refusal with reason
 	msgBucket    byte = 103 // hub → replica: one snapshot bucket
-	msgAck       byte = 104 // replica → hub: applied LSN
+	msgAck       byte = 104 // replica → hub: applied LSN (cumulative: highest contiguous)
 	msgHeartbeat byte = 105 // hub → replica: idle-stream liveness beacon
+	msgBatch     byte = 106 // hub → replica: multi-record envelope (count + record frames)
 )
 
 // Record is one shipped command-log entry. A replica applying records in
@@ -256,9 +258,8 @@ func (r *reader) done() error {
 	return nil
 }
 
-// appendRecord appends rec as one length-prefixed frame.
-func appendRecord(buf []byte, rec *Record) []byte {
-	payload := make([]byte, 0, 64)
+// appendRecordPayload appends rec's payload bytes (no length prefix).
+func appendRecordPayload(payload []byte, rec *Record) []byte {
 	payload = append(payload, rec.Kind)
 	payload = appendUvarint(payload, rec.LSN)
 	payload = appendUvarint(payload, rec.Epoch)
@@ -276,8 +277,97 @@ func appendRecord(buf []byte, rec *Record) []byte {
 	case RecBucketIn:
 		payload = appendBucketData(payload, rec.Data)
 	}
+	return payload
+}
+
+// appendRecord appends rec as one length-prefixed frame.
+func appendRecord(buf []byte, rec *Record) []byte {
+	payload := appendRecordPayload(make([]byte, 0, 64), rec)
 	buf = appendUvarint(buf, uint64(len(payload)))
 	return append(buf, payload...)
+}
+
+// encodePool recycles the scratch buffers encodeFrame stages payloads in.
+// Only the scratch is pooled — the returned frame must be a fresh
+// allocation, because the feed retains it in its catch-up buffer and every
+// subscriber queue holds a reference.
+var encodePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// encodeFrame encodes rec as one standalone length-prefixed frame in a
+// single right-sized allocation: the payload is staged in a pooled scratch
+// (its length determines the uvarint prefix), then copied once into the
+// frame the feed retains. This is the feed's per-append encoding path, so
+// it is held to the same allocation discipline as the request hot path.
+func encodeFrame(rec *Record) []byte {
+	sp := encodePool.Get().(*[]byte)
+	payload := appendRecordPayload((*sp)[:0], rec)
+	frame := make([]byte, 0, len(payload)+binary.MaxVarintLen32)
+	frame = appendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+	*sp = payload[:0]
+	encodePool.Put(sp)
+	return frame
+}
+
+// appendBatchEnvelope appends one length-prefixed msgBatch frame wrapping
+// the given record frames (each already length-prefixed): the multi-record
+// ship envelope. nbytes must be the summed length of the frames. The
+// caller hands the result to a single writer call, so a burst of records
+// costs one syscall, one standby fsync and one cumulative ack.
+//
+// Envelope payload layout: msgBatch, uvarint record count, then the record
+// frames verbatim — a decoder walks the inner length prefixes and must
+// consume the payload exactly (count and bytes both checked), so a torn or
+// padded envelope fails loudly like every other frame.
+func appendBatchEnvelope(buf []byte, frames [][]byte, nbytes int) []byte {
+	var cnt [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(cnt[:], uint64(len(frames)))
+	buf = appendUvarint(buf, uint64(1+n+nbytes))
+	buf = append(buf, msgBatch)
+	buf = append(buf, cnt[:n]...)
+	for _, f := range frames {
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+// splitBatch validates a msgBatch envelope header and returns the declared
+// record count plus the concatenated record frames.
+func splitBatch(payload []byte) (count uint64, frames []byte, err error) {
+	r := reader{data: payload}
+	kind, err := r.byte()
+	if err != nil {
+		return 0, nil, err
+	}
+	if kind != msgBatch {
+		return 0, nil, fmt.Errorf("replication: expected batch envelope, got message kind %d", kind)
+	}
+	if count, err = r.uvarint(); err != nil {
+		return 0, nil, err
+	}
+	if count == 0 {
+		return 0, nil, fmt.Errorf("replication: empty batch envelope")
+	}
+	if count > uint64(len(payload)) {
+		return 0, nil, errShipTruncated
+	}
+	return count, payload[r.pos:], nil
+}
+
+// nextBatchRecord slices one record payload off the envelope's remaining
+// frame bytes. A length prefix running past the envelope is a torn batch.
+func nextBatchRecord(frames []byte) (payload, rest []byte, err error) {
+	n, sz := binary.Uvarint(frames)
+	if sz <= 0 {
+		return nil, nil, errShipTruncated
+	}
+	if n > maxShipFrame {
+		return nil, nil, errShipTooLarge
+	}
+	if n > uint64(len(frames)-sz) {
+		return nil, nil, errShipTruncated
+	}
+	return frames[sz : sz+int(n)], frames[sz+int(n):], nil
 }
 
 // decodeRecord parses one record payload (frame length already stripped).

@@ -194,6 +194,19 @@ func (r *Replica) Seeded() bool {
 // InstallSnapshot replaces the replica's entire state with a consistent
 // cut — the full-resync seeding path.
 func (r *Replica) InstallSnapshot(snap *Snapshot) error {
+	// Drain pending durable callbacks before taking r.mu: Snapshot()
+	// below rotates the log, and rotation runs any detached callbacks on
+	// this goroutine — advanceDurable re-taking r.mu would self-deadlock.
+	// The tail's seeding goroutine is the only appender, so nothing can
+	// queue new callbacks between this flush and the install.
+	r.mu.Lock()
+	mgr := r.mgr
+	r.mu.Unlock()
+	if mgr != nil {
+		if err := mgr.Flush(); err != nil {
+			return err
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.serving {
@@ -397,6 +410,30 @@ func (r *Replica) Sync() error {
 	return nil
 }
 
+// SyncAsync requests a log flush covering everything applied so far and
+// invokes cb when it lands, advancing the durable (ackable) horizon first.
+// The tail uses it to pipeline standby group commits: batch N+1 applies
+// while batch N's fsync is in flight, and the ack rides the flush callback
+// (which runs on the WAL's group-commit goroutine). For an in-memory
+// replica cb runs synchronously on the caller.
+func (r *Replica) SyncAsync(cb func(error)) {
+	r.mu.Lock()
+	mgr, applied := r.mgr, r.applied
+	r.mu.Unlock()
+	if mgr == nil {
+		cb(nil)
+		return
+	}
+	// Everything applied was also appended to the log (LogRecord runs on
+	// the same goroutine as Apply), so the flush covers `applied`.
+	mgr.FlushAsync(func(err error) {
+		if err == nil {
+			r.advanceDurable(applied)
+		}
+		cb(err)
+	})
+}
+
 // WaitApplied blocks until the replica's applied LSN reaches min, the
 // timeout passes (ErrStaleRead) or the replica stops serving.
 func (r *Replica) WaitApplied(min uint64, timeout time.Duration) error {
@@ -473,13 +510,17 @@ func (r *Replica) Promote() (*storage.Partition, uint64, uint64, *durability.Man
 // fsynced state stays on disk for a future respawn to recover.
 func (r *Replica) Kill() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.serving = false
-	if r.mgr != nil {
-		r.mgr.Crash()
-		r.mgr = nil
-	}
+	mgr := r.mgr
+	r.mgr = nil
 	r.wakeLocked()
+	r.mu.Unlock()
+	// Crash waits for the WAL committer to drain, and the committer's
+	// durable callbacks take r.mu (advanceDurable) — the wait must happen
+	// outside the lock or the two deadlock.
+	if mgr != nil {
+		mgr.Crash()
+	}
 }
 
 // Inspect runs fn with exclusive access to the replica's partition —

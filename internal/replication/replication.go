@@ -62,6 +62,13 @@ var (
 	// ErrReplicaGone marks reads routed to a replica that was killed or
 	// promoted out of standby duty.
 	ErrReplicaGone = errors.New("replication: replica not serving")
+	// ErrWindowFull marks writes pushed back pre-execution because the
+	// feed's sliding window of unacked transactions is full — the
+	// replication pipeline is saturated end to end (ship, standby fsync,
+	// ack) and admitting more would only grow an unbounded in-flight set.
+	// Retryable: the window drains as cumulative acks advance, so the
+	// router's bounded retry loop absorbs the stall.
+	ErrWindowFull = errors.New("replication: ack window full")
 	// errStaleEpoch is the hub's rejection of a subscriber that has seen a
 	// newer epoch than the feed — the feed belongs to a deposed primary.
 	errStaleEpoch = errors.New("replication: subscriber epoch newer than feed")
@@ -108,6 +115,23 @@ type Options struct {
 	// feed degrades to local durability alone, availability over
 	// redundancy. Zero disables self-fencing.
 	RequiredSubscribers int
+	// MaxBatchRecords caps the records coalesced into one multi-record
+	// ship frame: everything admitted to a subscriber's queue during an
+	// in-flight send is shipped as a single batch envelope (one write
+	// syscall, one standby fsync, one cumulative ack), up to this many
+	// records. Default 128.
+	MaxBatchRecords int
+	// MaxBatchBytes caps a batch envelope's payload bytes, so one oversized
+	// record burst cannot stall the ack pipeline behind a megabyte frame.
+	// Default 64 KiB — sized to the ship stream's write buffer, keeping
+	// one batch ≈ one syscall.
+	MaxBatchBytes int
+	// AckWindow bounds the feed's sliding window of unacked transactions
+	// (appended, not yet both locally durable and replica-acked). When the
+	// window is full, Available reports ErrWindowFull and the router
+	// backpressures writes pre-execution rather than growing an unbounded
+	// in-flight set. Default 4096.
+	AckWindow int
 }
 
 // Normalized fills defaults.
@@ -135,6 +159,15 @@ func (o Options) Normalized() Options {
 	}
 	if o.ProbeStrikes <= 0 {
 		o.ProbeStrikes = 3
+	}
+	if o.MaxBatchRecords <= 0 {
+		o.MaxBatchRecords = 128
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 64 << 10
+	}
+	if o.AckWindow <= 0 {
+		o.AckWindow = 4096
 	}
 	return o
 }

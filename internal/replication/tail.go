@@ -176,6 +176,26 @@ func (t *Tail) session() error {
 	// idle.
 	t.startKeepalive(sessionDone, sendFrame)
 
+	// Group fsync + pipelined ack: at each drained read buffer the replica
+	// flushes its command log ONCE for every record applied since the last
+	// drain and acks when the flush lands — a durable replica's ack is a
+	// durability promise. The flush is asynchronous (requestSync on the
+	// standby WAL), so the session keeps applying batch N+1 while batch N's
+	// fsync is in flight; the callback runs on the WAL's group-commit
+	// goroutine and acks are serialized by sendFrame's lock, duplicates and
+	// reorders absorbed by the cumulative Ack on the feed side. A failed
+	// flush severs the connection — the reconnect resyncs from the durable
+	// horizon, never acking bytes that were not fsynced.
+	var sinceSync int64
+	ackDurable := func(err error) {
+		if err != nil {
+			conn.Close()
+			return
+		}
+		if sendFrame(encodeAck(t.rep.AckLSN())) != nil {
+			conn.Close()
+		}
+	}
 	for {
 		// The hub heartbeats idle streams at AckTimeout/3, so a read
 		// deadline on the live stream is a liveness check: silence means
@@ -190,44 +210,68 @@ func (t *Tail) session() error {
 		if isHeartbeat(payload) {
 			continue
 		}
-		if len(payload) > 0 && payload[0] >= msgSubscribe {
+		switch {
+		case len(payload) > 0 && payload[0] == msgBatch:
+			count, rest, err := splitBatch(payload)
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < count; i++ {
+				var rp []byte
+				rp, rest, err = nextBatchRecord(rest)
+				if err != nil {
+					return err
+				}
+				if err := t.applyOne(rp); err != nil {
+					return err
+				}
+			}
+			if len(rest) != 0 {
+				return errShipTrailing
+			}
+			sinceSync += int64(count)
+		case len(payload) > 0 && payload[0] >= msgSubscribe:
 			if payload[0] == msgError {
 				r := reader{data: payload[1:]}
 				msg, _ := r.string()
 				return fmt.Errorf("replication: hub severed stream: %s", msg)
 			}
 			return fmt.Errorf("replication: unexpected message kind %d mid-stream", payload[0])
-		}
-		rec, err := decodeRecord(payload)
-		if err != nil {
-			return err
-		}
-		applied := t.rep.Applied()
-		if err := t.rep.Apply(rec); err != nil {
-			if errors.Is(err, ErrReplicaGone) {
-				return errTailRetired
-			}
-			return err
-		}
-		if rec.LSN > applied {
-			// Freshly applied (not a duplicate-skip): append to the
-			// replica's own command log so a respawn replays locally.
-			if err := t.rep.LogRecord(rec); err != nil {
+		default:
+			if err := t.applyOne(payload); err != nil {
 				return err
 			}
+			sinceSync++
 		}
-		// Ack at batch boundaries: one ack per drained read buffer keeps
-		// the ack rate proportional to bursts, not records. A durable
-		// replica flushes its log first — its ack is a durability promise.
 		if br.Buffered() == 0 {
-			if err := t.rep.Sync(); err != nil {
-				return err
-			}
-			if err := sendFrame(encodeAck(t.rep.AckLSN())); err != nil {
-				return err
-			}
+			t.events.Observe(metrics.HistReplStandbyFsyncBatch, sinceSync)
+			sinceSync = 0
+			t.rep.SyncAsync(ackDurable)
 		}
 	}
+}
+
+// applyOne decodes one record payload, applies it through the replica and
+// appends it to the replica's own command log when freshly applied (not a
+// duplicate-skip), so a respawn replays locally.
+func (t *Tail) applyOne(payload []byte) error {
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	applied := t.rep.Applied()
+	if err := t.rep.Apply(rec); err != nil {
+		if errors.Is(err, ErrReplicaGone) {
+			return errTailRetired
+		}
+		return err
+	}
+	if rec.LSN > applied {
+		if err := t.rep.LogRecord(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (t *Tail) startKeepalive(sessionDone chan struct{}, sendFrame func([]byte) error) {

@@ -64,6 +64,12 @@ func BenchmarkReplicatedCall(b *testing.B) {
 				dir = b.TempDir()
 			}
 			cl, _ := startReplBenchServer(b, v.k, dir)
+			// Pin the multiplexing degree as BenchmarkServerCall does: on a
+			// 1-CPU host the default is a single serial caller, which pays
+			// every group-commit interval and ack round trip at full price
+			// instead of amortizing them across in-flight transactions —
+			// the exact thing the batched replication pipeline exists for.
+			b.SetParallelism(benchClients)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0
@@ -94,6 +100,9 @@ func BenchmarkReplicaRead(b *testing.B) {
 	if err := quiesce(); err != nil {
 		b.Fatal(err)
 	}
+	// Same multiplexing degree as the write-path benchmarks (see
+	// BenchmarkReplicatedCall) so reads pipeline over the connection.
+	b.SetParallelism(benchClients)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0

@@ -94,11 +94,41 @@ bench_to_json < "$TMP" > BENCH_chaos.json
 # (k=0 vs k=1 — the k=1 run ships every command to a synchronous standby and
 # waits for its ack); BenchmarkReplicaRead is session-consistent read
 # throughput served from standbys. Acceptance: k=1 write overhead stays
-# small relative to the k=0 protocol round trip.
+# small relative to the k=0 protocol round trip. The checked-in k=1 and
+# k=1/durable numbers are baselines for a regression gate below, mirroring
+# the BenchmarkServerCall gate: the batched replication pipeline must not
+# quietly lose its amortization.
+OLD_K1_NS=""
+OLD_K1D_NS=""
+if [ -f BENCH_replication.json ]; then
+  OLD_K1_NS="$(sed -n 's/.*"name": "BenchmarkReplicatedCall\/k=1[-0-9]*".*"ns_per_op": \([0-9.]*\).*/\1/p' BENCH_replication.json | head -1)"
+  OLD_K1D_NS="$(sed -n 's/.*"name": "BenchmarkReplicatedCall\/k=1\/durable[-0-9]*".*"ns_per_op": \([0-9.]*\).*/\1/p' BENCH_replication.json | head -1)"
+fi
+
 go test ./internal/server/ \
   -run 'xxx' -bench 'BenchmarkReplicatedCall|BenchmarkReplicaRead' \
   -benchmem -benchtime "$BENCHTIME" -count 1 | tee "$TMP"
 bench_to_json < "$TMP" > BENCH_replication.json
+
+if [ -n "$OLD_K1_NS" ] || [ -n "$OLD_K1D_NS" ]; then
+  go test ./internal/server/ -run 'xxx' -bench 'BenchmarkReplicatedCall/k=1' \
+    -benchtime 5000x -count 1 | tee "$TMP"
+  NEW_K1_NS="$(awk '$1 ~ /^BenchmarkReplicatedCall\/k=1(-[0-9]+)?$/ { print $3; exit }' "$TMP")"
+  NEW_K1D_NS="$(awk '$1 ~ /^BenchmarkReplicatedCall\/k=1\/durable(-[0-9]+)?$/ { print $3; exit }' "$TMP")"
+  gate_repl() {
+    local label="$1" old="$2" new="$3"
+    [ -n "$old" ] && [ -n "$new" ] || return 0
+    awk -v old="$old" -v new="$new" -v label="$label" 'BEGIN {
+      if (old + 0 > 0 && new + 0 > old * 1.25) {
+        printf "bench gate: %s regressed: %s ns/op vs recorded %s ns/op (limit +25%%)\n", label, new, old
+        exit 1
+      }
+      printf "bench gate: %s %s ns/op vs recorded %s ns/op (limit +25%%): ok\n", label, new, old
+    }'
+  }
+  gate_repl "BenchmarkReplicatedCall/k=1" "$OLD_K1_NS" "$NEW_K1_NS"
+  gate_repl "BenchmarkReplicatedCall/k=1/durable" "$OLD_K1D_NS" "$NEW_K1D_NS"
+fi
 
 # Live-migration stall: p99 foreground latency while a hot bucket moves,
 # legacy stop-and-copy vs the pre-copy/delta-drain default. Acceptance:
