@@ -5,6 +5,12 @@
 //
 //	go run ./cmd/pstore-vet ./...
 //	go run ./cmd/pstore-vet -checks execblock,determinism ./internal/...
+//	go run ./cmd/pstore-vet -stale -json ./...
+//
+// -stale additionally flags //pstore:ignore comments that suppress nothing
+// (dead suppressions rot into lies about which invariants are waived);
+// -json emits one JSON object per finding — including suppressed ones,
+// marked — for CI annotation tooling.
 //
 // The tool is stdlib-only: packages are parsed and type-checked from source
 // (go/types with the source importer), so it needs no network, no GOPATH
@@ -12,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +27,23 @@ import (
 	"pstore/internal/analysis"
 )
 
+// jsonFinding is the -json wire shape: one object per line.
+type jsonFinding struct {
+	Check      string `json:"check"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	staleFlag := flag.Bool("stale", false, "also flag //pstore:ignore comments that suppress nothing (requires the full suite)")
+	jsonFlag := flag.Bool("json", false, "emit one JSON object per finding (including suppressed ones) instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pstore-vet [-checks name,...] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: pstore-vet [-checks name,...] [-stale] [-json] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the P-Store invariant analyzers. Packages default to ./...\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
@@ -42,6 +61,13 @@ func main() {
 	}
 
 	analyzers := analysis.Analyzers()
+	if *staleFlag && *checksFlag != "" {
+		// Stale detection compares suppressions against the full suite's
+		// findings; a partial run would flag suppressions for every check
+		// that did not get to report.
+		fmt.Fprintln(os.Stderr, "pstore-vet: -stale cannot be combined with -checks (it needs the full suite's findings)")
+		os.Exit(2)
+	}
 	if *checksFlag != "" {
 		analyzers = analyzers[:0:0]
 		for _, name := range strings.Split(*checksFlag, ",") {
@@ -84,12 +110,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.RunAll(analyzers, pkgs)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	findings := analysis.Collect(analyzers, pkgs)
+	var gate []analysis.Diagnostic
+	for _, f := range findings {
+		if !f.Suppressed {
+			gate = append(gate, f.Diagnostic)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pstore-vet: %d finding(s)\n", len(diags))
+	if *staleFlag {
+		gate = append(gate, analysis.Stale(analysis.CollectSuppressions(pkgs), findings)...)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		emit := func(d analysis.Diagnostic, suppressed bool) {
+			enc.Encode(jsonFinding{
+				Check: d.Check, File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Message: d.Message, Suppressed: suppressed,
+			})
+		}
+		for _, d := range gate {
+			emit(d, false)
+		}
+		for _, f := range findings {
+			if f.Suppressed {
+				emit(f.Diagnostic, true)
+			}
+		}
+	} else {
+		for _, d := range gate {
+			fmt.Println(d.String())
+		}
+	}
+	if len(gate) > 0 {
+		fmt.Fprintf(os.Stderr, "pstore-vet: %d finding(s)\n", len(gate))
 		os.Exit(1)
 	}
 }

@@ -1,12 +1,13 @@
 // Package analysis is pstore-vet's engine: a stdlib-only static-analysis
 // driver (go/ast + go/parser + go/types with the source importer — no
 // external dependencies, so it runs in the same offline sandbox as the rest
-// of the module) plus the six P-Store-specific invariant checks:
+// of the module) plus the seven P-Store-specific invariant checks:
 //
 //	execblock      executor loops and stored procedures never block
 //	determinism    byte-deterministic encoders never range over maps unsorted
 //	seeddiscipline chaos-replayed packages draw time/randomness from seeds
 //	lockdiscipline no channel ops or executor submissions under a mutex
+//	lockorder      no cycle in the whole-program lock-order/waits-for graph
 //	poolhygiene    pooled values are never used after their Put/Release
 //	tupleescape    zero-copy tuple views never outlive their transaction
 //
@@ -99,6 +100,7 @@ const (
 	determinismName    = "determinism"
 	seeddisciplineName = "seeddiscipline"
 	lockdisciplineName = "lockdiscipline"
+	lockorderName      = "lockorder"
 	poolhygieneName    = "poolhygiene"
 	tupleescapeName    = "tupleescape"
 )
@@ -124,6 +126,7 @@ func Analyzers() []*Analyzer {
 		Determinism,
 		SeedDiscipline,
 		LockDiscipline,
+		LockOrder,
 		PoolHygiene,
 		TupleEscape,
 	}
@@ -201,43 +204,112 @@ func (s Suppressions) Suppressed(d Diagnostic) bool {
 	return false
 }
 
-// RunAll runs every applicable analyzer over the packages, drops suppressed
-// findings, dedupes (cross-package reachability can reach one site from two
-// roots) and returns the rest sorted by position.
-func RunAll(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+// Finding is one diagnostic plus its suppression verdict. Suppressed
+// findings are kept (not dropped) so -json can surface them and -stale can
+// tell a working suppression from a dead one.
+type Finding struct {
+	Diagnostic
+	Suppressed bool
+}
+
+// Collect runs every applicable analyzer over the packages, marks
+// suppressed findings, dedupes (cross-package reachability can reach one
+// site from two roots) and returns everything sorted by position.
+func Collect(analyzers []*Analyzer, pkgs []*Package) []Finding {
 	sup := CollectSuppressions(pkgs)
 	seen := make(map[string]bool)
-	var out []Diagnostic
+	var out []Finding
 	for _, a := range analyzers {
 		for _, p := range pkgs {
 			if a.Applies != nil && !a.Applies(p) {
 				continue
 			}
 			for _, d := range a.Run(p, pkgs) {
-				if sup.Suppressed(d) {
-					continue
-				}
 				key := d.String()
 				if seen[key] {
 					continue
 				}
 				seen[key] = true
-				out = append(out, d)
+				out = append(out, Finding{Diagnostic: d, Suppressed: sup.Suppressed(d)})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Check < b.Check
-	})
+	sort.Slice(out, func(i, j int) bool { return posLess(out[i].Diagnostic, out[j].Diagnostic) })
 	return out
+}
+
+// RunAll runs the analyzers and returns only the unsuppressed diagnostics —
+// the tool's gate verdict.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range Collect(analyzers, pkgs) {
+		if !f.Suppressed {
+			out = append(out, f.Diagnostic)
+		}
+	}
+	return out
+}
+
+// Stale reports //pstore:ignore comments that suppress nothing: each check
+// name a comment lists must match at least one finding on the comment's
+// line or the line below ("all" counts as used when any finding there is
+// suppressed; an unrecognized check name is always stale). Only meaningful
+// when findings come from the full analyzer suite — a partial run would
+// flag every suppression for the checks that did not run.
+func Stale(sup Suppressions, findings []Finding) []Diagnostic {
+	type lineKey struct {
+		file string
+		line int
+	}
+	hits := make(map[lineKey]map[string]bool)
+	for _, f := range findings {
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		if hits[k] == nil {
+			hits[k] = make(map[string]bool)
+		}
+		hits[k][f.Check] = true
+	}
+	var out []Diagnostic
+	for file, byLine := range sup {
+		for line, checks := range byLine {
+			// A comment on line L covers findings on L and L+1 (the
+			// line-above form), mirroring Suppressed.
+			covered := make(map[string]bool)
+			for c := range hits[lineKey{file, line}] {
+				covered[c] = true
+			}
+			for c := range hits[lineKey{file, line + 1}] {
+				covered[c] = true
+			}
+			for c := range checks {
+				used := covered[c]
+				if c == "all" {
+					used = len(covered) > 0
+				}
+				if !used {
+					out = append(out, Diagnostic{
+						Pos:     token.Position{Filename: file, Line: line, Column: 1},
+						Check:   "stale",
+						Message: fmt.Sprintf("//pstore:ignore %s suppresses nothing here — delete it or fix the check name", c),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return posLess(out[i], out[j]) })
+	return out
+}
+
+// posLess orders diagnostics by file, line, column, then check name.
+func posLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Check < b.Check
 }

@@ -27,6 +27,14 @@ import (
 //     module type, and Do/Stop on the engine executor
 //
 // goroutines launched under the lock are skipped — they run without it.
+//
+// Division of labor with lockorder: this check is deliberately lexical and
+// intra-procedural — it flags the blocking operation it can see in the
+// same function body, with no call graph and no false-negative anxiety.
+// lockorder owns everything that crosses a call boundary (a callee that
+// blocks or re-acquires, callbacks registered on another subsystem, joins
+// on goroutines that need the held lock) and skips the sites this check
+// already reports, so one hazard never yields two findings.
 var LockDiscipline = &Analyzer{
 	Name: lockdisciplineName,
 	Doc:  "no blocking channel ops, sleeps, executor submissions, or RPCs while a mutex is held",

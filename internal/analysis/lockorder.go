@@ -1,0 +1,1000 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural deadlock check: it builds a whole-program
+// call graph (direct calls, method calls resolved through the static type,
+// and function values registered as callbacks — a literal passed to
+// Manager.FlushAsync or a WAL append gets a call edge from whatever context
+// later invokes callbacks of that signature in the callee's package),
+// propagates per-function lock-sets (which mutexes, identified by receiver
+// field path like (*Replica).mu, a call may acquire), and adds waits-for
+// edges for blocking joins: a call that transitively parks on a bare channel
+// op or WaitGroup.Wait waits on the goroutines spawned by that package, and
+// whatever those goroutines may lock is reachable from the wait. A cycle in
+// the combined lock-order + waits-for graph is a potential deadlock and is
+// reported with the full witness path (acquire chain, file:line per hop).
+//
+// This is the check that would have caught PR 9's two pipelined-callback
+// deadlocks: Replica.Kill holding r.mu across Manager.Crash (which waits out
+// the WAL committer, whose durable callbacks take r.mu), and InstallSnapshot
+// holding r.mu across log rotation (which runs those callbacks on the caller
+// itself — a same-goroutine re-entrant acquisition).
+//
+// Division of labor with lockdiscipline: sites that check already flags
+// lexically (a direct channel op, time.Sleep, Submit/Call, or an engine
+// executor Do/Stop in the very function holding the lock) are skipped here,
+// so one hazard never double-reports. lockorder speaks up only where
+// lockdiscipline is blind — the blocking or re-acquisition happens in a
+// callee, possibly through a registered callback on another goroutine.
+//
+// Lock identity is static (one ID per declared mutex field or package-level
+// var), so two instances of the same type share an ID: a finding means "this
+// shape can deadlock if the instances alias or the goroutines rendezvous",
+// and provably-disjoint instances are suppressed with //pstore:ignore
+// lockorder and a written rationale.
+var LockOrder = &Analyzer{
+	Name: lockorderName,
+	Doc:  "no cycles in the whole-program lock-order + waits-for graph (interprocedural deadlock detection)",
+	Applies: func(p *Package) bool {
+		return true // self-scopes: only functions holding a mutex across calls are examined
+	},
+	Run: runLockOrder,
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program graph
+// ---------------------------------------------------------------------------
+
+// fnode is one call-graph node: a declared function/method or a function
+// literal.
+type fnode struct {
+	name string // display name: "(*Replica).Kill" or "func literal (replica.go:341)"
+	pkg  *Package
+	body *ast.BlockStmt
+
+	acquires []acqSite   // direct mutex acquisitions
+	calls    []callEdge  // synchronous call edges (direct, deferred, inline literal, registered callback)
+	blocks   []blockSite // direct blocking primitives (bare chan op, WaitGroup/Cond Wait)
+	dyn      []dynSite   // calls of function-typed values, resolved against the callback registry
+
+	// localFns maps local variables to the function literal assigned to them
+	// (cb := func(...){...}), so a callback that passes through a local on
+	// its way to a registration site is still tracked.
+	localFns map[types.Object]*ast.FuncLit
+
+	// memoized closures
+	mayAcquire map[string][]hop // lock ID → one witness call chain ending in the acquisition
+	mayBlock   map[string]blockWitness
+	inProgress bool
+}
+
+// dynSite is a call through a function value: the callee is unknown
+// statically and is matched against registered callbacks by signature.
+type dynSite struct {
+	sig *types.Signature
+	pos token.Pos
+}
+
+type acqSite struct {
+	lock string
+	pos  token.Pos
+}
+
+type callEdge struct {
+	to   *fnode
+	pos  token.Pos
+	desc string // "" for a plain call, "registered callback" for async-registration edges
+}
+
+type blockSite struct {
+	pos  token.Pos
+	desc string // "<-ch receive", "ch <- send", "WaitGroup.Wait"
+}
+
+// hop is one step of a witness path.
+type hop struct {
+	what string
+	pos  token.Position
+}
+
+func (h hop) String() string { return fmt.Sprintf("%s at %s:%d", h.what, posBase(h.pos), h.pos.Line) }
+
+func posBase(p token.Position) string {
+	if i := strings.LastIndexByte(p.Filename, '/'); i >= 0 {
+		return p.Filename[i+1:]
+	}
+	return p.Filename
+}
+
+func renderPath(path []hop) string {
+	parts := make([]string, len(path))
+	for i, h := range path {
+		parts[i] = h.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// blockWitness records that a function can synchronously reach a blocking
+// primitive living in package pkgPath.
+type blockWitness struct {
+	pkgPath string
+	path    []hop
+}
+
+// lockGraph is the whole-program view, built once per loaded package set.
+type lockGraph struct {
+	fset     *token.FileSet
+	decls    map[*types.Func]*fnode
+	lits     map[*ast.FuncLit]*fnode
+	spawns   map[string][]spawnSite // package path → goroutine roots spawned by that package
+	registry map[string][]*fnode    // package path → callbacks registered into it (with signatures)
+	regSigs  map[*fnode]*types.Signature
+}
+
+type spawnSite struct {
+	root *fnode
+	pos  token.Pos
+}
+
+// lockGraphMemo caches the graph across the driver's per-package Run calls.
+// The driver is single-threaded and passes the same slice for a whole run.
+var lockGraphMemo struct {
+	key []*Package
+	g   *lockGraph
+}
+
+func lockGraphFor(all []*Package) *lockGraph {
+	if lockGraphMemo.g != nil && len(lockGraphMemo.key) == len(all) &&
+		(len(all) == 0 || lockGraphMemo.key[0] == all[0]) {
+		return lockGraphMemo.g
+	}
+	g := buildLockGraph(all)
+	lockGraphMemo.key = all
+	lockGraphMemo.g = g
+	return g
+}
+
+func buildLockGraph(all []*Package) *lockGraph {
+	g := &lockGraph{
+		decls:    make(map[*types.Func]*fnode),
+		lits:     make(map[*ast.FuncLit]*fnode),
+		spawns:   make(map[string][]spawnSite),
+		registry: make(map[string][]*fnode),
+		regSigs:  make(map[*fnode]*types.Signature),
+	}
+	if len(all) > 0 {
+		g.fset = all[0].Fset
+	}
+	// Pass 1: create nodes for every declared function and every literal.
+	for _, p := range all {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				n := &fnode{name: funcDisplayName(p, fd), pkg: p, body: fd.Body}
+				if obj != nil {
+					g.decls[obj] = n
+				}
+				g.collectLiterals(p, fd.Body)
+			}
+		}
+	}
+	// Pass 2: populate edges, acquisitions, spawns, registrations, blocks.
+	for _, p := range all {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, _ := p.Info.Defs[fd.Name].(*types.Func); obj != nil {
+					g.populate(g.decls[obj], p, fd.Body)
+				}
+			}
+		}
+	}
+	// Pass 3: resolve dynamic calls of function-typed values to the callbacks
+	// registered into the calling package with an identical signature.
+	g.resolveDynamicCalls(all)
+	return g
+}
+
+// collectLiterals creates a node per function literal under root (including
+// nested ones).
+func (g *lockGraph) collectLiterals(p *Package, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			pos := p.Fset.Position(lit.Pos())
+			g.lits[lit] = &fnode{
+				name: fmt.Sprintf("func literal (%s:%d)", posBase(pos), pos.Line),
+				pkg:  p,
+				body: lit.Body,
+			}
+		}
+		return true
+	})
+}
+
+// nodeForExpr resolves a function-valued expression to its graph node: a
+// literal, a declared function, a method value, or a local variable a
+// literal was assigned to inside the enclosing function (from's localFns).
+func (g *lockGraph) nodeForExpr(p *Package, from *fnode, e ast.Expr) *fnode {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return g.lits[x]
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[x].(*types.Func); ok {
+			return g.decls[f]
+		}
+		if from != nil && from.localFns != nil {
+			if obj, ok := p.Info.Uses[x]; ok {
+				if lit, ok := from.localFns[obj]; ok {
+					return g.lits[lit]
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[x.Sel].(*types.Func); ok {
+			return g.decls[f]
+		}
+	}
+	return nil
+}
+
+// populate walks one function body (not descending into literals, which are
+// their own nodes and get populated recursively).
+func (g *lockGraph) populate(n *fnode, p *Package, body *ast.BlockStmt) {
+	if n == nil {
+		return
+	}
+	// First pass: record local `cb := func(...){...}` assignments so a
+	// callback passing through a local still resolves at its use site.
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj != nil {
+				if n.localFns == nil {
+					n.localFns = make(map[types.Object]*ast.FuncLit)
+				}
+				n.localFns[obj] = lit
+			}
+		}
+		return true
+	})
+	var walk func(node ast.Node)
+	walk = func(root ast.Node) {
+		walkStack(root, func(node ast.Node, stack []ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.FuncLit:
+				if ln := g.lits[x]; ln != nil {
+					ln.localFns = n.localFns // literals see the enclosing function's locals
+					g.populate(ln, p, x.Body)
+				}
+				return false // literal bodies are separate nodes
+			case *ast.GoStmt:
+				// The spawned function is a goroutine root of this package,
+				// not a synchronous callee. Its arguments still evaluate here.
+				if root := g.nodeForExpr(p, n, x.Call.Fun); root != nil {
+					g.spawns[p.Path] = append(g.spawns[p.Path], spawnSite{root: root, pos: x.Pos()})
+				}
+				for _, a := range x.Call.Args {
+					walk(a)
+					g.registerCallbackArg(p, n, nil, a)
+				}
+				return false
+			case *ast.CallExpr:
+				g.addCall(n, p, x)
+				return true
+			case *ast.SendStmt:
+				if op, ok := blockingChanOp(p.Info, node, stack); ok {
+					n.blocks = append(n.blocks, blockSite{pos: op.pos, desc: "blocking channel send"})
+				}
+				return true
+			case *ast.UnaryExpr:
+				if op, ok := blockingChanOp(p.Info, node, stack); ok {
+					n.blocks = append(n.blocks, blockSite{pos: op.pos, desc: "blocking channel receive"})
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// addCall records one call expression inside n: a lock acquisition, a
+// blocking sync primitive, a static call edge, and any function-valued
+// arguments as callback registrations.
+func (g *lockGraph) addCall(n *fnode, p *Package, call *ast.CallExpr) {
+	if recv, acq, _ := mutexLockKind(p, call); acq {
+		if id, ok := resolveLockExpr(p, recv); ok {
+			n.acquires = append(n.acquires, acqSite{lock: id, pos: call.Pos()})
+		}
+		return
+	}
+	callee := calleeFunc(p.Info, call)
+	if callee != nil {
+		if pkg, typ, ok := namedReceiver(callee); ok && pkg == "sync" &&
+			(typ == "WaitGroup" || typ == "Cond") && callee.Name() == "Wait" {
+			n.blocks = append(n.blocks, blockSite{pos: call.Pos(), desc: typ + ".Wait"})
+			return
+		}
+	}
+	var target *fnode
+	if callee != nil {
+		target = g.decls[callee]
+	} else if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		target = g.lits[lit]
+	} else {
+		// Dynamic call of a function value: resolved in pass 3 against the
+		// callbacks registered into this package.
+		if sig := funcSigOf(p, call.Fun); sig != nil {
+			n.dyn = append(n.dyn, dynSite{sig: sig, pos: call.Pos()})
+		}
+	}
+	if target != nil {
+		n.calls = append(n.calls, callEdge{to: target, pos: call.Pos()})
+	}
+	for _, a := range call.Args {
+		g.registerCallbackArg(p, n, callee, a)
+		if cbn := g.nodeForExpr(p, n, a); cbn != nil && target != nil {
+			// The callee may invoke its callback synchronously (error paths,
+			// in-memory fast paths) — a call edge, labeled so witnesses read
+			// as what they are.
+			target.calls = append(target.calls, callEdge{to: cbn, pos: a.Pos(), desc: "registered callback"})
+		}
+	}
+}
+
+// registerCallbackArg records a function value passed as an argument into the
+// callee's package registry: whoever in that package later invokes a stored
+// function value of this signature may be invoking it.
+func (g *lockGraph) registerCallbackArg(p *Package, from *fnode, callee *types.Func, arg ast.Expr) {
+	cbn := g.nodeForExpr(p, from, arg)
+	if cbn == nil {
+		return
+	}
+	sig := funcSigOf(p, arg)
+	if sig == nil {
+		return
+	}
+	pkgPath := p.Path
+	if callee != nil && callee.Pkg() != nil {
+		pkgPath = callee.Pkg().Path()
+	}
+	g.registry[pkgPath] = append(g.registry[pkgPath], cbn)
+	g.regSigs[cbn] = sig
+}
+
+func funcSigOf(p *Package, e ast.Expr) *types.Signature {
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// resolveDynamicCalls turns each dynamic call site into edges to every
+// callback of identical signature (types.Identical — parameter names are
+// irrelevant) registered into the calling package.
+func (g *lockGraph) resolveDynamicCalls(all []*Package) {
+	resolve := func(n *fnode) {
+		for _, d := range n.dyn {
+			seen := map[*fnode]bool{}
+			for _, cb := range g.registry[n.pkg.Path] {
+				if seen[cb] {
+					continue
+				}
+				if sig := g.regSigs[cb]; sig != nil && types.Identical(sig, d.sig) {
+					seen[cb] = true
+					n.calls = append(n.calls, callEdge{to: cb, pos: d.pos, desc: "registered callback"})
+				}
+			}
+		}
+	}
+	for _, n := range g.decls {
+		resolve(n)
+	}
+	for _, n := range g.lits {
+		resolve(n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Closures: may-acquire and may-block
+// ---------------------------------------------------------------------------
+
+// mayAcquireOf returns every lock the function may acquire on a synchronous
+// call path from its entry, with one witness chain per lock.
+func (g *lockGraph) mayAcquireOf(n *fnode) map[string][]hop {
+	if n == nil {
+		return nil
+	}
+	if n.mayAcquire != nil {
+		return n.mayAcquire
+	}
+	if n.inProgress {
+		return nil // recursion: the fixpoint under-approximates, fine for a witness search
+	}
+	n.inProgress = true
+	out := make(map[string][]hop)
+	for _, a := range n.acquires {
+		if _, ok := out[a.lock]; !ok {
+			out[a.lock] = []hop{{what: "acquires " + a.lock + " in " + n.name, pos: g.fset.Position(a.pos)}}
+		}
+	}
+	for _, e := range n.calls {
+		if e.to == nil {
+			continue
+		}
+		sub := g.mayAcquireOf(e.to)
+		for lock, path := range sub {
+			if _, ok := out[lock]; ok {
+				continue
+			}
+			what := "calls " + e.to.name
+			if e.desc != "" {
+				what = "runs " + e.desc + " " + e.to.name
+			}
+			out[lock] = append([]hop{{what: what + " from " + n.name, pos: g.fset.Position(e.pos)}}, path...)
+		}
+	}
+	n.inProgress = false
+	n.mayAcquire = out
+	return out
+}
+
+// mayBlockOf returns, per package, one witness chain from the function's
+// entry to a blocking primitive (bare channel op, WaitGroup/Cond Wait)
+// located in that package.
+func (g *lockGraph) mayBlockOf(n *fnode) map[string]blockWitness {
+	if n == nil {
+		return nil
+	}
+	if n.mayBlock != nil {
+		return n.mayBlock
+	}
+	if n.inProgress {
+		return nil
+	}
+	n.inProgress = true
+	out := make(map[string]blockWitness)
+	for _, b := range n.blocks {
+		if _, ok := out[n.pkg.Path]; !ok {
+			out[n.pkg.Path] = blockWitness{
+				pkgPath: n.pkg.Path,
+				path:    []hop{{what: b.desc + " in " + n.name, pos: g.fset.Position(b.pos)}},
+			}
+		}
+	}
+	for _, e := range n.calls {
+		if e.to == nil {
+			continue
+		}
+		for pkgPath, w := range g.mayBlockOf(e.to) {
+			if _, ok := out[pkgPath]; ok {
+				continue
+			}
+			out[pkgPath] = blockWitness{
+				pkgPath: pkgPath,
+				path: append([]hop{{what: "calls " + e.to.name + " from " + n.name, pos: g.fset.Position(e.pos)}},
+					w.path...),
+			}
+		}
+	}
+	n.inProgress = false
+	n.mayBlock = out
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Lock identity
+// ---------------------------------------------------------------------------
+
+// resolveLockExpr names the mutex behind a Lock()/RLock() receiver
+// expression with a static identity: "(pkg.Type).field" for a struct field,
+// "pkg.var" for a package-level mutex, or a position-derived ID for locals.
+func resolveLockExpr(p *Package, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return fmt.Sprintf("(*%s.%s).%s", named.Obj().Pkg().Name(), named.Obj().Name(), sel.Obj().Name()), true
+			}
+		}
+		if obj, ok := p.Info.Uses[x.Sel]; ok {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && !v.IsField() {
+				return v.Pkg().Name() + "." + v.Name(), true
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[x].(*types.Var); ok {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name(), true
+			}
+			pos := p.Fset.Position(obj.Pos())
+			return fmt.Sprintf("%s (%s:%d)", x.Name, posBase(pos), pos.Line), true
+		}
+	}
+	// A mutex reached through an embedded field (x.Lock() with x a named
+	// struct embedding sync.Mutex): identify by the embedding type.
+	if tv, ok := p.Info.Types[ast.Unparen(e)]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return fmt.Sprintf("(*%s.%s)", named.Obj().Pkg().Name(), named.Obj().Name()), true
+		}
+	}
+	return "", false
+}
+
+func funcDisplayName(p *Package, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return "(*" + p.Name + "." + id.Name + ")." + fd.Name.Name
+		}
+	}
+	return p.Name + "." + fd.Name.Name
+}
+
+// ---------------------------------------------------------------------------
+// The analysis: held-set scan + cycle detection
+// ---------------------------------------------------------------------------
+
+// orderEdge is one L1 → L2 edge of the combined graph.
+type orderEdge struct {
+	from, to string
+	waits    bool // true: waits-for edge (cross-goroutine), false: acquire-under-lock
+	witness  string
+	pos      token.Position // entry site (statement holding `from`), for attribution
+}
+
+func runLockOrder(target *Package, all []*Package) []Diagnostic {
+	g := lockGraphFor(all)
+	var diags []Diagnostic
+	var edges []orderEdge
+
+	scanBody := func(fnName string, body *ast.BlockStmt) {
+		s := &lockScanner{g: g, p: target, fn: fnName, diags: &diags, edges: &edges}
+		s.stmts(body.List, map[string]token.Pos{})
+	}
+	for _, f := range target.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanBody(funcDisplayName(target, fd), fd.Body)
+			// Literals are scanned as their own contexts too (goroutine
+			// bodies, deferred cleanups): a lock taken inside one is held
+			// across whatever the literal calls.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					if ln := g.lits[lit]; ln != nil {
+						scanBody(ln.name, lit.Body)
+					}
+					return false
+				}
+				return true
+			})
+		}
+	}
+	diags = append(diags, cycleDiagnostics(target, edges)...)
+	return diags
+}
+
+// lockScanner walks statement lists lexically, maintaining the held-lock set
+// exactly like lockdiscipline, but consults the whole-program graph at each
+// call made under a lock.
+type lockScanner struct {
+	g     *lockGraph
+	p     *Package
+	fn    string
+	diags *[]Diagnostic
+	edges *[]orderEdge
+	seen  map[string]bool
+}
+
+func (s *lockScanner) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range list {
+		switch x := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if recv, acq, rel := mutexLockKind(s.p, call); acq || rel {
+					id, ok := resolveLockExpr(s.p, recv)
+					if !ok {
+						continue
+					}
+					if acq {
+						s.noteAcquire(held, id, call.Pos())
+						held[id] = call.Pos()
+					} else {
+						delete(held, id)
+					}
+					continue
+				}
+			}
+			if len(held) > 0 {
+				s.checkStmt(st, held)
+			}
+		case *ast.DeferStmt:
+			continue // defer mu.Unlock(): lock held to end; other defers run post-body
+		case *ast.GoStmt:
+			continue // spawned goroutine does not hold the lock
+		case *ast.BlockStmt:
+			s.stmts(x.List, copyHeldPos(held))
+		case *ast.IfStmt:
+			if len(held) > 0 && x.Init != nil {
+				s.checkStmt(x.Init, held)
+			}
+			s.stmts(x.Body.List, copyHeldPos(held))
+			if x.Else != nil {
+				s.stmts([]ast.Stmt{x.Else}, copyHeldPos(held))
+			}
+		case *ast.ForStmt:
+			s.stmts(x.Body.List, copyHeldPos(held))
+		case *ast.RangeStmt:
+			s.stmts(x.Body.List, copyHeldPos(held))
+		case *ast.SwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					s.stmts(cc.Body, copyHeldPos(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					s.stmts(cc.Body, copyHeldPos(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					s.stmts(cc.Body, copyHeldPos(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			s.stmts([]ast.Stmt{x.Stmt}, held)
+		default:
+			if len(held) > 0 {
+				s.checkStmt(st, held)
+			}
+		}
+	}
+}
+
+func copyHeldPos(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// noteAcquire records L1 → L2 order edges (and re-entrant self-cycles) for a
+// direct second acquisition under held locks.
+func (s *lockScanner) noteAcquire(held map[string]token.Pos, id string, pos token.Pos) {
+	p2 := s.g.fset.Position(pos)
+	for l1, p1 := range held {
+		w := fmt.Sprintf("%s acquires %s at %s:%d while holding %s (acquired %s:%d)",
+			s.fn, id, posBase(p2), p2.Line, l1, posBase(s.g.fset.Position(p1)), s.g.fset.Position(p1).Line)
+		if l1 == id {
+			*s.diags = append(*s.diags, Diagnostic{
+				Pos:     p2,
+				Check:   lockorderName,
+				Message: "potential deadlock (re-entrant acquisition): " + w + "; sync mutexes are not re-entrant",
+			})
+			continue
+		}
+		*s.edges = append(*s.edges, orderEdge{from: l1, to: id, witness: w, pos: p2})
+	}
+}
+
+// checkStmt inspects one statement executed with locks held: every call is
+// checked for transitive acquisitions (lock-order edges, re-entrant cycles)
+// and transitive blocking (waits-for edges through spawned goroutines).
+func (s *lockScanner) checkStmt(st ast.Stmt, held map[string]token.Pos) {
+	walkStack(st, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, acq, _ := mutexLockKind(s.p, call); acq {
+			if id, ok := resolveLockExpr(s.p, recv); ok {
+				s.noteAcquire(held, id, call.Pos())
+			}
+			return true
+		}
+		callee := calleeFunc(s.p.Info, call)
+		// Subsumption: lockdiscipline already flags these lexically; one
+		// hazard, one report.
+		if isPkgFunc(callee, "time", "Sleep") {
+			return true
+		}
+		if _, bad := lockHostileCall(callee); bad {
+			return true
+		}
+		var target *fnode
+		if callee != nil {
+			target = s.g.decls[callee]
+		} else if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			target = s.g.lits[lit]
+		}
+		if target == nil {
+			return true
+		}
+		s.checkCall(call, target, held)
+		return true
+	})
+}
+
+// checkCall applies the interprocedural rules to one call made under locks.
+// Findings and edges are emitted in sorted (l1, l2) order, and only the
+// first witness per (call site, l1, l2, kind) survives — the same hazard
+// reachable through several goroutines or paths is one report.
+func (s *lockScanner) checkCall(call *ast.CallExpr, target *fnode, held map[string]token.Pos) {
+	pos := s.g.fset.Position(call.Pos())
+	heldIDs := make([]string, 0, len(held))
+	for l1 := range held {
+		heldIDs = append(heldIDs, l1)
+	}
+	sort.Strings(heldIDs)
+
+	// Rule 1 — acquisitions on the synchronous path: held L1, callee may
+	// acquire L2. L2 == L1 is a same-goroutine re-entrant deadlock (the
+	// InstallSnapshot-under-rotation shape); otherwise a lock-order edge.
+	mayAcq := s.g.mayAcquireOf(target)
+	acqLocks := sortedKeys(mayAcq)
+	for _, l2 := range acqLocks {
+		path := mayAcq[l2]
+		for _, l1 := range heldIDs {
+			if !s.firstFor(pos, l1, l2, "acq") {
+				continue
+			}
+			ap := s.g.fset.Position(held[l1])
+			prefix := fmt.Sprintf("%s holds %s (acquired %s:%d) across the call to %s at %s:%d: ",
+				s.fn, l1, posBase(ap), ap.Line, target.name, posBase(pos), pos.Line)
+			if l1 == l2 {
+				*s.diags = append(*s.diags, Diagnostic{
+					Pos:     pos,
+					Check:   lockorderName,
+					Message: "potential deadlock (re-entrant acquisition): " + prefix + renderPath(path),
+				})
+				continue
+			}
+			*s.edges = append(*s.edges, orderEdge{
+				from: l1, to: l2,
+				witness: prefix + renderPath(path),
+				pos:     pos,
+			})
+		}
+	}
+
+	// Rule 2 — waits-for: the callee can park on a blocking primitive in
+	// package P, which means it may be waiting out a goroutine P spawned;
+	// whatever that goroutine (transitively, callbacks included) can acquire
+	// is reachable from the wait. Held L1 with the goroutine able to take L1
+	// is the Kill/Crash committer shape.
+	mayBlk := s.g.mayBlockOf(target)
+	for _, pkgPath := range sortedKeys(mayBlk) {
+		bw := mayBlk[pkgPath]
+		for _, sp := range s.g.spawns[bw.pkgPath] {
+			spPos := s.g.fset.Position(sp.pos)
+			rootAcq := s.g.mayAcquireOf(sp.root)
+			for _, l2 := range sortedKeys(rootAcq) {
+				path := rootAcq[l2]
+				for _, l1 := range heldIDs {
+					if !s.firstFor(pos, l1, l2, "wait") {
+						continue
+					}
+					ap := s.g.fset.Position(held[l1])
+					witness := fmt.Sprintf(
+						"%s holds %s (acquired %s:%d) and blocks in %s: %s; that waits on goroutine %s (spawned %s:%d), which may need %s: %s",
+						s.fn, l1, posBase(ap), ap.Line, target.name, renderPath(bw.path),
+						sp.root.name, posBase(spPos), spPos.Line, l2, renderPath(path))
+					if l1 == l2 {
+						*s.diags = append(*s.diags, Diagnostic{
+							Pos:     pos,
+							Check:   lockorderName,
+							Message: "potential deadlock (lock held across a blocking wait): " + witness,
+						})
+						continue
+					}
+					*s.edges = append(*s.edges, orderEdge{
+						from: l1, to: l2, waits: true,
+						witness: witness,
+						pos:     pos,
+					})
+				}
+			}
+		}
+	}
+}
+
+// firstFor reports whether this (site, l1, l2, kind) combination is new,
+// recording it; duplicates collapse to the first (deterministic) witness.
+func (s *lockScanner) firstFor(pos token.Position, l1, l2, kind string) bool {
+	key := fmt.Sprintf("%s:%d:%d|%s|%s|%s", pos.Filename, pos.Line, pos.Column, l1, l2, kind)
+	if s.seen == nil {
+		s.seen = make(map[string]bool)
+	}
+	if s.seen[key] {
+		return false
+	}
+	s.seen[key] = true
+	return true
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Cycle detection over collected order edges
+// ---------------------------------------------------------------------------
+
+// cycleDiagnostics reports cycles among distinct locks (L1 → L2 → … → L1).
+// Self-loops are reported at discovery by the scanner; here only the
+// target package's edges can open a cycle, so each cycle is attributed to
+// exactly one package and reported once.
+func cycleDiagnostics(target *Package, edges []orderEdge) []Diagnostic {
+	if len(edges) == 0 {
+		return nil
+	}
+	// Adjacency with one representative (first-seen) edge per (from, to).
+	type key struct{ from, to string }
+	rep := make(map[key]orderEdge)
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		k := key{e.from, e.to}
+		if _, ok := rep[k]; !ok {
+			rep[k] = e
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	for _, next := range adj {
+		sort.Strings(next)
+	}
+	var diags []Diagnostic
+	seenCycle := make(map[string]bool)
+	// BFS from each edge of the target package looking for a path back.
+	for _, e := range edges {
+		if posPkgDir(e.pos) != target.Dir {
+			continue
+		}
+		path := shortestPath(adj, e.to, e.from)
+		if path == nil {
+			continue
+		}
+		// Cycle: e.from -> e.to -> ... -> e.from.
+		cycleLocks := append([]string{e.from}, path...)
+		sig := strings.Join(normalizeCycle(cycleLocks), "→")
+		if seenCycle[sig] {
+			continue
+		}
+		seenCycle[sig] = true
+		var parts []string
+		parts = append(parts, e.witness)
+		for i := 0; i+1 < len(cycleLocks); i++ {
+			k := key{cycleLocks[i], cycleLocks[i+1]}
+			if i == 0 {
+				continue // e itself
+			}
+			if r, ok := rep[k]; ok {
+				parts = append(parts, r.witness)
+			}
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   e.pos,
+			Check: lockorderName,
+			Message: fmt.Sprintf("potential deadlock (lock-order cycle %s): %s",
+				strings.Join(cycleLocks, " → "), strings.Join(parts, " || ")),
+		})
+	}
+	return diags
+}
+
+func posPkgDir(p token.Position) string {
+	if i := strings.LastIndexByte(p.Filename, '/'); i >= 0 {
+		return p.Filename[:i]
+	}
+	return ""
+}
+
+// shortestPath returns the node sequence from → … → to (inclusive of both),
+// or nil if unreachable.
+func shortestPath(adj map[string][]string, from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, ok := prev[next]; ok {
+				continue
+			}
+			prev[next] = cur
+			if next == to {
+				var path []string
+				for n := to; ; n = prev[n] {
+					path = append([]string{n}, path...)
+					if n == from {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// normalizeCycle rotates a cycle's lock list to start at its smallest
+// element so the same cycle found from two entry edges dedupes.
+func normalizeCycle(locks []string) []string {
+	if len(locks) <= 1 {
+		return locks
+	}
+	body := locks[:len(locks)-1] // drop the closing repeat if present
+	if locks[0] != locks[len(locks)-1] {
+		body = locks
+	}
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	out := make([]string, 0, len(body))
+	out = append(out, body[min:]...)
+	out = append(out, body[:min]...)
+	return out
+}

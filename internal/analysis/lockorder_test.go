@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/build"
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestLockOrderWitnessPaths pins the two PR 9 deadlock shapes: the
+// Kill/Crash committer cycle and the Install rotation cycle must both be
+// reported from the pre-fix fixture, each with a complete witness path —
+// the acquire site, every call/callback hop with file:line, and the
+// closing re-acquisition.
+func TestLockOrderWitnessPaths(t *testing.T) {
+	fset := token.NewFileSet()
+	build.Default.CgoEnabled = false
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg := loadFixture(t, fset, imp,
+		filepath.Join("testdata", "src", "lockorder_pos"), "fixture/lockorder_pos")
+
+	diags := LockOrder.Run(pkg, []*Package{pkg})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings (one per PR 9 shape), got %d: %v", len(diags), diags)
+	}
+
+	find := func(marker string) Diagnostic {
+		t.Helper()
+		for _, d := range diags {
+			if strings.Contains(d.Message, marker) {
+				return d
+			}
+		}
+		t.Fatalf("no finding mentions %q in %v", marker, diags)
+		return Diagnostic{}
+	}
+
+	// Shape 1: Kill holds r.mu across the Crash join; the committer
+	// goroutine it waits out needs r.mu through the registered callback.
+	kill := find("(*fixture.R).Kill")
+	for _, want := range []string{
+		"lock held across a blocking wait",
+		"holds (*fixture.R).mu",
+		"blocks in (*fixture.W).Crash",
+		"blocking channel receive in (*fixture.W).Crash",
+		"waits on goroutine (*fixture.W).committer",
+		"runs registered callback func literal",
+		"calls (*fixture.R).advanceDurable",
+		"acquires (*fixture.R).mu in (*fixture.R).advanceDurable",
+	} {
+		if !strings.Contains(kill.Message, want) {
+			t.Errorf("Kill witness missing %q:\n%s", want, kill.Message)
+		}
+	}
+
+	// Shape 2: Install holds r.mu across Rotate, which runs the registered
+	// callback inline on the same goroutine.
+	install := find("(*fixture.R).Install")
+	for _, want := range []string{
+		"re-entrant acquisition",
+		"holds (*fixture.R).mu",
+		"across the call to (*fixture.W).Rotate",
+		"runs registered callback func literal",
+		"calls (*fixture.R).advanceDurable",
+		"acquires (*fixture.R).mu in (*fixture.R).advanceDurable",
+	} {
+		if !strings.Contains(install.Message, want) {
+			t.Errorf("Install witness missing %q:\n%s", want, install.Message)
+		}
+	}
+
+	// Every hop in a witness must carry a file:line position.
+	hopPos := regexp.MustCompile(`lockorder_pos\.go:\d+`)
+	for _, d := range diags {
+		if n := len(hopPos.FindAllString(d.Message, -1)); n < 4 {
+			t.Errorf("witness has %d file:line hops, want >= 4:\n%s", n, d.Message)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Negative fixture: shapes that look like the lockorder positives but are
+// safe — the lock is released before the blocking call, the wait is a
+// cancellable select, or the registered callback takes a different lock.
+package fixture
+
+import "sync"
+
+type W struct {
+	stop chan struct{}
+	done chan struct{}
+	quit chan struct{}
+	cbs  []func()
+}
+
+func NewW() *W {
+	w := &W{stop: make(chan struct{}), done: make(chan struct{}), quit: make(chan struct{})}
+	go w.run()
+	return w
+}
+
+// run joins on stop and flushes the registered callbacks once.
+func (w *W) run() {
+	defer close(w.done)
+	<-w.stop
+	for _, cb := range w.cbs {
+		cb()
+	}
+}
+
+// Append registers a durable callback.
+func (w *W) Append(cb func()) { w.cbs = append(w.cbs, cb) }
+
+// Crash stops the loop and joins it.
+func (w *W) Crash() {
+	close(w.stop)
+	<-w.done
+}
+
+// Rotate runs pending callbacks on the caller's goroutine.
+func (w *W) Rotate() {
+	for _, cb := range w.cbs {
+		cb()
+	}
+}
+
+// AwaitOrCancel blocks in a cancellable select — not a hard join.
+func (w *W) AwaitOrCancel() {
+	select {
+	case <-w.done:
+	case <-w.quit:
+	}
+}
+
+type R struct {
+	mu     sync.Mutex
+	side   sync.Mutex
+	w      *W
+	stats  int
+	closed bool
+}
+
+// Append registers bump, which takes r.side — not r.mu — so rotation under
+// r.mu cannot re-enter.
+func (r *R) Append(v int) {
+	r.w.Append(func() { r.bump(v) })
+}
+
+func (r *R) bump(v int) {
+	r.side.Lock()
+	defer r.side.Unlock()
+	r.stats += v
+}
+
+// Kill releases r.mu before the blocking join — safe.
+func (r *R) Kill() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.w.Crash()
+}
+
+// Wait holds r.mu across a call whose only channel ops sit in a
+// cancellable select — safe.
+func (r *R) Wait() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.w.AwaitOrCancel()
+}
+
+// Install holds r.mu across Rotate, but the registered callback takes
+// r.side — no cycle.
+func (r *R) Install() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.w.Rotate()
+}

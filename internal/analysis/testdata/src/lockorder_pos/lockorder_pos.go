@@ -1,0 +1,96 @@
+// Positive fixture: the two PR 9 deadlock shapes, extracted pre-fix.
+//
+// Shape 1 (Kill/Crash committer cycle): Kill holds r.mu across W.Crash,
+// which joins the committer goroutine; the committer runs the registered
+// durable callbacks, and those re-take r.mu.
+//
+// Shape 2 (Install rotation cycle): Install holds r.mu across W.Rotate,
+// which runs the registered callbacks inline on the calling goroutine;
+// advanceDurable then re-takes r.mu on the same goroutine.
+package fixture
+
+import "sync"
+
+// W models the WAL: callbacks registered via Append run either on the
+// committer goroutine (group-commit path) or inline during Rotate.
+type W struct {
+	stop chan struct{}
+	done chan struct{}
+	work chan int
+	cbs  []func()
+}
+
+func NewW() *W {
+	w := &W{stop: make(chan struct{}), done: make(chan struct{}), work: make(chan int)}
+	go w.committer()
+	return w
+}
+
+// committer is the background group-commit loop: after each batch it
+// invokes every registered durable callback.
+func (w *W) committer() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.work:
+		}
+		for _, cb := range w.cbs {
+			cb()
+		}
+	}
+}
+
+// Append registers a durable callback.
+func (w *W) Append(cb func()) { w.cbs = append(w.cbs, cb) }
+
+// Crash stops the committer and joins it.
+func (w *W) Crash() {
+	close(w.stop)
+	<-w.done
+}
+
+// Rotate seals the current segment and runs pending callbacks on the
+// caller's goroutine.
+func (w *W) Rotate() {
+	for _, cb := range w.cbs {
+		cb()
+	}
+}
+
+// R models the replica: its durable watermark advances from WAL callbacks.
+type R struct {
+	mu      sync.Mutex
+	w       *W
+	durable int
+}
+
+// Append registers advanceDurable as the durable callback — the edge that
+// closes both cycles.
+func (r *R) Append(v int) {
+	r.w.Append(func() { r.advanceDurable(v) })
+}
+
+func (r *R) advanceDurable(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v > r.durable {
+		r.durable = v
+	}
+}
+
+// Kill holds r.mu across the committer join — shape 1.
+func (r *R) Kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.w.Crash()
+}
+
+// Install holds r.mu across the rotation, which runs advanceDurable on
+// this same goroutine — shape 2.
+func (r *R) Install() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.w.Rotate()
+}

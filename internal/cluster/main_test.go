@@ -1,0 +1,12 @@
+package cluster
+
+import (
+	"testing"
+
+	"pstore/internal/testutil"
+)
+
+// TestMain fails the suite if any test leaks a goroutine: cluster nodes
+// spawn executors, committers, monitors, and replication tails that must
+// all join on Stop/Crash.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

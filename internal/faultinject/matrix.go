@@ -266,7 +266,6 @@ func (in *Injector) PartitionLoop(endpoints func() []int, stop <-chan struct{}) 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				//pstore:ignore seeddiscipline — the outage window IS the injected fault; duration is configured, not drawn
 				timer := time.NewTimer(in.opts.PartitionFor)
 				defer timer.Stop()
 				select {

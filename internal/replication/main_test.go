@@ -1,0 +1,12 @@
+package replication
+
+import (
+	"testing"
+
+	"pstore/internal/testutil"
+)
+
+// TestMain fails the suite if any test leaks a goroutine: every feed, hub,
+// tail, and replica started here spawns background loops that must all
+// join on Close/Stop.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

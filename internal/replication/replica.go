@@ -233,7 +233,7 @@ func (r *Replica) InstallSnapshot(snap *Snapshot) error {
 		// it is superseded (and may belong to a stale epoch's history).
 		// Runs on the tail's seeding path, never the apply hot path.
 		r.mgr.SetBaseSeq(snap.LSN)
-		if err := r.mgr.Snapshot(r.p); err != nil {
+		if err := r.mgr.Snapshot(r.p); err != nil { //pstore:ignore lockorder — the Flush above drained every pending durable callback and the seeding tail is the only appender, so this rotation finds no callbacks to run under r.mu
 			return err
 		}
 		r.durable = snap.LSN

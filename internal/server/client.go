@@ -195,7 +195,7 @@ func (c *Client) Close() error {
 	c.closed = true
 	conn := c.conn
 	c.conn = nil
-	c.failPendingLocked(ErrClientClosed)
+	c.failPendingLocked(ErrClientClosed) //pstore:ignore lockorder — reply channels have capacity 1 and receive exactly one message (delivery deletes the pending entry first), so the sends inside cannot block
 	c.mu.Unlock()
 	close(c.done)
 	if conn != nil {
@@ -230,7 +230,7 @@ func (c *Client) connFailed(gen uint64, err error) {
 		c.conn.Close()
 		c.conn = nil
 	}
-	c.failPendingLocked(fmt.Errorf("pstore-client: connection lost: %w", err))
+	c.failPendingLocked(fmt.Errorf("pstore-client: connection lost: %w", err)) //pstore:ignore lockorder — reply channels have capacity 1 and receive exactly one message (delivery deletes the pending entry first), so the sends inside cannot block
 	startReconnect := c.opts.Reconnect && !c.reconnecting
 	if startReconnect {
 		c.reconnecting = true

@@ -1,0 +1,146 @@
+// Package testutil holds stdlib-only helpers shared by the test suites.
+//
+// The goroutine-leak check exists because P-Store's subsystems are built
+// around background loops — WAL committers, replication tails, cluster
+// monitors — that must all join on Close/Stop. A test that passes while
+// leaking its committer hides exactly the bug class the lockorder analyzer
+// hunts statically; the leak check catches it dynamically.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak check needs; taking the interface
+// keeps this package free of a testing import in its public surface and
+// usable from TestMain (which has no *testing.T).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// CheckGoroutineLeaks snapshots the goroutines alive now and registers a
+// cleanup that fails the test if new ones are still running at test end.
+// Goroutines are given a grace period to finish parking/exiting, and
+// runtime/testing bookkeeping goroutines are filtered out by stack. Call it
+// first in a test that starts replicas, clusters, or WALs:
+//
+//	func TestReplica(t *testing.T) {
+//		testutil.CheckGoroutineLeaks(t)
+//		...
+//	}
+func CheckGoroutineLeaks(t TB) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		if leaked := waitForExit(before); len(leaked) > 0 {
+			t.Errorf("%d goroutine(s) leaked by this test:\n\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+	})
+}
+
+// VerifyTestMain runs the package's tests and then fails the run if any
+// test leaked a goroutine. One line covers a whole suite:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }
+func VerifyTestMain(m interface{ Run() int }) {
+	before := goroutineIDs()
+	code := m.Run()
+	if leaked := waitForExit(before); len(leaked) > 0 && code == 0 {
+		fmt.Fprintf(os.Stderr, "testutil: %d goroutine(s) leaked by the test suite:\n\n%s\n",
+			len(leaked), strings.Join(leaked, "\n\n"))
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// leakGrace bounds how long a finished test waits for its goroutines to
+// unwind: Close/Stop return before the joined goroutine's final stack
+// frames pop, so an immediate snapshot would flicker.
+const leakGrace = 2 * time.Second
+
+// waitForExit polls until every goroutine not in before has exited or the
+// grace period lapses, and returns the survivors' stacks.
+func waitForExit(before map[string]bool) []string {
+	deadline := time.Now().Add(leakGrace)
+	for {
+		leaked := leakedStacks(before)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var goroutineHeader = regexp.MustCompile(`^goroutine (\d+) `)
+
+// goroutineIDs snapshots the IDs of every live goroutine.
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for _, s := range allStacks() {
+		if m := goroutineHeader.FindStringSubmatch(s); m != nil {
+			ids[m[1]] = true
+		}
+	}
+	return ids
+}
+
+// leakedStacks returns stacks of interesting goroutines absent from the
+// before snapshot.
+func leakedStacks(before map[string]bool) []string {
+	var out []string
+	for _, s := range allStacks() {
+		m := goroutineHeader.FindStringSubmatch(s)
+		if m == nil || before[m[1]] || systemGoroutine(s) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// allStacks dumps every goroutine's stack, growing the buffer until the
+// dump fits.
+func allStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return strings.Split(string(buf[:n]), "\n\n")
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// systemGoroutine filters runtime and testing bookkeeping: goroutines the
+// test did not start and cannot join.
+func systemGoroutine(stack string) bool {
+	for _, marker := range []string{
+		"testing.Main(",
+		"testing.(*T).Run(",
+		"testing.(*M).startAlarm",
+		"testing.runFuzzing(",
+		"testing.runFuzzTests(",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.MHeap",
+		"runtime/trace.Start",
+		"signal.signal_recv",
+		"os/signal.loop",
+		"pstore/internal/testutil.allStacks", // this checker itself
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	// The first line after the header names the function the goroutine is
+	// parked in; a goroutine created by the runtime has no "created by".
+	return !strings.Contains(stack, "created by")
+}

@@ -1,0 +1,81 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records Errorf calls and runs cleanups on demand so the leak
+// check can be exercised without failing the real test.
+type fakeTB struct {
+	errors   []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, format)
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) runCleanups() {
+	for _, fn := range f.cleanups {
+		fn()
+	}
+}
+
+func TestCheckGoroutineLeaksCatchesLeak(t *testing.T) {
+	ft := &fakeTB{}
+	CheckGoroutineLeaks(ft)
+	block := make(chan struct{})
+	go func() { <-block }() // deliberate leak: never signalled before cleanup
+	ft.runCleanups()
+	if len(ft.errors) == 0 {
+		t.Error("leak check missed a blocked goroutine")
+	}
+	close(block) // let it exit so this test does not leak for real
+}
+
+func TestCheckGoroutineLeaksPassesOnJoin(t *testing.T) {
+	ft := &fakeTB{}
+	CheckGoroutineLeaks(ft)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	ft.runCleanups()
+	if len(ft.errors) != 0 {
+		t.Errorf("leak check flagged a joined goroutine: %v", ft.errors)
+	}
+}
+
+func TestSystemGoroutineFilter(t *testing.T) {
+	leaked := `goroutine 42 [chan receive]:
+main.worker()
+	/tmp/x.go:10 +0x20
+created by main.start
+	/tmp/x.go:5 +0x30`
+	if systemGoroutine(leaked) {
+		t.Error("user goroutine misclassified as system")
+	}
+	runner := `goroutine 1 [chan receive]:
+testing.(*T).Run(0xc000001234)
+	/usr/local/go/src/testing/testing.go:1750 +0x3e8`
+	if !systemGoroutine(runner) {
+		t.Error("test runner goroutine not filtered")
+	}
+}
+
+func TestWaitForExitGrace(t *testing.T) {
+	before := goroutineIDs()
+	slow := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		<-slow
+	}()
+	close(slow)
+	// The goroutine exits ~50ms in; waitForExit must ride out the race
+	// instead of reporting it.
+	if leaked := waitForExit(before); len(leaked) > 0 {
+		t.Errorf("grace period did not absorb a slow exit:\n%s", strings.Join(leaked, "\n"))
+	}
+}

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
 # vet.sh — the repo's full static gate: gofmt, go vet, then pstore-vet
 # (cmd/pstore-vet), the project's own invariant analyzer suite (executor
-# never-block, encoder determinism, seed discipline, lock discipline, pool
-# hygiene — DESIGN.md §10). Exits nonzero on any formatting drift, vet
-# complaint, or pstore-vet diagnostic, so CI and pre-commit hooks can gate
-# on it as one step.
+# never-block, encoder determinism, seed discipline, lock discipline,
+# whole-program lock order, pool hygiene — DESIGN.md §10). Exits nonzero on
+# any formatting drift, vet complaint, pstore-vet diagnostic, or stale
+# //pstore:ignore suppression, so CI and pre-commit hooks can gate on it as
+# one step.
+#
+# pstore-vet runs under a 60-second wall-clock budget: the lockorder pass
+# builds a whole-program call graph, and without a hard ceiling its cost
+# could rot silently as the module grows until CI is minutes slower with
+# nobody having decided that. (Current full-tree runtime is ~3s; the budget
+# is headroom, not a target.)
 #
 # Usage: scripts/vet.sh [packages...]   (default ./...)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PKGS=("${@:-./...}")
+VET_BUDGET_SECS=60
 
 echo "== gofmt"
 out=$(gofmt -l .)
@@ -23,7 +31,22 @@ fi
 echo "== go vet"
 go vet "${PKGS[@]}"
 
-echo "== pstore-vet"
-go run ./cmd/pstore-vet "${PKGS[@]}"
+# Build the analyzer binary outside the timed window so the budget measures
+# analysis, not compilation of the tool itself.
+echo "== pstore-vet (budget ${VET_BUDGET_SECS}s)"
+BIN=$(mktemp -d)/pstore-vet
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+go build -o "$BIN" ./cmd/pstore-vet
+
+start=$SECONDS
+timeout "${VET_BUDGET_SECS}s" "$BIN" -stale "${PKGS[@]}" || {
+  rc=$?
+  if [ "$rc" -eq 124 ]; then
+    echo "pstore-vet exceeded the ${VET_BUDGET_SECS}s wall-clock budget" >&2
+  fi
+  exit "$rc"
+}
+elapsed=$((SECONDS - start))
+echo "pstore-vet completed in ${elapsed}s (budget ${VET_BUDGET_SECS}s)"
 
 echo "ok"
